@@ -1,0 +1,7 @@
+"""Benchmark suite regenerating every table and figure of the paper.
+
+Packaged (this ``__init__``) so that ``from benchmarks._common import
+...`` resolves under both ``pytest benchmarks/`` and
+``python -m pytest benchmarks/`` — bare pytest only adds the rootdir to
+``sys.path`` for *packages*.
+"""

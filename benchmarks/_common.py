@@ -1,0 +1,64 @@
+"""Shared plumbing for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+the benchmark fixture times the full experiment once (``rounds=1`` — these
+are minutes-long workloads, not microbenchmarks) and the rendered series
+are written to ``benchmarks/results/<name>.txt`` so the run leaves
+comparable artifacts behind (EXPERIMENTS.md references them).
+
+Scale: benches run at ``scale='small'`` by default so the whole suite
+finishes on a laptop. Set ``REPRO_BENCH_SCALE=paper`` to run the published
+sizes (slower; see DESIGN.md §5 for the Pokec scaling note).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.experiments.figures import run_figure
+from repro.experiments.reporting import render_series
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark seed: one fixed value so that runs are comparable.
+SEED = 20240612
+
+
+def bench_scale() -> str:
+    """Benchmark scale from the environment (``small`` or ``paper``)."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("small", "paper"):
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be 'small' or 'paper', got {scale!r}"
+        )
+    return scale
+
+
+def record(name: str, text: str) -> None:
+    """Persist rendered output under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")
+
+
+def run_once(benchmark: Any, fn: Callable[[], Any]) -> Any:
+    """Time ``fn`` exactly once through pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def figure_bench(benchmark: Any, figure_id: str, **kwargs: Any) -> None:
+    """Run one paper figure end to end, record all three metric tables."""
+    scale = bench_scale()
+    results = run_once(
+        benchmark, lambda: run_figure(figure_id, scale=scale, seed=SEED, **kwargs)
+    )
+    blocks = []
+    for panel, sweep in results.items():
+        for metric in ("utility", "fairness", "runtime"):
+            blocks.append(f"[{figure_id} {panel}]")
+            blocks.append(render_series(sweep, metric))
+            blocks.append("")
+    record(figure_id, "\n".join(blocks))

@@ -1,0 +1,96 @@
+"""Ablation — user-side (BSM) vs item-side fairness.
+
+The related-work section contrasts BSM's *user-side* fairness (utilities
+distributed across user groups) with the *item-side* notion of
+[El Halabi et al. 2020; Wang et al. 2021] (bounds on how many items per
+category are selected) and declares them incomparable. This bench makes
+the incomparability concrete: item-side quotas fix *representation* and
+leave the resulting user-side fairness ``g(S)`` to luck (here the SBM's
+group/category correlation makes them land high, at a visible utility
+price), while BSM dials ``g(S)`` to a chosen level and keeps the utility
+loss minimal for that level — the trade-off is controlled, not
+incidental.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import SEED, record, run_once
+from repro.core.bsm_saturate import bsm_saturate
+from repro.core.baselines import greedy_utility
+from repro.core.matroid import fair_representation_greedy
+from repro.datasets.registry import load_dataset
+from repro.experiments.reporting import render_table
+
+K = 10
+
+
+def _measure() -> list[list[object]]:
+    data = load_dataset("rand-mc-c2", seed=SEED)
+    objective = data.objective
+    rng = np.random.default_rng(SEED)
+    # Item categories: which group the set's *owner node* belongs to —
+    # correlated with, but distinct from, the user-side partition.
+    categories = data.graph.groups.copy()
+    num_cats = int(categories.max()) + 1
+    rows: list[list[object]] = []
+
+    plain = greedy_utility(objective, K)
+    rows.append(
+        ["Greedy (no fairness)", f"{plain.utility:.4f}", f"{plain.fairness:.4f}", plain.size]
+    )
+
+    share = K // num_cats
+    item_fair = fair_representation_greedy(
+        objective,
+        K,
+        categories,
+        lower_bounds=[share] * num_cats,
+    )
+    rows.append(
+        [
+            "Item-side (equal quotas)",
+            f"{item_fair.utility:.4f}",
+            f"{item_fair.fairness:.4f}",
+            item_fair.size,
+        ]
+    )
+
+    for tau in (0.5, 0.8):
+        user_fair = bsm_saturate(objective, K, tau)
+        rows.append(
+            [
+                f"BSM-Saturate (tau={tau})",
+                f"{user_fair.utility:.4f}",
+                f"{user_fair.fairness:.4f}",
+                user_fair.size,
+            ]
+        )
+    return rows
+
+
+def bench_ablation_item_fairness(benchmark):
+    rows = run_once(benchmark, _measure)
+    record(
+        "ablation_item_fairness",
+        render_table(
+            "Ablation: item-side quotas vs user-side BSM fairness "
+            f"(RAND MC c=2, k={K})",
+            ["method", "f(S)", "g(S)", "|S|"],
+            rows,
+        ),
+    )
+    utility = {row[0]: float(row[1]) for row in rows}
+    fairness = {row[0]: float(row[2]) for row in rows}
+    # BSM's pitch: for the fairness level it targets, it pays less
+    # utility than blanket quotas; and raising tau raises g(S).
+    assert utility["BSM-Saturate (tau=0.8)"] >= utility[
+        "Item-side (equal quotas)"
+    ] - 1e-9
+    assert fairness["BSM-Saturate (tau=0.8)"] >= fairness[
+        "BSM-Saturate (tau=0.5)"
+    ] - 1e-9
+    assert fairness["BSM-Saturate (tau=0.8)"] > fairness[
+        "Greedy (no fairness)"
+    ] - 1e-9

@@ -1,0 +1,14 @@
+"""Figure 10 — MC and IM vs tau on Facebook-like data (c=2/c=4, k=5).
+
+The appendix's extra tau sweeps: two coverage panels and two influence
+panels on the same graph. Expected shape identical to Figs. 3/5 with the
+larger, denser friendship graph.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import figure_bench
+
+
+def bench_fig10(benchmark):
+    figure_bench(benchmark, "fig10")

@@ -1,0 +1,13 @@
+"""Figure 11 — MC and IM vs k on DBLP-like data (c=5, tau=0.8).
+
+The appendix's extra k sweeps on the sparse co-authorship graph.
+Expected shape identical to Figs. 4/6.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import figure_bench
+
+
+def bench_fig11(benchmark):
+    figure_bench(benchmark, "fig11")

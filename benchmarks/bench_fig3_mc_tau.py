@@ -1,0 +1,18 @@
+"""Figure 3 — maximum coverage, f(S) and g(S) vs the balance factor tau.
+
+Panels: RAND (c=2, k=5), RAND (c=4, k=5), DBLP (c=5, k=10). Includes the
+exact OPT_f / OPT_g reference lines and BSM-Optimal on the RAND panels.
+
+Expected shape (paper): as tau grows, f(S) of the BSM algorithms falls
+from ~OPT_f toward Saturate's level while g(S) climbs; SMSC (c=2 panel
+only) is flat; BSM-Saturate dominates BSM-TSGreedy on f(S); both stay
+above the dashed weak-constraint line tau * OPT'_g.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import figure_bench
+
+
+def bench_fig3(benchmark):
+    figure_bench(benchmark, "fig3")

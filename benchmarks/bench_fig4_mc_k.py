@@ -1,0 +1,18 @@
+"""Figure 4 — maximum coverage, f(S), g(S) and runtime vs solution size k
+at tau = 0.8.
+
+Panels: Facebook-like (Age c=2 / c=4), Pokec-like (Gender c=2 / Age c=6).
+
+Expected shape (paper): f and g grow with k for every algorithm; runtime
+grows only mildly with k (lazy forward); BSM-Saturate beats BSM-TSGreedy
+on quality but is slower; coverage fractions on Pokec stay small because
+the graph is large and sparse.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import figure_bench
+
+
+def bench_fig4(benchmark):
+    figure_bench(benchmark, "fig4")

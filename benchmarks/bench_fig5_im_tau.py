@@ -1,0 +1,18 @@
+"""Figure 5 — influence maximization, f(S) and g(S) vs tau.
+
+Panels: RAND (c=2 / c=4, 100 nodes, IC p=0.1, k=5), DBLP (c=5, k=10,
+p=0.1). Greedy optimises RIS estimates; reported values come from
+independent Monte-Carlo cascade simulation, as in the paper.
+
+Expected shape: same trade-off as Fig. 3; the BSM curves may wobble by
+estimation noise (the paper notes BSM-TSGreedy can even break the weak
+constraint occasionally due to IMM estimation error).
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import figure_bench
+
+
+def bench_fig5(benchmark):
+    figure_bench(benchmark, "fig5")

@@ -1,0 +1,15 @@
+"""Figure 6 — influence maximization vs k at tau = 0.8.
+
+Panels: Facebook-like (c=2 / c=4, p=0.01), Pokec-like (gender / age,
+p=0.01). Expected shape: growth in k, BSM-TSGreedy 1.5-4x faster than
+BSM-Saturate with near-par quality (IM is the problem family where
+TSGreedy is most competitive, per Section 5.2).
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import figure_bench
+
+
+def bench_fig6(benchmark):
+    figure_bench(benchmark, "fig6")

@@ -1,0 +1,17 @@
+"""Figure 7 — facility location, f(S) and g(S) vs tau (k = 5).
+
+Panels: RAND blobs (c=2 / c=3, RBF benefits), Adult-Small (Race c=5).
+All three panels include BSM-Optimal (the ILP of Appendix A): the robust
+FL ILP supplies the exact OPT_g reference, the BSM ILP the optimal f(S).
+
+Expected shape: same monotone trade-off as Fig. 3; BSM-Saturate within
+~9% of BSM-Optimal's f(S); BSM-TSGreedy visibly below (up to ~26%).
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import figure_bench
+
+
+def bench_fig7(benchmark):
+    figure_bench(benchmark, "fig7")

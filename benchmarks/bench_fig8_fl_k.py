@@ -1,0 +1,17 @@
+"""Figure 8 — facility location vs k at tau = 0.8.
+
+Panels: Adult-like (Gender c=2, Race c=5; RBF benefits), FourSquare-like
+NYC / TKY (c = 1,000 singleton groups; k-median benefits).
+
+Expected shape: f and g grow with k; the c=1,000 panels demonstrate that
+both BSM algorithms stay practical when the number of groups is large;
+BSM-TSGreedy is the faster of the two throughout.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import figure_bench
+
+
+def bench_fig8(benchmark):
+    figure_bench(benchmark, "fig8")

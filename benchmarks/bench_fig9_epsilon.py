@@ -1,0 +1,35 @@
+"""Figure 9 — BSM-Saturate's sensitivity to the error parameter eps.
+
+Four panels on RAND data (MC c=2, MC c=4, IM c=2, FL c=2), tau = 0.8,
+k = 5, eps in {0.05..0.5}.
+
+Expected shape (paper, Appendix B): f(S) and g(S) are nearly flat in eps
+— the bisection's alpha_min values are close together, so the solutions
+barely change until eps approaches 0.5.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import SEED, bench_scale, record, run_once
+from repro.experiments.figures import run_figure9
+
+
+def bench_fig9(benchmark):
+    out = run_once(
+        benchmark,
+        lambda: run_figure9(
+            epsilons=(0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+            k=5,
+            tau=0.8,
+            scale=bench_scale(),
+            seed=SEED,
+        ),
+    )
+    lines = []
+    for panel, series in out.items():
+        lines.append(f"[fig9 {panel}] (tau=0.8, k=5)")
+        lines.append("eps     f(S)     g(S)")
+        for eps, f_val, g_val in series:
+            lines.append(f"{eps:<7g} {f_val:<8.4f} {g_val:<8.4f}")
+        lines.append("")
+    record("fig9", "\n".join(lines))

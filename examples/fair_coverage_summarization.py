@@ -1,0 +1,64 @@
+"""Fair coverage / equitable representation (the paper's MC application).
+
+Scenario: pick ``k`` "ambassador" accounts in a social network so that as
+many users as possible have an ambassador in their neighbourhood — while
+covering every demographic group proportionally (the paper's motivating
+"equitable representation" use case for maximum coverage).
+
+This example sweeps the balance factor tau to trace the whole
+utility-fairness trade-off curve on a DBLP-like collaboration network
+with five regional groups, reproducing the anatomy of Figure 3(c).
+
+Run:  python examples/fair_coverage_summarization.py
+"""
+
+from __future__ import annotations
+
+from repro import load_dataset
+from repro.core import bsm_saturate, bsm_tsgreedy, greedy_utility, saturate
+
+K = 10
+TAUS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def main() -> None:
+    # DBLP-like co-authorship graph: 5 groups by continent with the
+    # paper's 21/23/52/3/1 percent mix — the 1% group ("South America")
+    # is exactly the kind of group plain greedy ignores.
+    data = load_dataset("dblp-mc", seed=3, num_nodes=1_000)
+    objective = data.objective
+    print(f"network: {data.graph}")
+    print(f"group sizes: {objective.group_sizes.tolist()}\n")
+
+    # Sub-routines are shared across the sweep, as in the paper's harness.
+    greedy_res = greedy_utility(objective, K)
+    saturate_res = saturate(objective, K)
+    print(f"baselines: {greedy_res.summary()}")
+    print(f"           {saturate_res.summary()}\n")
+
+    header = f"{'tau':>5} | {'TSGreedy f':>10} {'g':>7} | {'Saturate f':>10} {'g':>7}"
+    print(header)
+    print("-" * len(header))
+    for tau in TAUS:
+        ts = bsm_tsgreedy(
+            objective, K, tau,
+            greedy_result=greedy_res, saturate_result=saturate_res,
+        )
+        sat = bsm_saturate(
+            objective, K, tau,
+            greedy_result=greedy_res, saturate_result=saturate_res,
+        )
+        print(
+            f"{tau:>5.1f} | {ts.utility:>10.4f} {ts.fairness:>7.4f} | "
+            f"{sat.utility:>10.4f} {sat.fairness:>7.4f}"
+        )
+
+    print(
+        "\nAs tau increases, both algorithms trade average coverage f(S)"
+        "\nfor minimum group coverage g(S); BSM-Saturate typically retains"
+        "\nmore utility at equal fairness (the paper's Fig. 3 behaviour)."
+    )
+
+
+if __name__ == "__main__":
+    main()

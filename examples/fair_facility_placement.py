@@ -1,0 +1,74 @@
+"""Fair facility placement (the paper's FL application).
+
+Scenario: a city places ``k`` service points (e.g. clinics). Residents
+benefit from their closest open facility; neighbourhoods correspond to
+demographic groups. Utility-only placement concentrates facilities in the
+dense majority areas; BSM guarantees every group's average benefit stays
+within ``tau`` of the best achievable minimum.
+
+This example also runs **BSM-Optimal** (the Appendix-A ILP) to show how
+close the polynomial-time algorithms get to the exact optimum on a small
+instance.
+
+Run:  python examples/fair_facility_placement.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BSMProblem, FacilityLocationObjective, rbf_benefits
+from repro.graphs.generators import gaussian_points
+
+K = 4
+TAU = 0.8
+
+
+def main() -> None:
+    # Three neighbourhoods of very different sizes (5% / 20% / 75%), each
+    # an isotropic Gaussian blob in 2-d — Table 2's "RAND c=3" recipe.
+    points, labels = gaussian_points(
+        [4, 16, 60],
+        centers=np.array([[-4.0, 0.0], [0.0, 3.5], [3.0, -1.0]]),
+        dim=2,
+        scale=1.0,
+        seed=11,
+    )
+    benefits = rbf_benefits(points, points)  # residents double as sites
+    objective = FacilityLocationObjective(benefits, labels)
+    print(
+        f"{objective.num_users} residents in {objective.num_groups} "
+        f"neighbourhoods; sizes = {objective.group_sizes.tolist()}"
+    )
+
+    problem = BSMProblem(objective, k=K, tau=TAU)
+    names = ["greedy", "saturate", "bsm-tsgreedy", "bsm-saturate",
+             "bsm-optimal"]
+    results = {}
+    print(f"\n{'algorithm':<16} {'f(S)':>8} {'g(S)':>8}  facilities")
+    for name in names:
+        result = problem.solve(name)
+        results[name] = result
+        print(
+            f"{result.algorithm:<16} {result.utility:>8.4f} "
+            f"{result.fairness:>8.4f}  {sorted(result.solution)}"
+        )
+
+    exact = results["bsm-optimal"]
+    approx = results["bsm-saturate"]
+    gap = 100.0 * (1.0 - approx.utility / exact.utility)
+    print(
+        f"\nBSM-Saturate is within {gap:.1f}% of the exact ILP optimum"
+        f" (the paper reports <= ~9% on its small FL instances)."
+    )
+    smallest = int(np.argmin(objective.group_sizes))
+    greedy_g = results["greedy"].group_values[smallest]
+    fair_g = approx.group_values[smallest]
+    print(
+        f"Smallest neighbourhood's average benefit: {greedy_g:.4f} under"
+        f" utility-only placement vs {fair_g:.4f} under BSM (tau={TAU})."
+    )
+
+
+if __name__ == "__main__":
+    main()

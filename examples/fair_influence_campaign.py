@@ -1,0 +1,71 @@
+"""Fair viral-marketing campaign (the paper's IM application).
+
+Scenario: a campaign can seed ``k`` users in a social network. Plain
+influence maximization targets the largest expected audience — which, on
+a homophilous network, systematically under-serves minority groups
+(information inequality). BSM fixes a fairness floor: the least-served
+group must receive at least ``tau`` of the best achievable minimum
+spread.
+
+Pipeline (identical to the paper's Section 5.2):
+  1. build the network and attach propagation probabilities (IC model);
+  2. sample reverse-reachable sets (RIS) to estimate group spreads;
+  3. run the solvers on the RR-coverage objective;
+  4. re-score the chosen seed sets with independent Monte-Carlo cascades.
+
+Run:  python examples/fair_influence_campaign.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import InfluenceObjective, load_dataset
+from repro.core import bsm_saturate, greedy_utility, saturate
+from repro.influence import monte_carlo_group_spread
+
+K = 5
+TAU = 0.8
+RR_SAMPLES = 4_000
+MC_SIMULATIONS = 2_000
+
+
+def main() -> None:
+    # A 100-node SBM network with a 20/80 group split and IC probability
+    # 0.1 on every edge (Table 1's "RAND c=2" IM configuration).
+    data = load_dataset("rand-im-c2", seed=7)
+    graph = data.graph
+    print(f"network: {graph}  IC p = {data.meta['edge_probability']}")
+
+    # RIS estimation: stratified roots give the minority group's spread
+    # estimate the same variance as the majority's.
+    objective = InfluenceObjective.from_graph(graph, RR_SAMPLES, seed=1)
+
+    runs = {
+        "Greedy (utility only)": greedy_utility(objective, K),
+        "Saturate (fairness only)": saturate(objective, K),
+        f"BSM-Saturate (tau={TAU})": bsm_saturate(objective, K, TAU),
+    }
+
+    weights = graph.group_sizes() / graph.num_nodes
+    print(f"\n{'campaign':<28} {'f(S)':>8} {'g(S)':>8}  per-group spread")
+    for name, result in runs.items():
+        mc = monte_carlo_group_spread(
+            graph, result.solution, MC_SIMULATIONS, seed=2
+        )
+        f_val = float(weights @ mc)
+        g_val = float(mc.min())
+        per_group = ", ".join(f"{v:.3f}" for v in mc)
+        print(f"{name:<28} {f_val:>8.4f} {g_val:>8.4f}  [{per_group}]")
+
+    print(
+        "\nReading the table: Greedy reaches the largest total audience but"
+        "\nleaves the minority group behind; Saturate equalises the groups"
+        "\nat some cost in reach; BSM-Saturate keeps the minority's spread"
+        f"\nwithin {TAU:.0%} of the best achievable minimum while recovering"
+        "\nmost of Greedy's reach."
+    )
+
+
+if __name__ == "__main__":
+    main()

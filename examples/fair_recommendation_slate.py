@@ -1,0 +1,80 @@
+"""Fair slate recommendation: one carousel, no starved demographic.
+
+The paper's introduction motivates BSM with recommendation; this example
+builds that scenario with the :class:`repro.problems.recommendation.
+RecommendationObjective` extension domain. A synthetic matrix-
+factorisation-style relevance matrix is generated with *group-correlated
+taste* (each demographic shares a latent anchor), which is exactly the
+regime where a utility-only slate caters to the majority: the minority
+group's hit probability collapses. A BSM slate with tau = 0.8 restores
+it at a small average-utility cost.
+
+The example also demonstrates the swap local-search polish
+(:func:`repro.core.local_search.polish`) squeezing extra utility out of
+the BSM solution without leaving the fairness floor.
+
+Run:  python examples/fair_recommendation_slate.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BSMProblem
+from repro.core.local_search import polish
+from repro.problems.recommendation import (
+    RecommendationObjective,
+    latent_relevance,
+)
+
+NUM_USERS = 400
+NUM_ITEMS = 150
+SLATE_SIZE = 8
+TAU = 0.8
+
+
+def main() -> None:
+    # Three demographics: a large majority and two small minorities with
+    # distinct tastes (shared latent anchors per group).
+    labels = np.array([0] * 280 + [1] * 80 + [2] * 40)
+    relevance = latent_relevance(
+        NUM_USERS, NUM_ITEMS, group_labels=labels, seed=7
+    )
+    objective = RecommendationObjective(relevance, labels)
+    print(
+        f"catalogue: {NUM_ITEMS} items, population: {NUM_USERS} users "
+        f"in groups of {np.bincount(labels).tolist()}\n"
+    )
+
+    problem = BSMProblem(objective, k=SLATE_SIZE, tau=TAU)
+
+    plain = problem.solve("greedy")
+    print("utility-only slate (classic greedy):")
+    print(f"  {plain.summary()}")
+    print(f"  per-group hit probability: {np.round(plain.group_values, 3)}")
+
+    fair = problem.solve("bsm-saturate")
+    print(f"\nBSM slate (tau = {TAU}):")
+    print(f"  {fair.summary()}")
+    print(f"  per-group hit probability: {np.round(fair.group_values, 3)}")
+
+    floor = TAU * fair.extra["opt_g_approx"]
+    polished = polish(objective, fair, fairness_floor=floor, max_sweeps=5)
+    if polished is not fair:
+        print("\nafter swap local search (fairness floor preserved):")
+        print(f"  {polished.summary()}")
+        print(f"  swaps: {polished.extra['swaps']}, "
+              f"utility gained: {polished.extra['utility_delta']:+.4f}")
+    else:
+        print("\nswap local search found no improving swap (already tight).")
+
+    lost = plain.utility - polished.utility
+    gained = polished.fairness - plain.fairness
+    print(
+        f"\ntrade-off: paid {lost:.4f} average hit probability to lift the "
+        f"worst-off group by {gained:+.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — reproduction of "Balancing Utility and Fairness in Submodular
+Maximization" (Wang, Li, Bonchi, Wang; EDBT 2024).
+
+The package implements the Bicriteria Submodular Maximization (BSM)
+problem, its two instance-dependent approximation algorithms
+(BSM-TSGreedy, BSM-Saturate), every baseline the paper compares against
+(Greedy, Saturate, SMSC, BSM-Optimal via ILP), the three application
+domains (maximum coverage, influence maximization, facility location) and
+the complete experimental harness regenerating Tables 1–2 and Figures
+3–11.
+
+Quickstart::
+
+    from repro import BSMProblem, load_dataset
+
+    data = load_dataset("rand-mc-c2", seed=7)
+    problem = BSMProblem(data.objective, k=5, tau=0.8)
+    result = problem.solve("bsm-saturate")
+    print(result.summary())
+"""
+
+from repro.core import (
+    AverageUtility,
+    BSMProblem,
+    GroupedObjective,
+    MinUtility,
+    PerUserObjective,
+    SolverResult,
+    TruncatedFairness,
+    bsm_saturate,
+    bsm_tsgreedy,
+    greedy_utility,
+    saturate,
+    smsc,
+)
+from repro.datasets import load_dataset
+from repro.graphs import Graph
+from repro.problems import (
+    CoverageObjective,
+    FacilityLocationObjective,
+    InfluenceObjective,
+    RecommendationObjective,
+    SummarizationObjective,
+    kmedian_benefits,
+    latent_relevance,
+    rbf_benefits,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AverageUtility",
+    "BSMProblem",
+    "CoverageObjective",
+    "FacilityLocationObjective",
+    "Graph",
+    "GroupedObjective",
+    "InfluenceObjective",
+    "MinUtility",
+    "PerUserObjective",
+    "RecommendationObjective",
+    "SummarizationObjective",
+    "SolverResult",
+    "TruncatedFairness",
+    "__version__",
+    "bsm_saturate",
+    "bsm_tsgreedy",
+    "greedy_utility",
+    "kmedian_benefits",
+    "latent_relevance",
+    "load_dataset",
+    "rbf_benefits",
+    "saturate",
+    "smsc",
+]

@@ -1,0 +1,183 @@
+"""Command-line interface: solve instances and regenerate experiments.
+
+Five subcommands::
+
+    python -m repro.cli solve --dataset rand-mc-c2 --algorithm bsm-saturate \
+        --k 5 --tau 0.8
+    python -m repro.cli figure fig3 --scale small
+    python -m repro.cli chart fig3 --metric fairness    # ASCII line plot
+    python -m repro.cli pareto --dataset rand-mc-c2 --k 5
+    python -m repro.cli datasets            # list the catalogue
+
+The CLI is a thin veneer over :class:`repro.core.problem.BSMProblem` and
+:mod:`repro.experiments.figures`; anything it prints can be produced
+programmatically too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.problem import BSMProblem
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.reporting import render_series
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Balancing Utility and Fairness in Submodular Maximization "
+            "(EDBT 2024) — reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve one BSM instance")
+    solve.add_argument("--dataset", required=True, choices=sorted(DATASETS))
+    solve.add_argument(
+        "--algorithm",
+        default="bsm-saturate",
+        help="solver name (see BSMProblem.available_algorithms)",
+    )
+    solve.add_argument("--k", type=int, default=5)
+    solve.add_argument("--tau", type=float, default=0.8)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--im-samples", type=int, default=2_000,
+        help="RR samples for influence datasets",
+    )
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("figure_id", choices=sorted(FIGURES))
+    figure.add_argument("--scale", default="small", choices=["small", "paper"])
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument(
+        "--metric",
+        default="utility",
+        choices=["utility", "fairness", "runtime"],
+    )
+
+    chart = sub.add_parser(
+        "chart", help="regenerate one figure as an ASCII line chart"
+    )
+    chart.add_argument("figure_id", choices=sorted(FIGURES))
+    chart.add_argument("--scale", default="small", choices=["small", "paper"])
+    chart.add_argument("--seed", type=int, default=0)
+    chart.add_argument(
+        "--metric",
+        default="utility",
+        choices=["utility", "fairness", "runtime"],
+    )
+    chart.add_argument("--width", type=int, default=60)
+    chart.add_argument("--height", type=int, default=16)
+
+    pareto = sub.add_parser(
+        "pareto", help="print the utility-fairness frontier of a tau sweep"
+    )
+    pareto.add_argument("--dataset", required=True, choices=sorted(DATASETS))
+    pareto.add_argument("--k", type=int, default=5)
+    pareto.add_argument("--seed", type=int, default=0)
+    pareto.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["BSM-TSGreedy", "BSM-Saturate"],
+    )
+    pareto.add_argument(
+        "--taus",
+        nargs="+",
+        type=float,
+        default=[0.1, 0.3, 0.5, 0.7, 0.9],
+    )
+
+    sub.add_parser("datasets", help="list the dataset catalogue")
+    return parser
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    data = load_dataset(args.dataset, seed=args.seed)
+    if data.kind == "influence":
+        from repro.problems.influence import InfluenceObjective
+
+        objective = InfluenceObjective.from_graph(
+            data.graph, args.im_samples, seed=args.seed
+        )
+    else:
+        objective = data.objective
+    problem = BSMProblem(objective, k=args.k, tau=args.tau)
+    result = problem.solve(args.algorithm)
+    print(result.summary())
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    results = run_figure(args.figure_id, scale=args.scale, seed=args.seed)
+    for panel, sweep in results.items():
+        print(f"\n[{args.figure_id} {panel}]")
+        print(render_series(sweep, args.metric))
+    return 0
+
+
+def cmd_chart(args: argparse.Namespace) -> int:
+    from repro.experiments.plotting import sweep_chart
+
+    results = run_figure(args.figure_id, scale=args.scale, seed=args.seed)
+    for panel, sweep in results.items():
+        print(f"\n[{args.figure_id} {panel}]")
+        print(
+            sweep_chart(
+                sweep, args.metric, width=args.width, height=args.height
+            )
+        )
+    return 0
+
+
+def cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import sweep_tau
+    from repro.experiments.pareto import hypervolume, pareto_frontier
+
+    data = load_dataset(args.dataset, seed=args.seed)
+    sweep = sweep_tau(
+        data,
+        args.k,
+        args.taus,
+        algorithms=args.algorithms,
+        seed=args.seed,
+    )
+    for algorithm in args.algorithms:
+        frontier = pareto_frontier(sweep, algorithm)
+        print(f"\n{algorithm}: hypervolume={hypervolume(frontier):.4f}")
+        for point in frontier:
+            print(
+                f"  tau={point.tau:.2f}  g(S)={point.fairness:.4f}  "
+                f"f(S)={point.utility:.4f}"
+            )
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    for name in sorted(DATASETS):
+        print(name)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "solve":
+        return cmd_solve(args)
+    if args.command == "figure":
+        return cmd_figure(args)
+    if args.command == "chart":
+        return cmd_chart(args)
+    if args.command == "pareto":
+        return cmd_pareto(args)
+    if args.command == "datasets":
+        return cmd_datasets(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

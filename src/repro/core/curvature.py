@@ -1,0 +1,122 @@
+"""Curvature of monotone submodular functions and curvature-aware bounds.
+
+The companion diagnostic to :mod:`repro.core.weak`: where the
+submodularity ratio measures how far a function is *below* submodular,
+the (total) curvature of Conforti & Cornuéjols (1984)
+
+    kappa = 1 - min_{v : f({v}) > 0}  [f(V) - f(V - v)] / f({v})
+
+measures how strongly returns diminish. Greedy's guarantee sharpens from
+``1 - 1/e`` to ``(1 - e^{-kappa}) / kappa`` as ``kappa`` drops — at
+``kappa = 0`` (modular functions) greedy is exact. The paper's
+instance-dependent factors inherit the same sharpening through their
+greedy subroutines, which makes curvature a cheap per-instance
+explanation of why measured gaps to BSM-Optimal (Figures 3/7) are far
+smaller than the worst-case analysis suggests.
+
+Everything here works on :class:`repro.core.functions.GroupedObjective`
+instances directly. Exact curvature needs every "added-last" marginal
+``f(V) - f(V - v)``, which costs ``O(n^2)`` incremental adds — fine for
+the diagnostic sizes it is meant for (hundreds of items).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.functions import (
+    AverageUtility,
+    GroupedObjective,
+    Scalarizer,
+)
+from repro.utils.validation import check_positive_int
+
+
+def total_curvature(
+    objective: GroupedObjective,
+    *,
+    scalarizer: Optional[Scalarizer] = None,
+) -> float:
+    """Exact total curvature of the scalarized objective.
+
+    Computes ``f({v})`` for every item plus every added-last marginal
+    ``f(V) - f(V - v)`` (prefix states shared across items, ``O(n^2)``
+    adds overall — no subset enumeration). Returns a value in
+    ``[0, 1]``; items with ``f({v}) = 0`` are skipped per the
+    definition.
+    """
+    scal = scalarizer or AverageUtility()
+    weights = objective.group_weights
+    n = objective.num_items
+
+    singles = np.zeros(n, dtype=float)
+    empty = objective.new_state()
+    for v in range(n):
+        gains = objective.gains(empty, v)
+        singles[v] = scal.gain(empty.group_values, gains, weights)
+
+    # f(V) - f(V - v) = marginal of v on top of everything else; compute
+    # by building V once per v would be O(n^2) adds. Instead build V - v
+    # incrementally: prefix[i] has items < i, suffix[i] has items > i.
+    prefix_states = [objective.new_state()]
+    for v in range(n - 1):
+        state = objective.copy_state(prefix_states[-1])
+        objective.add(state, v)
+        prefix_states.append(state)
+    # For each v: start from prefix_states[v] (items 0..v-1), add items
+    # v+1..n-1, then measure the gain of v.
+    kappa_min = math.inf
+    for v in range(n):
+        if singles[v] <= 1e-12:
+            continue
+        state = objective.copy_state(prefix_states[v])
+        for w in range(v + 1, n):
+            objective.add(state, w)
+        last_gain = scal.gain(
+            state.group_values, objective.gains(state, v), weights
+        )
+        kappa_min = min(kappa_min, last_gain / singles[v])
+    if kappa_min is math.inf:
+        return 0.0  # identically-zero function: modular by convention
+    return float(min(max(1.0 - kappa_min, 0.0), 1.0))
+
+
+def curvature_greedy_bound(kappa: float) -> float:
+    """Greedy factor ``(1 - e^{-kappa}) / kappa`` [Conforti–Cornuéjols].
+
+    Continuous at 0: modular objectives (``kappa = 0``) give factor 1.
+    """
+    if not 0.0 <= kappa <= 1.0:
+        raise ValueError(f"kappa must be in [0, 1], got {kappa}")
+    if kappa < 1e-12:
+        return 1.0
+    return (1.0 - math.exp(-kappa)) / kappa
+
+
+def empirical_greedy_ratio(
+    objective: GroupedObjective,
+    k: int,
+    optimum: float,
+    *,
+    scalarizer: Optional[Scalarizer] = None,
+) -> tuple[float, float]:
+    """Measured greedy ratio next to its curvature prediction.
+
+    Runs lazy greedy for ``k`` items and returns ``(measured, bound)``
+    where ``measured = f(S_greedy) / optimum`` and ``bound`` is the
+    curvature-sharpened guarantee. ``measured >= bound`` (up to float
+    noise) on every valid instance — asserted by the property tests.
+    """
+    check_positive_int(k, "k")
+    if optimum <= 0:
+        raise ValueError(f"optimum must be positive, got {optimum}")
+    from repro.core.greedy import greedy_max
+
+    scal = scalarizer or AverageUtility()
+    state, _ = greedy_max(objective, scal, k)
+    measured = scal.value(state.group_values, objective.group_weights) / optimum
+    kappa = total_curvature(objective, scalarizer=scal)
+    return float(measured), curvature_greedy_bound(kappa)

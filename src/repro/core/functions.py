@@ -1,0 +1,377 @@
+"""Grouped submodular objectives and their scalarizations.
+
+The paper's objectives are all built from the *group-average utilities*
+
+    f_i(S) = (1/m_i) * sum_{u in U_i} f_u(S)          (one per group i)
+
+from which both the utility objective ``f(S) = sum_i (m_i/m) f_i(S)`` and
+the fairness objective ``g(S) = min_i f_i(S)`` derive, as well as the
+truncated surrogates used by the algorithms:
+
+* ``g'_tau(S)   = (1/c) * sum_i min(1, f_i(S) / (tau*OPT'_g))``   (Alg. 1)
+* ``F'_alpha(S) = min(1, f(S)/(alpha*OPT'_f))
+                 + (1/c) * sum_i min(1, f_i(S)/(tau*OPT'_g))``     (Alg. 2)
+
+Because every surrogate is a concave, non-decreasing transform of monotone
+submodular ``f_i``'s (truncation ``min(t, .)`` + non-negative linear
+combination), it is itself monotone submodular [Krause & Golovin 2014], so
+the greedy machinery applies uniformly.
+
+Design: a :class:`GroupedObjective` exposes per-group *marginal gain
+vectors*; a :class:`Scalarizer` folds a group-value vector into a scalar.
+Solvers combine the two, which keeps each concrete problem (coverage,
+facility location, RIS-based influence) to three small hooks and lets the
+lazy-forward greedy work unchanged across problems and surrogates.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GroupPartitionError
+
+
+# ---------------------------------------------------------------------------
+# Objective state
+# ---------------------------------------------------------------------------
+@dataclass
+class ObjectiveState:
+    """Mutable evaluation state for one solution ``S``.
+
+    ``group_values`` caches ``(f_1(S), ..., f_c(S))`` and is updated
+    incrementally on every :meth:`GroupedObjective.add`.
+    """
+
+    selected: list[int] = field(default_factory=list)
+    in_solution: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+    group_values: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    payload: Any = None
+
+    @property
+    def solution(self) -> tuple[int, ...]:
+        return tuple(self.selected)
+
+    @property
+    def size(self) -> int:
+        return len(self.selected)
+
+
+class GroupedObjective(abc.ABC):
+    """A family ``(f_1, ..., f_c)`` of monotone submodular group utilities.
+
+    Subclasses implement three hooks on an opaque *payload* object:
+
+    * :meth:`_new_payload` — empty-solution bookkeeping structure;
+    * :meth:`_gains` — the marginal group-gain vector of one item;
+    * :meth:`_apply` — commit one item to the payload and return its gains.
+
+    All conversions to scalar objectives (``f``, ``g``, surrogates) happen
+    through :class:`Scalarizer` instances, never in subclasses.
+    """
+
+    def __init__(self, num_items: int, group_sizes: Sequence[int]) -> None:
+        if num_items <= 0:
+            raise ValueError(f"num_items must be positive, got {num_items}")
+        sizes = np.asarray(group_sizes, dtype=np.int64)
+        if sizes.ndim != 1 or sizes.size == 0:
+            raise GroupPartitionError("group_sizes must be a non-empty 1-d sequence")
+        if np.any(sizes <= 0):
+            raise GroupPartitionError(f"all groups must be non-empty, got {sizes}")
+        self._num_items = int(num_items)
+        self._group_sizes = sizes
+        self._group_weights = sizes / sizes.sum()
+        self.oracle_calls = 0
+
+    # -- public read-only properties ------------------------------------
+    @property
+    def num_items(self) -> int:
+        return self._num_items
+
+    @property
+    def num_groups(self) -> int:
+        return int(self._group_sizes.size)
+
+    @property
+    def num_users(self) -> int:
+        return int(self._group_sizes.sum())
+
+    @property
+    def group_sizes(self) -> np.ndarray:
+        return self._group_sizes
+
+    @property
+    def group_weights(self) -> np.ndarray:
+        """``m_i / m`` — weights tying ``f`` to the ``f_i``."""
+        return self._group_weights
+
+    def reset_counter(self) -> None:
+        """Zero the oracle-call counter (used between harness runs)."""
+        self.oracle_calls = 0
+
+    # -- state management -------------------------------------------------
+    def new_state(self) -> ObjectiveState:
+        """Fresh state representing the empty solution (``f_i = 0``)."""
+        return ObjectiveState(
+            selected=[],
+            in_solution=np.zeros(self.num_items, dtype=bool),
+            group_values=np.zeros(self.num_groups, dtype=float),
+            payload=self._new_payload(),
+        )
+
+    def copy_state(self, state: ObjectiveState) -> ObjectiveState:
+        """Deep-enough copy: mutating the copy never affects the original."""
+        return ObjectiveState(
+            selected=list(state.selected),
+            in_solution=state.in_solution.copy(),
+            group_values=state.group_values.copy(),
+            payload=self._copy_payload(state.payload),
+        )
+
+    def gains(self, state: ObjectiveState, item: int) -> np.ndarray:
+        """Marginal group-gain vector ``f_i(S + v) - f_i(S)`` (no mutation)."""
+        self._check_item(item)
+        self.oracle_calls += 1
+        if state.in_solution[item]:
+            return np.zeros(self.num_groups, dtype=float)
+        return self._gains(state.payload, item)
+
+    def add(self, state: ObjectiveState, item: int) -> np.ndarray:
+        """Commit ``item`` to the solution; returns its group-gain vector."""
+        self._check_item(item)
+        if state.in_solution[item]:
+            return np.zeros(self.num_groups, dtype=float)
+        self.oracle_calls += 1
+        gains = self._apply(state.payload, item)
+        state.selected.append(item)
+        state.in_solution[item] = True
+        state.group_values = state.group_values + gains
+        return gains
+
+    def evaluate(self, items: Iterable[int]) -> np.ndarray:
+        """Group values of an arbitrary solution built from scratch."""
+        state = self.new_state()
+        for item in items:
+            self.add(state, item)
+        return state.group_values
+
+    def max_group_values(self) -> np.ndarray:
+        """``(f_1(V), ..., f_c(V))`` — utilities of the full ground set.
+
+        Upper-bounds every ``f_i`` by monotonicity; used by Saturate to
+        initialise its bisection interval.
+        """
+        return self.evaluate(range(self.num_items))
+
+    # -- scalar conveniences ----------------------------------------------
+    def utility(self, state: ObjectiveState) -> float:
+        """``f(S)`` — population-average utility."""
+        return float(self._group_weights @ state.group_values)
+
+    def fairness(self, state: ObjectiveState) -> float:
+        """``g(S)`` — minimum group-average utility."""
+        return float(state.group_values.min())
+
+    # -- subclass hooks -----------------------------------------------------
+    @abc.abstractmethod
+    def _new_payload(self) -> Any:
+        """Bookkeeping structure for the empty solution."""
+
+    @abc.abstractmethod
+    def _copy_payload(self, payload: Any) -> Any:
+        """Independent copy of ``payload``."""
+
+    @abc.abstractmethod
+    def _gains(self, payload: Any, item: int) -> np.ndarray:
+        """Group-gain vector of ``item`` against ``payload`` (pure)."""
+
+    def _apply(self, payload: Any, item: int) -> np.ndarray:
+        """Commit ``item``; default recomputes gains then delegates."""
+        gains = self._gains(payload, item)
+        self._commit(payload, item)
+        return gains
+
+    def _commit(self, payload: Any, item: int) -> None:
+        """Mutate ``payload`` to include ``item`` (when :meth:`_apply` is
+        not overridden)."""
+        raise NotImplementedError(
+            "subclasses must override either _apply or _commit"
+        )
+
+    def _check_item(self, item: int) -> None:
+        if not 0 <= item < self.num_items:
+            raise IndexError(f"item {item} out of range [0, {self.num_items})")
+
+
+# ---------------------------------------------------------------------------
+# Generic objective built from arbitrary per-user set functions
+# ---------------------------------------------------------------------------
+class PerUserObjective(GroupedObjective):
+    """Grouped objective over explicit per-user set functions.
+
+    ``utility_fn(user, frozenset) -> float`` must be normalised, monotone
+    and submodular for the solver guarantees to hold (property-based tests
+    check user-supplied instances). Evaluation is O(m) per oracle call, so
+    this class targets small instances: the paper's Figure-1 running
+    example, the Lemma-3.2 inapproximability gadget, and unit tests.
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        user_groups: Sequence[int],
+        utility_fn: Callable[[int, frozenset[int]], float],
+    ) -> None:
+        labels = np.asarray(user_groups, dtype=np.int64)
+        if labels.ndim != 1 or labels.size == 0:
+            raise GroupPartitionError("user_groups must be non-empty and 1-d")
+        if labels.min() < 0:
+            raise GroupPartitionError("group labels must be non-negative")
+        sizes = np.bincount(labels)
+        if np.any(sizes == 0):
+            raise GroupPartitionError("group labels must be contiguous 0..c-1")
+        super().__init__(num_items, sizes)
+        self._labels = labels
+        self._fn = utility_fn
+
+    def _per_group(self, solution: frozenset[int]) -> np.ndarray:
+        totals = np.zeros(self.num_groups, dtype=float)
+        for user, label in enumerate(self._labels):
+            totals[label] += float(self._fn(user, solution))
+        return totals / self._group_sizes
+
+    def _new_payload(self) -> set[int]:
+        return set()
+
+    def _copy_payload(self, payload: set[int]) -> set[int]:
+        return set(payload)
+
+    def _gains(self, payload: set[int], item: int) -> np.ndarray:
+        before = self._per_group(frozenset(payload))
+        after = self._per_group(frozenset(payload) | {item})
+        return np.maximum(after - before, 0.0)
+
+    def _commit(self, payload: set[int], item: int) -> None:
+        payload.add(item)
+
+
+# ---------------------------------------------------------------------------
+# Scalarizers
+# ---------------------------------------------------------------------------
+class Scalarizer(abc.ABC):
+    """Fold a group-value vector into the scalar a solver maximises.
+
+    Implementations must be non-decreasing and concave in each coordinate,
+    which preserves monotonicity and submodularity of the composition with
+    the ``f_i`` (see module docstring).
+    """
+
+    @abc.abstractmethod
+    def value(self, group_values: np.ndarray, weights: np.ndarray) -> float:
+        """Scalar objective at ``group_values`` (weights are ``m_i/m``)."""
+
+    def gain(
+        self,
+        group_values: np.ndarray,
+        gains: np.ndarray,
+        weights: np.ndarray,
+    ) -> float:
+        """Marginal scalar gain of moving to ``group_values + gains``."""
+        return self.value(group_values + gains, weights) - self.value(
+            group_values, weights
+        )
+
+    @property
+    def target(self) -> Optional[float]:
+        """Saturation value, if the scalarizer has one (else ``None``)."""
+        return None
+
+
+class AverageUtility(Scalarizer):
+    """``f(S) = sum_i (m_i/m) f_i(S)`` — the paper's utility objective."""
+
+    def value(self, group_values: np.ndarray, weights: np.ndarray) -> float:
+        return float(weights @ group_values)
+
+
+class MinUtility(Scalarizer):
+    """``g(S) = min_i f_i(S)`` — the paper's maximin fairness objective.
+
+    Not submodular for ``c > 1``; only used for *evaluating* solutions and
+    inside Saturate's feasibility checks, never fed to plain greedy.
+    """
+
+    def value(self, group_values: np.ndarray, weights: np.ndarray) -> float:
+        return float(group_values.min())
+
+
+class TruncatedFairness(Scalarizer):
+    """``g'_t(S) = (1/c) * sum_i min(1, f_i(S)/t)`` with threshold ``t > 0``.
+
+    Saturates at 1 exactly when every group reaches ``t``; this is the
+    surrogate of Algorithm 1 (with ``t = tau * OPT'_g``) and the inner
+    function of Saturate's greedy partial cover.
+    """
+
+    def __init__(self, threshold: float) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.threshold = float(threshold)
+
+    def value(self, group_values: np.ndarray, weights: np.ndarray) -> float:
+        clipped = np.minimum(1.0, group_values / self.threshold)
+        return float(clipped.mean())
+
+    @property
+    def target(self) -> Optional[float]:
+        return 1.0
+
+
+class BSMCombined(Scalarizer):
+    """``F'_alpha`` of Lemma 4.4: truncated utility + truncated fairness.
+
+    ``value`` saturates at 2 when both ``f(S) >= utility_threshold`` and
+    every ``f_i(S) >= fairness_threshold``.
+    """
+
+    def __init__(self, utility_threshold: float, fairness_threshold: float) -> None:
+        if utility_threshold <= 0 or fairness_threshold <= 0:
+            raise ValueError("thresholds must be positive")
+        self.utility_threshold = float(utility_threshold)
+        self.fairness_threshold = float(fairness_threshold)
+
+    def value(self, group_values: np.ndarray, weights: np.ndarray) -> float:
+        f_val = float(weights @ group_values)
+        utility_part = min(1.0, f_val / self.utility_threshold)
+        fairness_part = float(
+            np.minimum(1.0, group_values / self.fairness_threshold).mean()
+        )
+        return utility_part + fairness_part
+
+    @property
+    def target(self) -> Optional[float]:
+        return 2.0
+
+
+class WeightedCombination(Scalarizer):
+    """Generic non-negative combination of scalarizers (extension hook).
+
+    Used by the ablation benches to reproduce the linear utility+fairness
+    mix of Wei et al. [66] that the related-work section contrasts with BSM.
+    """
+
+    def __init__(self, parts: Sequence[tuple[float, Scalarizer]]) -> None:
+        if not parts:
+            raise ValueError("parts must be non-empty")
+        for coef, _ in parts:
+            if coef < 0:
+                raise ValueError("coefficients must be non-negative")
+        self.parts = list(parts)
+
+    def value(self, group_values: np.ndarray, weights: np.ndarray) -> float:
+        return float(
+            sum(coef * s.value(group_values, weights) for coef, s in self.parts)
+        )

@@ -1,0 +1,247 @@
+"""Matroid-constrained greedy and item-side fairness.
+
+Two related-work threads of the paper meet here:
+
+* greedy under a general **matroid constraint** keeps a ``1/2``
+  guarantee for monotone submodular maximisation [Calinescu et al. 2011
+  analyse the stronger continuous greedy; the discrete bound is Fisher/
+  Nemhauser/Wolsey];
+* the **item-side fairness** notion of [El Halabi et al. 2020; Wang et
+  al. 2021] — lower/upper bounds on how many *items* of each category
+  may be picked — is exactly optimisation over (the truncation of) a
+  partition matroid.
+
+The paper contrasts that notion with BSM's *user-side* fairness and
+excludes it from the experiments ("the algorithms are not comparable");
+implementing it here lets library users make the comparison anyway
+(``benchmarks/bench_ablation_item_fairness.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.functions import AverageUtility, GroupedObjective, Scalarizer
+from repro.core.greedy import GAIN_EPS
+from repro.core.result import SolverResult, make_result
+from repro.utils.timing import Timer
+from repro.utils.validation import check_positive_int
+
+
+class Matroid(abc.ABC):
+    """Independence oracle over ground set ``0..n-1``."""
+
+    @abc.abstractmethod
+    def can_add(self, selected: Sequence[int], item: int) -> bool:
+        """Whether ``selected + [item]`` remains independent. ``selected``
+        is always independent when the solver calls this."""
+
+    def is_independent(self, items: Sequence[int]) -> bool:
+        """Generic check built from :meth:`can_add` (quadratic; fine for
+        validation and tests)."""
+        acc: list[int] = []
+        for item in items:
+            if not self.can_add(acc, item):
+                return False
+            acc.append(item)
+        return True
+
+
+class UniformMatroid(Matroid):
+    """All sets of size at most ``k`` — the cardinality constraint."""
+
+    def __init__(self, k: int) -> None:
+        self.k = check_positive_int(k, "k")
+
+    def can_add(self, selected: Sequence[int], item: int) -> bool:
+        return len(selected) < self.k
+
+
+class PartitionMatroid(Matroid):
+    """At most ``capacity[c]`` items from each item category ``c``.
+
+    With per-category lower bounds handled separately (see
+    :func:`fair_representation_greedy`), this encodes the item-side
+    fairness constraint of the related work.
+    """
+
+    def __init__(
+        self, categories: Sequence[int], capacities: Sequence[int]
+    ) -> None:
+        self.categories = np.asarray(categories, dtype=np.int64)
+        if self.categories.ndim != 1 or self.categories.size == 0:
+            raise ValueError("categories must be a non-empty 1-d sequence")
+        if self.categories.min() < 0:
+            raise ValueError("category labels must be non-negative")
+        num_cats = int(self.categories.max()) + 1
+        caps = np.asarray(capacities, dtype=np.int64)
+        if caps.shape != (num_cats,):
+            raise ValueError(
+                f"capacities must have length {num_cats}, got {caps.shape}"
+            )
+        if np.any(caps < 0):
+            raise ValueError("capacities must be non-negative")
+        self.capacities = caps
+
+    def can_add(self, selected: Sequence[int], item: int) -> bool:
+        cat = int(self.categories[item])
+        used = sum(1 for v in selected if int(self.categories[v]) == cat)
+        return used < int(self.capacities[cat])
+
+
+def matroid_greedy(
+    objective: GroupedObjective,
+    matroid: Matroid,
+    *,
+    scalarizer: Optional[Scalarizer] = None,
+    candidates: Optional[Iterable[int]] = None,
+    max_items: Optional[int] = None,
+) -> SolverResult:
+    """Greedy under a matroid constraint (``1/2`` guarantee).
+
+    Each round adds the feasible item with the largest marginal gain;
+    stops when no feasible item improves the objective.
+    """
+    scal = scalarizer or AverageUtility()
+    weights = objective.group_weights
+    pool = list(range(objective.num_items)) if candidates is None else [
+        int(v) for v in candidates
+    ]
+    budget = max_items if max_items is not None else objective.num_items
+    timer = Timer()
+    start_calls = objective.oracle_calls
+    with timer:
+        state = objective.new_state()
+        remaining = sorted(set(pool))
+        for _ in range(budget):
+            best_item, best_gain = -1, 0.0
+            for item in remaining:
+                if not matroid.can_add(state.selected, item):
+                    continue
+                gain = scal.gain(
+                    state.group_values, objective.gains(state, item), weights
+                )
+                if gain > best_gain + GAIN_EPS:
+                    best_item, best_gain = item, gain
+            if best_item < 0:
+                break
+            objective.add(state, best_item)
+            remaining.remove(best_item)
+    return make_result(
+        "MatroidGreedy",
+        objective,
+        state,
+        runtime=timer.elapsed,
+        oracle_calls=objective.oracle_calls - start_calls,
+    )
+
+
+def fair_representation_greedy(
+    objective: GroupedObjective,
+    k: int,
+    item_categories: Sequence[int],
+    *,
+    lower_bounds: Optional[Sequence[int]] = None,
+    upper_bounds: Optional[Sequence[int]] = None,
+    scalarizer: Optional[Scalarizer] = None,
+) -> SolverResult:
+    """Item-side fairness baseline: pick ``k`` items with per-category
+    lower/upper bounds on representation [El Halabi et al. 2020].
+
+    Phase 1 satisfies the lower bounds (greedy within each deficient
+    category); phase 2 fills the remaining slots greedily under the
+    upper-bound partition matroid intersected with the size budget.
+
+    Raises
+    ------
+    ValueError
+        If the bounds are inconsistent with ``k`` (``sum lower > k`` or
+        ``sum upper < k``) or malformed.
+    """
+    check_positive_int(k, "k")
+    cats = np.asarray(item_categories, dtype=np.int64)
+    if cats.shape != (objective.num_items,):
+        raise ValueError(
+            f"item_categories must have length {objective.num_items}"
+        )
+    num_cats = int(cats.max()) + 1
+    lower = (
+        np.zeros(num_cats, dtype=np.int64)
+        if lower_bounds is None
+        else np.asarray(lower_bounds, dtype=np.int64)
+    )
+    upper = (
+        np.full(num_cats, k, dtype=np.int64)
+        if upper_bounds is None
+        else np.asarray(upper_bounds, dtype=np.int64)
+    )
+    if lower.shape != (num_cats,) or upper.shape != (num_cats,):
+        raise ValueError(f"bounds must have length {num_cats}")
+    if np.any(lower < 0) or np.any(upper < lower):
+        raise ValueError("need 0 <= lower <= upper per category")
+    if int(lower.sum()) > k:
+        raise ValueError(f"sum of lower bounds {int(lower.sum())} exceeds k={k}")
+    if int(np.minimum(upper, np.bincount(cats, minlength=num_cats)).sum()) < k:
+        raise ValueError("upper bounds make a size-k solution impossible")
+    scal = scalarizer or AverageUtility()
+    weights = objective.group_weights
+    timer = Timer()
+    start_calls = objective.oracle_calls
+    with timer:
+        state = objective.new_state()
+        # Phase 1: meet every lower bound, best-gain-first inside each
+        # category (categories processed by descending deficit keeps the
+        # behaviour deterministic).
+        for cat in np.argsort(-lower):
+            needed = int(lower[cat])
+            members = [int(v) for v in np.flatnonzero(cats == cat)]
+            while needed > 0:
+                best_item, best_gain = -1, -1.0
+                for item in members:
+                    if state.in_solution[item]:
+                        continue
+                    gain = scal.gain(
+                        state.group_values,
+                        objective.gains(state, item),
+                        weights,
+                    )
+                    if gain > best_gain:
+                        best_item, best_gain = item, gain
+                if best_item < 0:
+                    raise ValueError(
+                        f"category {int(cat)} has fewer items than its "
+                        f"lower bound"
+                    )
+                objective.add(state, best_item)
+                needed -= 1
+        # Phase 2: fill to k under the upper-bound partition matroid.
+        matroid = PartitionMatroid(cats, upper)
+        while state.size < k:
+            best_item, best_gain = -1, -1.0
+            for item in range(objective.num_items):
+                if state.in_solution[item]:
+                    continue
+                if not matroid.can_add(state.selected, item):
+                    continue
+                gain = scal.gain(
+                    state.group_values, objective.gains(state, item), weights
+                )
+                if gain > best_gain:
+                    best_item, best_gain = item, gain
+            if best_item < 0:
+                break
+            objective.add(state, best_item)
+    return make_result(
+        "FairRepresentationGreedy",
+        objective,
+        state,
+        runtime=timer.elapsed,
+        oracle_calls=objective.oracle_calls - start_calls,
+        extra={
+            "lower_bounds": lower.tolist(),
+            "upper_bounds": upper.tolist(),
+        },
+    )

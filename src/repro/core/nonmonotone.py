@@ -1,0 +1,255 @@
+"""Non-monotone submodular maximisation (the paper's stated future work).
+
+The conclusion of the paper lists "generalize BSM to non-monotone ...
+submodular functions" as future work. This module supplies the standard
+toolbox for that direction so BSM-style pipelines can drop monotonicity:
+
+* :func:`double_greedy` — the deterministic 1/3- and randomised
+  1/2-approximation of Buchbinder et al. (2012) for *unconstrained*
+  non-monotone submodular maximisation;
+* :func:`random_greedy` — the cardinality-constrained random greedy of
+  Buchbinder et al. (2014): ``1/e``-approximate for non-monotone
+  functions and still ``(1 - 1/e)``-approximate (in expectation) for
+  monotone ones;
+* :class:`PenalizedObjective` — a ready-made non-monotone function
+  ``f(S) - lambda * cost(S)`` combining a grouped monotone objective with
+  a modular cost, the "submodular utility minus modular cost" shape of
+  the related-work thread [Jin et al. 2021; Nikolakaki et al. 2021].
+
+Unlike the rest of :mod:`repro.core`, these algorithms consume a plain
+*set function* (``SetFunction``) rather than a :class:`GroupedObjective`:
+non-monotone marginals can be negative, which the grouped incremental
+machinery deliberately rejects. :func:`from_grouped` bridges the two
+worlds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.functions import AverageUtility, GroupedObjective, Scalarizer
+from repro.core.result import SolverResult
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.timing import Timer
+from repro.utils.validation import check_positive_int
+
+#: A plain set function ``2^V -> R``; not necessarily monotone.
+SetFunction = Callable[[frozenset[int]], float]
+
+
+class MemoizedSetFunction:
+    """Wrap a :data:`SetFunction` with memoisation and call counting.
+
+    Non-monotone algorithms probe the same sets repeatedly (e.g. double
+    greedy evaluates both ``X + v`` and ``Y - v`` per item); memoisation
+    keeps the oracle-call figures comparable with the lazy-forward
+    numbers reported for the monotone solvers.
+    """
+
+    def __init__(self, fn: SetFunction) -> None:
+        self._fn = fn
+        self._cache: dict[frozenset[int], float] = {}
+        self.calls = 0
+
+    def __call__(self, items: frozenset[int]) -> float:
+        key = frozenset(items)
+        if key not in self._cache:
+            self.calls += 1
+            self._cache[key] = float(self._fn(key))
+        return self._cache[key]
+
+
+def from_grouped(
+    objective: GroupedObjective,
+    scalarizer: Optional[Scalarizer] = None,
+) -> SetFunction:
+    """A plain set function view of a grouped objective.
+
+    Evaluation rebuilds the state from scratch, so this bridge targets
+    the small-to-medium instances where non-monotone experiments run;
+    wrap with :class:`MemoizedSetFunction` when an algorithm revisits
+    sets.
+    """
+    scalar = scalarizer or AverageUtility()
+
+    def fn(items: frozenset[int]) -> float:
+        values = objective.evaluate(sorted(items))
+        return scalar.value(values, objective.group_weights)
+
+    return fn
+
+
+class PenalizedObjective:
+    """``h(S) = f(S) - penalty * sum_{v in S} cost_v`` — non-monotone.
+
+    A submodular function minus a non-negative modular function is still
+    submodular but generally not monotone: adding a costly item can
+    *decrease* the value. This is the canonical way BSM instances become
+    non-monotone in practice (facility construction costs, seeding
+    incentives) and the shape studied by the related work on balancing
+    submodularity and cost.
+    """
+
+    def __init__(
+        self,
+        objective: GroupedObjective,
+        costs: Sequence[float],
+        *,
+        penalty: float = 1.0,
+        scalarizer: Optional[Scalarizer] = None,
+    ) -> None:
+        cost_vec = np.asarray(costs, dtype=float)
+        if cost_vec.shape != (objective.num_items,):
+            raise ValueError(
+                f"costs must have length {objective.num_items}, "
+                f"got shape {cost_vec.shape}"
+            )
+        if np.any(cost_vec < 0):
+            raise ValueError("costs must be non-negative")
+        if penalty < 0:
+            raise ValueError(f"penalty must be non-negative, got {penalty}")
+        self._objective = objective
+        self._costs = cost_vec
+        self._penalty = float(penalty)
+        self._scalar = scalarizer or AverageUtility()
+
+    @property
+    def costs(self) -> np.ndarray:
+        return self._costs
+
+    def __call__(self, items: frozenset[int]) -> float:
+        values = self._objective.evaluate(sorted(items))
+        base = self._scalar.value(values, self._objective.group_weights)
+        return base - self._penalty * float(self._costs[list(items)].sum())
+
+
+def double_greedy(
+    fn: SetFunction,
+    num_items: int,
+    *,
+    randomized: bool = True,
+    seed: SeedLike = None,
+) -> tuple[frozenset[int], float]:
+    """Unconstrained non-monotone maximisation [Buchbinder et al. 2012].
+
+    Grows ``X`` from the empty set and shrinks ``Y`` from the full ground
+    set; for each item the marginal of adding to ``X`` competes with the
+    marginal of removing from ``Y``. The randomised variant picks
+    proportionally to the positive parts (1/2-approximation in
+    expectation); the deterministic one takes the larger side (1/3).
+
+    Returns the final set (``X == Y``) and its value.
+    """
+    check_positive_int(num_items, "num_items")
+    rng = as_generator(seed)
+    oracle = fn if isinstance(fn, MemoizedSetFunction) else MemoizedSetFunction(fn)
+    x: set[int] = set()
+    y: set[int] = set(range(num_items))
+    for item in range(num_items):
+        gain_add = oracle(frozenset(x | {item})) - oracle(frozenset(x))
+        gain_del = oracle(frozenset(y - {item})) - oracle(frozenset(y))
+        if randomized:
+            a = max(gain_add, 0.0)
+            b = max(gain_del, 0.0)
+            if a + b <= 0.0:
+                take = gain_add >= gain_del
+            else:
+                take = rng.random() < a / (a + b)
+        else:
+            take = gain_add >= gain_del
+        if take:
+            x.add(item)
+        else:
+            y.discard(item)
+    solution = frozenset(x)
+    return solution, oracle(solution)
+
+
+def random_greedy(
+    fn: SetFunction,
+    num_items: int,
+    budget: int,
+    *,
+    candidates: Optional[Iterable[int]] = None,
+    seed: SeedLike = None,
+) -> tuple[frozenset[int], float]:
+    """Cardinality-constrained random greedy [Buchbinder et al. 2014].
+
+    Each of the ``budget`` rounds ranks the remaining items by marginal
+    gain, pads the top-``budget`` slate with dummy (no-op) slots when
+    fewer than ``budget`` items have positive gain, and picks uniformly
+    from the slate. For non-monotone submodular ``fn`` this is
+    ``1/e``-approximate in expectation; for monotone ``fn`` it recovers
+    ``1 - 1/e``.
+    """
+    check_positive_int(num_items, "num_items")
+    check_positive_int(budget, "budget")
+    rng = as_generator(seed)
+    oracle = fn if isinstance(fn, MemoizedSetFunction) else MemoizedSetFunction(fn)
+    pool = set(range(num_items) if candidates is None else candidates)
+    for item in pool:
+        if not 0 <= item < num_items:
+            raise IndexError(f"candidate {item} out of range [0, {num_items})")
+    solution: set[int] = set()
+    for _ in range(budget):
+        if not pool:
+            break
+        base = oracle(frozenset(solution))
+        gains = sorted(
+            ((oracle(frozenset(solution | {v})) - base, v) for v in pool),
+            reverse=True,
+        )
+        slate = gains[:budget]
+        # Dummy slots model "add nothing"; they keep the sampling
+        # distribution of the analysis when < budget items help.
+        num_dummies = budget - len(slate)
+        pick = int(rng.integers(0, len(slate) + num_dummies))
+        if pick >= len(slate):
+            continue
+        gain, item = slate[pick]
+        if gain <= 0.0 and all(g <= 0.0 for g, _ in slate):
+            # No item helps at all: stop early (optional for monotone
+            # functions, essential for penalised ones).
+            break
+        solution.add(item)
+        pool.discard(item)
+    final = frozenset(solution)
+    return final, oracle(final)
+
+
+def penalized_random_greedy(
+    objective: GroupedObjective,
+    costs: Sequence[float],
+    budget: int,
+    *,
+    penalty: float = 1.0,
+    seed: SeedLike = None,
+) -> SolverResult:
+    """Random greedy on ``f(S) - penalty * cost(S)`` packaged as a result.
+
+    The convenience entry point used by the examples and the ablation
+    bench: build the penalised (non-monotone) view of a BSM utility
+    objective, run :func:`random_greedy`, and report the *unpenalised*
+    ``f``/``g`` values alongside the paid cost so the trade-off is
+    visible.
+    """
+    penalized = PenalizedObjective(objective, costs, penalty=penalty)
+    oracle = MemoizedSetFunction(penalized)
+    with Timer() as timer:
+        solution, value = random_greedy(
+            oracle, objective.num_items, budget, seed=seed
+        )
+    group_values = objective.evaluate(sorted(solution))
+    paid = float(np.asarray(costs, dtype=float)[sorted(solution)].sum())
+    return SolverResult(
+        algorithm="random-greedy",
+        solution=tuple(sorted(solution)),
+        group_values=group_values,
+        utility=float(objective.group_weights @ group_values),
+        fairness=float(group_values.min()) if group_values.size else 0.0,
+        oracle_calls=oracle.calls,
+        runtime=timer.elapsed,
+        extra={"penalized_value": value, "cost": paid, "penalty": penalty},
+    )

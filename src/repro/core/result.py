@@ -1,0 +1,111 @@
+"""Solver result and trace containers.
+
+Every public solver returns a :class:`SolverResult` carrying enough
+information for the benchmark harness to reproduce the paper's plots
+(``f(S)``, ``g(S)``, runtime) without re-evaluating anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+
+@dataclass
+class GreedyStep:
+    """One accepted item in a greedy run (solution-path bookkeeping)."""
+
+    item: int
+    scalar_gain: float
+    scalar_value: float
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one solver run on one BSM (or SM / RSM) instance.
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable solver name (matches the paper's legend labels).
+    solution:
+        Selected items, in selection order where meaningful.
+    group_values:
+        Vector ``(f_1(S), ..., f_c(S))``.
+    utility:
+        ``f(S)`` — the paper's utility objective.
+    fairness:
+        ``g(S) = min_i f_i(S)`` — the paper's fairness objective.
+    oracle_calls:
+        Number of marginal-gain oracle evaluations consumed.
+    runtime:
+        Wall-clock seconds.
+    feasible:
+        Whether the solver believes ``g(S) >= tau * OPT'_g`` (the "weak"
+        constraint of Section 5; always ``True`` for unconstrained solvers).
+    extra:
+        Solver-specific diagnostics (e.g. ``alpha_min`` of BSM-Saturate,
+        ``stage1_size`` of BSM-TSGreedy, ILP node counts).
+    """
+
+    algorithm: str
+    solution: tuple[int, ...]
+    group_values: np.ndarray
+    utility: float
+    fairness: float
+    oracle_calls: int = 0
+    runtime: float = 0.0
+    feasible: bool = True
+    steps: list[GreedyStep] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.solution)
+
+    def satisfies(self, threshold: float, *, atol: float = 1e-9) -> bool:
+        """Whether ``g(S) >= threshold`` up to floating-point slack."""
+        return self.fairness >= threshold - atol
+
+    def summary(self) -> str:
+        """One-line description used by examples and the harness logs."""
+        items = ",".join(str(v) for v in self.solution[:8])
+        if len(self.solution) > 8:
+            items += ",..."
+        return (
+            f"{self.algorithm}: |S|={self.size} f(S)={self.utility:.4f} "
+            f"g(S)={self.fairness:.4f} oracle_calls={self.oracle_calls} "
+            f"time={self.runtime:.3f}s S=[{items}]"
+        )
+
+
+def make_result(
+    algorithm: str,
+    objective: "GroupedObjective",
+    state: "ObjectiveState",
+    *,
+    runtime: float = 0.0,
+    oracle_calls: Optional[int] = None,
+    feasible: bool = True,
+    steps: Optional[list[GreedyStep]] = None,
+    extra: Optional[dict[str, Any]] = None,
+) -> SolverResult:
+    """Assemble a :class:`SolverResult` from a finished objective state."""
+    return SolverResult(
+        algorithm=algorithm,
+        solution=state.solution,
+        group_values=state.group_values.copy(),
+        utility=objective.utility(state),
+        fairness=objective.fairness(state),
+        oracle_calls=objective.oracle_calls if oracle_calls is None else oracle_calls,
+        runtime=runtime,
+        feasible=feasible,
+        steps=steps or [],
+        extra=extra or {},
+    )
+
+
+# Imported late to avoid a cycle at type-checking time only.
+from repro.core.functions import GroupedObjective, ObjectiveState  # noqa: E402

@@ -1,0 +1,146 @@
+"""Sieve-Streaming for submodular maximisation [Badanidiyuru et al. 2014].
+
+The related-work section cites streaming submodular maximisation as one
+of the settings the greedy subroutine generalises to. This module
+implements the classic single-pass Sieve-Streaming algorithm with a
+``(1/2 - eps)`` guarantee: it maintains one candidate solution per
+guessed optimum level ``v in {(1+eps)^j}`` and adds an arriving item to a
+candidate whenever its marginal gain exceeds ``(v/2 - value) / (k - size)``.
+
+Within this reproduction it serves two purposes:
+
+* a drop-in utility-only solver for item streams too large to hold
+  (``stream_greedy_utility``), and
+* the substrate for the "streaming BSM" extension exercise: BSM-TSGreedy
+  accepts any ``greedy_result``, so a streaming pass can replace the
+  offline greedy sub-routine when items arrive online.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.core.functions import AverageUtility, GroupedObjective, Scalarizer
+from repro.core.result import SolverResult, make_result
+from repro.utils.timing import Timer
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+def sieve_streaming(
+    objective: GroupedObjective,
+    k: int,
+    *,
+    epsilon: float = 0.1,
+    stream: Optional[Iterable[int]] = None,
+    scalarizer: Optional[Scalarizer] = None,
+) -> SolverResult:
+    """One-pass Sieve-Streaming for ``max_{|S| <= k}`` of a scalarized
+    grouped objective (default: the utility objective ``f``).
+
+    Parameters
+    ----------
+    epsilon:
+        Geometric grid resolution; the guarantee is ``1/2 - epsilon``.
+    stream:
+        Item arrival order (defaults to ``0..n-1``). Single pass: each
+        item is examined once per active sieve level.
+
+    Returns
+    -------
+    SolverResult
+        ``extra['levels']`` reports how many sieve levels were kept,
+        ``extra['max_singleton']`` the largest observed singleton value.
+    """
+    check_positive_int(k, "k")
+    check_fraction(epsilon, "epsilon", inclusive_low=False, inclusive_high=False)
+    scal = scalarizer or AverageUtility()
+    weights = objective.group_weights
+    items = list(range(objective.num_items)) if stream is None else [
+        int(v) for v in stream
+    ]
+    timer = Timer()
+    start_calls = objective.oracle_calls
+    with timer:
+        max_singleton = 0.0
+        sieves: dict[int, "ObjectiveStateBox"] = {}
+        for item in items:
+            empty = objective.new_state()
+            singleton_gain = scal.gain(
+                empty.group_values, objective.gains(empty, item), weights
+            )
+            if singleton_gain > max_singleton:
+                max_singleton = singleton_gain
+                # Refresh the level grid: v must cover [m, 2km].
+                sieves = _prune_levels(sieves, max_singleton, k, epsilon)
+            if max_singleton <= 0:
+                continue
+            for j in _level_indices(max_singleton, k, epsilon):
+                box = sieves.get(j)
+                if box is None:
+                    box = ObjectiveStateBox(objective.new_state())
+                    sieves[j] = box
+                state = box.state
+                if state.size >= k or state.in_solution[item]:
+                    continue
+                v = (1.0 + epsilon) ** j
+                value = scal.value(state.group_values, weights)
+                threshold = (v / 2.0 - value) / (k - state.size)
+                gain = scal.gain(
+                    state.group_values, objective.gains(state, item), weights
+                )
+                if gain >= threshold and gain > 0:
+                    objective.add(state, item)
+        best_state = objective.new_state()
+        best_value = 0.0
+        for box in sieves.values():
+            value = scal.value(box.state.group_values, weights)
+            if value > best_value:
+                best_value = value
+                best_state = box.state
+    return make_result(
+        "SieveStreaming",
+        objective,
+        best_state,
+        runtime=timer.elapsed,
+        oracle_calls=objective.oracle_calls - start_calls,
+        extra={
+            "epsilon": epsilon,
+            "levels": len(sieves),
+            "max_singleton": max_singleton,
+        },
+    )
+
+
+class ObjectiveStateBox:
+    """Named holder so sieve levels can be pruned without copying states."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: "ObjectiveState") -> None:
+        self.state = state
+
+
+def _level_indices(max_singleton: float, k: int, epsilon: float) -> range:
+    """Indices ``j`` with ``(1+eps)^j in [max_singleton, 2*k*max_singleton]``."""
+    if max_singleton <= 0:
+        return range(0)
+    log_base = np.log1p(epsilon)
+    low = int(np.floor(np.log(max_singleton) / log_base))
+    high = int(np.ceil(np.log(2.0 * k * max_singleton) / log_base))
+    return range(low, high + 1)
+
+
+def _prune_levels(
+    sieves: dict[int, ObjectiveStateBox],
+    max_singleton: float,
+    k: int,
+    epsilon: float,
+) -> dict[int, ObjectiveStateBox]:
+    keep = set(_level_indices(max_singleton, k, epsilon))
+    return {j: box for j, box in sieves.items() if j in keep}
+
+
+# Imported for type hints only.
+from repro.core.functions import ObjectiveState  # noqa: E402

@@ -1,0 +1,158 @@
+"""Two-pass streaming BSM-TSGreedy.
+
+:mod:`repro.core.streaming` ships the single-objective Sieve-Streaming
+building block and promises the composition; this module delivers it.
+When items arrive as a stream too large to sweep repeatedly, Algorithm 1
+(BSM-TSGreedy) translates pass-by-pass:
+
+* **Pass 1** runs two sieves side by side over the same arrivals — one
+  on the utility objective ``f`` (the stand-in for the offline greedy
+  solution ``S_f``), one on the truncated fairness surrogate
+  ``g'_tau`` (the stand-in for the cover stage). Both passes share each
+  item's oracle evaluations, so the stream is read once.
+* **Selection** then mirrors Algorithm 1 offline: take the fairness
+  sieve's solution first (it approximately saturates the constraint),
+  then fill up to ``k`` with the utility sieve's items in their
+  selection order.
+
+The fairness threshold needs ``OPT'_g``; callers can pass a prior
+estimate (e.g. from a historical window) or let the function spend a
+preliminary pass running Saturate on a uniform reservoir sample of the
+stream — the standard estimate-then-stream pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.functions import (
+    AverageUtility,
+    GroupedObjective,
+    TruncatedFairness,
+)
+from repro.core.result import SolverResult, make_result
+from repro.core.saturate import saturate
+from repro.core.streaming import sieve_streaming
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.timing import Timer
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+def reservoir_sample(
+    stream: Iterable[int], size: int, *, seed: SeedLike = None
+) -> list[int]:
+    """Uniform sample of ``size`` items from a stream of unknown length.
+
+    Classic Algorithm R; distinct positions, not distinct values — a
+    repeated item may be sampled twice if it arrives twice.
+    """
+    check_positive_int(size, "size")
+    rng = as_generator(seed)
+    sample: list[int] = []
+    for position, item in enumerate(stream):
+        if position < size:
+            sample.append(int(item))
+        else:
+            j = int(rng.integers(0, position + 1))
+            if j < size:
+                sample[j] = int(item)
+    return sample
+
+
+def streaming_tsgreedy(
+    objective: GroupedObjective,
+    k: int,
+    tau: float,
+    *,
+    stream: Optional[Iterable[int]] = None,
+    epsilon: float = 0.1,
+    opt_g_estimate: Optional[float] = None,
+    reservoir: int = 64,
+    seed: SeedLike = None,
+) -> SolverResult:
+    """Streaming analogue of Algorithm 1 (see module docstring).
+
+    Parameters
+    ----------
+    stream:
+        Item arrival order (defaults to ``0..n-1``). Consumed twice when
+        ``opt_g_estimate`` is ``None`` (reservoir pass + sieve pass) and
+        once otherwise, matching the offline algorithm's structure of
+        "estimate OPT'_g, then build".
+    opt_g_estimate:
+        Prior estimate of ``OPT_g``; skips the reservoir pass.
+    reservoir:
+        Sample size for the estimation pass.
+
+    Returns
+    -------
+    SolverResult
+        ``extra`` reports ``opt_g_estimate``, both sieve values, and how
+        many items each stage contributed (``stage1_size`` /
+        ``stage2_size``, in Algorithm 1's terminology).
+    """
+    check_positive_int(k, "k")
+    check_fraction(tau, "tau")
+    items = list(range(objective.num_items)) if stream is None else [
+        int(v) for v in stream
+    ]
+    timer = Timer()
+    start_calls = objective.oracle_calls
+    with timer:
+        if opt_g_estimate is None:
+            sample = sorted(
+                set(reservoir_sample(items, min(reservoir, len(items)),
+                                     seed=seed))
+            )
+            opt_g_estimate = saturate(
+                objective, min(k, len(sample)), candidates=sample
+            ).fairness
+        if tau > 0.0 and opt_g_estimate > 0.0:
+            fairness_pass = sieve_streaming(
+                objective,
+                k,
+                epsilon=epsilon,
+                stream=items,
+                scalarizer=TruncatedFairness(tau * opt_g_estimate),
+            )
+        else:
+            fairness_pass = None
+        utility_pass = sieve_streaming(
+            objective, k, epsilon=epsilon, stream=items,
+            scalarizer=AverageUtility(),
+        )
+        state = objective.new_state()
+        stage1 = 0
+        if fairness_pass is not None:
+            for item in fairness_pass.solution:
+                if state.size >= k:
+                    break
+                objective.add(state, item)
+                stage1 += 1
+        stage2 = 0
+        for item in utility_pass.solution:
+            if state.size >= k:
+                break
+            if not state.in_solution[item]:
+                objective.add(state, item)
+                stage2 += 1
+    threshold = tau * opt_g_estimate
+    return make_result(
+        "StreamingTSGreedy",
+        objective,
+        state,
+        runtime=timer.elapsed,
+        oracle_calls=objective.oracle_calls - start_calls,
+        feasible=float(state.group_values.min()) >= threshold - 1e-9,
+        extra={
+            "opt_g_estimate": float(opt_g_estimate),
+            "stage1_size": stage1,
+            "stage2_size": stage2,
+            "utility_pass_value": utility_pass.utility,
+            "fairness_pass_value": (
+                fairness_pass.fairness if fairness_pass else None
+            ),
+        },
+    )

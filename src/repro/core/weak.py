@@ -1,0 +1,243 @@
+"""Weak submodularity: ratios, certificates, and greedy guarantees.
+
+The paper's second future-work direction is generalising BSM to *weakly
+submodular* functions. The standard yardstick is the submodularity ratio
+of Das & Kempe (2011),
+
+    gamma = min over (L, S) of
+        sum_{v in S \\ L} [f(L + v) - f(L)]  /  [f(L + S) - f(L)],
+
+for which greedy retains a ``(1 - e^{-gamma})`` guarantee. This module
+provides:
+
+* :func:`submodularity_ratio` — exhaustive ratio on small ground sets
+  (certificate quality, used by tests and by the inapproximability-gadget
+  diagnostics);
+* :func:`sampled_submodularity_ratio` — a Monte-Carlo lower-bound probe
+  for instances too large to enumerate;
+* :func:`greedy_guarantee` — the ``1 - e^{-gamma * k'/k}`` curve both
+  BSM algorithms inherit once their greedy subroutines run on a weakly
+  submodular ``f``;
+* :func:`is_monotone` / :func:`is_submodular` — exhaustive property
+  checkers for plain set functions (shared with the hypothesis tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
+
+SetFunction = Callable[[frozenset[int]], float]
+
+#: Slack for floating-point comparisons in the exhaustive checkers.
+PROPERTY_ATOL = 1e-9
+
+
+def is_monotone(
+    fn: SetFunction, num_items: int, *, atol: float = PROPERTY_ATOL
+) -> bool:
+    """Exhaustively check ``f(S) <= f(S + v)`` for all ``S, v``.
+
+    Enumerates ``2^n * n`` pairs — intended for ``n <= ~12`` (tests,
+    gadgets). Raises for larger ground sets rather than silently taking
+    hours.
+    """
+    check_positive_int(num_items, "num_items")
+    if num_items > 16:
+        raise ValueError(
+            f"exhaustive monotonicity check is exponential; n={num_items} > 16"
+        )
+    universe = range(num_items)
+    for size in range(num_items):
+        for subset in itertools.combinations(universe, size):
+            base = frozenset(subset)
+            value = fn(base)
+            for item in universe:
+                if item in base:
+                    continue
+                if fn(base | {item}) < value - atol:
+                    return False
+    return True
+
+
+def is_submodular(
+    fn: SetFunction, num_items: int, *, atol: float = PROPERTY_ATOL
+) -> bool:
+    """Exhaustively check diminishing returns on every ``S ⊆ T, v ∉ T``.
+
+    Uses the equivalent pairwise characterisation
+    ``f(S+v) - f(S) >= f(S+w+v) - f(S+w)`` which needs ``O(2^n n^2)``
+    evaluations instead of enumerating all nested pairs.
+    """
+    check_positive_int(num_items, "num_items")
+    if num_items > 16:
+        raise ValueError(
+            f"exhaustive submodularity check is exponential; n={num_items} > 16"
+        )
+    universe = range(num_items)
+    for size in range(num_items):
+        for subset in itertools.combinations(universe, size):
+            base = frozenset(subset)
+            value = fn(base)
+            outside = [v for v in universe if v not in base]
+            for v in outside:
+                gain_here = fn(base | {v}) - value
+                for w in outside:
+                    if w == v:
+                        continue
+                    bigger = base | {w}
+                    gain_there = fn(bigger | {v}) - fn(bigger)
+                    if gain_there > gain_here + atol:
+                        return False
+    return True
+
+
+def submodularity_ratio(
+    fn: SetFunction,
+    num_items: int,
+    *,
+    max_cardinality: Optional[int] = None,
+    atol: float = PROPERTY_ATOL,
+) -> float:
+    """Exact submodularity ratio ``gamma`` on a small ground set.
+
+    ``max_cardinality`` bounds ``|S|`` in the Das–Kempe definition (the
+    greedy guarantee for budget ``k`` only needs ``gamma_{U,k}`` with
+    ``|S| <= k``); default considers all non-empty ``S``.
+
+    Returns 1.0 for submodular functions, smaller values the further the
+    function is from submodular; ``inf``-free: pairs whose denominator is
+    (near) zero are skipped, matching the convention that ``0/0`` ratios
+    do not constrain gamma.
+    """
+    check_positive_int(num_items, "num_items")
+    if num_items > 12:
+        raise ValueError(
+            f"exact submodularity ratio is exponential; n={num_items} > 12"
+        )
+    cap = num_items if max_cardinality is None else int(max_cardinality)
+    if cap <= 0:
+        raise ValueError(f"max_cardinality must be positive, got {cap}")
+    universe = range(num_items)
+    gamma = 1.0
+    for lsize in range(num_items + 1):
+        for lset in itertools.combinations(universe, lsize):
+            base = frozenset(lset)
+            base_value = fn(base)
+            outside = [v for v in universe if v not in base]
+            for ssize in range(1, min(cap, len(outside)) + 1):
+                for sset in itertools.combinations(outside, ssize):
+                    joint = fn(base | frozenset(sset)) - base_value
+                    if joint <= atol:
+                        continue
+                    singles = sum(fn(base | {v}) - base_value for v in sset)
+                    gamma = min(gamma, singles / joint)
+    return max(gamma, 0.0)
+
+
+def sampled_submodularity_ratio(
+    fn: SetFunction,
+    num_items: int,
+    *,
+    samples: int = 200,
+    max_cardinality: Optional[int] = None,
+    seed: SeedLike = None,
+    atol: float = PROPERTY_ATOL,
+) -> float:
+    """Monte-Carlo upper bound on ``gamma`` for larger ground sets.
+
+    Random ``(L, S)`` pairs only ever *witness* violations, so the
+    returned value is an upper bound on the true ratio: useful as a cheap
+    screen ("this function is at most this weakly submodular") before
+    running greedy with :func:`greedy_guarantee` expectations.
+    """
+    check_positive_int(num_items, "num_items")
+    check_positive_int(samples, "samples")
+    rng = as_generator(seed)
+    cap = max_cardinality or max(1, num_items // 4)
+    gamma = 1.0
+    for _ in range(samples):
+        lsize = int(rng.integers(0, num_items))
+        lset = frozenset(
+            rng.choice(num_items, size=lsize, replace=False).tolist()
+        )
+        outside = [v for v in range(num_items) if v not in lset]
+        if not outside:
+            continue
+        ssize = int(rng.integers(1, min(cap, len(outside)) + 1))
+        sset = rng.choice(outside, size=ssize, replace=False).tolist()
+        base_value = fn(lset)
+        joint = fn(lset | frozenset(sset)) - base_value
+        if joint <= atol:
+            continue
+        singles = sum(fn(lset | {v}) - base_value for v in sset)
+        gamma = min(gamma, singles / joint)
+    return max(gamma, 0.0)
+
+
+def greedy_guarantee(gamma: float, *, steps: Optional[int] = None,
+                     budget: Optional[int] = None) -> float:
+    """The ``1 - e^{-gamma * steps/budget}`` greedy factor.
+
+    With ``steps == budget`` (the default) this is the classic
+    ``1 - e^{-gamma}`` bound of Das & Kempe; passing ``steps < budget``
+    reproduces the *partial* greedy factor that Theorem 4.2 uses for the
+    second stage of BSM-TSGreedy (``k'`` items of a budget-``k`` run),
+    now weighted by the submodularity ratio.
+    """
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+    if budget is None:
+        budget = steps if steps is not None else 1
+    if steps is None:
+        steps = budget
+    check_positive_int(budget, "budget")
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    return 1.0 - math.exp(-gamma * steps / budget)
+
+
+def weak_greedy(
+    fn: SetFunction,
+    num_items: int,
+    budget: int,
+    *,
+    candidates: Optional[Iterable[int]] = None,
+) -> tuple[frozenset[int], float, list[float]]:
+    """Plain greedy on an arbitrary set function, tracking per-step gains.
+
+    The workhorse for weakly submodular experiments: identical selection
+    rule to :func:`repro.core.greedy.greedy_max` but with no
+    submodularity assumptions (hence no lazy evaluation — stale upper
+    bounds are unsound when gains may grow).
+
+    Returns the solution, its value, and the accepted gain sequence
+    (whose monotonicity is a quick empirical submodularity diagnostic).
+    """
+    check_positive_int(num_items, "num_items")
+    check_positive_int(budget, "budget")
+    pool = set(range(num_items) if candidates is None else candidates)
+    solution: set[int] = set()
+    value = fn(frozenset())
+    gains: list[float] = []
+    for _ in range(min(budget, len(pool))):
+        best_gain = -math.inf
+        best_item = None
+        for v in sorted(pool):
+            gain = fn(frozenset(solution | {v})) - value
+            if gain > best_gain:
+                best_gain = gain
+                best_item = v
+        if best_item is None or best_gain <= 0.0:
+            break
+        solution.add(best_item)
+        pool.discard(best_item)
+        value += best_gain
+        gains.append(best_gain)
+    return frozenset(solution), value, gains

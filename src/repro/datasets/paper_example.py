@@ -1,0 +1,88 @@
+"""The paper's worked examples as reusable fixtures.
+
+* :func:`figure1_instance` — the Figure-1 maximum-coverage instance used
+  by Examples 3.1, 4.1 and 4.6 (4 items, 12 users, 2 groups, ``k = 2``).
+* :func:`lemma32_instance` — the Lemma-3.2 inapproximability gadget, for
+  any ``k >= 1`` and gap parameter ``alpha``.
+
+Both are exercised heavily by the test suite: the paper states the exact
+optimal solutions and objective values, giving us ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.functions import PerUserObjective
+from repro.problems.coverage import CoverageObjective
+
+
+def figure1_instance() -> CoverageObjective:
+    """Figure 1: items v1..v4 (ids 0..3), users u11..u19, u21..u23.
+
+    User ids 0..8 form group 0 (``U1``, 9 users) and ids 9..11 group 1
+    (``U2``, 3 users). Coverage sets (paper notation -> user ids):
+
+    * ``S(v1) = {u11..u15}``        -> {0, 1, 2, 3, 4}
+    * ``S(v2) = {u16..u19}``        -> {5, 6, 7, 8}
+    * ``S(v3) = {u16, u19, u21}``   -> {5, 8, 9}
+    * ``S(v4) = {u22, u23}``        -> {10, 11}
+
+    Ground truths from Example 3.1 (k = 2): ``OPT_f = f({v1,v2}) = 0.75``;
+    ``OPT_g = g({v1,v4}) = 5/9``; ``g({v1,v3}) = 1/3``.
+    """
+    sets = [
+        np.array([0, 1, 2, 3, 4]),
+        np.array([5, 6, 7, 8]),
+        np.array([5, 8, 9]),
+        np.array([10, 11]),
+    ]
+    groups = [0] * 9 + [1] * 3
+    return CoverageObjective(sets, groups)
+
+
+def lemma32_instance(
+    k: int = 1, alpha: float = 0.1, users_per_copy: int = 10
+) -> PerUserObjective:
+    """The Lemma-3.2 gadget showing BSM is inapproximable.
+
+    For each copy ``i in [k]`` there are two items ``v_{2i-1}, v_{2i}``
+    (ids ``2i-2``, ``2i-1``) and ``m`` users; the first user of each copy
+    is the sole member of group ``i-1`` and everyone else belongs to the
+    shared group ``k``. Utilities per the paper:
+
+    * first user: ``alpha*(m-1)/m`` if ``v_{2i-1}`` selected, else 0;
+    * other users of copy ``i``: 1 if ``v_{2i}`` selected; else
+      ``alpha*(m-1)/m`` if ``v_{2i-1}`` selected; else 0.
+
+    Selecting all even items maximises ``f`` but yields ``g = 0``;
+    selecting all odd items yields ``g = OPT_g`` but only ``alpha * OPT_f``
+    utility. As ``alpha -> 0`` no ``(alpha, beta)``-approximation with
+    constant factors exists.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if users_per_copy < 2:
+        raise ValueError("users_per_copy must be at least 2")
+    m = users_per_copy
+    level = alpha * (m - 1) / m
+
+    def utility(user: int, solution: frozenset[int]) -> float:
+        copy, offset = divmod(user, m)
+        v_odd = 2 * copy      # item id of v_{2i-1}
+        v_even = 2 * copy + 1  # item id of v_{2i}
+        if offset == 0:
+            return level if v_odd in solution else 0.0
+        if v_even in solution:
+            return 1.0
+        if v_odd in solution:
+            return level
+        return 0.0
+
+    groups = []
+    for copy in range(k):
+        groups.append(copy)          # first user of copy i -> group i
+        groups.extend([k] * (m - 1))  # the rest -> shared group k
+    return PerUserObjective(2 * k, groups, utility)

@@ -1,0 +1,293 @@
+"""Named dataset registry used by the benchmark harness.
+
+Each entry builds the exact workload of one experimental configuration of
+the paper (Tables 1–2). ``load_dataset(name, seed=...)`` returns a
+:class:`Dataset` whose payload depends on the problem family:
+
+* coverage (``kind='coverage'``): a ready :class:`CoverageObjective` plus
+  the underlying graph;
+* influence (``kind='influence'``): the graph (objectives are built per
+  run, since RR sampling depends on the experiment's sample budget);
+* facility (``kind='facility'``): a ready
+  :class:`FacilityLocationObjective` plus the raw points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.datasets.adult import adult_like_points
+from repro.datasets.foursquare import foursquare_like
+from repro.datasets.social import dblp_like, facebook_like, pokec_like
+from repro.datasets.synthetic import rand_fl_points, rand_graph
+from repro.graphs.graph import Graph
+from repro.problems.coverage import CoverageObjective
+from repro.problems.facility import (
+    FacilityLocationObjective,
+    kmedian_benefits,
+    rbf_benefits,
+)
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class Dataset:
+    """A constructed workload."""
+
+    name: str
+    kind: str  # 'coverage' | 'influence' | 'facility'
+    objective: Optional[Any] = None
+    graph: Optional[Graph] = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def _coverage_from_graph(name: str, graph: Graph, **meta: Any) -> Dataset:
+    return Dataset(
+        name=name,
+        kind="coverage",
+        objective=CoverageObjective.from_graph(graph),
+        graph=graph,
+        meta=meta,
+    )
+
+
+def _facility_from_points(
+    name: str,
+    user_points: np.ndarray,
+    facility_points: np.ndarray,
+    labels: np.ndarray,
+    benefit: str,
+    **meta: Any,
+) -> Dataset:
+    if benefit == "rbf":
+        matrix = rbf_benefits(user_points, facility_points)
+    elif benefit == "kmedian":
+        matrix = kmedian_benefits(user_points, facility_points)
+    else:
+        raise ValueError(f"unknown benefit kind {benefit!r}")
+    return Dataset(
+        name=name,
+        kind="facility",
+        objective=FacilityLocationObjective(matrix, labels),
+        meta={"benefit": benefit, **meta},
+    )
+
+
+# -- builders -----------------------------------------------------------
+def _build_rand_mc(c: int) -> Callable[[SeedLike], Dataset]:
+    def build(seed: SeedLike = 0, *, num_nodes: int = 500) -> Dataset:
+        graph = rand_graph(c, num_nodes, seed=seed)
+        return _coverage_from_graph(f"rand-mc-c{c}", graph, c=c)
+
+    return build
+
+
+def _build_rand_im(c: int) -> Callable[[SeedLike], Dataset]:
+    def build(
+        seed: SeedLike = 0, *, num_nodes: int = 100, edge_probability: float = 0.1
+    ) -> Dataset:
+        graph = rand_graph(c, num_nodes, seed=seed)
+        graph.set_edge_probabilities(edge_probability)
+        return Dataset(
+            name=f"rand-im-c{c}",
+            kind="influence",
+            graph=graph,
+            meta={"c": c, "edge_probability": edge_probability},
+        )
+
+    return build
+
+
+def _build_facebook(kind: str, c: int) -> Callable[[SeedLike], Dataset]:
+    def build(
+        seed: SeedLike = 0,
+        *,
+        edge_probability: float = 0.01,
+        num_nodes: int = 1_216,
+    ) -> Dataset:
+        graph = facebook_like(c, seed=seed, num_nodes=num_nodes)
+        if kind == "coverage":
+            return _coverage_from_graph(f"facebook-mc-c{c}", graph, c=c)
+        graph.set_edge_probabilities(edge_probability)
+        return Dataset(
+            name=f"facebook-im-c{c}",
+            kind="influence",
+            graph=graph,
+            meta={"c": c, "edge_probability": edge_probability},
+        )
+
+    return build
+
+
+def _build_dblp(kind: str) -> Callable[[SeedLike], Dataset]:
+    def build(
+        seed: SeedLike = 0,
+        *,
+        edge_probability: float = 0.1,
+        num_nodes: int = 3_980,
+    ) -> Dataset:
+        graph = dblp_like(seed=seed, num_nodes=num_nodes)
+        if kind == "coverage":
+            return _coverage_from_graph("dblp-mc", graph, c=5)
+        graph.set_edge_probabilities(edge_probability)
+        return Dataset(
+            name="dblp-im",
+            kind="influence",
+            graph=graph,
+            meta={"c": 5, "edge_probability": edge_probability},
+        )
+
+    return build
+
+
+def _build_pokec(kind: str, attribute: str) -> Callable[[SeedLike], Dataset]:
+    def build(
+        seed: SeedLike = 0,
+        *,
+        num_nodes: int = 50_000,
+        edge_probability: float = 0.01,
+    ) -> Dataset:
+        graph = pokec_like(attribute, seed=seed, num_nodes=num_nodes)
+        if kind == "coverage":
+            return _coverage_from_graph(
+                f"pokec-mc-{attribute}", graph, attribute=attribute
+            )
+        graph.set_edge_probabilities(edge_probability)
+        return Dataset(
+            name=f"pokec-im-{attribute}",
+            kind="influence",
+            graph=graph,
+            meta={"attribute": attribute, "edge_probability": edge_probability},
+        )
+
+    return build
+
+
+def _build_rand_fl(c: int) -> Callable[[SeedLike], Dataset]:
+    def build(seed: SeedLike = 0, *, num_points: int = 100) -> Dataset:
+        points, labels = rand_fl_points(c, num_points, seed=seed)
+        return _facility_from_points(
+            f"rand-fl-c{c}", points, points, labels, benefit="rbf", c=c
+        )
+
+    return build
+
+
+def _build_adult(attribute: str, size: int, small: bool) -> Callable[[SeedLike], Dataset]:
+    def build(seed: SeedLike = 0, *, num_records: Optional[int] = None) -> Dataset:
+        points, labels = adult_like_points(
+            attribute, num_records or size, seed=seed, small_sample=small
+        )
+        name = "adult-small" if small else f"adult-{attribute}"
+        return _facility_from_points(
+            name, points, points, labels, benefit="rbf", attribute=attribute
+        )
+
+    return build
+
+
+def _build_foursquare(city: str) -> Callable[[SeedLike], Dataset]:
+    def build(seed: SeedLike = 0) -> Dataset:
+        users, facilities, labels = foursquare_like(city, seed=seed)
+        return _facility_from_points(
+            f"foursquare-{city}", users, facilities, labels,
+            benefit="kmedian", city=city,
+        )
+
+    return build
+
+
+def _build_recommendation(c: int) -> Callable[..., Dataset]:
+    def build(
+        seed: SeedLike = 0,
+        *,
+        num_users: int = 300,
+        num_items: int = 120,
+    ) -> Dataset:
+        from repro.problems.recommendation import (
+            RecommendationObjective,
+            latent_relevance,
+        )
+        from repro.utils.rng import deterministic_partition
+
+        proportions = [1.0 / c] * c
+        labels = deterministic_partition(num_users, proportions)
+        relevance = latent_relevance(
+            num_users, num_items, group_labels=labels, seed=seed
+        )
+        return Dataset(
+            name=f"rec-latent-c{c}",
+            kind="recommendation",
+            objective=RecommendationObjective(relevance, labels),
+            meta={"num_users": num_users, "num_items": num_items, "c": c},
+        )
+
+    return build
+
+
+def _build_summarization(c: int) -> Callable[..., Dataset]:
+    def build(
+        seed: SeedLike = 0,
+        *,
+        num_points: int = 200,
+        dim: int = 5,
+    ) -> Dataset:
+        from repro.graphs.generators import gaussian_points
+        from repro.problems.summarization import SummarizationObjective
+
+        base, rem = divmod(num_points, c)
+        counts = [base + (1 if i < rem else 0) for i in range(c)]
+        points, labels = gaussian_points(counts, dim=dim, seed=seed)
+        return Dataset(
+            name=f"summ-blobs-c{c}",
+            kind="summarization",
+            objective=SummarizationObjective(points, labels),
+            meta={"num_points": num_points, "dim": dim, "c": c},
+        )
+
+    return build
+
+
+#: name -> builder(seed, **overrides) -> Dataset
+DATASETS: dict[str, Callable[..., Dataset]] = {
+    # Table 1 (MC / IM)
+    "rand-mc-c2": _build_rand_mc(2),
+    "rand-mc-c4": _build_rand_mc(4),
+    "rand-im-c2": _build_rand_im(2),
+    "rand-im-c4": _build_rand_im(4),
+    "facebook-mc-c2": _build_facebook("coverage", 2),
+    "facebook-mc-c4": _build_facebook("coverage", 4),
+    "facebook-im-c2": _build_facebook("influence", 2),
+    "facebook-im-c4": _build_facebook("influence", 4),
+    "dblp-mc": _build_dblp("coverage"),
+    "dblp-im": _build_dblp("influence"),
+    "pokec-mc-gender": _build_pokec("coverage", "gender"),
+    "pokec-mc-age": _build_pokec("coverage", "age"),
+    "pokec-im-gender": _build_pokec("influence", "gender"),
+    "pokec-im-age": _build_pokec("influence", "age"),
+    # Table 2 (FL)
+    "rand-fl-c2": _build_rand_fl(2),
+    "rand-fl-c3": _build_rand_fl(3),
+    "adult-small": _build_adult("race", 100, True),
+    "adult-gender": _build_adult("gender", 1_000, False),
+    "adult-race": _build_adult("race", 1_000, False),
+    "foursquare-nyc": _build_foursquare("nyc"),
+    "foursquare-tky": _build_foursquare("tky"),
+    # Extension domains (intro applications beyond the evaluation)
+    "rec-latent-c2": _build_recommendation(2),
+    "rec-latent-c3": _build_recommendation(3),
+    "summ-blobs-c2": _build_summarization(2),
+    "summ-blobs-c3": _build_summarization(3),
+}
+
+
+def load_dataset(name: str, seed: SeedLike = 0, **overrides: Any) -> Dataset:
+    """Build the named dataset (see :data:`DATASETS` for the catalogue)."""
+    if name not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    return DATASETS[name](seed, **overrides)

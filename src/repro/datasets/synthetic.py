@@ -1,0 +1,75 @@
+"""The paper's own synthetic datasets.
+
+* RAND graphs for MC / IM (Table 1): stochastic block models with
+  ``p_intra = 0.1``, ``p_inter = 0.02``; 500 nodes for MC, 100 for IM;
+  group mixes ``[20, 80]`` (c=2) and ``[8, 12, 20, 60]`` (c=4).
+* RAND points for FL (Table 2): 100 points in 5 dimensions, one isotropic
+  Gaussian blob per group; mixes ``[15, 85]`` (c=2), ``[5, 20, 75]`` (c=3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graphs.generators import gaussian_points, stochastic_block_model
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
+
+#: Paper's SBM connection probabilities (Section 5.1).
+RAND_P_INTRA = 0.1
+RAND_P_INTER = 0.02
+
+#: Paper's group mixes (Tables 1 and 2), in percent.
+RAND_MC_GROUPS = {2: (20, 80), 4: (8, 12, 20, 60)}
+RAND_FL_GROUPS = {2: (15, 85), 3: (5, 20, 75)}
+
+
+def rand_graph(
+    num_groups: int = 2,
+    num_nodes: int = 500,
+    *,
+    seed: SeedLike = None,
+    p_intra: float = RAND_P_INTRA,
+    p_inter: float = RAND_P_INTER,
+) -> Graph:
+    """RAND graph of Table 1 (``num_nodes=500`` for MC, 100 for IM)."""
+    check_positive_int(num_nodes, "num_nodes")
+    if num_groups not in RAND_MC_GROUPS:
+        raise ValueError(
+            f"RAND graphs are defined for c in {sorted(RAND_MC_GROUPS)}, "
+            f"got {num_groups}"
+        )
+    percents = RAND_MC_GROUPS[num_groups]
+    sizes = _sizes_from_percents(num_nodes, percents)
+    return stochastic_block_model(sizes, p_intra, p_inter, seed=seed)
+
+
+def rand_fl_points(
+    num_groups: int = 2,
+    num_points: int = 100,
+    *,
+    dim: int = 5,
+    seed: SeedLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """RAND FL dataset of Table 2: ``(points, group_labels)``."""
+    check_positive_int(num_points, "num_points")
+    if num_groups not in RAND_FL_GROUPS:
+        raise ValueError(
+            f"RAND FL datasets are defined for c in {sorted(RAND_FL_GROUPS)}, "
+            f"got {num_groups}"
+        )
+    percents = RAND_FL_GROUPS[num_groups]
+    sizes = _sizes_from_percents(num_points, percents)
+    return gaussian_points(sizes, dim=dim, scale=1.0, spread=3.0, seed=seed)
+
+
+def _sizes_from_percents(total: int, percents: Sequence[float]) -> list[int]:
+    """Exact group sizes from percentage mixes (largest-remainder)."""
+    from repro.utils.rng import deterministic_partition
+
+    labels = deterministic_partition(total, list(percents))
+    counts = np.bincount(labels, minlength=len(list(percents)))
+    return [int(c) for c in counts]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised domain errors derive from :class:`ReproError` so that
+applications can catch one base class; standard ``ValueError``/``TypeError``
+are still used for plain argument-validation failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all domain errors raised by the library."""
+
+
+class InfeasibleError(ReproError):
+    """An optimisation problem has no feasible solution.
+
+    Raised by the ILP layer when constraints are contradictory and by the
+    BSM solvers when a fairness constraint cannot be met at all (e.g. a
+    group with identically-zero utility and ``tau > 0``).
+    """
+
+
+class UnboundedError(ReproError):
+    """An LP relaxation is unbounded (indicates a malformed model)."""
+
+
+class SolverError(ReproError):
+    """A solver failed for reasons other than infeasibility."""
+
+
+class GroupPartitionError(ReproError):
+    """The user-group partition is invalid (empty group, bad labels, ...)."""

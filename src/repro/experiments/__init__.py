@@ -1,0 +1,55 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+* :mod:`repro.experiments.harness` — generic sweep runners (vary ``tau``,
+  vary ``k``) over any dataset/algorithm combination, with sub-routine
+  reuse and optional Monte-Carlo re-scoring for influence instances.
+* :mod:`repro.experiments.figures` — one entry per paper figure/table,
+  binding the harness to the exact workload and parameter grids.
+* :mod:`repro.experiments.reporting` — plain-text series/table rendering
+  so benches print rows directly comparable to the paper's plots.
+"""
+
+from repro.experiments.harness import (
+    ExperimentRow,
+    SweepResult,
+    sweep_k,
+    sweep_tau,
+)
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.pareto import FrontierPoint, hypervolume, pareto_frontier
+from repro.experiments.plotting import Series, ascii_chart, sweep_chart
+from repro.experiments.replication import ReplicatedSweep, replicate_tau_sweep
+from repro.experiments.reporting import render_series, render_table
+from repro.experiments.verification import (
+    ClaimReport,
+    check_dominance,
+    check_flat_baseline,
+    check_tradeoff_shape,
+    check_weak_constraint,
+    verify_paper_claims,
+)
+
+__all__ = [
+    "ClaimReport",
+    "ExperimentRow",
+    "FIGURES",
+    "check_dominance",
+    "check_flat_baseline",
+    "check_tradeoff_shape",
+    "check_weak_constraint",
+    "verify_paper_claims",
+    "FrontierPoint",
+    "ReplicatedSweep",
+    "Series",
+    "SweepResult",
+    "ascii_chart",
+    "hypervolume",
+    "pareto_frontier",
+    "render_series",
+    "render_table",
+    "replicate_tau_sweep",
+    "run_figure",
+    "sweep_chart",
+    "sweep_k",
+    "sweep_tau",
+]

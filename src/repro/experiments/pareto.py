@@ -1,0 +1,91 @@
+"""Utility–fairness Pareto frontiers.
+
+The figures plot ``f(S)`` and ``g(S)`` separately against ``tau``; the
+frontier view condenses a sweep into the set of non-dominated
+``(g, f)`` points per algorithm — the cleanest way to compare how well
+two algorithms trade the objectives (used by the README discussion and
+available to library users for their own instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.harness import SweepResult
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated (fairness, utility) pair with its provenance."""
+
+    fairness: float
+    utility: float
+    tau: float
+    algorithm: str
+
+
+def pareto_frontier(
+    sweep: SweepResult, algorithm: str
+) -> list[FrontierPoint]:
+    """Non-dominated ``(g, f)`` points of one algorithm in a tau sweep.
+
+    A point dominates another when it is at least as good on both
+    objectives and strictly better on one. The result is sorted by
+    ascending fairness.
+    """
+    points = [
+        FrontierPoint(
+            fairness=row.fairness,
+            utility=row.utility,
+            tau=row.value,
+            algorithm=row.algorithm,
+        )
+        for row in sweep.rows
+        if row.algorithm == algorithm
+    ]
+    frontier: list[FrontierPoint] = []
+    for p in points:
+        dominated = any(
+            (q.fairness >= p.fairness and q.utility >= p.utility)
+            and (q.fairness > p.fairness or q.utility > p.utility)
+            for q in points
+        )
+        if not dominated:
+            frontier.append(p)
+    # Deduplicate identical (g, f) pairs, keep the smallest tau for each.
+    unique: dict[tuple[float, float], FrontierPoint] = {}
+    for p in sorted(frontier, key=lambda q: q.tau):
+        unique.setdefault((round(p.fairness, 12), round(p.utility, 12)), p)
+    return sorted(unique.values(), key=lambda q: q.fairness)
+
+
+def hypervolume(
+    frontier: Sequence[FrontierPoint],
+    *,
+    reference: tuple[float, float] = (0.0, 0.0),
+) -> float:
+    """2-d hypervolume of a frontier w.r.t. a reference point.
+
+    The standard scalar summary of frontier quality: the area dominated
+    by the frontier above ``reference``. Larger is better; comparing two
+    algorithms' hypervolumes on the same sweep ranks their trade-offs.
+    """
+    ref_g, ref_f = reference
+    points = sorted(
+        [
+            p
+            for p in frontier
+            if p.fairness > ref_g and p.utility > ref_f
+        ],
+        key=lambda p: p.fairness,
+    )
+    area = 0.0
+    prev_g = ref_g
+    # Sweep fairness left to right; at each step the best remaining
+    # utility among points to the right bounds the rectangle height.
+    for i, p in enumerate(points):
+        best_f = max(q.utility for q in points[i:])
+        area += (p.fairness - prev_g) * (best_f - ref_f)
+        prev_g = p.fairness
+    return area

@@ -1,0 +1,159 @@
+"""Terminal (ASCII) charts for sweep results.
+
+The paper communicates its evaluation through line plots (utility /
+fairness / runtime against ``tau`` or ``k``). The benchmark harness is
+text-only, so this module renders comparable line charts directly in the
+terminal: one character column per x-grid point, one glyph per
+algorithm, a shared y-axis. Charts are deterministic strings —
+reporting code and tests can assert on them.
+
+Only standard ASCII is emitted so the output survives log files, CI
+consoles, and ``EXPERIMENTS.md`` code fences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.harness import SweepResult
+
+#: Stable glyph assignment: the paper's legend order, then extras.
+GLYPHS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line: ``points`` is a list of (x, y) pairs."""
+
+    label: str
+    points: tuple[tuple[float, float], ...]
+
+    @classmethod
+    def make(
+        cls, label: str, points: Sequence[tuple[float, float]]
+    ) -> "Series":
+        return cls(label=label, points=tuple(points))
+
+
+def _format_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def ascii_chart(
+    series: Sequence[Series],
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    logy: bool = False,
+) -> str:
+    """Render line series as a fixed-size ASCII chart.
+
+    Points are nearest-neighbour snapped onto a ``width x height`` cell
+    grid; later series overwrite earlier ones on collisions (the legend
+    order therefore mirrors paint order). ``logy`` plots ``log10(y)``,
+    the scale the paper uses for runtime panels.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart must be at least 10x4 cells")
+    drawable = [s for s in series if s.points]
+    if not drawable:
+        return f"{title}\n(empty chart: no series)"
+    xs = np.array([x for s in drawable for x, _ in s.points], dtype=float)
+    ys = np.array([y for s in drawable for _, y in s.points], dtype=float)
+    if logy:
+        floor = max(ys[ys > 0].min() if np.any(ys > 0) else 1e-12, 1e-12)
+        ys_t = np.log10(np.maximum(ys, floor))
+    else:
+        ys_t = ys
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys_t.min()), float(ys_t.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, line in enumerate(drawable):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for x, y in line.points:
+            y_val = float(y)
+            if logy:
+                y_val = float(
+                    np.log10(max(y_val, 1e-12))
+                )
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y_val - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+    top = _format_number(10**y_hi if logy else y_hi)
+    bottom = _format_number(10**y_lo if logy else y_lo)
+    margin = max(len(top), len(bottom), len(y_label)) + 1
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for r, row_cells in enumerate(grid):
+        if r == 0:
+            prefix = top.rjust(margin)
+        elif r == height - 1:
+            prefix = bottom.rjust(margin)
+        elif r == height // 2:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row_cells)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    left = _format_number(x_lo)
+    right = _format_number(x_hi)
+    gap = max(width - len(left) - len(right) - len(x_label), 2)
+    half = gap // 2
+    lines.append(
+        " " * (margin + 1)
+        + left
+        + " " * half
+        + x_label
+        + " " * (gap - half)
+        + right
+    )
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={s.label}" for i, s in enumerate(drawable)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def sweep_chart(
+    sweep: SweepResult,
+    metric: str = "utility",
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Chart one metric of a harness sweep, one line per algorithm.
+
+    ``metric`` is any numeric :class:`repro.experiments.harness.
+    ExperimentRow` field (``utility``, ``fairness``, ``runtime``,
+    ``oracle_calls``); runtime is drawn on a log axis like the paper's
+    time panels.
+    """
+    names = list(algorithms) if algorithms else sweep.algorithms()
+    series = [
+        Series.make(name, sweep.series(name, metric)) for name in names
+    ]
+    return ascii_chart(
+        series,
+        title=f"{sweep.dataset}: {metric} vs {sweep.parameter}",
+        width=width,
+        height=height,
+        x_label=sweep.parameter,
+        y_label=metric[:7],
+        logy=(metric == "runtime"),
+    )

@@ -1,0 +1,121 @@
+"""Seed-replicated sweeps with aggregate statistics.
+
+The paper reports single-run curves; this reproduction replaces its real
+datasets with synthetic substitutes, so every claim in EXPERIMENTS.md is
+backed by *replicated* runs instead: the same sweep repeated under
+several dataset/algorithm seeds, aggregated with
+:mod:`repro.utils.stats`, and compared with the nonparametric sign test.
+
+Typical use (what the EXPERIMENTS.md dominance claims ran)::
+
+    rep = replicate_tau_sweep(
+        "rand-mc-c2", k=5, taus=(0.1, 0.5, 0.9), seeds=range(5)
+    )
+    rep.aggregate("BSM-Saturate", 0.5, "utility")   # mean ± std
+    rep.compare("BSM-Saturate", "BSM-TSGreedy", "utility")  # p-value
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.harness import DEFAULT_ALGORITHMS, SweepResult, sweep_tau
+from repro.utils.stats import Aggregate, aggregate, paired_sign_test
+
+
+@dataclass
+class ReplicatedSweep:
+    """Tau-sweep results across seeds, indexed for aggregation."""
+
+    dataset: str
+    parameter: str
+    seeds: tuple[int, ...]
+    sweeps: list[SweepResult] = field(default_factory=list)
+
+    def values(
+        self, algorithm: str, value: float, metric: str = "utility"
+    ) -> list[float]:
+        """One metric at one parameter point, across all seeds."""
+        out: list[float] = []
+        for sweep in self.sweeps:
+            series = dict(sweep.series(algorithm, metric))
+            if value not in series:
+                raise KeyError(
+                    f"{algorithm} has no point at {self.parameter}={value}"
+                )
+            out.append(series[value])
+        return out
+
+    def aggregate(
+        self, algorithm: str, value: float, metric: str = "utility"
+    ) -> Aggregate:
+        """Mean/std/min/max of one metric at one parameter point."""
+        return aggregate(self.values(algorithm, value, metric))
+
+    def compare(
+        self,
+        first: str,
+        second: str,
+        metric: str = "utility",
+        *,
+        values: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Sign-test p-value for "``first`` beats ``second`` on
+        ``metric``", pairing runs by (seed, parameter point)."""
+        points = values
+        if points is None:
+            points = sorted(
+                {row.value for row in self.sweeps[0].rows}
+            )
+        a: list[float] = []
+        b: list[float] = []
+        for point in points:
+            a.extend(self.values(first, point, metric))
+            b.extend(self.values(second, point, metric))
+        return paired_sign_test(a, b)
+
+    def algorithms(self) -> list[str]:
+        return self.sweeps[0].algorithms() if self.sweeps else []
+
+
+def replicate_tau_sweep(
+    dataset_name: str,
+    k: int,
+    taus: Sequence[float],
+    seeds: Sequence[int],
+    *,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    im_samples: int = 2_000,
+    mc_simulations: int = 0,
+    **dataset_overrides: object,
+) -> ReplicatedSweep:
+    """Run :func:`repro.experiments.harness.sweep_tau` once per seed.
+
+    Each seed re-generates the dataset *and* re-seeds the randomized
+    solver subroutines, so the replicate spread covers both sources of
+    variation. ``dataset_overrides`` pass through to the dataset builder
+    (e.g. ``num_nodes=150`` to shrink a sweep).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    rep = ReplicatedSweep(
+        dataset=dataset_name,
+        parameter="tau",
+        seeds=tuple(int(s) for s in seeds),
+    )
+    for seed in rep.seeds:
+        data = load_dataset(dataset_name, seed=seed, **dataset_overrides)
+        rep.sweeps.append(
+            sweep_tau(
+                data,
+                k,
+                taus,
+                algorithms=algorithms,
+                im_samples=im_samples,
+                mc_simulations=mc_simulations,
+                seed=seed,
+            )
+        )
+    return rep

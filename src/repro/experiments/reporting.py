@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment output.
+
+The benchmark harness prints these tables so that a run's stdout can be
+compared side by side with the paper's plots (EXPERIMENTS.md records the
+comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.experiments.harness import SweepResult
+
+
+def render_series(
+    sweep: SweepResult,
+    metric: str = "utility",
+    *,
+    precision: int = 4,
+) -> str:
+    """One row per algorithm, one column per parameter value.
+
+    ``metric`` is any :class:`ExperimentRow` numeric field
+    (``utility``, ``fairness``, ``runtime``, ``oracle_calls``).
+    """
+    algorithms = sweep.algorithms()
+    values = sorted({row.value for row in sweep.rows})
+    header = [f"{sweep.parameter}={v:g}" for v in values]
+    name_width = max([len(a) for a in algorithms] + [len(sweep.dataset)])
+    col_width = max([len(h) for h in header] + [precision + 4])
+    lines = [
+        f"# {sweep.dataset} — {metric} vs {sweep.parameter}",
+        " " * name_width + "  " + "  ".join(h.rjust(col_width) for h in header),
+    ]
+    for algo in algorithms:
+        cells = []
+        lookup = {v: m for v, m in sweep.series(algo, metric)}
+        for v in values:
+            if v in lookup:
+                cells.append(f"{lookup[v]:.{precision}f}".rjust(col_width))
+            else:
+                cells.append("-".rjust(col_width))
+        lines.append(algo.ljust(name_width) + "  " + "  ".join(cells))
+    if sweep.references:
+        refs = ", ".join(f"{k}={v:.{precision}f}" for k, v in sweep.references.items())
+        lines.append(f"references: {refs}")
+    return "\n".join(lines)
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Generic fixed-width table (used for Tables 1–2)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max([len(col)] + [len(r[i]) for r in str_rows])
+        for i, col in enumerate(columns)
+    ]
+    lines = [f"# {title}"]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Random-graph generators used to build the paper's datasets.
+
+The paper's synthetic RAND graphs are stochastic block models (SBM) with
+intra-/inter-group probabilities 0.1 / 0.02 (Section 5.1). The real social
+graphs (Facebook, DBLP, Pokec) are unavailable offline, so the dataset
+layer composes these generators into *-like* graphs that match the papers'
+published node counts, edge densities and group mixes — see
+``repro/datasets/social.py`` and DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int, check_probability
+
+
+def stochastic_block_model(
+    group_sizes: Sequence[int],
+    p_intra: float,
+    p_inter: float,
+    *,
+    seed: SeedLike = None,
+    directed: bool = False,
+) -> Graph:
+    """Sample an SBM graph; node groups are attached to the result.
+
+    Nodes are laid out block-by-block: group 0 first, then group 1, etc.
+    Edge sampling is vectorised per block pair (geometric skipping would be
+    faster for very sparse blocks but the paper's SBMs are dense enough that
+    a Bernoulli matrix per block pair is simpler and fast).
+    """
+    sizes = [check_positive_int(s, "group size") for s in group_sizes]
+    check_probability(p_intra, "p_intra")
+    check_probability(p_inter, "p_inter")
+    rng = as_generator(seed)
+    n = sum(sizes)
+    offsets = np.cumsum([0] + sizes)
+    groups = np.repeat(np.arange(len(sizes)), sizes)
+    graph = Graph(n, directed=directed, groups=groups)
+    for gi in range(len(sizes)):
+        for gj in range(len(sizes)):
+            if not directed and gj < gi:
+                continue
+            p = p_intra if gi == gj else p_inter
+            if p == 0.0:
+                continue
+            rows = np.arange(offsets[gi], offsets[gi + 1])
+            cols = np.arange(offsets[gj], offsets[gj + 1])
+            mask = rng.random((rows.size, cols.size)) < p
+            if gi == gj:
+                if directed:
+                    np.fill_diagonal(mask, False)
+                else:
+                    mask = np.triu(mask, k=1)
+            ii, jj = np.nonzero(mask)
+            for u, v in zip(rows[ii], cols[jj]):
+                graph.add_edge(int(u), int(v))
+    return graph
+
+
+def erdos_renyi(
+    num_nodes: int,
+    p: float,
+    *,
+    seed: SeedLike = None,
+    directed: bool = False,
+) -> Graph:
+    """G(n, p) random graph (no groups attached)."""
+    n = check_positive_int(num_nodes, "num_nodes")
+    check_probability(p, "p")
+    rng = as_generator(seed)
+    graph = Graph(n, directed=directed)
+    if p == 0.0:
+        return graph
+    mask = rng.random((n, n)) < p
+    if directed:
+        np.fill_diagonal(mask, False)
+    else:
+        mask = np.triu(mask, k=1)
+    for u, v in zip(*np.nonzero(mask)):
+        graph.add_edge(int(u), int(v))
+    return graph
+
+
+def preferential_attachment(
+    num_nodes: int,
+    edges_per_node: int,
+    *,
+    seed: SeedLike = None,
+    directed: bool = False,
+) -> Graph:
+    """Barabási–Albert-style growth; yields the heavy-tailed degree
+    distribution characteristic of large social networks (Pokec-like).
+
+    Each arriving node attaches to ``edges_per_node`` distinct existing
+    nodes chosen proportionally to their current degree (implemented with
+    the standard repeated-endpoints urn trick, O(|E|)).
+    """
+    n = check_positive_int(num_nodes, "num_nodes")
+    m = check_positive_int(edges_per_node, "edges_per_node")
+    if m >= n:
+        raise ValueError(f"edges_per_node ({m}) must be < num_nodes ({n})")
+    rng = as_generator(seed)
+    graph = Graph(n, directed=directed)
+    # Urn of edge endpoints; each entry is one "degree unit".
+    urn: list[int] = list(range(m))  # seed clique endpoints
+    for u in range(m):
+        for v in range(u + 1, m):
+            graph.add_edge(u, v)
+            urn.extend((u, v))
+    for u in range(m, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            pick = urn[int(rng.integers(0, len(urn)))] if urn else int(
+                rng.integers(0, u)
+            )
+            if pick != u:
+                targets.add(pick)
+        for v in targets:
+            graph.add_edge(u, v)
+            urn.extend((u, v))
+    return graph
+
+
+def gaussian_points(
+    counts: Sequence[int],
+    centers: Optional[np.ndarray] = None,
+    *,
+    dim: int = 2,
+    scale: float = 1.0,
+    spread: float = 4.0,
+    seed: SeedLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Isotropic Gaussian blobs: returns ``(points, labels)``.
+
+    One blob per entry in ``counts``. Used for the paper's random FL
+    datasets ("each group corresponds to an isotropic Gaussian blob",
+    Section 5.3) and as the backbone of the spatial FourSquare-like data.
+    """
+    sizes = [check_positive_int(c, "blob size") for c in counts]
+    rng = as_generator(seed)
+    k = len(sizes)
+    if centers is None:
+        centers = rng.uniform(-spread, spread, size=(k, dim))
+    centers = np.asarray(centers, dtype=float)
+    if centers.shape != (k, dim):
+        raise ValueError(f"centers must have shape ({k}, {dim}), got {centers.shape}")
+    points = np.vstack([
+        rng.normal(loc=centers[i], scale=scale, size=(sizes[i], dim))
+        for i in range(k)
+    ])
+    labels = np.repeat(np.arange(k, dtype=np.int64), sizes)
+    return points, labels
+
+
+def random_groups_graph(
+    num_nodes: int,
+    avg_degree: float,
+    proportions: Sequence[float],
+    *,
+    seed: SeedLike = None,
+    directed: bool = False,
+    homophily: float = 2.0,
+) -> Graph:
+    """Random graph with a target average degree and a given group mix.
+
+    Helper behind the *-like* real-dataset substitutes: an SBM whose
+    intra-group probability is ``homophily`` times the inter-group one,
+    calibrated so that the expected average degree matches ``avg_degree``.
+    """
+    n = check_positive_int(num_nodes, "num_nodes")
+    if avg_degree <= 0:
+        raise ValueError(f"avg_degree must be positive, got {avg_degree}")
+    rng = as_generator(seed)
+    from repro.utils.rng import deterministic_partition
+
+    labels = deterministic_partition(n, proportions)
+    rng.shuffle(labels)
+    sizes = np.bincount(labels, minlength=len(list(proportions)))
+    # Solve for p_inter such that expected degree == avg_degree given the
+    # group sizes: E[deg] = (h * sum_i s_i(s_i-1) + sum_{i!=j} s_i s_j) * p / n
+    h = max(homophily, 1.0)
+    intra_pairs = float(np.sum(sizes * (sizes - 1)))
+    total_pairs = float(n) * (n - 1)
+    inter_pairs = total_pairs - intra_pairs
+    denom = h * intra_pairs + inter_pairs
+    p_inter = min(1.0, avg_degree * n / denom) if denom > 0 else 0.0
+    p_intra = min(1.0, h * p_inter)
+    # Build an SBM over the shuffled labels. stochastic_block_model expects
+    # contiguous blocks, so we sample in block layout then permute.
+    order = np.argsort(labels, kind="stable")
+    block = stochastic_block_model(
+        [int(s) for s in sizes if s > 0], p_intra, p_inter,
+        seed=rng, directed=directed,
+    )
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = np.arange(n)
+    graph = Graph(n, directed=directed, groups=labels)
+    for u, v, p in block.edges():
+        if not directed and u > v:
+            continue
+        graph.add_edge(int(inverse[u]), int(inverse[v]), probability=p)
+    return graph

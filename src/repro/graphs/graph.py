@@ -1,0 +1,205 @@
+"""A compact directed/undirected graph with per-node group labels.
+
+Nodes are the integers ``0..n-1``. Edges may carry a propagation
+probability (used by the independent-cascade model); unweighted graphs get
+probability 1.0 on every edge. Undirected graphs are stored as two directed
+arcs so that the influence and coverage code paths are identical for both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GroupPartitionError
+from repro.utils.validation import check_positive_int
+
+EdgeLike = Tuple[int, int]
+WeightedEdgeLike = Tuple[int, int, float]
+
+
+class Graph:
+    """Adjacency-list graph over nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; nodes are implicit integers.
+    edges:
+        Iterable of ``(u, v)`` or ``(u, v, p)`` tuples. For undirected
+        graphs each input edge creates both arcs.
+    directed:
+        Whether edges are one-way arcs.
+    groups:
+        Optional per-node group labels in ``[0, c)``; required by the
+        fairness objectives. May be attached later via :meth:`set_groups`.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[EdgeLike | WeightedEdgeLike] = (),
+        *,
+        directed: bool = False,
+        groups: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.num_nodes = check_positive_int(num_nodes, "num_nodes")
+        self.directed = bool(directed)
+        self._succ: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        self._succ_p: list[list[float]] = [[] for _ in range(self.num_nodes)]
+        self._num_input_edges = 0
+        self._groups: Optional[np.ndarray] = None
+        self._num_groups = 0
+        self._csr_cache: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                self.add_edge(int(u), int(v))
+            else:
+                u, v, p = edge  # type: ignore[misc]
+                self.add_edge(int(u), int(v), probability=float(p))
+        if groups is not None:
+            self.set_groups(groups)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, *, probability: float = 1.0) -> None:
+        """Add edge ``u -> v`` (and ``v -> u`` when undirected)."""
+        self._check_node(u)
+        self._check_node(v)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"edge probability must be in [0, 1], got {probability}")
+        self._succ[u].append(v)
+        self._succ_p[u].append(probability)
+        if not self.directed and u != v:
+            self._succ[v].append(u)
+            self._succ_p[v].append(probability)
+        self._num_input_edges += 1
+        self._csr_cache = None
+
+    def set_groups(self, groups: Sequence[int]) -> None:
+        """Attach group labels; labels must be ``0..c-1`` with no empty group."""
+        arr = np.asarray(groups, dtype=np.int64)
+        if arr.shape != (self.num_nodes,):
+            raise GroupPartitionError(
+                f"groups must have length {self.num_nodes}, got {arr.shape}"
+            )
+        if arr.size and arr.min() < 0:
+            raise GroupPartitionError("group labels must be non-negative")
+        c = int(arr.max()) + 1 if arr.size else 0
+        present = np.bincount(arr, minlength=c)
+        if np.any(present == 0):
+            missing = np.flatnonzero(present == 0).tolist()
+            raise GroupPartitionError(f"empty group label(s): {missing}")
+        self._groups = arr
+        self._num_groups = c
+
+    def set_edge_probabilities(self, probability: float) -> None:
+        """Overwrite every arc's propagation probability with a constant.
+
+        The paper's IM experiments use uniform ``p = 0.1`` or ``p = 0.01``.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        for plist in self._succ_p:
+            for i in range(len(plist)):
+                plist[i] = probability
+        self._csr_cache = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of input edges (arcs if directed, undirected edges otherwise)."""
+        return self._num_input_edges
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored directed arcs (2x input edges when undirected)."""
+        return sum(len(lst) for lst in self._succ)
+
+    @property
+    def groups(self) -> np.ndarray:
+        if self._groups is None:
+            raise GroupPartitionError("graph has no group labels attached")
+        return self._groups
+
+    @property
+    def has_groups(self) -> bool:
+        return self._groups is not None
+
+    @property
+    def num_groups(self) -> int:
+        if self._groups is None:
+            raise GroupPartitionError("graph has no group labels attached")
+        return self._num_groups
+
+    def group_members(self, label: int) -> np.ndarray:
+        """Node ids belonging to group ``label``."""
+        return np.flatnonzero(self.groups == label)
+
+    def group_sizes(self) -> np.ndarray:
+        """Array of group sizes indexed by group label."""
+        return np.bincount(self.groups, minlength=self.num_groups)
+
+    def out_neighbors(self, u: int) -> list[int]:
+        self._check_node(u)
+        return list(self._succ[u])
+
+    def out_degree(self, u: int) -> int:
+        self._check_node(u)
+        return len(self._succ[u])
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate stored arcs as ``(u, v, p)`` triples.
+
+        For undirected graphs each input edge appears twice (both arcs).
+        """
+        for u, (nbrs, probs) in enumerate(zip(self._succ, self._succ_p)):
+            for v, p in zip(nbrs, probs):
+                yield u, v, p
+
+    def out_adjacency(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR-style arrays ``(indptr, indices, probabilities)`` of out-arcs.
+
+        Cached; used by the cascade simulator and RIS sampler where Python
+        list traversal would dominate runtime.
+        """
+        if self._csr_cache is None:
+            indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+            for u in range(self.num_nodes):
+                indptr[u + 1] = indptr[u] + len(self._succ[u])
+            indices = np.empty(indptr[-1], dtype=np.int64)
+            probs = np.empty(indptr[-1], dtype=np.float64)
+            for u in range(self.num_nodes):
+                lo, hi = indptr[u], indptr[u + 1]
+                indices[lo:hi] = self._succ[u]
+                probs[lo:hi] = self._succ_p[u]
+            self._csr_cache = (indptr, indices, probs)
+        return self._csr_cache
+
+    def transpose(self) -> "Graph":
+        """Reverse of the graph (arcs flipped); groups carried over.
+
+        For undirected graphs the transpose equals the graph itself, but a
+        fresh object is still returned so that mutation stays local.
+        """
+        g = Graph(self.num_nodes, directed=True)
+        for u, v, p in self.edges():
+            g.add_edge(v, u, probability=p)
+        if self._groups is not None:
+            g.set_groups(self._groups)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "directed" if self.directed else "undirected"
+        grp = f", groups={self._num_groups}" if self._groups is not None else ""
+        return f"Graph({kind}, n={self.num_nodes}, edges={self.num_edges}{grp})"
+
+    # ------------------------------------------------------------------
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.num_nodes:
+            raise IndexError(f"node {u} out of range [0, {self.num_nodes})")

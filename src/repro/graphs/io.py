@@ -1,0 +1,81 @@
+"""Plain-text persistence for graphs.
+
+Format (one record per line, ``#`` comments allowed):
+
+* header line: ``n <num_nodes> <directed|undirected>``
+* optional group line: ``g <label_0> <label_1> ... <label_{n-1}>``
+* edge lines: ``e <u> <v> [probability]``
+
+The format exists so that benchmark datasets can be generated once and
+reused across processes; it intentionally mirrors common edge-list dumps
+(SNAP-style) plus a group row.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Serialise ``graph`` (including groups, if any) to ``path``."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        kind = "directed" if graph.directed else "undirected"
+        fh.write(f"n {graph.num_nodes} {kind}\n")
+        if graph.has_groups:
+            fh.write("g " + " ".join(str(int(x)) for x in graph.groups) + "\n")
+        seen: set[tuple[int, int]] = set()
+        for u, v, p in graph.edges():
+            if not graph.directed:
+                key = (min(u, v), max(u, v))
+                if key in seen:
+                    continue
+                seen.add(key)
+            fh.write(f"e {u} {v} {p:.10g}\n")
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Parse a graph previously written by :func:`write_edge_list`."""
+    path = Path(path)
+    graph: Graph | None = None
+    groups: list[int] | None = None
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            tag = parts[0]
+            if tag == "n":
+                if graph is not None:
+                    raise ValueError(f"{path}:{lineno}: duplicate header line")
+                if len(parts) != 3 or parts[2] not in ("directed", "undirected"):
+                    raise ValueError(f"{path}:{lineno}: malformed header {line!r}")
+                graph = Graph(int(parts[1]), directed=parts[2] == "directed")
+            elif tag == "g":
+                if graph is None:
+                    raise ValueError(f"{path}:{lineno}: groups before header")
+                groups = [int(x) for x in parts[1:]]
+            elif tag == "e":
+                if graph is None:
+                    raise ValueError(f"{path}:{lineno}: edge before header")
+                if len(parts) == 3:
+                    graph.add_edge(int(parts[1]), int(parts[2]))
+                elif len(parts) == 4:
+                    graph.add_edge(
+                        int(parts[1]), int(parts[2]), probability=float(parts[3])
+                    )
+                else:
+                    raise ValueError(f"{path}:{lineno}: malformed edge {line!r}")
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record tag {tag!r}")
+    if graph is None:
+        raise ValueError(f"{path}: missing header line")
+    if groups is not None:
+        graph.set_groups(groups)
+    return graph

@@ -1,0 +1,141 @@
+"""Structural statistics for grouped graphs.
+
+Table 1 of the paper characterises each dataset by size and group mix;
+because every real graph here is replaced by a synthetic substitute
+(DESIGN.md §5), these metrics are how the substitution is *validated*:
+the substitute must match the original's node/edge counts and group
+proportions, and preserve the structural features that drive MC/IM
+behaviour (degree spread, clustering, group homophily).
+
+All metrics are exact, dependency-free, and linear-or-near-linear in the
+graph size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """One row of a Table-1-style dataset summary."""
+
+    num_nodes: int
+    num_edges: int
+    num_groups: int
+    group_fractions: tuple[float, ...]
+    mean_out_degree: float
+    max_out_degree: int
+    degree_gini: float
+    clustering: float
+    homophily: float
+
+    def render(self) -> str:
+        """Human-readable one-liner for reports."""
+        groups = ", ".join(f"{p:.0%}" for p in self.group_fractions)
+        return (
+            f"n={self.num_nodes} |E|={self.num_edges} c={self.num_groups} "
+            f"[{groups}] deg={self.mean_out_degree:.1f}"
+            f"(max {self.max_out_degree}, gini {self.degree_gini:.2f}) "
+            f"cc={self.clustering:.3f} homophily={self.homophily:+.3f}"
+        )
+
+
+def degree_sequence(graph: Graph) -> np.ndarray:
+    """Out-degrees of all nodes."""
+    indptr, _, _ = graph.out_adjacency()
+    return np.diff(indptr)
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini index of a non-negative sequence (0 = uniform, ->1 = skewed).
+
+    Used on the degree sequence: power-law substitutes (Pokec-like) must
+    show a much higher Gini than the SBM RAND graphs.
+    """
+    data = np.sort(np.asarray(values, dtype=float))
+    if data.size == 0:
+        raise ValueError("need at least one value")
+    if np.any(data < 0):
+        raise ValueError("values must be non-negative")
+    total = data.sum()
+    if total == 0:
+        return 0.0
+    ranks = np.arange(1, data.size + 1)
+    return float(
+        (2.0 * (ranks * data).sum() / (data.size * total))
+        - (data.size + 1.0) / data.size
+    )
+
+
+def global_clustering(graph: Graph) -> float:
+    """Transitivity: 3 * triangles / connected triples (undirected view).
+
+    Directed arcs are symmetrised first; isolated nodes contribute
+    nothing. Returns 0 for triangle-free graphs.
+    """
+    n = graph.num_nodes
+    neighbors: list[set[int]] = [set() for _ in range(n)]
+    for u, v, _ in graph.edges():
+        if u != v:
+            neighbors[u].add(v)
+            neighbors[v].add(u)
+    triangles = 0
+    triples = 0
+    for u in range(n):
+        deg = len(neighbors[u])
+        triples += deg * (deg - 1) // 2
+        for v in neighbors[u]:
+            if v > u:
+                common = neighbors[u] & neighbors[v]
+                triangles += sum(1 for w in common if w > v)
+    if triples == 0:
+        return 0.0
+    return 3.0 * triangles / triples
+
+
+def group_homophily(graph: Graph) -> float:
+    """Newman assortativity of the group labels over edges.
+
+    +1 means edges stay within groups (the SBM regime with
+    ``p_intra >> p_inter``), 0 means group-blind wiring, negative means
+    disassortative. The fairness experiments are only interesting when
+    homophily is positive — otherwise every solution spreads evenly.
+    """
+    labels = graph.groups
+    c = graph.num_groups
+    mixing = np.zeros((c, c), dtype=float)
+    for u, v, _ in graph.edges():
+        mixing[labels[u], labels[v]] += 1.0
+        mixing[labels[v], labels[u]] += 1.0
+    total = mixing.sum()
+    if total == 0:
+        return 0.0
+    mixing /= total
+    a = mixing.sum(axis=1)
+    trace = float(np.trace(mixing))
+    expected = float(a @ a)
+    if expected >= 1.0:
+        return 0.0  # single group: assortativity undefined, call it 0
+    return (trace - expected) / (1.0 - expected)
+
+
+def graph_statistics(graph: Graph) -> GraphStatistics:
+    """Compute the full Table-1-style summary of a grouped graph."""
+    degrees = degree_sequence(graph)
+    sizes = graph.group_sizes().astype(float)
+    return GraphStatistics(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_groups=graph.num_groups,
+        group_fractions=tuple(sizes / sizes.sum()),
+        mean_out_degree=float(degrees.mean()) if degrees.size else 0.0,
+        max_out_degree=int(degrees.max()) if degrees.size else 0,
+        degree_gini=gini_coefficient(degrees),
+        clustering=global_clustering(graph),
+        homophily=group_homophily(graph),
+    )

@@ -1,0 +1,38 @@
+"""Integer linear programming substrate.
+
+The paper solves small maximum-coverage and facility-location BSM
+instances to optimality with Gurobi (Appendix A). No commercial solver is
+available offline, so this package provides:
+
+* a tiny modelling layer (:mod:`repro.ilp.model`);
+* a pure-Python best-first branch & bound over ``scipy.optimize.linprog``
+  LP relaxations (:mod:`repro.ilp.branch_and_bound`), with an optional
+  ``scipy.optimize.milp`` backend for cross-checking;
+* the paper's ILP formulations (:mod:`repro.ilp.formulations`).
+"""
+
+from repro.ilp.branch_and_bound import MilpSolution, solve_milp
+from repro.ilp.model import Constraint, LinearExpr, Model, Variable
+from repro.ilp.formulations import (
+    bsm_coverage_ilp,
+    bsm_facility_ilp,
+    coverage_ilp,
+    facility_ilp,
+    robust_coverage_ilp,
+    robust_facility_ilp,
+)
+
+__all__ = [
+    "Constraint",
+    "LinearExpr",
+    "MilpSolution",
+    "Model",
+    "Variable",
+    "bsm_coverage_ilp",
+    "bsm_facility_ilp",
+    "coverage_ilp",
+    "facility_ilp",
+    "robust_coverage_ilp",
+    "robust_facility_ilp",
+    "solve_milp",
+]

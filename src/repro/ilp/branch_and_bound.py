@@ -1,0 +1,220 @@
+"""MILP solvers: best-first branch & bound, plus a ``scipy.optimize.milp``
+backend for cross-validation.
+
+The branch & bound is deliberately classical: solve the LP relaxation
+with HiGHS (via ``scipy.optimize.linprog``), branch on the most fractional
+integer variable, explore nodes in best-bound order, and prune by the
+incumbent. The BSM-Optimal instances (Appendix A) are small — hundreds of
+binaries — so no cutting planes or presolve are needed; both backends are
+exercised against each other in the tests and the ILP ablation bench.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import InfeasibleError, SolverError, UnboundedError
+from repro.ilp.model import Model, StandardForm
+
+#: Tolerance for considering an LP value integral.
+INT_TOL = 1e-6
+#: Gap (absolute) at which a node is pruned against the incumbent.
+PRUNE_TOL = 1e-9
+
+
+@dataclass
+class MilpSolution:
+    """Optimal solution of a MILP.
+
+    ``objective`` includes the model's constant term. ``nodes`` counts
+    explored branch-and-bound nodes (1 for the milp backend).
+    """
+
+    x: np.ndarray
+    objective: float
+    nodes: int = 0
+    backend: str = "branch-and-bound"
+
+    def value(self, var: "Variable") -> float:  # noqa: F821 - doc-only hint
+        return float(self.x[var.index])
+
+
+def solve_milp(
+    model: Model,
+    *,
+    backend: str = "branch-and-bound",
+    max_nodes: int = 200_000,
+) -> MilpSolution:
+    """Solve a :class:`Model` to optimality.
+
+    Parameters
+    ----------
+    backend:
+        ``"branch-and-bound"`` (our solver) or ``"scipy"``
+        (``scipy.optimize.milp``).
+    max_nodes:
+        Node budget for branch & bound; exceeding it raises
+        :class:`SolverError` rather than silently returning a bound.
+    """
+    form = model.to_standard_form()
+    if backend == "branch-and-bound":
+        return _branch_and_bound(form, max_nodes=max_nodes)
+    if backend == "scipy":
+        return _scipy_milp(form)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+# ---------------------------------------------------------------------------
+# scipy backend
+# ---------------------------------------------------------------------------
+def _scipy_milp(form: StandardForm) -> MilpSolution:
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    n = form.c.size
+    constraints = []
+    if form.a_ub.shape[0]:
+        constraints.append(
+            LinearConstraint(form.a_ub, -np.inf, form.b_ub)
+        )
+    if form.a_eq.shape[0]:
+        constraints.append(LinearConstraint(form.a_eq, form.b_eq, form.b_eq))
+    integrality = np.zeros(n)
+    integrality[form.integers] = 1
+    res = milp(
+        c=-form.c,  # scipy minimises
+        constraints=constraints,
+        integrality=integrality,
+        bounds=Bounds(form.lower, form.upper),
+    )
+    if res.status == 2:
+        raise InfeasibleError("MILP is infeasible")
+    if res.status != 0 or res.x is None:
+        raise SolverError(f"scipy.optimize.milp failed: {res.message}")
+    x = np.asarray(res.x, dtype=float)
+    return MilpSolution(
+        x=x,
+        objective=float(form.c @ x + form.objective_constant),
+        nodes=1,
+        backend="scipy",
+    )
+
+
+# ---------------------------------------------------------------------------
+# branch & bound backend
+# ---------------------------------------------------------------------------
+@dataclass(order=True)
+class _Node:
+    # Best-first: heap orders by the negated LP bound (max-heap behaviour).
+    sort_key: float
+    counter: int
+    lower: np.ndarray = field(compare=False)
+    upper: np.ndarray = field(compare=False)
+    bound: float = field(compare=False, default=np.inf)
+
+
+def _solve_relaxation(
+    form: StandardForm, lower: np.ndarray, upper: np.ndarray
+) -> Optional[tuple[np.ndarray, float]]:
+    """LP relaxation; ``None`` when infeasible.
+
+    Constraint matrices stay sparse all the way into HiGHS — the FL ILPs
+    carry ~m*n linking rows that would not fit in memory densely.
+    """
+    res = linprog(
+        c=-form.c,  # linprog minimises
+        A_ub=form.a_ub if form.a_ub.shape[0] else None,
+        b_ub=form.b_ub if form.a_ub.shape[0] else None,
+        A_eq=form.a_eq if form.a_eq.shape[0] else None,
+        b_eq=form.b_eq if form.a_eq.shape[0] else None,
+        bounds=np.column_stack([lower, upper]),
+        method="highs",
+    )
+    if res.status == 2:
+        return None
+    if res.status == 3:
+        raise UnboundedError("LP relaxation is unbounded")
+    if res.status != 0 or res.x is None:
+        raise SolverError(f"linprog failed: {res.message}")
+    return np.asarray(res.x, dtype=float), float(-res.fun)
+
+
+def _most_fractional(x: np.ndarray, integers: np.ndarray) -> int:
+    """Index of the integer variable whose value is closest to 0.5 mod 1."""
+    frac = np.abs(x[integers] - np.round(x[integers]))  # distance to integrality
+    return int(integers[int(np.argmax(frac))])
+
+
+def _is_integral(x: np.ndarray, integers: np.ndarray) -> bool:
+    if integers.size == 0:
+        return True
+    frac = np.abs(x[integers] - np.round(x[integers]))
+    return bool(np.all(frac <= INT_TOL))
+
+
+def _branch_and_bound(form: StandardForm, *, max_nodes: int) -> MilpSolution:
+    counter = itertools.count()
+    root = _solve_relaxation(form, form.lower, form.upper)
+    if root is None:
+        raise InfeasibleError("MILP is infeasible (root LP)")
+    x0, bound0 = root
+    heap: list[_Node] = [
+        _Node(-bound0, next(counter), form.lower.copy(), form.upper.copy(), bound0)
+    ]
+    best_x: Optional[np.ndarray] = None
+    best_val = -np.inf
+    nodes = 0
+    while heap:
+        node = heapq.heappop(heap)
+        if node.bound <= best_val + PRUNE_TOL:
+            continue  # cannot beat the incumbent
+        nodes += 1
+        if nodes > max_nodes:
+            raise SolverError(
+                f"branch & bound exceeded the node budget ({max_nodes})"
+            )
+        relaxed = _solve_relaxation(form, node.lower, node.upper)
+        if relaxed is None:
+            continue
+        x, bound = relaxed
+        if bound <= best_val + PRUNE_TOL:
+            continue
+        if _is_integral(x, form.integers):
+            x = x.copy()
+            x[form.integers] = np.round(x[form.integers])
+            value = float(form.c @ x)
+            if value > best_val:
+                best_val = value
+                best_x = x
+            continue
+        j = _most_fractional(x, form.integers)
+        floor_val = np.floor(x[j] + INT_TOL)
+        # Down branch: x_j <= floor.
+        down_upper = node.upper.copy()
+        down_upper[j] = floor_val
+        if node.lower[j] <= down_upper[j]:
+            heapq.heappush(
+                heap,
+                _Node(-bound, next(counter), node.lower.copy(), down_upper, bound),
+            )
+        # Up branch: x_j >= floor + 1.
+        up_lower = node.lower.copy()
+        up_lower[j] = floor_val + 1
+        if up_lower[j] <= node.upper[j]:
+            heapq.heappush(
+                heap,
+                _Node(-bound, next(counter), up_lower, node.upper.copy(), bound),
+            )
+    if best_x is None:
+        raise InfeasibleError("MILP has no integral feasible point")
+    return MilpSolution(
+        x=best_x,
+        objective=float(best_val + form.objective_constant),
+        nodes=nodes,
+        backend="branch-and-bound",
+    )

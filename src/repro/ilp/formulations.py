@@ -1,0 +1,223 @@
+"""Appendix-A ILP formulations for maximum coverage and facility location.
+
+Each builder returns ``(model, x_vars)`` where ``x_vars[l]`` indicates
+whether item ``l`` joins the solution; the BSM variants additionally take
+``opt_g`` (the robust optimum, produced by the corresponding robust ILP)
+and the balance factor ``tau``.
+
+The formulations intentionally mirror Eqs. 5–7 of the paper, including the
+coverage indicator trick (``sum_{u_j in S_l} x_l >= y_j``) and the
+assignment form of facility location (``y_jl <= x_l``). Influence
+maximization has no ILP (computing the objective is #P-hard), matching the
+paper's omission of BSM-Optimal for IM.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ilp.model import LinearExpr, Model, Variable
+from repro.problems.coverage import CoverageObjective
+from repro.problems.facility import FacilityLocationObjective
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+# ---------------------------------------------------------------------------
+# Maximum coverage (Eq. 5), robust MC (Eq. 6) and BSM-MC
+# ---------------------------------------------------------------------------
+def _coverage_base(
+    objective: CoverageObjective, k: int, model: Model
+) -> tuple[list[Variable], list[Variable]]:
+    """Common MC skeleton: x (sets), y (user covered), cardinality + linking.
+
+    The paper declares the ``y_j`` binary (Eq. 5); we relax them to
+    ``[0, 1]`` continuous, which is equivalent: every objective/constraint
+    is non-decreasing in ``y_j``, so at an optimum ``y_j`` sits at
+    ``min(1, sum of selected sets containing j)``, which is integral when
+    ``x`` is. Branching then only happens on the ``n`` set variables.
+    """
+    n, m = objective.num_items, objective.num_users
+    x = [model.add_binary(f"x{l}") for l in range(n)]
+    y = [model.add_variable(f"y{j}", lower=0.0, upper=1.0) for j in range(m)]
+    model.add_constraint(
+        LinearExpr({v.index: 1.0 for v in x}) <= k, name="cardinality"
+    )
+    # y_j <= sum of x_l over sets containing user j.
+    containing: list[list[int]] = [[] for _ in range(m)]
+    for l, members in enumerate(objective.sets):
+        for u in members:
+            containing[int(u)].append(l)
+    for j in range(m):
+        cover_expr = LinearExpr({x[l].index: 1.0 for l in containing[j]})
+        model.add_constraint(cover_expr >= y[j], name=f"cover{j}")
+    return x, y
+
+
+def coverage_ilp(
+    objective: CoverageObjective, k: int
+) -> tuple[Model, list[Variable]]:
+    """Eq. 5: maximise the average coverage ``sum_j y_j / m``."""
+    check_positive_int(k, "k")
+    model = Model("max-coverage")
+    x, y = _coverage_base(objective, k, model)
+    m = objective.num_users
+    model.set_objective(
+        LinearExpr({v.index: 1.0 / m for v in y})
+    )
+    return model, x
+
+
+def robust_coverage_ilp(
+    objective: CoverageObjective, k: int
+) -> tuple[Model, list[Variable]]:
+    """Eq. 6: maximise ``w`` = the minimum group-average coverage."""
+    check_positive_int(k, "k")
+    model = Model("robust-max-coverage")
+    x, y = _coverage_base(objective, k, model)
+    w = model.add_variable("w", lower=0.0, upper=1.0)
+    labels = objective.user_groups
+    sizes = objective.group_sizes
+    for i in range(objective.num_groups):
+        members = np.flatnonzero(labels == i)
+        expr = LinearExpr({y[int(j)].index: 1.0 / sizes[i] for j in members})
+        model.add_constraint(expr >= w, name=f"group{i}")
+    model.set_objective(w.expr())
+    return model, x
+
+
+def bsm_coverage_ilp(
+    objective: CoverageObjective,
+    k: int,
+    tau: float,
+    opt_g: float,
+) -> tuple[Model, list[Variable]]:
+    """BSM-MC: Eq. 5 objective + per-group constraints ``f_i >= tau*OPT_g``."""
+    check_positive_int(k, "k")
+    check_fraction(tau, "tau")
+    model, x = coverage_ilp(objective, k)
+    # The y variables are the second block added by _coverage_base.
+    y_offset = objective.num_items
+    labels = objective.user_groups
+    sizes = objective.group_sizes
+    threshold = tau * float(opt_g)
+    for i in range(objective.num_groups):
+        members = np.flatnonzero(labels == i)
+        expr = LinearExpr(
+            {y_offset + int(j): 1.0 / sizes[i] for j in members}
+        )
+        model.add_constraint(expr >= threshold, name=f"bsm-group{i}")
+    return model, x
+
+
+# ---------------------------------------------------------------------------
+# Facility location (Eq. 7), robust FL and BSM-FL
+# ---------------------------------------------------------------------------
+def _facility_base(
+    objective: FacilityLocationObjective, k: int, model: Model
+) -> tuple[list[Variable], list[list[Variable]]]:
+    """Common FL skeleton: open vars x, assignment vars y_jl, linking.
+
+    As with coverage, the assignment variables are relaxed to continuous
+    ``[0, 1]``: benefits are non-negative and all constraints non-
+    decreasing in ``y``, so with binary ``x`` an optimal ``y`` assigns each
+    user wholly to their best open facility. Only the ``n`` open variables
+    branch.
+    """
+    m, n = objective.benefits.shape
+    x = [model.add_binary(f"x{l}") for l in range(n)]
+    y = [
+        [model.add_variable(f"y{j}_{l}", lower=0.0, upper=1.0) for l in range(n)]
+        for j in range(m)
+    ]
+    model.add_constraint(
+        LinearExpr({v.index: 1.0 for v in x}) <= k, name="cardinality"
+    )
+    for j in range(m):
+        model.add_constraint(
+            LinearExpr({v.index: 1.0 for v in y[j]}) <= 1.0,
+            name=f"assign{j}",
+        )
+        for l in range(n):
+            model.add_constraint(y[j][l] <= x[l], name=f"open{j}_{l}")
+    return x, y
+
+
+def _group_benefit_expr(
+    objective: FacilityLocationObjective,
+    y: list[list[Variable]],
+    group: int,
+) -> LinearExpr:
+    """``(1/m_i) sum_{u_j in U_i} sum_l b_jl y_jl`` for one group."""
+    labels = objective.user_groups
+    sizes = objective.group_sizes
+    benefits = objective.benefits
+    coeffs: dict[int, float] = {}
+    for j in np.flatnonzero(labels == group):
+        for l in range(benefits.shape[1]):
+            coeffs[y[int(j)][l].index] = float(benefits[j, l]) / sizes[group]
+    return LinearExpr(coeffs)
+
+
+def facility_ilp(
+    objective: FacilityLocationObjective, k: int
+) -> tuple[Model, list[Variable]]:
+    """Eq. 7: maximise the average benefit ``sum_{j,l} b_jl y_jl / m``."""
+    check_positive_int(k, "k")
+    model = Model("facility-location")
+    x, y = _facility_base(objective, k, model)
+    m, n = objective.benefits.shape
+    coeffs = {
+        y[j][l].index: float(objective.benefits[j, l]) / m
+        for j in range(m)
+        for l in range(n)
+        if objective.benefits[j, l] > 0
+    }
+    model.set_objective(LinearExpr(coeffs))
+    return model, x
+
+
+def robust_facility_ilp(
+    objective: FacilityLocationObjective, k: int
+) -> tuple[Model, list[Variable]]:
+    """Robust FL: maximise ``w``, the minimum group-average benefit."""
+    check_positive_int(k, "k")
+    model = Model("robust-facility-location")
+    x, y = _facility_base(objective, k, model)
+    upper = float(objective.benefits.max()) if objective.benefits.size else 1.0
+    w = model.add_variable("w", lower=0.0, upper=upper)
+    for i in range(objective.num_groups):
+        model.add_constraint(
+            _group_benefit_expr(objective, y, i) >= w, name=f"group{i}"
+        )
+    model.set_objective(w.expr())
+    return model, x
+
+
+def bsm_facility_ilp(
+    objective: FacilityLocationObjective,
+    k: int,
+    tau: float,
+    opt_g: float,
+) -> tuple[Model, list[Variable]]:
+    """BSM-FL: Eq. 7 objective + ``f_i >= tau*OPT_g`` for every group."""
+    check_positive_int(k, "k")
+    check_fraction(tau, "tau")
+    model = Model("bsm-facility-location")
+    x, y = _facility_base(objective, k, model)
+    m, n = objective.benefits.shape
+    coeffs = {
+        y[j][l].index: float(objective.benefits[j, l]) / m
+        for j in range(m)
+        for l in range(n)
+        if objective.benefits[j, l] > 0
+    }
+    model.set_objective(LinearExpr(coeffs))
+    threshold = tau * float(opt_g)
+    for i in range(objective.num_groups):
+        model.add_constraint(
+            _group_benefit_expr(objective, y, i) >= threshold,
+            name=f"bsm-group{i}",
+        )
+    return model, x

@@ -1,0 +1,295 @@
+"""Minimal linear-programming modelling layer.
+
+Supports exactly what the Appendix-A formulations need: continuous and
+binary variables, linear expressions built with ``+``/``-``/``*``,
+``<=``/``>=``/``==`` constraints, and maximisation objectives. Models
+export to the dense standard form consumed by the solvers:
+
+    maximise c @ x   s.t.   A_ub @ x <= b_ub,  A_eq @ x == b_eq,
+                            lb <= x <= ub,  x_j integral for j in integers
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Union
+
+import numpy as np
+from scipy import sparse
+
+Number = Union[int, float]
+
+
+class LinearExpr:
+    """Immutable linear expression ``sum_j coeff_j x_j + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(
+        self,
+        coeffs: Optional[Mapping[int, float]] = None,
+        constant: float = 0.0,
+    ) -> None:
+        self.coeffs: dict[int, float] = dict(coeffs or {})
+        self.constant = float(constant)
+
+    # -- arithmetic --------------------------------------------------------
+    def _combined(self, other: "LinearExpr | Variable | Number", sign: float) -> "LinearExpr":
+        other = _as_expr(other)
+        coeffs = dict(self.coeffs)
+        for j, c in other.coeffs.items():
+            coeffs[j] = coeffs.get(j, 0.0) + sign * c
+        return LinearExpr(coeffs, self.constant + sign * other.constant)
+
+    def __add__(self, other: "LinearExpr | Variable | Number") -> "LinearExpr":
+        return self._combined(other, 1.0)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "LinearExpr | Variable | Number") -> "LinearExpr":
+        return self._combined(other, -1.0)
+
+    def __rsub__(self, other: "LinearExpr | Variable | Number") -> "LinearExpr":
+        return _as_expr(other)._combined(self, -1.0)
+
+    def __mul__(self, factor: Number) -> "LinearExpr":
+        factor = float(factor)
+        return LinearExpr(
+            {j: c * factor for j, c in self.coeffs.items()},
+            self.constant * factor,
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinearExpr":
+        return self * -1.0
+
+    # -- comparisons build constraints --------------------------------------
+    def __le__(self, other: "LinearExpr | Variable | Number") -> "Constraint":
+        return Constraint(self - other, "<=")
+
+    def __ge__(self, other: "LinearExpr | Variable | Number") -> "Constraint":
+        return Constraint(self - other, ">=")
+
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+        return Constraint(self - other, "==")  # type: ignore[operator]
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def value(self, x: np.ndarray) -> float:
+        """Evaluate at a point ``x`` (full variable vector)."""
+        return self.constant + sum(c * x[j] for j, c in self.coeffs.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = " + ".join(f"{c:g}*x{j}" for j, c in sorted(self.coeffs.items()))
+        return f"LinearExpr({terms or '0'} + {self.constant:g})"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """Handle to one model variable; participates in expressions."""
+
+    index: int
+    name: str
+    lower: float
+    upper: float
+    is_integer: bool
+
+    def expr(self) -> LinearExpr:
+        return LinearExpr({self.index: 1.0})
+
+    def __add__(self, other: object) -> LinearExpr:
+        return self.expr() + other  # type: ignore[operator]
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> LinearExpr:
+        return self.expr() - other  # type: ignore[operator]
+
+    def __rsub__(self, other: object) -> LinearExpr:
+        return _as_expr(other) - self.expr()  # type: ignore[arg-type]
+
+    def __mul__(self, factor: Number) -> LinearExpr:
+        return self.expr() * factor
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> LinearExpr:
+        return -self.expr()
+
+    def __le__(self, other: object) -> "Constraint":
+        return self.expr() <= other  # type: ignore[operator]
+
+    def __ge__(self, other: object) -> "Constraint":
+        return self.expr() >= other  # type: ignore[operator]
+
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+        return self.expr() == other
+
+    __hash__ = object.__hash__
+
+
+def _as_expr(value: "LinearExpr | Variable | Number") -> LinearExpr:
+    if isinstance(value, LinearExpr):
+        return value
+    if isinstance(value, Variable):
+        return value.expr()
+    return LinearExpr({}, float(value))
+
+
+@dataclass
+class Constraint:
+    """``expr (<=|>=|==) 0`` in canonical form."""
+
+    expr: LinearExpr
+    sense: str  # one of "<=", ">=", "=="
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("<=", ">=", "=="):
+            raise ValueError(f"invalid constraint sense {self.sense!r}")
+
+
+@dataclass
+class StandardForm:
+    """Sparse matrices for the solvers (see module docstring).
+
+    ``a_ub``/``a_eq`` are CSR matrices — the facility-location ILPs have
+    ~``m*n`` linking constraints with two non-zeros each, so dense export
+    would cost gigabytes on paper-sized instances.
+    """
+
+    c: np.ndarray
+    a_ub: "sparse.csr_matrix"
+    b_ub: np.ndarray
+    a_eq: "sparse.csr_matrix"
+    b_eq: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    integers: np.ndarray  # indices of integral variables
+    objective_constant: float = 0.0
+
+
+class Model:
+    """A maximisation MILP under construction."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: list[Variable] = []
+        self._constraints: list[Constraint] = []
+        self._objective: LinearExpr = LinearExpr()
+
+    # -- building -----------------------------------------------------------
+    def add_variable(
+        self,
+        name: str = "",
+        *,
+        lower: float = 0.0,
+        upper: float = np.inf,
+        integer: bool = False,
+    ) -> Variable:
+        if lower > upper:
+            raise ValueError(f"variable {name!r}: lower {lower} > upper {upper}")
+        var = Variable(
+            index=len(self._variables),
+            name=name or f"x{len(self._variables)}",
+            lower=float(lower),
+            upper=float(upper),
+            is_integer=bool(integer),
+        )
+        self._variables.append(var)
+        return var
+
+    def add_binary(self, name: str = "") -> Variable:
+        return self.add_variable(name, lower=0.0, upper=1.0, integer=True)
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if name:
+            constraint.name = name
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> None:
+        for con in constraints:
+            self.add_constraint(con)
+
+    def set_objective(self, expr: "LinearExpr | Variable") -> None:
+        """Set the expression to *maximise*."""
+        self._objective = _as_expr(expr)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    @property
+    def variables(self) -> list[Variable]:
+        return list(self._variables)
+
+    @property
+    def objective(self) -> LinearExpr:
+        return self._objective
+
+    # -- export -------------------------------------------------------------
+    def to_standard_form(self) -> StandardForm:
+        n = self.num_variables
+        c = np.zeros(n)
+        for j, coef in self._objective.coeffs.items():
+            c[j] = coef
+        ub = _SparseBuilder(n)
+        eq = _SparseBuilder(n)
+        for con in self._constraints:
+            rhs = -con.expr.constant
+            if con.sense == "<=":
+                ub.add_row(con.expr.coeffs, rhs, sign=1.0)
+            elif con.sense == ">=":
+                ub.add_row(con.expr.coeffs, rhs, sign=-1.0)
+            else:
+                eq.add_row(con.expr.coeffs, rhs, sign=1.0)
+        return StandardForm(
+            c=c,
+            a_ub=ub.matrix(),
+            b_ub=ub.rhs(),
+            a_eq=eq.matrix(),
+            b_eq=eq.rhs(),
+            lower=np.asarray([v.lower for v in self._variables], dtype=float),
+            upper=np.asarray([v.upper for v in self._variables], dtype=float),
+            integers=np.asarray(
+                [v.index for v in self._variables if v.is_integer], dtype=np.int64
+            ),
+            objective_constant=self._objective.constant,
+        )
+
+
+class _SparseBuilder:
+    """Incremental COO -> CSR builder for one constraint block."""
+
+    def __init__(self, num_cols: int) -> None:
+        self._num_cols = num_cols
+        self._rows: list[int] = []
+        self._cols: list[int] = []
+        self._data: list[float] = []
+        self._rhs: list[float] = []
+
+    def add_row(
+        self, coeffs: Mapping[int, float], rhs: float, *, sign: float
+    ) -> None:
+        r = len(self._rhs)
+        for j, coef in coeffs.items():
+            self._rows.append(r)
+            self._cols.append(j)
+            self._data.append(sign * coef)
+        self._rhs.append(sign * rhs)
+
+    def matrix(self) -> "sparse.csr_matrix":
+        return sparse.csr_matrix(
+            (self._data, (self._rows, self._cols)),
+            shape=(len(self._rhs), self._num_cols),
+        )
+
+    def rhs(self) -> np.ndarray:
+        return np.asarray(self._rhs, dtype=float)

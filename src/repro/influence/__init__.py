@@ -1,0 +1,37 @@
+"""Influence-maximization substrate: independent-cascade simulation,
+reverse-influence sampling (RIS) and an IMM-style sample-size schedule.
+
+The paper estimates influence spread with the RIS-based IMM algorithm
+[Tang et al. 2015] and evaluates final solutions with 10,000 Monte-Carlo
+cascade simulations; this package implements both halves.
+"""
+
+from repro.influence.ic_model import (
+    monte_carlo_group_spread,
+    monte_carlo_spread,
+    simulate_cascade,
+)
+from repro.influence.lt_model import LTModel
+from repro.influence.ris import RRCollection, sample_rr_collection
+from repro.influence.imm import imm_rr_collection, imm_sample_bound
+from repro.influence.triggering import (
+    TriggeringModel,
+    ic_trigger_sampler,
+    lt_trigger_sampler,
+    topk_trigger_sampler,
+)
+
+__all__ = [
+    "LTModel",
+    "RRCollection",
+    "TriggeringModel",
+    "ic_trigger_sampler",
+    "imm_rr_collection",
+    "imm_sample_bound",
+    "lt_trigger_sampler",
+    "monte_carlo_group_spread",
+    "monte_carlo_spread",
+    "sample_rr_collection",
+    "simulate_cascade",
+    "topk_trigger_sampler",
+]

@@ -1,0 +1,174 @@
+"""Reverse-influence sampling (RIS) [Borgs et al. 2014].
+
+A *reverse-reachable (RR) set* for root ``r`` is the random set of nodes
+that reach ``r`` through live edges, where each arc ``(u, v)`` is live
+independently with probability ``p(u, v)``. The key identity: for any seed
+set ``S``, ``P[r activated by S] = P[S intersects RR(r)]``. Averaging the
+indicator over many RR sets therefore estimates activation probabilities
+— and, with roots drawn per group, the group utilities ``f_i(S)`` needed
+by BSM. Coverage of a fixed RR-set collection is monotone submodular in
+``S``, so the whole greedy machinery applies to the estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GroupPartitionError
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class RRCollection:
+    """A bag of RR sets plus the group of each root.
+
+    Attributes
+    ----------
+    sets:
+        ``sets[j]`` is the node array of the ``j``-th RR set.
+    root_groups:
+        Group label of the root of each RR set.
+    num_nodes, num_groups:
+        Ground-set dimensions (for building objectives).
+    group_counts:
+        Number of RR sets rooted in each group; the per-group estimate of
+        ``f_i(S)`` is (covered sets with group-i root) / ``group_counts[i]``.
+    """
+
+    sets: list[np.ndarray]
+    root_groups: np.ndarray
+    num_nodes: int
+    num_groups: int
+
+    def __post_init__(self) -> None:
+        self.root_groups = np.asarray(self.root_groups, dtype=np.int64)
+        if len(self.sets) != self.root_groups.size:
+            raise ValueError("sets and root_groups must have equal length")
+        counts = np.bincount(self.root_groups, minlength=self.num_groups)
+        if np.any(counts == 0):
+            raise GroupPartitionError(
+                "every group needs at least one RR set for its f_i estimate"
+            )
+        self.group_counts = counts
+
+    @property
+    def num_sets(self) -> int:
+        return len(self.sets)
+
+    def coverage(self, seeds: np.ndarray | list[int]) -> np.ndarray:
+        """Per-group fraction of RR sets hit by ``seeds`` (= ``f_i`` estimate)."""
+        seed_mask = np.zeros(self.num_nodes, dtype=bool)
+        seed_mask[np.asarray(list(seeds), dtype=np.int64)] = True
+        hit = np.fromiter(
+            (bool(seed_mask[s].any()) if s.size else False for s in self.sets),
+            dtype=bool,
+            count=self.num_sets,
+        )
+        covered = np.bincount(
+            self.root_groups[hit], minlength=self.num_groups
+        ).astype(float)
+        return covered / self.group_counts
+
+
+def sample_rr_set(
+    transpose_adjacency: tuple[np.ndarray, np.ndarray, np.ndarray],
+    root: int,
+    rng: np.random.Generator,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Sample one RR set by a randomized reverse BFS from ``root``.
+
+    ``transpose_adjacency`` is the CSR triple of the *transpose* graph, so
+    walking its out-arcs follows original arcs backwards. ``scratch`` is an
+    optional reusable visited buffer (cleared on entry) to avoid an O(n)
+    allocation per sample.
+    """
+    indptr, indices, probs = transpose_adjacency
+    n = indptr.size - 1
+    if not 0 <= root < n:
+        raise IndexError(f"root {root} out of range [0, {n})")
+    if scratch is None:
+        visited = np.zeros(n, dtype=bool)
+    else:
+        visited = scratch
+        visited[:] = False
+    visited[root] = True
+    out = [root]
+    frontier = [root]
+    while frontier:
+        next_frontier: list[int] = []
+        for u in frontier:
+            lo, hi = indptr[u], indptr[u + 1]
+            if lo == hi:
+                continue
+            hits = rng.random(hi - lo) < probs[lo:hi]
+            for v in indices[lo:hi][hits]:
+                if not visited[v]:
+                    visited[v] = True
+                    out.append(int(v))
+                    next_frontier.append(int(v))
+        frontier = next_frontier
+    return np.asarray(out, dtype=np.int64)
+
+
+def sample_rr_collection(
+    graph: Graph,
+    num_samples: int,
+    *,
+    seed: SeedLike = None,
+    stratified: bool = True,
+) -> RRCollection:
+    """Sample an :class:`RRCollection` from a grouped graph.
+
+    Parameters
+    ----------
+    num_samples:
+        Total number of RR sets.
+    stratified:
+        ``True`` (default) splits the budget evenly across groups so every
+        ``f_i`` estimate has comparable variance — important because the
+        fairness objective is driven by the *smallest* (often rarest)
+        group. ``False`` draws roots uniformly from all users, matching
+        plain IMM.
+    """
+    check_positive_int(num_samples, "num_samples")
+    rng = as_generator(seed)
+    labels = graph.groups
+    c = graph.num_groups
+    transpose = graph.transpose().out_adjacency()
+    scratch = np.zeros(graph.num_nodes, dtype=bool)
+    sets: list[np.ndarray] = []
+    root_groups: list[int] = []
+    if stratified:
+        members = [np.flatnonzero(labels == i) for i in range(c)]
+        base, rem = divmod(num_samples, c)
+        for i in range(c):
+            quota = base + (1 if i < rem else 0)
+            quota = max(quota, 1)
+            roots = members[i][rng.integers(0, members[i].size, size=quota)]
+            for r in roots:
+                sets.append(sample_rr_set(transpose, int(r), rng, scratch))
+                root_groups.append(i)
+    else:
+        roots = rng.integers(0, graph.num_nodes, size=num_samples)
+        for r in roots:
+            sets.append(sample_rr_set(transpose, int(r), rng, scratch))
+            root_groups.append(int(labels[r]))
+        # Guarantee at least one RR set per group (RRCollection requires it).
+        present = np.bincount(np.asarray(root_groups), minlength=c)
+        for i in np.flatnonzero(present == 0):
+            members = np.flatnonzero(labels == i)
+            r = int(members[rng.integers(0, members.size)])
+            sets.append(sample_rr_set(transpose, r, rng, scratch))
+            root_groups.append(int(i))
+    return RRCollection(
+        sets=sets,
+        root_groups=np.asarray(root_groups, dtype=np.int64),
+        num_nodes=graph.num_nodes,
+        num_groups=c,
+    )

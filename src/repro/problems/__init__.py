@@ -1,0 +1,28 @@
+"""Concrete BSM applications: the paper's three evaluated problems
+(maximum coverage, facility location, influence maximization) plus the
+two further domains its introduction motivates (data summarization,
+recommendation)."""
+
+from repro.problems.coverage import CoverageObjective
+from repro.problems.facility import (
+    FacilityLocationObjective,
+    kmedian_benefits,
+    rbf_benefits,
+)
+from repro.problems.influence import InfluenceObjective
+from repro.problems.recommendation import (
+    RecommendationObjective,
+    latent_relevance,
+)
+from repro.problems.summarization import SummarizationObjective
+
+__all__ = [
+    "CoverageObjective",
+    "FacilityLocationObjective",
+    "InfluenceObjective",
+    "RecommendationObjective",
+    "SummarizationObjective",
+    "kmedian_benefits",
+    "latent_relevance",
+    "rbf_benefits",
+]

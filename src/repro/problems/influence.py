@@ -1,0 +1,145 @@
+"""Influence maximization as a grouped submodular objective.
+
+The per-user utility is ``f_u(S) = P[u activated by seed set S]`` under
+the independent-cascade model (Section 5.2). Exact evaluation is #P-hard,
+so the objective operates on a fixed :class:`RRCollection`: the estimate
+of ``f_i(S)`` is the fraction of group-``i``-rooted RR sets that ``S``
+intersects. Coverage of a fixed collection is monotone and submodular, so
+all solvers run unchanged on the estimates; final solutions are then
+re-scored with Monte-Carlo simulation, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.functions import GroupedObjective
+from repro.graphs.graph import Graph
+from repro.influence.imm import imm_rr_collection
+from repro.influence.ris import RRCollection, sample_rr_collection
+from repro.utils.rng import SeedLike
+
+
+class _InfluencePayload:
+    """Bookkeeping: which RR sets the current seed set already hits."""
+
+    __slots__ = ("covered",)
+
+    def __init__(self, num_sets: int) -> None:
+        self.covered = np.zeros(num_sets, dtype=bool)
+
+    def copy(self) -> "_InfluencePayload":
+        fresh = _InfluencePayload(self.covered.size)
+        fresh.covered = self.covered.copy()
+        return fresh
+
+
+class InfluenceObjective(GroupedObjective):
+    """Grouped influence oracle over a fixed RR-set collection.
+
+    Build via :meth:`from_graph` (fixed sample count) or
+    :meth:`from_graph_imm` (IMM-sized sample count).
+    """
+
+    def __init__(
+        self,
+        collection: RRCollection,
+        population_sizes: Sequence[int],
+    ) -> None:
+        """Wrap an RR collection.
+
+        ``population_sizes`` are the true group sizes ``m_i``: the weights
+        in ``f = sum_i (m_i/m) f_i`` must reflect the user population, while
+        each *estimate* ``f_i`` divides by the collection's per-group RR-set
+        counts (which differ under stratified sampling).
+        """
+        if len(population_sizes) != collection.num_groups:
+            raise ValueError(
+                "population_sizes length must equal the collection's group count"
+            )
+        super().__init__(collection.num_nodes, population_sizes)
+        self._collection = collection
+        # Inverted index: node -> RR-set ids containing it.
+        membership: list[list[int]] = [[] for _ in range(collection.num_nodes)]
+        for j, rr in enumerate(collection.sets):
+            for v in rr:
+                membership[int(v)].append(j)
+        self._membership = [
+            np.asarray(ids, dtype=np.int64) for ids in membership
+        ]
+        self._root_groups = collection.root_groups
+        self._group_counts = collection.group_counts.astype(float)
+
+    @classmethod
+    def from_collection(
+        cls,
+        collection: RRCollection,
+        population_sizes: Sequence[int],
+    ) -> "InfluenceObjective":
+        """Alias of the constructor (kept for API symmetry)."""
+        return cls(collection, population_sizes)
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        num_samples: int,
+        *,
+        seed: SeedLike = None,
+        stratified: bool = True,
+    ) -> "InfluenceObjective":
+        """Sample ``num_samples`` RR sets from ``graph`` and wrap them."""
+        collection = sample_rr_collection(
+            graph, num_samples, seed=seed, stratified=stratified
+        )
+        return cls.from_collection(collection, graph.group_sizes())
+
+    @classmethod
+    def from_graph_imm(
+        cls,
+        graph: Graph,
+        k: int,
+        *,
+        epsilon: float = 0.5,
+        ell: float = 1.0,
+        max_samples: Optional[int] = 200_000,
+        seed: SeedLike = None,
+        stratified: bool = True,
+    ) -> "InfluenceObjective":
+        """IMM-sized sampling (see :mod:`repro.influence.imm`)."""
+        imm = imm_rr_collection(
+            graph,
+            k,
+            epsilon=epsilon,
+            ell=ell,
+            max_samples=max_samples,
+            seed=seed,
+            stratified=stratified,
+        )
+        return cls.from_collection(imm.collection, graph.group_sizes())
+
+    @property
+    def collection(self) -> RRCollection:
+        return self._collection
+
+    # -- GroupedObjective hooks ------------------------------------------
+    def _new_payload(self) -> _InfluencePayload:
+        return _InfluencePayload(self._collection.num_sets)
+
+    def _copy_payload(self, payload: _InfluencePayload) -> _InfluencePayload:
+        return payload.copy()
+
+    def _gains(self, payload: _InfluencePayload, item: int) -> np.ndarray:
+        ids = self._membership[item]
+        fresh = ids[~payload.covered[ids]]
+        counts = np.bincount(
+            self._root_groups[fresh], minlength=self.num_groups
+        )
+        return counts / self._group_counts
+
+    def _apply(self, payload: _InfluencePayload, item: int) -> np.ndarray:
+        gains = self._gains(payload, item)
+        payload.covered[self._membership[item]] = True
+        return gains

@@ -1,0 +1,37 @@
+"""Shared low-level helpers used across the :mod:`repro` package.
+
+The submodules deliberately stay dependency-free (numpy only) so that every
+other subsystem — graphs, datasets, solvers — can import them without
+creating cycles.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.stats import (
+    Aggregate,
+    aggregate,
+    bootstrap_ci,
+    paired_sign_test,
+    replicate,
+)
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "Aggregate",
+    "Timer",
+    "aggregate",
+    "as_generator",
+    "bootstrap_ci",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive_int",
+    "check_probability",
+    "paired_sign_test",
+    "replicate",
+    "spawn_generators",
+]

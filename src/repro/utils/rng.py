@@ -1,0 +1,115 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library (graph generators, the IC cascade
+model, RIS sampling, stochastic greedy) accepts a ``seed`` argument that may
+be ``None``, an integer, or an already-constructed :class:`numpy.random.Generator`.
+Funnelling all of them through :func:`as_generator` keeps experiments
+reproducible end to end: the benchmark harness passes a single integer seed
+and every layer below derives its own independent stream from it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    ``Generator`` instances are passed through unchanged so that callers can
+    share a stream; anything else is fed to ``numpy.random.default_rng``.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Used when a component fans work out (e.g. one stream per Monte-Carlo
+    worker or per RIS batch) and must not correlate the streams.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    elif isinstance(seed, np.random.Generator):
+        # Derive a fresh sequence from the generator's own stream.
+        seq = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def sample_without_replacement(
+    rng: np.random.Generator, population: int, size: int
+) -> np.ndarray:
+    """Sample ``size`` distinct indices from ``range(population)``.
+
+    Thin wrapper that validates arguments and always returns an
+    ``np.ndarray`` of dtype ``int64`` (``Generator.choice`` may return a
+    scalar for ``size=1`` population edge cases).
+    """
+    if size > population:
+        raise ValueError(
+            f"cannot sample {size} items from a population of {population}"
+        )
+    out = rng.choice(population, size=size, replace=False)
+    return np.asarray(out, dtype=np.int64).reshape(size)
+
+
+def random_partition(
+    rng: np.random.Generator, size: int, proportions: Sequence[float]
+) -> np.ndarray:
+    """Assign each of ``size`` elements to a class drawn from ``proportions``.
+
+    Returns an int array of class labels in ``[0, len(proportions))``. The
+    proportions are normalised, so callers may pass percentages. Used by the
+    dataset generators to reproduce the paper's group mixes (Tables 1–2).
+    """
+    props = np.asarray(proportions, dtype=float)
+    if props.ndim != 1 or props.size == 0:
+        raise ValueError("proportions must be a non-empty 1-d sequence")
+    if np.any(props < 0) or props.sum() <= 0:
+        raise ValueError("proportions must be non-negative and sum to > 0")
+    props = props / props.sum()
+    labels = rng.choice(props.size, size=size, p=props)
+    return np.asarray(labels, dtype=np.int64)
+
+
+def deterministic_partition(size: int, proportions: Sequence[float]) -> np.ndarray:
+    """Assign classes so group sizes match ``proportions`` as exactly as possible.
+
+    Unlike :func:`random_partition` there is no sampling noise: group ``i``
+    receives ``round(size * p_i)`` members (largest-remainder rounding), and
+    every group with positive proportion receives at least one member when
+    ``size >= number of groups``. The paper's dataset tables report exact
+    percentages, so the default dataset builders use this variant.
+    """
+    props = np.asarray(proportions, dtype=float)
+    if props.ndim != 1 or props.size == 0:
+        raise ValueError("proportions must be a non-empty 1-d sequence")
+    if np.any(props < 0) or props.sum() <= 0:
+        raise ValueError("proportions must be non-negative and sum to > 0")
+    props = props / props.sum()
+    raw = props * size
+    counts = np.floor(raw).astype(np.int64)
+    # Guarantee non-empty groups first (the fairness objective divides by
+    # group size, so empty groups are invalid downstream).
+    if size >= props.size:
+        counts = np.maximum(counts, np.where(props > 0, 1, 0))
+    while counts.sum() > size:
+        idx = int(np.argmax(counts - raw))
+        counts[idx] -= 1
+    remainders = raw - counts
+    while counts.sum() < size:
+        idx = int(np.argmax(remainders))
+        counts[idx] += 1
+        remainders[idx] = -np.inf
+    labels = np.repeat(np.arange(props.size, dtype=np.int64), counts)
+    return labels

@@ -1,0 +1,35 @@
+"""Wall-clock timing helper used by solver results and the harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch; re-entering *accumulates* elapsed time.
+
+    Accumulation lets a solver time several phases with one timer and
+    report their total.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def running(self) -> bool:
+        """Whether the timer is currently inside a ``with`` block."""
+        return self._start is not None

@@ -1,0 +1,55 @@
+"""Argument-validation helpers with consistent error messages.
+
+The public solvers validate their inputs eagerly (a greedy run on a large
+Pokec-like graph takes minutes, so a bad ``tau`` must fail in microseconds,
+not after the subroutines finish).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        # numpy integer types are acceptable as well.
+        try:
+            import numpy as np
+
+            if isinstance(value, np.integer):
+                value = int(value)
+            else:
+                raise TypeError
+        except TypeError:
+            raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(value: Any, name: str) -> float:
+    """Validate that ``value`` is a non-negative real number."""
+    value = float(value)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_fraction(value: Any, name: str, *, inclusive_low: bool = True,
+                   inclusive_high: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (bounds optionally open)."""
+    value = float(value)
+    low_ok = value >= 0 if inclusive_low else value > 0
+    high_ok = value <= 1 if inclusive_high else value < 1
+    if not (low_ok and high_ok):
+        lo = "[" if inclusive_low else "("
+        hi = "]" if inclusive_high else ")"
+        raise ValueError(f"{name} must lie in {lo}0, 1{hi}, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Alias of :func:`check_fraction` with closed bounds, for edge weights."""
+    return check_fraction(value, name)

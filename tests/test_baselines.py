@@ -1,0 +1,86 @@
+"""Tests for repro.core.baselines and repro.core.result."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import greedy_utility, stochastic_greedy_utility
+from repro.core.result import GreedyStep, SolverResult
+
+
+class TestGreedyUtility:
+    def test_figure1(self, figure1):
+        result = greedy_utility(figure1, 2)
+        assert result.algorithm == "Greedy"
+        assert set(result.solution) == {0, 1}
+        assert result.utility == pytest.approx(0.75)
+        assert len(result.steps) == 2
+
+    def test_oracle_calls_counted_per_run(self, figure1):
+        r1 = greedy_utility(figure1, 2)
+        r2 = greedy_utility(figure1, 2)
+        # Each run reports its own calls, not the cumulative counter.
+        assert r1.oracle_calls == r2.oracle_calls > 0
+
+    def test_runtime_recorded(self, figure1):
+        result = greedy_utility(figure1, 2)
+        assert result.runtime >= 0.0
+
+
+class TestStochasticGreedyUtility:
+    def test_runs_and_sizes(self, small_coverage):
+        result = stochastic_greedy_utility(small_coverage, 4, seed=0)
+        assert result.algorithm == "StochasticGreedy"
+        assert result.size <= 4
+        assert result.extra["epsilon"] == 0.1
+
+    def test_quality_not_catastrophic(self, small_coverage):
+        greedy_res = greedy_utility(small_coverage, 4)
+        st_res = stochastic_greedy_utility(
+            small_coverage, 4, epsilon=0.01, seed=3
+        )
+        assert st_res.utility >= 0.7 * greedy_res.utility
+
+
+class TestSolverResult:
+    def _result(self) -> SolverResult:
+        return SolverResult(
+            algorithm="X",
+            solution=(1, 2, 3),
+            group_values=np.array([0.5, 0.25]),
+            utility=0.4,
+            fairness=0.25,
+            oracle_calls=10,
+            runtime=0.5,
+        )
+
+    def test_size(self):
+        assert self._result().size == 3
+
+    def test_satisfies(self):
+        r = self._result()
+        assert r.satisfies(0.25)
+        assert r.satisfies(0.25 + 1e-12)
+        assert not r.satisfies(0.3)
+
+    def test_summary_contains_key_fields(self):
+        s = self._result().summary()
+        assert "X:" in s
+        assert "f(S)=0.4000" in s
+        assert "g(S)=0.2500" in s
+
+    def test_summary_truncates_long_solutions(self):
+        r = SolverResult(
+            algorithm="X",
+            solution=tuple(range(20)),
+            group_values=np.array([1.0]),
+            utility=1.0,
+            fairness=1.0,
+        )
+        assert "..." in r.summary()
+
+    def test_greedy_step_fields(self):
+        step = GreedyStep(item=4, scalar_gain=0.1, scalar_value=0.6)
+        assert step.item == 4
+        assert step.scalar_gain == pytest.approx(0.1)

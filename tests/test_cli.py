@@ -1,0 +1,64 @@
+"""Tests for repro.cli."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(
+            ["solve", "--dataset", "rand-mc-c2"]
+        )
+        assert args.algorithm == "bsm-saturate"
+        assert args.k == 5
+        assert args.tau == 0.8
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(["figure", "fig3", "--scale", "paper"])
+        assert args.figure_id == "fig3"
+        assert args.scale == "paper"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--dataset", "nope"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_datasets_lists_catalogue(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "rand-mc-c2" in out
+        assert "foursquare-tky" in out
+
+    def test_solve_coverage(self, capsys):
+        code = main(
+            ["solve", "--dataset", "rand-mc-c2", "--k", "3",
+             "--tau", "0.5", "--algorithm", "bsm-tsgreedy"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BSM-TSGreedy" in out
+        assert "f(S)=" in out
+
+    def test_solve_influence(self, capsys):
+        code = main(
+            ["solve", "--dataset", "rand-im-c2", "--k", "3",
+             "--im-samples", "200", "--algorithm", "greedy"]
+        )
+        assert code == 0
+        assert "Greedy" in capsys.readouterr().out
+
+    def test_solve_facility(self, capsys):
+        code = main(
+            ["solve", "--dataset", "rand-fl-c2", "--k", "3",
+             "--algorithm", "saturate"]
+        )
+        assert code == 0
+        assert "Saturate" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Tests for the extended CLI surface (chart, pareto, new solvers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_chart_defaults(self):
+        args = build_parser().parse_args(["chart", "fig3"])
+        assert args.command == "chart"
+        assert args.metric == "utility"
+        assert args.width == 60
+
+    def test_pareto_defaults(self):
+        args = build_parser().parse_args(
+            ["pareto", "--dataset", "rand-mc-c2"]
+        )
+        assert args.command == "pareto"
+        assert args.algorithms == ["BSM-TSGreedy", "BSM-Saturate"]
+        assert args.taus == [0.1, 0.3, 0.5, 0.7, 0.9]
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chart", "fig99"])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pareto", "--dataset", "nope"])
+
+
+class TestCommands:
+    def test_solve_new_dataset_and_solver(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--dataset",
+                "rec-latent-c2",
+                "--algorithm",
+                "bsm-saturate-ls",
+                "--k",
+                "3",
+                "--tau",
+                "0.6",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "f(S)=" in out and "g(S)=" in out
+
+    def test_solve_streaming_tsgreedy(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--dataset",
+                "summ-blobs-c2",
+                "--algorithm",
+                "streaming-tsgreedy",
+                "--k",
+                "3",
+                "--tau",
+                "0.5",
+            ]
+        )
+        assert rc == 0
+        assert "StreamingTSGreedy" in capsys.readouterr().out
+
+    def test_pareto_prints_frontier(self, capsys):
+        rc = main(
+            [
+                "pareto",
+                "--dataset",
+                "summ-blobs-c2",
+                "--k",
+                "3",
+                "--taus",
+                "0.2",
+                "0.8",
+                "--algorithms",
+                "BSM-Saturate",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hypervolume" in out
+        assert "tau=0.20" in out or "tau=0.80" in out
+
+    def test_datasets_lists_extensions(self, capsys):
+        rc = main(["datasets"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("rec-latent-c2", "summ-blobs-c3", "rand-mc-c2"):
+            assert name in out

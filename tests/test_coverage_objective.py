@@ -1,0 +1,99 @@
+"""Tests for repro.problems.coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GroupPartitionError
+from repro.graphs.graph import Graph
+from repro.problems.coverage import CoverageObjective
+
+
+class TestConstruction:
+    def test_basic(self, figure1):
+        assert figure1.num_items == 4
+        assert figure1.num_users == 12
+        assert figure1.num_groups == 2
+        assert figure1.group_sizes.tolist() == [9, 3]
+
+    def test_duplicate_members_deduplicated(self):
+        obj = CoverageObjective([[0, 0, 1]], [0, 1])
+        values = obj.evaluate([0])
+        assert values.tolist() == [1.0, 1.0]
+
+    def test_out_of_range_user_rejected(self):
+        with pytest.raises(ValueError, match="references users"):
+            CoverageObjective([[0, 5]], [0, 1])
+
+    def test_empty_sets_collection_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageObjective([], [0])
+
+    def test_empty_set_is_allowed(self):
+        obj = CoverageObjective([[0], []], [0])
+        assert obj.evaluate([1]).tolist() == [0.0]
+
+    def test_group_validation(self):
+        with pytest.raises(GroupPartitionError):
+            CoverageObjective([[0]], [0, 2])  # label 1 missing
+        with pytest.raises(GroupPartitionError):
+            CoverageObjective([[0]], [])
+
+
+class TestFromGraph:
+    def test_dominating_set_construction(self):
+        g = Graph(4, [(0, 1), (1, 2)], directed=True, groups=[0, 0, 1, 1])
+        obj = CoverageObjective.from_graph(g)
+        # S(0) = {1, 0}; S(1) = {2, 1}; S(2) = {2}; S(3) = {3}.
+        assert sorted(obj.sets[0].tolist()) == [0, 1]
+        assert sorted(obj.sets[1].tolist()) == [1, 2]
+        assert obj.sets[2].tolist() == [2]
+        assert obj.sets[3].tolist() == [3]
+
+    def test_undirected_neighbourhoods(self):
+        g = Graph(3, [(0, 1)], groups=[0, 0, 1])
+        obj = CoverageObjective.from_graph(g)
+        assert sorted(obj.sets[0].tolist()) == [0, 1]
+        assert sorted(obj.sets[1].tolist()) == [0, 1]
+
+
+class TestSemantics:
+    def test_group_values_are_fractions(self, figure1):
+        values = figure1.evaluate([0])  # v1 covers 5 group-0 users
+        assert values[0] == pytest.approx(5 / 9)
+        assert values[1] == 0.0
+
+    def test_union_semantics(self, figure1):
+        # v2 and v3 overlap on users 5 and 8.
+        values = figure1.evaluate([1, 2])
+        assert values[0] == pytest.approx(4 / 9)  # users 5,6,7,8
+        assert values[1] == pytest.approx(1 / 3)  # user 9
+
+    def test_coverage_counts(self, figure1):
+        counts = figure1.coverage_counts([0, 3])
+        assert counts.tolist() == [5.0, 2.0]
+
+    def test_full_coverage(self, figure1):
+        values = figure1.evaluate([0, 1, 2, 3])
+        np.testing.assert_allclose(values, [1.0, 1.0])
+
+    def test_gains_never_negative(self, figure1, rng):
+        state = figure1.new_state()
+        for item in rng.permutation(4):
+            gains = figure1.gains(state, int(item))
+            assert np.all(gains >= 0)
+            figure1.add(state, int(item))
+
+    def test_monotone_submodular_spot_checks(self, figure1):
+        from tests.conftest import assert_monotone_submodular
+
+        assert_monotone_submodular(
+            figure1,
+            [
+                ([], [1], 2),
+                ([0], [0, 1], 2),
+                ([], [0, 1, 2], 3),
+                ([2], [0, 2], 1),
+            ],
+        )

@@ -1,0 +1,86 @@
+"""Tests for repro.core.curvature."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.curvature import (
+    curvature_greedy_bound,
+    empirical_greedy_ratio,
+    total_curvature,
+)
+from repro.problems.coverage import CoverageObjective
+from repro.problems.facility import FacilityLocationObjective
+from tests.conftest import brute_force_best
+
+
+def modular_objective() -> FacilityLocationObjective:
+    """Disjoint benefits: each facility serves its own user — modular f."""
+    benefits = np.diag([3.0, 2.0, 1.0, 0.5])
+    return FacilityLocationObjective(benefits, [0, 0, 1, 1])
+
+
+def fully_curved_objective() -> CoverageObjective:
+    """All sets identical: the second copy adds nothing — kappa = 1."""
+    sets = [np.array([0, 1, 2])] * 3
+    return CoverageObjective(sets, [0, 0, 1])
+
+
+class TestTotalCurvature:
+    def test_modular_has_zero_curvature(self):
+        assert total_curvature(modular_objective()) == pytest.approx(0.0)
+
+    def test_duplicate_sets_have_unit_curvature(self):
+        assert total_curvature(fully_curved_objective()) == pytest.approx(1.0)
+
+    def test_in_unit_interval(self, small_coverage):
+        kappa = total_curvature(small_coverage)
+        assert 0.0 <= kappa <= 1.0
+
+    def test_overlapping_coverage_strictly_curved(self, small_coverage):
+        # Random overlapping sets are neither modular nor degenerate.
+        kappa = total_curvature(small_coverage)
+        assert kappa > 0.0
+
+    def test_zero_function_is_modular_by_convention(self):
+        obj = FacilityLocationObjective(np.zeros((4, 3)), [0, 0, 1, 1])
+        assert total_curvature(obj) == 0.0
+
+
+class TestGreedyBound:
+    def test_modular_bound_is_exactness(self):
+        assert curvature_greedy_bound(0.0) == 1.0
+
+    def test_unit_curvature_recovers_classic_bound(self):
+        assert curvature_greedy_bound(1.0) == pytest.approx(1.0 - 1.0 / np.e)
+
+    def test_monotone_decreasing_in_kappa(self):
+        values = [curvature_greedy_bound(x) for x in (0.0, 0.3, 0.6, 1.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validates_range(self):
+        with pytest.raises(ValueError):
+            curvature_greedy_bound(1.2)
+        with pytest.raises(ValueError):
+            curvature_greedy_bound(-0.1)
+
+
+class TestEmpiricalRatio:
+    def test_measured_ratio_meets_bound(self, small_coverage):
+        k = 3
+        _, opt = brute_force_best(small_coverage, k, metric="utility")
+        measured, bound = empirical_greedy_ratio(small_coverage, k, opt)
+        assert measured >= bound - 1e-9
+        assert measured <= 1.0 + 1e-9
+
+    def test_modular_objective_greedy_exact(self):
+        obj = modular_objective()
+        _, opt = brute_force_best(obj, 2, metric="utility")
+        measured, bound = empirical_greedy_ratio(obj, 2, opt)
+        assert bound == pytest.approx(1.0)
+        assert measured == pytest.approx(1.0)
+
+    def test_validates_optimum(self, small_coverage):
+        with pytest.raises(ValueError):
+            empirical_greedy_ratio(small_coverage, 2, 0.0)

@@ -1,0 +1,169 @@
+"""Tests for the dataset layer (registry, synthetic, social, adult,
+foursquare) — checking the Table-1/Table-2 shapes and mixes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.adult import adult_like_points
+from repro.datasets.foursquare import foursquare_like
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.datasets.social import dblp_like, facebook_like, pokec_like
+from repro.datasets.synthetic import rand_fl_points, rand_graph
+
+
+class TestRandDatasets:
+    def test_rand_graph_c2_mix(self):
+        g = rand_graph(2, 500, seed=0)
+        assert g.num_nodes == 500
+        assert g.group_sizes().tolist() == [100, 400]  # 20/80
+
+    def test_rand_graph_c4_mix(self):
+        g = rand_graph(4, 500, seed=0)
+        assert g.group_sizes().tolist() == [40, 60, 100, 300]
+
+    def test_rand_graph_density(self):
+        g = rand_graph(2, 500, seed=1)
+        # Paper reports 8,946 edges for the c=2 RAND graph; SBM with the
+        # same parameters should land in the same ballpark.
+        assert 7_000 < g.num_edges < 11_000
+
+    def test_rand_graph_invalid_c(self):
+        with pytest.raises(ValueError):
+            rand_graph(3, 100)
+
+    def test_rand_fl_points(self):
+        pts, labels = rand_fl_points(2, 100, seed=0)
+        assert pts.shape == (100, 5)
+        assert np.bincount(labels).tolist() == [15, 85]
+
+    def test_rand_fl_c3(self):
+        _, labels = rand_fl_points(3, 100, seed=0)
+        assert np.bincount(labels).tolist() == [5, 20, 75]
+
+    def test_rand_fl_invalid_c(self):
+        with pytest.raises(ValueError):
+            rand_fl_points(5, 100)
+
+
+class TestSocialDatasets:
+    def test_facebook_like_c2(self):
+        g = facebook_like(2, seed=0)
+        assert g.num_nodes == 1_216
+        sizes = g.group_sizes()
+        assert sizes[0] == pytest.approx(0.08 * 1216, abs=2)
+        # Edge count near the published 42,443.
+        assert 30_000 < g.num_edges < 55_000
+
+    def test_facebook_like_c4(self):
+        g = facebook_like(4, seed=0)
+        assert g.num_groups == 4
+
+    def test_facebook_invalid_groups(self):
+        with pytest.raises(ValueError):
+            facebook_like(3)
+
+    def test_dblp_like(self):
+        g = dblp_like(seed=0)
+        assert g.num_nodes == 3_980
+        assert g.num_groups == 5
+        assert 5_000 < g.num_edges < 9_000  # published: 6,966
+
+    def test_pokec_like_small(self):
+        g = pokec_like("gender", seed=0, num_nodes=2_000)
+        assert g.directed
+        assert g.num_groups == 2
+        sizes = g.group_sizes()
+        assert abs(sizes[0] - sizes[1]) < 200  # ~51/49
+
+    def test_pokec_like_age_groups(self):
+        g = pokec_like("age", seed=0, num_nodes=2_000)
+        assert g.num_groups == 6
+
+    def test_pokec_invalid_attribute(self):
+        with pytest.raises(ValueError):
+            pokec_like("height")
+
+
+class TestAdultDataset:
+    def test_gender_mix(self):
+        pts, labels = adult_like_points("gender", 1_000, seed=0)
+        assert pts.shape == (1_000, 6)
+        assert np.bincount(labels).tolist() == [340, 660]
+
+    def test_race_mix(self):
+        _, labels = adult_like_points("race", 1_000, seed=0)
+        assert np.bincount(labels).tolist() == [10, 30, 100, 850, 10]
+
+    def test_small_sample_mix(self):
+        _, labels = adult_like_points("race", 100, seed=0, small_sample=True)
+        assert np.bincount(labels).tolist() == [1, 2, 14, 82, 1]
+
+    def test_features_normalised(self):
+        pts, _ = adult_like_points("gender", 500, seed=0)
+        np.testing.assert_allclose(pts.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(pts.std(axis=0), 1.0, atol=1e-9)
+
+    def test_invalid_attribute(self):
+        with pytest.raises(ValueError):
+            adult_like_points("income")
+
+
+class TestFoursquareDataset:
+    def test_nyc_shapes(self):
+        users, facilities, labels = foursquare_like("nyc", seed=0)
+        assert users.shape == (1_000, 2)
+        assert facilities.shape == (882, 2)
+        assert labels.tolist() == list(range(1_000))  # singleton groups
+
+    def test_tky_facility_count(self):
+        _, facilities, _ = foursquare_like("tky", seed=0)
+        assert facilities.shape[0] == 1_132
+
+    def test_invalid_city(self):
+        with pytest.raises(ValueError):
+            foursquare_like("paris")
+
+
+class TestRegistry:
+    def test_catalogue_covers_tables(self):
+        expected = {
+            "rand-mc-c2", "rand-mc-c4", "rand-im-c2", "rand-im-c4",
+            "facebook-mc-c2", "facebook-mc-c4", "dblp-mc", "pokec-mc-gender",
+            "pokec-mc-age", "rand-fl-c2", "rand-fl-c3", "adult-small",
+            "adult-gender", "adult-race", "foursquare-nyc", "foursquare-tky",
+        }
+        assert expected <= set(DATASETS)
+
+    def test_coverage_dataset_payload(self):
+        data = load_dataset("rand-mc-c2", seed=0, num_nodes=60)
+        assert data.kind == "coverage"
+        assert data.objective is not None
+        assert data.graph is not None
+        assert data.objective.num_items == 60
+
+    def test_influence_dataset_payload(self):
+        data = load_dataset("rand-im-c2", seed=0)
+        assert data.kind == "influence"
+        assert data.graph.num_nodes == 100
+        # Edge probability applied uniformly.
+        assert all(p == 0.1 for _, _, p in data.graph.edges())
+
+    def test_facility_dataset_payload(self):
+        data = load_dataset("rand-fl-c2", seed=0)
+        assert data.kind == "facility"
+        assert data.objective.num_items == 100
+
+    def test_foursquare_uses_kmedian(self):
+        data = load_dataset("foursquare-nyc", seed=0)
+        assert data.meta["benefit"] == "kmedian"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("imaginary")
+
+    def test_seed_determinism(self):
+        a = load_dataset("rand-mc-c2", seed=5, num_nodes=80)
+        b = load_dataset("rand-mc-c2", seed=5, num_nodes=80)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())

@@ -1,0 +1,116 @@
+"""Tests for repro.core.distributed (GreeDi two-round scheme)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import greedy_utility
+from repro.core.distributed import (
+    distributed_tsgreedy_stage2,
+    greedi,
+    partition_items,
+)
+from repro.core.functions import TruncatedFairness
+from tests.conftest import brute_force_best
+
+
+class TestPartition:
+    def test_covers_all_items_disjointly(self):
+        shards = partition_items(17, 4, seed=0)
+        flat = np.concatenate(shards)
+        assert sorted(flat.tolist()) == list(range(17))
+        assert len(shards) == 4
+
+    def test_balanced_sizes(self):
+        shards = partition_items(10, 3, seed=1)
+        sizes = sorted(s.size for s in shards)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic_under_seed(self):
+        a = partition_items(12, 3, seed=42)
+        b = partition_items(12, 3, seed=42)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_rejects_more_machines_than_items(self):
+        with pytest.raises(ValueError):
+            partition_items(3, 5)
+
+
+class TestGreedi:
+    def test_respects_k(self, small_coverage):
+        result = greedi(small_coverage, 3, num_machines=3, seed=0)
+        assert result.size <= 3
+        assert result.algorithm == "GreeDi"
+
+    def test_reasonable_quality_vs_opt(self, small_coverage):
+        _, opt = brute_force_best(small_coverage, 4, metric="utility")
+        result = greedi(small_coverage, 4, num_machines=2, seed=0)
+        # Worst case is (1-1/e)^2/min(sqrt(k),m); random shards do far
+        # better — assert the paper-practical half-of-optimal level.
+        assert result.utility >= 0.5 * opt - 1e-9
+
+    def test_single_machine_equals_plain_greedy(self, small_coverage):
+        dist = greedi(small_coverage, 4, num_machines=1, seed=0)
+        plain = greedy_utility(small_coverage, 4)
+        assert dist.utility == pytest.approx(plain.utility)
+
+    def test_explicit_shards(self, small_coverage):
+        n = small_coverage.num_items
+        shards = [list(range(n // 2)), list(range(n // 2, n))]
+        result = greedi(small_coverage, 3, shards=shards)
+        assert result.size <= 3
+        assert result.extra["num_machines"] == 2
+
+    def test_overlapping_shards_rejected(self, small_coverage):
+        with pytest.raises(ValueError):
+            greedi(small_coverage, 3, shards=[[0, 1], [1, 2]])
+
+    def test_extra_reports_machine_work(self, small_facility):
+        result = greedi(small_facility, 3, num_machines=2, seed=1)
+        assert len(result.extra["machine_calls"]) == 2
+        assert all(c > 0 for c in result.extra["machine_calls"])
+        assert result.extra["merge_calls"] > 0
+        assert result.extra["winner"] == "merge" or result.extra[
+            "winner"
+        ].startswith("machine:")
+
+    def test_works_with_fairness_surrogate(self, small_coverage):
+        # Distribute the cover stage: maximise a truncated surrogate.
+        scal = TruncatedFairness(0.2)
+        result = greedi(
+            small_coverage, 4, num_machines=2, scalarizer=scal, seed=2
+        )
+        assert result.size <= 4
+
+    def test_merge_never_below_best_machine(self, small_coverage):
+        # The returned value maxes over merge and machine solutions, so
+        # re-running with identical shards can't find anything better
+        # among those candidates.
+        shards = partition_items(small_coverage.num_items, 3, seed=7)
+        result = greedi(small_coverage, 4, shards=shards)
+        for shard in shards:
+            machine = greedy_utility(
+                small_coverage, 4, candidates=shard.tolist()
+            )
+            assert result.utility >= machine.utility - 1e-9
+
+
+class TestDistributedStage2:
+    def test_preserves_stage1_items(self, small_coverage):
+        state = small_coverage.new_state()
+        small_coverage.add(state, 0)
+        filled = distributed_tsgreedy_stage2(
+            small_coverage, 4, state, num_machines=2, seed=0
+        )
+        assert 0 in filled.solution
+        assert filled.size <= 4
+
+    def test_noop_when_already_full(self, small_coverage):
+        state = small_coverage.new_state()
+        for item in (0, 1, 2):
+            small_coverage.add(state, item)
+        filled = distributed_tsgreedy_stage2(
+            small_coverage, 3, state, num_machines=2, seed=0
+        )
+        assert filled.solution == state.solution

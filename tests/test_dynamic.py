@@ -1,0 +1,143 @@
+"""Tests for repro.core.dynamic (insert/delete maintenance)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import greedy_utility
+from repro.core.dynamic import DynamicMaximizer
+
+
+class TestBasicOperations:
+    def test_inserts_build_a_solution(self, small_coverage):
+        dyn = DynamicMaximizer(small_coverage, 3)
+        for item in range(small_coverage.num_items):
+            dyn.insert(item)
+        assert 0 < len(dyn.solution) <= 3
+        assert dyn.value() > 0.0
+
+    def test_insert_idempotent(self, small_coverage):
+        dyn = DynamicMaximizer(small_coverage, 3)
+        dyn.insert(0)
+        value = dyn.value()
+        dyn.insert(0)
+        assert dyn.value() == value
+
+    def test_delete_non_solution_item_cheap(self, small_coverage):
+        dyn = DynamicMaximizer(small_coverage, 2)
+        for item in range(small_coverage.num_items):
+            dyn.insert(item)
+        outside = next(
+            v for v in range(small_coverage.num_items)
+            if v not in dyn.solution
+        )
+        rebuilds_before = dyn.rebuilds
+        dyn.delete(outside)
+        assert dyn.rebuilds == rebuilds_before
+
+    def test_delete_solution_item_eventually_rebuilds(self, small_coverage):
+        dyn = DynamicMaximizer(small_coverage, 2, rebuild_factor=0.5)
+        for item in range(small_coverage.num_items):
+            dyn.insert(item)
+        # Keep deleting live solution items until a rebuild fires.
+        for _ in range(small_coverage.num_items):
+            if dyn.rebuilds > 0:
+                break
+            live_solution = [
+                v for v in dyn.solution if v in dyn.live_items
+            ]
+            if not live_solution:
+                dyn.best()  # forces the rebuild path
+                break
+            dyn.delete(live_solution[0])
+        assert dyn.rebuilds >= 1
+
+    def test_best_never_contains_deleted_items(self, small_coverage):
+        dyn = DynamicMaximizer(small_coverage, 3, rebuild_factor=5.0)
+        for item in range(small_coverage.num_items):
+            dyn.insert(item)
+        victim = dyn.solution[0]
+        dyn.delete(victim)
+        state = dyn.best()
+        assert victim not in state.solution
+        assert all(v in dyn.live_items for v in state.solution)
+
+    def test_delete_everything_empties_solution(self, small_coverage):
+        dyn = DynamicMaximizer(small_coverage, 3)
+        for item in range(6):
+            dyn.insert(item)
+        for item in range(6):
+            dyn.delete(item)
+        assert dyn.best().size == 0
+        assert dyn.live_items == frozenset()
+
+    def test_validates_inputs(self, small_coverage):
+        with pytest.raises(ValueError):
+            DynamicMaximizer(small_coverage, 0)
+        with pytest.raises(ValueError):
+            DynamicMaximizer(small_coverage, 2, rebuild_factor=0.0)
+        dyn = DynamicMaximizer(small_coverage, 2)
+        with pytest.raises(IndexError):
+            dyn.insert(small_coverage.num_items)
+        with pytest.raises(IndexError):
+            dyn.delete(-1)
+
+
+class TestQuality:
+    def test_quality_vs_offline_after_churn(self, small_coverage):
+        rng = np.random.default_rng(17)
+        dyn = DynamicMaximizer(small_coverage, 3, rebuild_factor=0.5)
+        live: set[int] = set()
+        n = small_coverage.num_items
+        for _ in range(120):
+            if live and rng.random() < 0.35:
+                victim = int(rng.choice(sorted(live)))
+                dyn.delete(victim)
+                live.discard(victim)
+            else:
+                item = int(rng.integers(0, n))
+                dyn.insert(item)
+                live.add(item)
+        if not live:
+            return
+        state = dyn.best()
+        dyn_value = float(
+            small_coverage.group_weights @ state.group_values
+        )
+        offline = greedy_utility(
+            small_coverage, 3, candidates=sorted(live)
+        )
+        assert dyn_value >= 0.5 * offline.utility - 1e-9
+
+    def test_solution_only_live_items_throughout_churn(self, small_facility):
+        rng = np.random.default_rng(23)
+        dyn = DynamicMaximizer(small_facility, 2, rebuild_factor=0.5)
+        live: set[int] = set()
+        for _ in range(60):
+            item = int(rng.integers(0, small_facility.num_items))
+            if item in live and rng.random() < 0.5:
+                dyn.delete(item)
+                live.discard(item)
+            else:
+                dyn.insert(item)
+                live.add(item)
+            assert set(dyn.best().solution) <= live
+
+    def test_rebuild_factor_trades_freshness_for_rebuild_count(
+        self, small_coverage
+    ):
+        def churn(factor: float) -> int:
+            rng = np.random.default_rng(5)
+            dyn = DynamicMaximizer(
+                small_coverage, 2, rebuild_factor=factor
+            )
+            for _ in range(80):
+                item = int(rng.integers(0, small_coverage.num_items))
+                if rng.random() < 0.4:
+                    dyn.delete(item)
+                else:
+                    dyn.insert(item)
+            return dyn.rebuilds
+
+        assert churn(0.5) >= churn(3.0)

@@ -1,0 +1,119 @@
+"""Tests for repro.problems.facility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GroupPartitionError
+from repro.problems.facility import (
+    FacilityLocationObjective,
+    kmedian_benefits,
+    rbf_benefits,
+)
+
+
+class TestBenefitHelpers:
+    def test_rbf_self_distance_is_one(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = rbf_benefits(pts, pts)
+        assert b[0, 0] == pytest.approx(1.0)
+        assert b[1, 1] == pytest.approx(1.0)
+
+    def test_rbf_decreases_with_distance(self):
+        users = np.array([[0.0, 0.0]])
+        facilities = np.array([[1.0, 0.0], [3.0, 0.0]])
+        b = rbf_benefits(users, facilities)
+        assert b[0, 0] > b[0, 1]
+        assert b[0, 0] == pytest.approx(np.exp(-1.0))
+
+    def test_kmedian_default_normalization(self):
+        users = np.array([[0.0], [4.0]])
+        facilities = np.array([[0.0], [4.0]])
+        b = kmedian_benefits(users, facilities)
+        # max distance = 4 -> b_uv = 4 - dist.
+        assert b[0, 0] == pytest.approx(4.0)
+        assert b[0, 1] == pytest.approx(0.0)
+
+    def test_kmedian_explicit_normalization_clamps(self):
+        users = np.array([[0.0]])
+        facilities = np.array([[5.0]])
+        b = kmedian_benefits(users, facilities, normalization=2.0)
+        assert b[0, 0] == 0.0  # max(0, 2 - 5)
+
+    def test_kmedian_validation(self):
+        with pytest.raises(ValueError):
+            kmedian_benefits(
+                np.zeros((1, 2)), np.zeros((1, 2)), normalization=0.0
+            )
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            rbf_benefits(np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            rbf_benefits(np.zeros(3), np.zeros((2, 3)))
+
+
+class TestFacilityObjective:
+    def _tiny(self) -> FacilityLocationObjective:
+        benefits = np.array(
+            [
+                [1.0, 0.2, 0.0],
+                [0.1, 0.9, 0.3],
+                [0.0, 0.5, 0.8],
+                [0.4, 0.0, 0.6],
+            ]
+        )
+        return FacilityLocationObjective(benefits, [0, 0, 1, 1])
+
+    def test_max_semantics(self):
+        obj = self._tiny()
+        values = obj.evaluate([0, 1])
+        # group0: users 0,1 -> max benefits (1.0, 0.9) avg 0.95
+        assert values[0] == pytest.approx(0.95)
+        # group1: users 2,3 -> max benefits (0.5, 0.4) avg 0.45
+        assert values[1] == pytest.approx(0.45)
+
+    def test_adding_worse_facility_changes_nothing(self):
+        obj = self._tiny()
+        v_before = obj.evaluate([0, 1])
+        v_after = obj.evaluate([0, 1, 2])
+        assert np.all(v_after >= v_before - 1e-12)
+
+    def test_gains_match_evaluate_difference(self):
+        obj = self._tiny()
+        state = obj.new_state()
+        obj.add(state, 0)
+        gains = obj.gains(state, 2)
+        expected = obj.evaluate([0, 2]) - obj.evaluate([0])
+        np.testing.assert_allclose(gains, expected)
+
+    def test_negative_benefits_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FacilityLocationObjective(np.array([[-0.1]]), [0])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            FacilityLocationObjective(np.zeros(3), [0, 0, 0])
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(GroupPartitionError):
+            FacilityLocationObjective(np.ones((3, 2)), [0, 1])
+
+    def test_monotone_submodular_spot_checks(self, small_facility):
+        from tests.conftest import assert_monotone_submodular
+
+        assert_monotone_submodular(
+            small_facility,
+            [
+                ([], [3], 5),
+                ([1], [1, 2], 0),
+                ([0, 1], [0, 1, 2, 3], 7),
+            ],
+        )
+
+    def test_properties_exposed(self, small_facility):
+        assert small_facility.benefits.shape == (20, 8)
+        assert small_facility.user_groups.shape == (20,)

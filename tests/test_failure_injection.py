@@ -1,0 +1,131 @@
+"""Failure-injection tests: degenerate instances and broken oracles.
+
+The unit suites validate happy paths per module; this file checks the
+library's behaviour at the edges a downstream user will eventually hit:
+zero-utility groups, single-item universes, k = n, oracles that raise
+mid-run, and contradictory configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import greedy_utility
+from repro.core.bsm_saturate import bsm_saturate
+from repro.core.functions import PerUserObjective
+from repro.core.problem import BSMProblem
+from repro.core.saturate import saturate
+from repro.core.tsgreedy import bsm_tsgreedy
+from repro.errors import GroupPartitionError, ReproError
+from repro.problems.coverage import CoverageObjective
+from repro.problems.facility import FacilityLocationObjective
+
+
+def zero_group_objective() -> FacilityLocationObjective:
+    """Group 1's users benefit from nothing: OPT_g = 0 identically."""
+    benefits = np.zeros((6, 4))
+    benefits[:3] = 0.8  # only group-0 users gain
+    return FacilityLocationObjective(benefits, [0, 0, 0, 1, 1, 1])
+
+
+class TestDegenerateInstances:
+    def test_zero_opt_g_still_returns_size_k(self):
+        obj = zero_group_objective()
+        for solver in (bsm_tsgreedy, bsm_saturate):
+            result = solver(obj, 2, 0.8)
+            assert result.size <= 2
+            assert result.fairness == 0.0
+            # Utility should not be sacrificed when fairness is hopeless.
+            assert result.utility > 0.0
+
+    def test_single_item_universe(self):
+        obj = FacilityLocationObjective(np.ones((3, 1)), [0, 0, 1])
+        result = bsm_saturate(obj, 1, 0.9)
+        assert result.solution == (0,)
+        assert result.fairness == pytest.approx(1.0)
+
+    def test_k_equals_n_selects_everything_useful(self):
+        obj = FacilityLocationObjective(
+            np.array([[0.2, 0.9], [0.4, 0.1]]), [0, 1]
+        )
+        result = greedy_utility(obj, 2)
+        assert set(result.solution) == {0, 1}
+
+    def test_k_larger_than_n_rejected_by_problem(self):
+        obj = FacilityLocationObjective(np.ones((2, 2)), [0, 1])
+        with pytest.raises(ValueError):
+            BSMProblem(obj, k=3)
+
+    def test_all_users_one_group_fairness_equals_utility(self):
+        obj = FacilityLocationObjective(
+            np.array([[0.5, 0.2], [0.3, 0.9]]), [0, 0]
+        )
+        result = bsm_saturate(obj, 1, 0.8)
+        assert result.fairness == pytest.approx(result.utility)
+
+    def test_duplicate_items_harmless(self):
+        sets = [np.array([0, 1]), np.array([0, 1]), np.array([2])]
+        obj = CoverageObjective(sets, [0, 0, 1])
+        result = greedy_utility(obj, 3)
+        # The duplicate contributes nothing but must not corrupt values.
+        values = obj.evaluate(result.solution)
+        assert np.all(values <= 1.0 + 1e-12)
+
+
+class TestBrokenOracles:
+    def test_exception_propagates_cleanly(self):
+        calls = {"n": 0}
+
+        def flaky(user: int, solution: frozenset[int]) -> float:
+            calls["n"] += 1
+            if calls["n"] > 30:
+                raise RuntimeError("oracle died")
+            return float(len(solution))
+
+        obj = PerUserObjective(5, [0, 0, 1], flaky)
+        with pytest.raises(RuntimeError, match="oracle died"):
+            saturate(obj, 3)
+
+    def test_negative_gain_oracle_rejected_or_clamped(self):
+        # PerUserObjective clamps non-monotone jitter to zero gains, so
+        # greedy terminates instead of looping on negative values.
+        def shrinking(user: int, solution: frozenset[int]) -> float:
+            return -float(len(solution))
+
+        obj = PerUserObjective(4, [0, 1], shrinking)
+        result = greedy_utility(obj, 2)
+        assert result.utility <= 0.0 or result.size == 0
+
+    def test_nan_benefits_rejected(self):
+        benefits = np.ones((3, 3))
+        benefits[1, 1] = np.nan
+        with pytest.raises(ValueError):
+            FacilityLocationObjective(benefits, [0, 0, 1])
+
+
+class TestContradictoryConfigs:
+    def test_group_labels_with_gap_rejected(self):
+        with pytest.raises(GroupPartitionError):
+            FacilityLocationObjective(np.ones((3, 2)), [0, 2, 2])
+
+    def test_negative_group_label_rejected(self):
+        with pytest.raises(GroupPartitionError):
+            FacilityLocationObjective(np.ones((3, 2)), [-1, 0, 1])
+
+    def test_repro_error_base_class_catches_domain_errors(self):
+        with pytest.raises(ReproError):
+            FacilityLocationObjective(np.ones((3, 2)), [0, 2, 2])
+
+    def test_unknown_solver_name(self):
+        obj = FacilityLocationObjective(np.ones((3, 2)), [0, 0, 1])
+        problem = BSMProblem(obj, k=1)
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            problem.solve("no-such-algorithm")
+
+    def test_tau_bounds_enforced(self):
+        obj = FacilityLocationObjective(np.ones((3, 2)), [0, 0, 1])
+        with pytest.raises(ValueError):
+            BSMProblem(obj, k=1, tau=1.5)
+        with pytest.raises(ValueError):
+            BSMProblem(obj, k=1, tau=-0.1)

@@ -1,0 +1,123 @@
+"""Tests for repro.graphs.generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    erdos_renyi,
+    gaussian_points,
+    preferential_attachment,
+    random_groups_graph,
+    stochastic_block_model,
+)
+
+
+class TestSBM:
+    def test_sizes_and_groups(self):
+        g = stochastic_block_model([30, 70], 0.1, 0.02, seed=0)
+        assert g.num_nodes == 100
+        assert g.group_sizes().tolist() == [30, 70]
+
+    def test_density_between_blocks(self):
+        g = stochastic_block_model([100, 100], 0.2, 0.01, seed=1)
+        groups = g.groups
+        intra = inter = 0
+        seen = set()
+        for u, v, _ in g.edges():
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                continue
+            seen.add(key)
+            if groups[u] == groups[v]:
+                intra += 1
+            else:
+                inter += 1
+        # Expected: intra ~ 0.2 * 2 * C(100,2) = 1980, inter ~ 0.01 * 10000 = 100.
+        assert intra > 5 * inter
+
+    def test_seeded_determinism(self):
+        a = stochastic_block_model([10, 10], 0.5, 0.1, seed=3)
+        b = stochastic_block_model([10, 10], 0.5, 0.1, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_zero_probability(self):
+        g = stochastic_block_model([5, 5], 0.0, 0.0, seed=0)
+        assert g.num_edges == 0
+
+    def test_directed(self):
+        g = stochastic_block_model([10, 10], 0.3, 0.1, seed=0, directed=True)
+        assert g.directed
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([5], 1.5, 0.0)
+
+
+class TestErdosRenyi:
+    def test_no_self_loops(self):
+        g = erdos_renyi(50, 0.2, seed=0, directed=True)
+        assert all(u != v for u, v, _ in g.edges())
+
+    def test_edge_count_near_expectation(self):
+        g = erdos_renyi(100, 0.1, seed=0)
+        expected = 0.1 * 100 * 99 / 2
+        assert 0.6 * expected < g.num_edges < 1.4 * expected
+
+    def test_p_zero(self):
+        assert erdos_renyi(10, 0.0, seed=0).num_edges == 0
+
+
+class TestPreferentialAttachment:
+    def test_edge_count(self):
+        g = preferential_attachment(100, 3, seed=0)
+        # seed clique C(3,2)=3 edges + 97 nodes * 3 edges.
+        assert g.num_edges == 3 + 97 * 3
+
+    def test_heavy_tail(self):
+        g = preferential_attachment(500, 2, seed=0)
+        degrees = sorted(
+            (g.out_degree(v) for v in range(g.num_nodes)), reverse=True
+        )
+        # Hubs: the max degree should far exceed the median.
+        assert degrees[0] > 5 * degrees[len(degrees) // 2]
+
+    def test_m_ge_n_rejected(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(3, 3)
+
+
+class TestGaussianPoints:
+    def test_shapes(self):
+        pts, labels = gaussian_points([10, 20], dim=3, seed=0)
+        assert pts.shape == (30, 3)
+        assert labels.tolist() == [0] * 10 + [1] * 20
+
+    def test_blobs_separated_with_wide_spread(self):
+        pts, labels = gaussian_points(
+            [50, 50], centers=np.array([[0.0, 0.0], [20.0, 0.0]]), seed=0
+        )
+        mean0 = pts[labels == 0].mean(axis=0)
+        mean1 = pts[labels == 1].mean(axis=0)
+        assert np.linalg.norm(mean1 - mean0) > 10
+
+    def test_center_shape_validated(self):
+        with pytest.raises(ValueError):
+            gaussian_points([5], centers=np.zeros((2, 2)), seed=0)
+
+
+class TestRandomGroupsGraph:
+    def test_group_mix(self):
+        g = random_groups_graph(200, 10.0, [20, 80], seed=0)
+        sizes = g.group_sizes()
+        assert sizes.tolist() == [40, 160]
+
+    def test_average_degree_close(self):
+        g = random_groups_graph(300, 12.0, [50, 50], seed=1)
+        avg = 2.0 * g.num_edges / g.num_nodes
+        assert 9.0 < avg < 15.0
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(ValueError):
+            random_groups_graph(10, 0.0, [1, 1])

@@ -1,0 +1,142 @@
+"""Tests for repro.graphs.graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GroupPartitionError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+        assert not g.directed
+
+    def test_edges_in_constructor(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.num_edges == 2
+        assert sorted(g.out_neighbors(1)) == [0, 2]
+
+    def test_weighted_edges(self):
+        g = Graph(2, [(0, 1, 0.3)], directed=True)
+        assert list(g.edges()) == [(0, 1, 0.3)]
+
+    def test_undirected_stores_both_arcs(self):
+        g = Graph(2, [(0, 1)])
+        assert g.num_arcs == 2
+        assert g.num_edges == 1
+
+    def test_directed_stores_one_arc(self):
+        g = Graph(2, [(0, 1)], directed=True)
+        assert g.num_arcs == 1
+        assert g.out_neighbors(1) == []
+
+    def test_self_loop_undirected_single_arc(self):
+        g = Graph(2, [(1, 1)])
+        assert g.out_neighbors(1) == [1]
+        assert g.num_arcs == 1
+
+    def test_invalid_node_rejected(self):
+        g = Graph(2)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 5)
+
+    def test_invalid_probability_rejected(self):
+        g = Graph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, probability=1.5)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(0)
+
+
+class TestGroups:
+    def test_set_and_get(self):
+        g = Graph(4, groups=[0, 0, 1, 1])
+        assert g.num_groups == 2
+        np.testing.assert_array_equal(g.group_members(1), [2, 3])
+        assert g.group_sizes().tolist() == [2, 2]
+
+    def test_missing_groups_raise(self):
+        g = Graph(3)
+        assert not g.has_groups
+        with pytest.raises(GroupPartitionError):
+            _ = g.groups
+        with pytest.raises(GroupPartitionError):
+            _ = g.num_groups
+
+    def test_wrong_length_rejected(self):
+        g = Graph(3)
+        with pytest.raises(GroupPartitionError):
+            g.set_groups([0, 1])
+
+    def test_empty_group_label_rejected(self):
+        g = Graph(3)
+        with pytest.raises(GroupPartitionError, match="empty group"):
+            g.set_groups([0, 0, 2])  # label 1 missing
+
+    def test_negative_label_rejected(self):
+        g = Graph(2)
+        with pytest.raises(GroupPartitionError):
+            g.set_groups([-1, 0])
+
+
+class TestQueries:
+    def test_out_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)], directed=True)
+        assert g.out_degree(0) == 3
+        assert g.out_degree(1) == 0
+
+    def test_edges_iteration_undirected(self):
+        g = Graph(3, [(0, 1, 0.5)])
+        arcs = sorted((u, v) for u, v, _ in g.edges())
+        assert arcs == [(0, 1), (1, 0)]
+
+    def test_csr_layout(self):
+        g = Graph(3, [(0, 1), (0, 2)], directed=True)
+        indptr, indices, probs = g.out_adjacency()
+        assert indptr.tolist() == [0, 2, 2, 2]
+        assert sorted(indices.tolist()) == [1, 2]
+        assert probs.tolist() == [1.0, 1.0]
+
+    def test_csr_cache_invalidated_on_add(self):
+        g = Graph(3, [(0, 1)], directed=True)
+        g.out_adjacency()
+        g.add_edge(1, 2)
+        indptr, _, _ = g.out_adjacency()
+        assert indptr[-1] == 2
+
+    def test_set_edge_probabilities(self):
+        g = Graph(3, [(0, 1), (1, 2)], directed=True)
+        g.set_edge_probabilities(0.25)
+        assert all(p == 0.25 for _, _, p in g.edges())
+
+    def test_set_edge_probabilities_validates(self):
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.set_edge_probabilities(-0.1)
+
+
+class TestTranspose:
+    def test_directed_transpose_flips(self):
+        g = Graph(3, [(0, 1, 0.7)], directed=True)
+        t = g.transpose()
+        assert list(t.edges()) == [(1, 0, 0.7)]
+        assert t.directed
+
+    def test_groups_carried_over(self):
+        g = Graph(2, [(0, 1)], directed=True, groups=[0, 1])
+        t = g.transpose()
+        assert t.num_groups == 2
+
+    def test_undirected_transpose_same_arcs(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        t = g.transpose()
+        assert sorted((u, v) for u, v, _ in t.edges()) == sorted(
+            (u, v) for u, v, _ in g.edges()
+        )

@@ -1,0 +1,88 @@
+"""Tests for repro.graphs.io round-tripping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_undirected_with_groups(self, tmp_path):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3, 0.5)], groups=[0, 0, 1, 1])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == 4
+        assert not loaded.directed
+        assert loaded.num_edges == 3
+        assert loaded.groups.tolist() == [0, 0, 1, 1]
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_directed_no_groups(self, tmp_path):
+        g = Graph(3, [(0, 1), (2, 0)], directed=True)
+        path = tmp_path / "d.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.directed
+        assert not loaded.has_groups
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_probabilities_preserved(self, tmp_path):
+        g = Graph(2, [(0, 1, 0.123456789)], directed=True)
+        path = tmp_path / "p.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        (_, _, p) = next(iter(loaded.edges()))
+        assert p == pytest.approx(0.123456789)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header comment\n\nn 2 directed\ne 0 1\n")
+        loaded = read_edge_list(path)
+        assert loaded.num_edges == 1
+
+
+class TestErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("e 0 1\n")
+        with pytest.raises(ValueError, match="edge before header"):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(ValueError, match="missing header"):
+            read_edge_list(path)
+
+    def test_duplicate_header(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("n 2 directed\nn 2 directed\n")
+        with pytest.raises(ValueError, match="duplicate header"):
+            read_edge_list(path)
+
+    def test_unknown_tag(self, tmp_path):
+        path = tmp_path / "tag.txt"
+        path.write_text("n 2 directed\nz 1\n")
+        with pytest.raises(ValueError, match="unknown record tag"):
+            read_edge_list(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "mh.txt"
+        path.write_text("n 2 sideways\n")
+        with pytest.raises(ValueError, match="malformed header"):
+            read_edge_list(path)
+
+    def test_malformed_edge(self, tmp_path):
+        path = tmp_path / "me.txt"
+        path.write_text("n 2 directed\ne 0 1 0.5 extra\n")
+        with pytest.raises(ValueError, match="malformed edge"):
+            read_edge_list(path)
+
+    def test_groups_before_header(self, tmp_path):
+        path = tmp_path / "gb.txt"
+        path.write_text("g 0 1\n")
+        with pytest.raises(ValueError, match="groups before header"):
+            read_edge_list(path)

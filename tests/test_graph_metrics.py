@@ -1,0 +1,130 @@
+"""Tests for repro.graphs.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    preferential_attachment,
+    stochastic_block_model,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import (
+    degree_sequence,
+    gini_coefficient,
+    global_clustering,
+    graph_statistics,
+    group_homophily,
+)
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    g = Graph(4, directed=False, groups=[0, 0, 1, 1])
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    g.add_edge(0, 2)
+    g.add_edge(2, 3)
+    return g
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.array([4.0, 4.0, 4.0])) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_concentrated_near_one(self):
+        values = np.array([0.0] * 99 + [100.0])
+        assert gini_coefficient(values) > 0.95
+
+    def test_scale_invariant(self):
+        base = np.array([1.0, 2.0, 3.0, 10.0])
+        assert gini_coefficient(base) == pytest.approx(
+            gini_coefficient(base * 7.0)
+        )
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([]))
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+    def test_all_zero_degrees(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+
+class TestClustering:
+    def test_triangle_plus_tail(self, triangle_graph):
+        # One triangle; triples: 0:(1,2)=1, 1:(0,2)=1, 2:(0,1,3)=3, 3:0 -> 5.
+        assert global_clustering(triangle_graph) == pytest.approx(3.0 / 5.0)
+
+    def test_triangle_free_graph_zero(self):
+        g = Graph(4, directed=False, groups=[0, 0, 1, 1])
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert global_clustering(g) == 0.0
+
+    def test_complete_graph_is_one(self):
+        g = Graph(4, directed=False, groups=[0, 0, 1, 1])
+        for u in range(4):
+            for v in range(u + 1, 4):
+                g.add_edge(u, v)
+        assert global_clustering(g) == pytest.approx(1.0)
+
+    def test_dense_sbm_more_clustered_than_sparse(self):
+        dense = stochastic_block_model([40, 40], 0.3, 0.02, seed=0)
+        sparse = stochastic_block_model([40, 40], 0.05, 0.02, seed=0)
+        assert global_clustering(dense) > global_clustering(sparse)
+
+
+class TestHomophily:
+    def test_perfectly_assortative(self):
+        g = Graph(4, directed=False, groups=[0, 0, 1, 1])
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert group_homophily(g) == pytest.approx(1.0)
+
+    def test_perfectly_disassortative(self):
+        g = Graph(4, directed=False, groups=[0, 0, 1, 1])
+        g.add_edge(0, 2)
+        g.add_edge(1, 3)
+        assert group_homophily(g) < 0.0
+
+    def test_sbm_homophily_tracks_intra_probability(self):
+        strong = stochastic_block_model([50, 50], 0.2, 0.01, seed=1)
+        weak = stochastic_block_model([50, 50], 0.06, 0.05, seed=1)
+        assert group_homophily(strong) > group_homophily(weak)
+
+    def test_edgeless_graph_zero(self):
+        g = Graph(3, directed=False, groups=[0, 1, 1])
+        assert group_homophily(g) == 0.0
+
+
+class TestGraphStatistics:
+    def test_full_summary_fields(self, triangle_graph):
+        stats = graph_statistics(triangle_graph)
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 4
+        assert stats.num_groups == 2
+        assert stats.group_fractions == (0.5, 0.5)
+        assert stats.max_out_degree >= stats.mean_out_degree
+
+    def test_render_is_one_line(self, triangle_graph):
+        text = graph_statistics(triangle_graph).render()
+        assert "\n" not in text
+        assert "n=4" in text
+
+    def test_powerlaw_gini_exceeds_sbm(self):
+        pa = preferential_attachment(200, 3, seed=2)
+        sbm = stochastic_block_model([100, 100], 0.05, 0.02, seed=2)
+        assert gini_coefficient(degree_sequence(pa)) > gini_coefficient(
+            degree_sequence(sbm)
+        )
+
+    def test_degree_sequence_shape(self, triangle_graph):
+        degrees = degree_sequence(triangle_graph)
+        assert degrees.shape == (4,)
+        # Undirected graph: out-degree view counts both directions.
+        assert int(degrees.sum()) == 2 * triangle_graph.num_edges

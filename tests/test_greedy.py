@@ -1,0 +1,119 @@
+"""Tests for repro.core.greedy: plain, lazy and stochastic greedy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.functions import AverageUtility, MinUtility, TruncatedFairness
+from repro.core.greedy import greedy_max, stochastic_greedy_max
+from tests.conftest import brute_force_best
+
+
+class TestGreedyMax:
+    def test_figure1_greedy_solution(self, figure1):
+        state, steps = greedy_max(figure1, AverageUtility(), 2)
+        assert set(state.solution) == {0, 1}  # {v1, v2} per Example 3.1
+        assert figure1.utility(state) == pytest.approx(0.75)
+        assert len(steps) == 2
+        assert steps[0].item == 0  # v1 covers 5 users, the largest gain
+
+    def test_lazy_equals_plain(self, small_coverage):
+        lazy_state, _ = greedy_max(small_coverage, AverageUtility(), 5, lazy=True)
+        plain_state, _ = greedy_max(small_coverage, AverageUtility(), 5, lazy=False)
+        assert small_coverage.utility(lazy_state) == pytest.approx(
+            small_coverage.utility(plain_state)
+        )
+
+    def test_lazy_equals_plain_facility(self, small_facility):
+        lazy_state, _ = greedy_max(small_facility, AverageUtility(), 4, lazy=True)
+        plain_state, _ = greedy_max(small_facility, AverageUtility(), 4, lazy=False)
+        assert small_facility.utility(lazy_state) == pytest.approx(
+            small_facility.utility(plain_state)
+        )
+
+    def test_lazy_uses_fewer_oracle_calls(self, small_coverage):
+        small_coverage.reset_counter()
+        greedy_max(small_coverage, AverageUtility(), 5, lazy=False)
+        plain_calls = small_coverage.oracle_calls
+        small_coverage.reset_counter()
+        greedy_max(small_coverage, AverageUtility(), 5, lazy=True)
+        lazy_calls = small_coverage.oracle_calls
+        assert lazy_calls <= plain_calls
+
+    def test_budget_respected(self, small_coverage):
+        state, _ = greedy_max(small_coverage, AverageUtility(), 3)
+        assert state.size <= 3
+
+    def test_stops_when_saturated(self, figure1):
+        # All 12 users are covered by {v1, v2, v3, v4}; asking for more
+        # items than useful stops at zero marginal gain.
+        state, _ = greedy_max(figure1, AverageUtility(), 4)
+        extra_state, _ = greedy_max(figure1, AverageUtility(), 4, state=state)
+        assert extra_state.size == state.size
+
+    def test_stop_value_cover_mode(self, figure1):
+        scal = TruncatedFairness(1 / 3)
+        state, _ = greedy_max(
+            figure1, scal, 4, stop_value=1.0
+        )
+        assert scal.value(state.group_values, figure1.group_weights) >= 1.0 - 1e-9
+        # Should need at most 2 items ({v3} alone gets group2 to 1/3 but
+        # group1 needs v1 or v2).
+        assert state.size <= 2
+
+    def test_candidates_restriction(self, figure1):
+        state, _ = greedy_max(
+            figure1, AverageUtility(), 2, candidates=[2, 3]
+        )
+        assert set(state.solution) <= {2, 3}
+
+    def test_warm_start(self, figure1):
+        state = figure1.new_state()
+        figure1.add(state, 3)
+        state, _ = greedy_max(figure1, AverageUtility(), 1, state=state)
+        assert 3 in state.solution
+        assert state.size == 2
+        assert state.solution[1] == 0  # v1 is the best addition to {v4}
+
+    def test_greedy_achieves_1_minus_1_over_e(self, small_coverage):
+        state, _ = greedy_max(small_coverage, AverageUtility(), 4)
+        _, opt = brute_force_best(small_coverage, 4, metric="utility")
+        assert small_coverage.utility(state) >= (1 - 1 / np.e) * opt - 1e-9
+
+    def test_budget_validation(self, figure1):
+        with pytest.raises(ValueError):
+            greedy_max(figure1, AverageUtility(), 0)
+
+
+class TestStochasticGreedy:
+    def test_respects_budget(self, small_coverage):
+        state, _ = stochastic_greedy_max(
+            small_coverage, AverageUtility(), 4, seed=0
+        )
+        assert state.size <= 4
+
+    def test_with_epsilon_near_zero_matches_greedy_quality(self, small_coverage):
+        # Tiny epsilon -> sample ~ the whole ground set each round.
+        state, _ = stochastic_greedy_max(
+            small_coverage, AverageUtility(), 4, epsilon=0.0001, seed=0
+        )
+        greedy_state, _ = greedy_max(small_coverage, AverageUtility(), 4)
+        assert small_coverage.utility(state) >= 0.9 * small_coverage.utility(
+            greedy_state
+        )
+
+    def test_seed_determinism(self, small_coverage):
+        a, _ = stochastic_greedy_max(
+            small_coverage, AverageUtility(), 3, seed=11
+        )
+        b, _ = stochastic_greedy_max(
+            small_coverage, AverageUtility(), 3, seed=11
+        )
+        assert a.solution == b.solution
+
+    def test_epsilon_validation(self, small_coverage):
+        with pytest.raises(ValueError):
+            stochastic_greedy_max(
+                small_coverage, AverageUtility(), 2, epsilon=1.5
+            )

@@ -1,0 +1,113 @@
+"""Tests for repro.ilp.branch_and_bound against known optima and the
+scipy.optimize.milp backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleError, SolverError
+from repro.ilp.branch_and_bound import solve_milp
+from repro.ilp.model import LinearExpr, Model
+
+
+def _knapsack_model() -> Model:
+    """max 10x0 + 13x1 + 7x2 s.t. 3x0 + 4x1 + 2x2 <= 6, x binary.
+
+    Optimum: x0 = 1, x2 = 1 -> 17 (weight 5); x1+x2 = 20/6 weight 6 -> 20.
+    Actually x1=1, x2=1: weight 6, value 20 -- the optimum.
+    """
+    m = Model("knapsack")
+    x = [m.add_binary(f"x{i}") for i in range(3)]
+    m.add_constraint(3 * x[0] + 4 * x[1] + 2 * x[2] <= 6)
+    m.set_objective(10 * x[0] + 13 * x[1] + 7 * x[2])
+    return m
+
+
+class TestBranchAndBound:
+    def test_knapsack_optimum(self):
+        sol = solve_milp(_knapsack_model())
+        assert sol.objective == pytest.approx(20.0)
+        assert sol.x.tolist() == [0.0, 1.0, 1.0]
+
+    def test_matches_scipy_backend(self):
+        ours = solve_milp(_knapsack_model())
+        scipy_sol = solve_milp(_knapsack_model(), backend="scipy")
+        assert ours.objective == pytest.approx(scipy_sol.objective)
+
+    def test_pure_lp(self):
+        m = Model()
+        x = m.add_variable("x", upper=4.0)
+        y = m.add_variable("y", upper=4.0)
+        m.add_constraint(x + y <= 6)
+        m.set_objective(x + 2 * y)
+        sol = solve_milp(m)
+        assert sol.objective == pytest.approx(10.0)  # y=4, x=2
+
+    def test_infeasible_raises(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x >= 2)
+        m.set_objective(x.expr())
+        with pytest.raises(InfeasibleError):
+            solve_milp(m)
+        with pytest.raises(InfeasibleError):
+            solve_milp(m, backend="scipy")
+
+    def test_equality_constraints(self):
+        m = Model()
+        x = m.add_variable("x", upper=10, integer=True)
+        y = m.add_variable("y", upper=10, integer=True)
+        m.add_constraint(x + y == 7)
+        m.set_objective(3 * x + 2 * y)
+        sol = solve_milp(m)
+        assert sol.objective == pytest.approx(21.0)  # x=7, y=0
+
+    def test_objective_constant_included(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.set_objective(x + 5)
+        sol = solve_milp(m)
+        assert sol.objective == pytest.approx(6.0)
+
+    def test_node_budget_enforced(self):
+        # A model engineered to branch at least a few times.
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(12)]
+        weights = [3, 5, 7, 9, 11, 13, 17, 19, 23, 29, 31, 37]
+        m.add_constraint(
+            LinearExpr({x.index: float(w) for x, w in zip(xs, weights)}) <= 50
+        )
+        m.set_objective(
+            LinearExpr({x.index: float(w) + 0.5 for x, w in zip(xs, weights)})
+        )
+        with pytest.raises(SolverError, match="node budget"):
+            solve_milp(m, max_nodes=1)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            solve_milp(_knapsack_model(), backend="gurobi")
+
+    def test_random_instances_match_scipy(self):
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            m = Model()
+            n = 8
+            xs = [m.add_binary(f"x{i}") for i in range(n)]
+            w = rng.integers(1, 10, size=n)
+            v = rng.integers(1, 20, size=n)
+            cap = int(w.sum() // 2)
+            m.add_constraint(
+                LinearExpr({x.index: float(wi) for x, wi in zip(xs, w)}) <= cap
+            )
+            m.set_objective(
+                LinearExpr({x.index: float(vi) for x, vi in zip(xs, v)})
+            )
+            ours = solve_milp(m)
+            theirs = solve_milp(m, backend="scipy")
+            assert ours.objective == pytest.approx(theirs.objective), trial
+
+    def test_nodes_reported(self):
+        sol = solve_milp(_knapsack_model())
+        assert sol.nodes >= 1
+        assert sol.backend == "branch-and-bound"

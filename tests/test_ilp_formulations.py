@@ -1,0 +1,107 @@
+"""Tests for repro.ilp.formulations against brute-force enumeration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ilp.branch_and_bound import solve_milp
+from repro.ilp.formulations import (
+    bsm_coverage_ilp,
+    bsm_facility_ilp,
+    coverage_ilp,
+    facility_ilp,
+    robust_coverage_ilp,
+    robust_facility_ilp,
+)
+from repro.problems.facility import FacilityLocationObjective
+from tests.conftest import brute_force_best, brute_force_bsm
+
+
+class TestCoverageIlp:
+    def test_matches_brute_force_f(self, figure1):
+        model, x = coverage_ilp(figure1, 2)
+        sol = solve_milp(model)
+        _, opt_f = brute_force_best(figure1, 2, metric="utility")
+        assert sol.objective == pytest.approx(opt_f)
+        chosen = [v.index for v in x if sol.x[v.index] > 0.5]
+        assert set(chosen) == {0, 1}
+
+    def test_matches_brute_force_g(self, figure1):
+        model, x = robust_coverage_ilp(figure1, 2)
+        sol = solve_milp(model)
+        _, opt_g = brute_force_best(figure1, 2, metric="fairness")
+        assert sol.objective == pytest.approx(opt_g)
+
+    @pytest.mark.parametrize("tau", [0.3, 0.6, 0.9])
+    def test_bsm_matches_brute_force(self, figure1, tau):
+        _, opt_g = brute_force_best(figure1, 2, metric="fairness")
+        model, x = bsm_coverage_ilp(figure1, 2, tau, opt_g)
+        sol = solve_milp(model)
+        _, bf_f, _ = brute_force_bsm(figure1, 2, tau)
+        assert sol.objective == pytest.approx(bf_f)
+
+    def test_small_random_instances(self, small_coverage):
+        model, _ = coverage_ilp(small_coverage, 3)
+        sol = solve_milp(model)
+        _, opt_f = brute_force_best(small_coverage, 3, metric="utility")
+        assert sol.objective == pytest.approx(opt_f)
+
+    def test_robust_small_random(self, small_coverage):
+        model, _ = robust_coverage_ilp(small_coverage, 4)
+        sol = solve_milp(model)
+        _, opt_g = brute_force_best(small_coverage, 4, metric="fairness")
+        assert sol.objective == pytest.approx(opt_g)
+
+    def test_k_validation(self, figure1):
+        with pytest.raises(ValueError):
+            coverage_ilp(figure1, 0)
+
+
+class TestFacilityIlp:
+    def _tiny(self) -> FacilityLocationObjective:
+        benefits = np.array(
+            [
+                [0.9, 0.1, 0.5],
+                [0.2, 0.8, 0.4],
+                [0.3, 0.3, 0.9],
+                [0.7, 0.2, 0.1],
+            ]
+        )
+        return FacilityLocationObjective(benefits, [0, 0, 1, 1])
+
+    def test_matches_brute_force_f(self):
+        obj = self._tiny()
+        model, x = facility_ilp(obj, 2)
+        sol = solve_milp(model)
+        _, opt_f = brute_force_best(obj, 2, metric="utility")
+        assert sol.objective == pytest.approx(opt_f)
+
+    def test_matches_brute_force_g(self):
+        obj = self._tiny()
+        model, _ = robust_facility_ilp(obj, 2)
+        sol = solve_milp(model)
+        _, opt_g = brute_force_best(obj, 2, metric="fairness")
+        assert sol.objective == pytest.approx(opt_g)
+
+    @pytest.mark.parametrize("tau", [0.4, 0.8])
+    def test_bsm_matches_brute_force(self, tau):
+        obj = self._tiny()
+        _, opt_g = brute_force_best(obj, 2, metric="fairness")
+        model, _ = bsm_facility_ilp(obj, 2, tau, opt_g)
+        sol = solve_milp(model)
+        _, bf_f, _ = brute_force_bsm(obj, 2, tau)
+        assert sol.objective == pytest.approx(bf_f)
+
+    def test_random_facility_instance(self, small_facility):
+        model, _ = facility_ilp(small_facility, 3)
+        sol = solve_milp(model, backend="scipy")
+        _, opt_f = brute_force_best(small_facility, 3, metric="utility")
+        assert sol.objective == pytest.approx(opt_f)
+
+    def test_backends_agree_on_robust(self):
+        obj = self._tiny()
+        model, _ = robust_facility_ilp(obj, 2)
+        ours = solve_milp(model)
+        theirs = solve_milp(model, backend="scipy")
+        assert ours.objective == pytest.approx(theirs.objective)

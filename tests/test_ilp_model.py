@@ -1,0 +1,130 @@
+"""Tests for repro.ilp.model (expressions, constraints, standard form)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ilp.model import LinearExpr, Model
+
+
+class TestLinearExpr:
+    def test_variable_arithmetic(self):
+        m = Model()
+        x = m.add_variable("x")
+        y = m.add_variable("y")
+        expr = 2 * x + y - 3
+        assert expr.coeffs == {0: 2.0, 1: 1.0}
+        assert expr.constant == -3.0
+
+    def test_negation_and_subtraction(self):
+        m = Model()
+        x = m.add_variable("x")
+        expr = 5 - x
+        assert expr.coeffs == {0: -1.0}
+        assert expr.constant == 5.0
+        neg = -(x + 1)
+        assert neg.coeffs == {0: -1.0}
+        assert neg.constant == -1.0
+
+    def test_expr_times_scalar(self):
+        m = Model()
+        x = m.add_variable("x")
+        expr = (x + 2) * 3
+        assert expr.coeffs == {0: 3.0}
+        assert expr.constant == 6.0
+
+    def test_value_evaluation(self):
+        m = Model()
+        x = m.add_variable("x")
+        y = m.add_variable("y")
+        expr = 2 * x + 3 * y + 1
+        assert expr.value(np.array([1.0, 2.0])) == pytest.approx(9.0)
+
+    def test_expr_plus_expr(self):
+        m = Model()
+        x = m.add_variable("x")
+        y = m.add_variable("y")
+        expr = (x + 1) + (y + 2)
+        assert expr.coeffs == {0: 1.0, 1: 1.0}
+        assert expr.constant == 3.0
+
+
+class TestConstraints:
+    def test_senses(self):
+        m = Model()
+        x = m.add_variable("x")
+        le = x <= 3
+        ge = x >= 1
+        eq = x == 2
+        assert le.sense == "<="
+        assert ge.sense == ">="
+        assert eq.sense == "=="
+
+    def test_invalid_sense_rejected(self):
+        from repro.ilp.model import Constraint
+
+        with pytest.raises(ValueError):
+            Constraint(LinearExpr(), "<")
+
+
+class TestModel:
+    def test_variable_bookkeeping(self):
+        m = Model("test")
+        x = m.add_binary("x")
+        y = m.add_variable("y", lower=-1, upper=4)
+        assert m.num_variables == 2
+        assert x.is_integer and not y.is_integer
+        assert m.variables[1].lower == -1
+
+    def test_bad_bounds_rejected(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            m.add_variable("x", lower=2, upper=1)
+
+    def test_standard_form_shapes(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_variable("y", upper=10.0)
+        m.add_constraint(x + y <= 5)
+        m.add_constraint(x - y >= -2)
+        m.add_constraint(y == 3)
+        m.set_objective(2 * x + y)
+        form = m.to_standard_form()
+        assert form.c.tolist() == [2.0, 1.0]
+        assert form.a_ub.shape == (2, 2)
+        assert form.a_eq.shape == (1, 2)
+        assert form.integers.tolist() == [0]
+
+    def test_standard_form_ge_flips_sign(self):
+        m = Model()
+        x = m.add_variable("x")
+        m.add_constraint(x >= 2)
+        form = m.to_standard_form()
+        # -x <= -2.
+        assert form.a_ub.toarray().tolist() == [[-1.0]]
+        assert form.b_ub.tolist() == [-2.0]
+
+    def test_constraint_constants_move_to_rhs(self):
+        m = Model()
+        x = m.add_variable("x")
+        m.add_constraint(x + 3 <= 5)
+        form = m.to_standard_form()
+        assert form.b_ub.tolist() == [2.0]
+
+    def test_objective_constant_preserved(self):
+        m = Model()
+        x = m.add_variable("x")
+        m.set_objective(x + 7)
+        form = m.to_standard_form()
+        assert form.objective_constant == 7.0
+
+    def test_sparse_matrices(self):
+        from scipy import sparse
+
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(100)]
+        m.add_constraint(xs[0] + xs[99] <= 1)
+        form = m.to_standard_form()
+        assert sparse.issparse(form.a_ub)
+        assert form.a_ub.nnz == 2

@@ -1,0 +1,98 @@
+"""Tests for repro.influence.imm."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import stochastic_block_model
+from repro.influence.imm import (
+    _greedy_coverage_fraction,
+    _log_binomial,
+    imm_rr_collection,
+    imm_sample_bound,
+)
+
+
+class TestLogBinomial:
+    def test_matches_exact_small(self):
+        assert _log_binomial(10, 3) == pytest.approx(math.log(120))
+
+    def test_edge_cases(self):
+        assert _log_binomial(5, 0) == pytest.approx(0.0)
+        assert _log_binomial(5, 5) == pytest.approx(0.0)
+        assert _log_binomial(5, 6) == float("-inf")
+
+
+class TestImmSampleBound:
+    def test_positive_and_growing_in_n(self):
+        b100 = imm_sample_bound(100, 5)
+        b1000 = imm_sample_bound(1000, 5)
+        assert 0 < b100 < b1000
+
+    def test_decreasing_in_epsilon(self):
+        tight = imm_sample_bound(100, 5, epsilon=0.1)
+        loose = imm_sample_bound(100, 5, epsilon=0.5)
+        assert tight > loose
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            imm_sample_bound(100, 5, epsilon=0.0)
+        with pytest.raises(ValueError):
+            imm_sample_bound(100, 5, ell=0.0)
+
+
+class TestGreedyCoverageFraction:
+    def test_full_cover(self):
+        sets = [np.array([0]), np.array([0, 1]), np.array([2])]
+        frac = _greedy_coverage_fraction(sets, 3, 2)
+        assert frac == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert _greedy_coverage_fraction([], 3, 2) == 0.0
+
+    def test_partial(self):
+        sets = [np.array([0]), np.array([1]), np.array([2])]
+        frac = _greedy_coverage_fraction(sets, 3, 1)
+        assert frac == pytest.approx(1 / 3)
+
+
+class TestImmRRCollection:
+    def _graph(self):
+        g = stochastic_block_model([20, 20], 0.2, 0.05, seed=0)
+        g.set_edge_probabilities(0.1)
+        return g
+
+    def test_returns_sized_collection(self):
+        res = imm_rr_collection(self._graph(), 3, seed=0, max_samples=2_000)
+        assert res.collection.num_sets >= 2
+        assert res.target_samples == res.collection.num_sets
+        assert res.opt_lower_bound >= 1.0
+
+    def test_cap_respected_and_reported(self):
+        res = imm_rr_collection(self._graph(), 3, seed=0, max_samples=50)
+        assert res.collection.num_sets <= 50
+        assert res.capped or res.target_samples <= 50
+
+    def test_stratified_roots(self):
+        res = imm_rr_collection(
+            self._graph(), 3, seed=0, max_samples=200, stratified=True
+        )
+        counts = res.collection.group_counts
+        assert abs(int(counts[0]) - int(counts[1])) <= 1
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            imm_rr_collection(self._graph(), 40, seed=0)
+
+    def test_objective_builder(self):
+        from repro.problems.influence import InfluenceObjective
+
+        obj = InfluenceObjective.from_graph_imm(
+            self._graph(), 3, seed=1, max_samples=500
+        )
+        assert obj.num_items == 40
+        values = obj.evaluate([0, 1, 2])
+        assert np.all(values >= 0) and np.all(values <= 1)

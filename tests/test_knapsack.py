@@ -1,0 +1,73 @@
+"""Tests for repro.core.knapsack (budgeted greedy variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.knapsack import budgeted_greedy, cost_benefit_greedy
+from repro.problems.coverage import CoverageObjective
+
+
+class TestCostBenefitGreedy:
+    def test_respects_budget(self, small_coverage):
+        costs = np.full(small_coverage.num_items, 2.0)
+        result = cost_benefit_greedy(small_coverage, costs, budget=5.0)
+        assert result.extra["spent"] <= 5.0 + 1e-12
+        assert result.size <= 2
+
+    def test_uniform_costs_match_cardinality_greedy(self, figure1):
+        from repro.core.baselines import greedy_utility
+
+        costs = np.ones(4)
+        budgeted = cost_benefit_greedy(figure1, costs, budget=2.0)
+        plain = greedy_utility(figure1, 2)
+        assert budgeted.utility == pytest.approx(plain.utility)
+
+    def test_prefers_cheap_efficient_items(self):
+        # Item 0 covers 2 users at cost 1; item 1 covers 3 users at cost
+        # 10. With budget 10, ratio greedy takes item 0 first.
+        obj = CoverageObjective([[0, 1], [2, 3, 4]], [0, 0, 0, 0, 1])
+        result = cost_benefit_greedy(obj, [1.0, 10.0], budget=10.0)
+        assert result.solution[0] == 0
+
+    def test_validation(self, figure1):
+        with pytest.raises(ValueError):
+            cost_benefit_greedy(figure1, [1.0, 1.0], budget=2.0)  # wrong len
+        with pytest.raises(ValueError):
+            cost_benefit_greedy(figure1, [1, 1, 0, 1], budget=2.0)
+        with pytest.raises(ValueError):
+            cost_benefit_greedy(figure1, np.ones(4), budget=0.0)
+
+
+class TestBudgetedGreedy:
+    def test_singleton_guard_fixes_ratio_trap(self):
+        # The classic counterexample: a cheap item with tiny value and an
+        # expensive item worth everything. Ratio greedy takes the cheap
+        # one and can't afford the big one; the singleton guard must win.
+        obj = CoverageObjective(
+            [[0], list(range(1, 11))], [0] * 11
+        )
+        costs = [1.0, 10.0]
+        ratio_only = cost_benefit_greedy(obj, costs, budget=10.0)
+        guarded = budgeted_greedy(obj, costs, budget=10.0)
+        assert ratio_only.utility == pytest.approx(1 / 11)
+        assert guarded.utility == pytest.approx(10 / 11)
+        assert guarded.extra["picked"] == "singleton"
+
+    def test_keeps_greedy_when_better(self, small_coverage):
+        costs = np.ones(small_coverage.num_items)
+        result = budgeted_greedy(small_coverage, costs, budget=4.0)
+        assert result.extra["picked"] in ("greedy", "singleton")
+        assert result.size >= 1
+
+    def test_budget_respected_both_branches(self, small_facility):
+        rng = np.random.default_rng(0)
+        costs = rng.uniform(0.5, 2.0, size=small_facility.num_items)
+        result = budgeted_greedy(small_facility, costs, budget=3.0)
+        assert result.extra["spent"] <= 3.0 + 1e-12
+
+    def test_unaffordable_everything(self, figure1):
+        result = budgeted_greedy(figure1, np.full(4, 100.0), budget=1.0)
+        assert result.size == 0
+        assert result.utility == 0.0

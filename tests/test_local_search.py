@@ -1,0 +1,108 @@
+"""Tests for repro.core.local_search (swap polish of BSM solutions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import greedy_utility
+from repro.core.bsm_saturate import bsm_saturate
+from repro.core.local_search import polish, swap_local_search
+from repro.core.saturate import saturate
+from tests.conftest import brute_force_best
+
+
+class TestSwapLocalSearch:
+    def test_improves_bad_start(self, small_coverage):
+        # Start from the worst singleton-ish set; local search must reach
+        # at least the greedy value for k=2 on this small instance.
+        state, swaps = swap_local_search(
+            small_coverage, [0, 1], fairness_floor=0.0, max_sweeps=10
+        )
+        greedy = greedy_utility(small_coverage, 2)
+        value = float(small_coverage.group_weights @ state.group_values)
+        assert value >= greedy.utility - 1e-9
+        assert swaps >= 0
+
+    def test_fixed_point_of_optimum(self, small_coverage):
+        best_set, best_val = brute_force_best(
+            small_coverage, 3, metric="utility"
+        )
+        state, swaps = swap_local_search(
+            small_coverage, best_set, fairness_floor=0.0
+        )
+        assert swaps == 0
+        assert float(
+            small_coverage.group_weights @ state.group_values
+        ) == pytest.approx(best_val)
+
+    def test_never_breaks_feasible_floor(self, small_coverage):
+        sat = saturate(small_coverage, 3)
+        floor = 0.8 * sat.fairness
+        state, _ = swap_local_search(
+            small_coverage, sat.solution, fairness_floor=floor
+        )
+        assert float(state.group_values.min()) >= floor - 1e-9
+
+    def test_repair_mode_raises_fairness(self, small_coverage):
+        # Start from the utility-greedy set, which typically violates a
+        # high floor; repair swaps must not decrease g.
+        greedy = greedy_utility(small_coverage, 3)
+        sat = saturate(small_coverage, 3)
+        floor = sat.fairness  # demanding floor
+        state, _ = swap_local_search(
+            small_coverage, greedy.solution, fairness_floor=floor
+        )
+        assert float(state.group_values.min()) >= greedy.fairness - 1e-9
+
+    def test_preserves_solution_size(self, small_facility):
+        state, _ = swap_local_search(
+            small_facility, [0, 1, 2], fairness_floor=0.0
+        )
+        assert state.size == 3
+
+    def test_candidate_pool_restriction(self, small_coverage):
+        state, _ = swap_local_search(
+            small_coverage, [0, 1], candidates=[0, 1, 2, 3]
+        )
+        assert set(state.solution) <= {0, 1, 2, 3}
+
+    def test_validates_inputs(self, small_coverage):
+        with pytest.raises(ValueError):
+            swap_local_search(small_coverage, [0], fairness_floor=-1.0)
+        with pytest.raises(ValueError):
+            swap_local_search(small_coverage, [0], max_sweeps=0)
+
+
+class TestPolish:
+    def test_returns_original_when_no_swap_helps(self, small_coverage):
+        best_set, _ = brute_force_best(small_coverage, 3, metric="utility")
+        base = greedy_utility(small_coverage, 3)
+        if tuple(sorted(base.solution)) == tuple(sorted(best_set)):
+            polished = polish(small_coverage, base)
+            assert polished is base
+
+    def test_polish_never_worse(self, small_coverage):
+        for tau in (0.2, 0.5, 0.8):
+            base = bsm_saturate(small_coverage, 3, tau)
+            floor = tau * base.extra["opt_g_approx"]
+            polished = polish(small_coverage, base, fairness_floor=floor)
+            assert polished.utility >= base.utility - 1e-9
+            if polished is not base:
+                assert polished.fairness >= floor - 1e-9
+                assert polished.algorithm.endswith("+LS")
+                assert polished.extra["swaps"] >= 1
+                assert polished.extra["utility_delta"] >= -1e-12
+
+    def test_runtime_accumulates(self, small_coverage):
+        base = bsm_saturate(small_coverage, 3, 0.5)
+        polished = polish(small_coverage, base, fairness_floor=0.0)
+        assert polished.runtime >= base.runtime
+
+    def test_problem_facade_dispatch(self, small_coverage):
+        from repro.core.problem import BSMProblem
+
+        problem = BSMProblem(small_coverage, k=3, tau=0.5)
+        base = problem.solve("bsm-saturate")
+        improved = problem.solve("bsm-saturate-ls")
+        assert improved.utility >= base.utility - 1e-9

@@ -1,0 +1,146 @@
+"""Tests for repro.influence.lt_model (linear threshold diffusion)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.influence.lt_model import LTModel
+
+
+def _star_graph() -> Graph:
+    """Arcs 0->2, 1->2: node 2 has two in-neighbours (weight 1/2 each)."""
+    return Graph(3, [(0, 2), (1, 2)], directed=True, groups=[0, 0, 1])
+
+
+def _path_graph() -> Graph:
+    return Graph(3, [(0, 1), (1, 2)], directed=True, groups=[0, 0, 1])
+
+
+class TestConstruction:
+    def test_degree_weighting(self):
+        model = LTModel(_star_graph())
+        # Node 2's two in-arcs weigh 1/2 each.
+        lo, hi = model._in_indptr[2], model._in_indptr[2 + 1]
+        np.testing.assert_allclose(model._in_weights[lo:hi], [0.5, 0.5])
+
+    def test_probability_weighting_rescales(self):
+        g = Graph(3, [(0, 2, 0.9), (1, 2, 0.9)], directed=True,
+                  groups=[0, 0, 1])
+        model = LTModel(g, weighting="probability")
+        lo, hi = model._in_indptr[2], model._in_indptr[2 + 1]
+        assert model._in_weights[lo:hi].sum() == pytest.approx(1.0)
+
+    def test_probability_weighting_keeps_small_sums(self):
+        g = Graph(3, [(0, 2, 0.2), (1, 2, 0.3)], directed=True,
+                  groups=[0, 0, 1])
+        model = LTModel(g, weighting="probability")
+        lo, hi = model._in_indptr[2], model._in_indptr[2 + 1]
+        assert model._in_weights[lo:hi].sum() == pytest.approx(0.5)
+
+    def test_invalid_weighting(self):
+        with pytest.raises(ValueError):
+            LTModel(_star_graph(), weighting="uniform")
+
+
+class TestSimulation:
+    def test_path_graph_deterministic(self):
+        # Each node has in-degree 1, so b = 1 and the trigger is always
+        # the unique in-neighbour: seeding node 0 activates everyone.
+        model = LTModel(_path_graph())
+        active = model.simulate([0], np.random.default_rng(0))
+        assert active.all()
+
+    def test_seed_only_when_no_inputs_selected(self):
+        model = LTModel(_star_graph())
+        active = model.simulate([2], np.random.default_rng(0))
+        assert active[2]
+        assert not active[0] and not active[1]
+
+    def test_star_activation_probability(self):
+        # Seeding node 0: node 2 activates iff its trigger is node 0,
+        # which happens with probability 1/2.
+        model = LTModel(_star_graph())
+        rng = np.random.default_rng(1)
+        hits = sum(model.simulate([0], rng)[2] for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.5, abs=0.03)
+
+    def test_triggering_matches_threshold_semantics(self):
+        # Distributional equivalence (Kempe et al., Thm 4.6) on the star.
+        model = LTModel(_star_graph())
+        rng1 = np.random.default_rng(2)
+        rng2 = np.random.default_rng(3)
+        n = 4000
+        trig = sum(model.simulate([0, 1], rng1)[2] for _ in range(n)) / n
+        thre = sum(
+            model.simulate_thresholds([0, 1], rng2)[2] for _ in range(n)
+        ) / n
+        # Both seeds active -> total weight 1 >= theta always: P = 1.
+        assert trig == pytest.approx(1.0)
+        assert thre == pytest.approx(1.0)
+
+    def test_triggering_matches_threshold_single_seed(self):
+        model = LTModel(_star_graph())
+        rng1 = np.random.default_rng(4)
+        rng2 = np.random.default_rng(5)
+        n = 4000
+        trig = sum(model.simulate([0], rng1)[2] for _ in range(n)) / n
+        thre = sum(
+            model.simulate_thresholds([0], rng2)[2] for _ in range(n)
+        ) / n
+        assert trig == pytest.approx(thre, abs=0.04)
+
+    def test_bad_seed_rejected(self):
+        model = LTModel(_path_graph())
+        with pytest.raises(IndexError):
+            model.simulate([9], np.random.default_rng(0))
+
+
+class TestMonteCarloAndRR:
+    def test_group_spread_shapes(self):
+        model = LTModel(_path_graph())
+        values = model.monte_carlo_group_spread([0], 200, seed=0)
+        assert values.shape == (2,)
+        assert values[0] == pytest.approx(1.0)  # nodes 0,1 always active
+        assert values[1] == pytest.approx(1.0)  # node 2 via chain
+
+    def test_rr_walk_on_path(self):
+        model = LTModel(_path_graph())
+        rr = model.sample_rr_set(2, np.random.default_rng(0))
+        assert sorted(rr.tolist()) == [0, 1, 2]  # unique backward path
+
+    def test_rr_estimates_match_monte_carlo(self):
+        g = Graph(
+            5,
+            [(0, 2), (1, 2), (2, 3), (3, 4)],
+            directed=True,
+            groups=[0, 0, 0, 1, 1],
+        )
+        model = LTModel(g)
+        coll = model.sample_rr_collection(6000, seed=1)
+        est = coll.coverage([0])
+        mc = model.monte_carlo_group_spread([0], 4000, seed=2)
+        np.testing.assert_allclose(est, mc, atol=0.05)
+
+    def test_rr_root_bounds(self):
+        model = LTModel(_path_graph())
+        with pytest.raises(IndexError):
+            model.sample_rr_set(7, np.random.default_rng(0))
+
+    def test_collection_plugs_into_objective(self):
+        from repro.core.baselines import greedy_utility
+        from repro.problems.influence import InfluenceObjective
+
+        g = Graph(
+            6,
+            [(0, 1), (1, 2), (3, 4), (4, 5)],
+            directed=True,
+            groups=[0, 0, 0, 1, 1, 1],
+        )
+        model = LTModel(g)
+        coll = model.sample_rr_collection(800, seed=3)
+        objective = InfluenceObjective.from_collection(coll, g.group_sizes())
+        result = greedy_utility(objective, 2)
+        assert result.size == 2
+        assert result.utility > 0

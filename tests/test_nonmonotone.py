@@ -1,0 +1,187 @@
+"""Tests for repro.core.nonmonotone (random/double greedy, penalties)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonmonotone import (
+    MemoizedSetFunction,
+    PenalizedObjective,
+    double_greedy,
+    from_grouped,
+    penalized_random_greedy,
+    random_greedy,
+)
+from repro.core.weak import is_submodular
+
+
+def brute_force_unconstrained(fn, n: int) -> float:
+    return max(
+        fn(frozenset(combo))
+        for size in range(n + 1)
+        for combo in itertools.combinations(range(n), size)
+    )
+
+
+def cut_function(edges: list[tuple[int, int]]):
+    """Undirected cut value — the canonical non-monotone submodular
+    function."""
+
+    def fn(items: frozenset[int]) -> float:
+        return float(
+            sum(1 for u, v in edges if (u in items) != (v in items))
+        )
+
+    return fn
+
+
+RING_EDGES = [(i, (i + 1) % 6) for i in range(6)]
+
+
+class TestMemoization:
+    def test_counts_unique_sets_only(self):
+        fn = MemoizedSetFunction(lambda s: float(len(s)))
+        fn(frozenset({1, 2}))
+        fn(frozenset({2, 1}))
+        fn(frozenset({1}))
+        assert fn.calls == 2
+
+    def test_values_cached_correctly(self):
+        calls = []
+        fn = MemoizedSetFunction(lambda s: calls.append(s) or float(len(s)))
+        assert fn(frozenset({0})) == 1.0
+        assert fn(frozenset({0})) == 1.0
+        assert len(calls) == 1
+
+
+class TestDoubleGreedy:
+    def test_cut_function_is_valid_fixture(self):
+        assert is_submodular(cut_function(RING_EDGES), 6)
+
+    def test_deterministic_third_approximation(self):
+        fn = MemoizedSetFunction(cut_function(RING_EDGES))
+        _, value = double_greedy(fn, 6, randomized=False)
+        opt = brute_force_unconstrained(cut_function(RING_EDGES), 6)
+        assert value >= opt / 3.0 - 1e-9
+
+    def test_randomized_half_approximation_on_average(self):
+        opt = brute_force_unconstrained(cut_function(RING_EDGES), 6)
+        values = [
+            double_greedy(cut_function(RING_EDGES), 6, seed=s)[1]
+            for s in range(20)
+        ]
+        assert np.mean(values) >= opt / 2.0 - 1e-9
+
+    def test_monotone_function_returns_everything(self):
+        # For monotone f, removing never helps: X grows to the full set.
+        solution, value = double_greedy(
+            lambda s: float(len(s)), 5, randomized=False
+        )
+        assert solution == frozenset(range(5))
+        assert value == 5.0
+
+    def test_rejects_bad_ground_set(self):
+        with pytest.raises(ValueError):
+            double_greedy(lambda s: 0.0, 0)
+
+
+class TestRandomGreedy:
+    def test_respects_budget(self):
+        solution, _ = random_greedy(cut_function(RING_EDGES), 6, 2, seed=0)
+        assert len(solution) <= 2
+
+    def test_monotone_expectation_matches_greedy_quality(self):
+        # On a monotone modular function random greedy with k slots of
+        # all-positive gains still picks k items.
+        weights = [5.0, 4.0, 3.0, 2.0, 1.0]
+        fn = lambda s: float(sum(weights[v] for v in s))
+        values = [random_greedy(fn, 5, 2, seed=s)[1] for s in range(30)]
+        # Expectation >= (1 - 1/e) * OPT = (1 - 1/e) * 9.
+        assert np.mean(values) >= (1 - 1 / np.e) * 9.0 - 1e-9
+
+    def test_candidates_restriction(self):
+        fn = lambda s: float(len(s))
+        solution, _ = random_greedy(fn, 6, 3, candidates=[0, 1], seed=1)
+        assert solution <= {0, 1}
+
+    def test_rejects_out_of_range_candidates(self):
+        with pytest.raises(IndexError):
+            random_greedy(lambda s: 0.0, 3, 1, candidates=[5])
+
+    def test_stops_when_nothing_helps(self):
+        # Strictly decreasing function: no item is ever added.
+        fn = lambda s: -float(len(s))
+        solution, value = random_greedy(fn, 4, 3, seed=0)
+        assert solution == frozenset()
+        assert value == 0.0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_cut_value_nonnegative_any_seed(self, seed):
+        _, value = random_greedy(cut_function(RING_EDGES), 6, 3, seed=seed)
+        assert value >= 0.0
+
+
+class TestPenalizedObjective:
+    def test_costly_items_reduce_value(self, small_coverage):
+        costs = np.zeros(small_coverage.num_items)
+        costs[0] = 100.0
+        pen = PenalizedObjective(small_coverage, costs, penalty=1.0)
+        with_costly = pen(frozenset({0}))
+        without = pen(frozenset())
+        assert with_costly < without
+
+    def test_zero_penalty_equals_plain_utility(self, small_coverage):
+        costs = np.ones(small_coverage.num_items)
+        pen = PenalizedObjective(small_coverage, costs, penalty=0.0)
+        plain = from_grouped(small_coverage)
+        for subset in [frozenset(), frozenset({1, 3}), frozenset({0, 2, 4})]:
+            assert pen(subset) == pytest.approx(plain(subset))
+
+    def test_penalized_is_nonmonotone_but_submodular(self, small_coverage):
+        from repro.core.weak import is_monotone
+
+        costs = np.full(small_coverage.num_items, 0.2)
+        pen = PenalizedObjective(small_coverage, costs, penalty=1.0)
+        # Submodular (difference of submodular and modular) but no longer
+        # monotone once costs exceed residual coverage gains.
+        assert is_submodular(pen, 6)
+        assert not is_monotone(pen, 6)
+
+    def test_validates_inputs(self, small_coverage):
+        n = small_coverage.num_items
+        with pytest.raises(ValueError):
+            PenalizedObjective(small_coverage, np.ones(n + 1))
+        with pytest.raises(ValueError):
+            PenalizedObjective(small_coverage, -np.ones(n))
+        with pytest.raises(ValueError):
+            PenalizedObjective(small_coverage, np.ones(n), penalty=-1.0)
+
+
+class TestPenalizedRandomGreedy:
+    def test_returns_unpenalized_metrics(self, small_coverage):
+        costs = np.full(small_coverage.num_items, 0.01)
+        result = penalized_random_greedy(
+            small_coverage, costs, 4, penalty=1.0, seed=3
+        )
+        assert result.algorithm == "random-greedy"
+        assert result.size <= 4
+        assert result.utility >= 0.0
+        assert result.extra["cost"] == pytest.approx(0.01 * result.size)
+        # Reported penalised value consistent with utility - penalty*cost.
+        assert result.extra["penalized_value"] == pytest.approx(
+            result.utility - result.extra["cost"], abs=1e-9
+        )
+
+    def test_prohibitive_costs_give_empty_solution(self, small_coverage):
+        costs = np.full(small_coverage.num_items, 1e6)
+        result = penalized_random_greedy(
+            small_coverage, costs, 4, penalty=1.0, seed=0
+        )
+        assert result.size == 0
+        assert result.utility == 0.0

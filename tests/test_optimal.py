@@ -1,0 +1,79 @@
+"""Tests for repro.core.optimal (BSM-Optimal)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.optimal import bsm_optimal
+from repro.errors import SolverError
+from repro.problems.influence import InfluenceObjective
+from repro.influence.ris import RRCollection
+from tests.conftest import brute_force_bsm
+
+
+class TestBsmOptimal:
+    @pytest.mark.parametrize("tau", [0.0, 0.3, 0.6, 0.9])
+    def test_matches_brute_force_on_figure1(self, figure1, tau):
+        result = bsm_optimal(figure1, 2, tau, backend="branch-and-bound")
+        _, bf_f, _ = brute_force_bsm(figure1, 2, tau)
+        assert result.utility == pytest.approx(bf_f)
+        assert result.feasible
+
+    def test_backends_agree(self, figure1):
+        a = bsm_optimal(figure1, 2, 0.5, backend="branch-and-bound")
+        b = bsm_optimal(figure1, 2, 0.5, backend="scipy")
+        assert a.utility == pytest.approx(b.utility)
+        assert a.fairness == pytest.approx(b.fairness)
+
+    def test_small_coverage_brute_force(self, small_coverage):
+        result = bsm_optimal(small_coverage, 3, 0.5)
+        _, bf_f, _ = brute_force_bsm(small_coverage, 3, 0.5)
+        assert result.utility == pytest.approx(bf_f)
+
+    def test_facility_instance(self, small_facility):
+        result = bsm_optimal(small_facility, 3, 0.7)
+        _, bf_f, _ = brute_force_bsm(small_facility, 3, 0.7)
+        assert result.utility == pytest.approx(bf_f)
+
+    def test_precomputed_optima_reused(self, figure1):
+        base = bsm_optimal(figure1, 2, 0.5)
+        reused = bsm_optimal(
+            figure1, 2, 0.5,
+            opt_g=base.extra["opt_g"], opt_f=base.extra["opt_f"],
+        )
+        assert reused.utility == pytest.approx(base.utility)
+        assert reused.extra["opt_g"] == base.extra["opt_g"]
+
+    def test_influence_rejected(self):
+        coll = RRCollection(
+            sets=[np.array([0]), np.array([1])],
+            root_groups=np.array([0, 1]),
+            num_nodes=2,
+            num_groups=2,
+        )
+        obj = InfluenceObjective(coll, [1, 1])
+        with pytest.raises(SolverError, match="no ILP formulation"):
+            bsm_optimal(obj, 1, 0.5)
+
+    def test_max_items_guard(self, figure1):
+        with pytest.raises(SolverError, match="limited to"):
+            bsm_optimal(figure1, 2, 0.5, max_items=2)
+
+    def test_solution_metadata(self, figure1):
+        result = bsm_optimal(figure1, 2, 0.8)
+        assert result.algorithm == "BSM-Optimal"
+        assert result.size == 2
+        assert result.extra["opt_g"] == pytest.approx(5 / 9)
+        assert result.extra["opt_f"] == pytest.approx(0.75)
+        assert result.oracle_calls == 0
+
+    def test_tau_one_is_robust_optimum(self, figure1):
+        result = bsm_optimal(figure1, 2, 1.0)
+        assert result.fairness == pytest.approx(5 / 9)
+
+    def test_validation(self, figure1):
+        with pytest.raises(ValueError):
+            bsm_optimal(figure1, 0, 0.5)
+        with pytest.raises(ValueError):
+            bsm_optimal(figure1, 2, 1.5)

@@ -1,0 +1,164 @@
+"""Ground-truth tests from the paper's worked examples.
+
+Example 3.1 (optimal solutions of the Figure-1 instance), Example 4.1
+(BSM-TSGreedy runs) and Example 4.6 (BSM-Saturate runs), plus the
+Lemma-3.2 inapproximability gadget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import greedy_utility
+from repro.core.bsm_saturate import bsm_saturate
+from repro.core.saturate import saturate
+from repro.core.tsgreedy import bsm_tsgreedy
+from repro.datasets.paper_example import figure1_instance, lemma32_instance
+from tests.conftest import brute_force_best, brute_force_bsm
+
+
+class TestExample31:
+    """Optimal values stated in Example 3.1 (k = 2)."""
+
+    def test_opt_f(self, figure1):
+        best, opt_f = brute_force_best(figure1, 2, metric="utility")
+        assert set(best) == {0, 1}  # S12 = {v1, v2}
+        assert opt_f == pytest.approx(0.75)
+
+    def test_opt_g(self, figure1):
+        best, opt_g = brute_force_best(figure1, 2, metric="fairness")
+        assert set(best) == {0, 3}  # S14 = {v1, v4}
+        assert opt_g == pytest.approx(5 / 9)
+
+    def test_bsm_optimum_tau_zero(self, figure1):
+        best, f, _ = brute_force_bsm(figure1, 2, 0.0)
+        assert set(best) == {0, 1}
+        assert f == pytest.approx(0.75)
+
+    @pytest.mark.parametrize("tau", [0.1, 0.3, 0.5, 0.6])
+    def test_bsm_optimum_low_tau(self, figure1, tau):
+        best, f, g = brute_force_bsm(figure1, 2, tau)
+        assert set(best) == {0, 2}  # S13 = {v1, v3}
+        assert f == pytest.approx(8 / 12)
+        assert g == pytest.approx(1 / 3)
+
+    @pytest.mark.parametrize("tau", [0.7, 0.8, 1.0])
+    def test_bsm_optimum_high_tau(self, figure1, tau):
+        best, f, g = brute_force_bsm(figure1, 2, tau)
+        assert set(best) == {0, 3}  # S14 = {v1, v4}
+        assert g == pytest.approx(5 / 9)
+
+    def test_g_values_quoted_in_example(self, figure1):
+        v13 = figure1.evaluate([0, 2])
+        assert v13.min() == pytest.approx(1 / 3)
+        v14 = figure1.evaluate([0, 3])
+        assert v14.min() == pytest.approx(5 / 9)
+        assert v14[0] == pytest.approx(5 / 9)
+        assert v14[1] == pytest.approx(2 / 3)
+
+
+class TestExample41:
+    """BSM-TSGreedy on Figure 1 (k = 2)."""
+
+    def test_subroutines_match_paper(self, figure1):
+        greedy_res = greedy_utility(figure1, 2)
+        assert set(greedy_res.solution) == {0, 1}
+        assert greedy_res.utility == pytest.approx(0.75)
+        saturate_res = saturate(figure1, 2)
+        assert set(saturate_res.solution) == {0, 3}
+        assert saturate_res.fairness == pytest.approx(5 / 9)
+
+    def test_tau_02_returns_v1_v3(self, figure1):
+        result = bsm_tsgreedy(figure1, 2, 0.2)
+        assert set(result.solution) == {0, 2}
+        assert result.utility == pytest.approx(8 / 12)
+
+    def test_tau_08_falls_back_to_sg(self, figure1):
+        result = bsm_tsgreedy(figure1, 2, 0.8)
+        assert set(result.solution) == {0, 3}  # S' <- S_g (line 8)
+        assert result.extra["used_sg_fallback"]
+        assert result.fairness == pytest.approx(5 / 9)
+
+    def test_tau_05_satisfies_constraint(self, figure1):
+        result = bsm_tsgreedy(figure1, 2, 0.5)
+        # Example 4.1: either {v1,v3} or {v2,v3} after stage 1+2; both
+        # satisfy g(S) >= 0.5 * 5/9.
+        assert result.fairness >= 0.5 * (5 / 9) - 1e-9
+
+
+class TestExample46:
+    """BSM-Saturate on Figure 1 (k = 2, eps = 0.1, practical size-k mode)."""
+
+    @pytest.mark.parametrize("tau", [0.2, 0.5])
+    def test_low_tau_returns_v1_v3(self, figure1, tau):
+        result = bsm_saturate(figure1, 2, tau, epsilon=0.1)
+        assert set(result.solution) == {0, 2}
+        assert result.utility == pytest.approx(8 / 12)
+
+    def test_tau_08_returns_v1_v4(self, figure1):
+        result = bsm_saturate(figure1, 2, 0.8, epsilon=0.1)
+        assert set(result.solution) == {0, 3}
+        assert result.fairness == pytest.approx(5 / 9)
+
+    def test_alpha_bracketing(self, figure1):
+        result = bsm_saturate(figure1, 2, 0.5, epsilon=0.1)
+        assert 0.0 < result.extra["alpha_min"] <= 1.0
+        assert result.extra["alpha_min"] <= result.extra["alpha_max"]
+        # Termination rule: (1-eps) * alpha_max <= alpha_min.
+        assert (1 - 0.1) * result.extra["alpha_max"] <= result.extra[
+            "alpha_min"
+        ] + 1e-12
+
+
+class TestLemma32Gadget:
+    def test_k1_structure(self):
+        obj = lemma32_instance(k=1, alpha=0.1, users_per_copy=10)
+        assert obj.num_items == 2
+        assert obj.num_groups == 2
+        # f({v2}) = OPT_f = (m-1)/m, but g({v2}) = 0.
+        values_even = obj.evaluate([1])
+        assert values_even[0] == 0.0
+        f_even = float(obj.group_weights @ values_even)
+        assert f_even == pytest.approx(0.9)
+        # f({v1}) = alpha * OPT_f, g({v1}) = OPT_g.
+        values_odd = obj.evaluate([0])
+        assert values_odd.min() == pytest.approx(0.1 * 0.9)
+        f_odd = float(obj.group_weights @ values_odd)
+        assert f_odd == pytest.approx(0.1 * 0.9)
+
+    def test_best_achievable_factor_is_alpha(self):
+        alpha = 0.05
+        obj = lemma32_instance(k=1, alpha=alpha, users_per_copy=20)
+        _, opt_f = brute_force_best(obj, 1, metric="utility")
+        _, opt_g = brute_force_best(obj, 1, metric="fairness")
+        assert opt_g > 0
+        # Only {v1} satisfies g >= tau*OPT_g for any tau > 0, and its f is
+        # exactly alpha * OPT_f.
+        best, f, g = brute_force_bsm(obj, 1, tau=0.5)
+        assert best == (0,)
+        assert f == pytest.approx(alpha * opt_f)
+
+    def test_k3_replication(self):
+        obj = lemma32_instance(k=3, alpha=0.1, users_per_copy=5)
+        assert obj.num_items == 6
+        assert obj.num_groups == 4  # 3 singleton groups + shared group
+        odd_items = [0, 2, 4]
+        even_items = [1, 3, 5]
+        g_odd = obj.evaluate(odd_items).min()
+        g_even = obj.evaluate(even_items).min()
+        assert g_odd > 0
+        assert g_even == 0.0
+
+    def test_solvers_pick_fair_side_when_constrained(self):
+        obj = lemma32_instance(k=1, alpha=0.2, users_per_copy=10)
+        result = bsm_saturate(obj, 1, 0.9, epsilon=0.1)
+        assert result.solution == (0,)  # the only feasible choice
+
+    def test_gadget_validation(self):
+        with pytest.raises(ValueError):
+            lemma32_instance(k=0)
+        with pytest.raises(ValueError):
+            lemma32_instance(alpha=0.0)
+        with pytest.raises(ValueError):
+            lemma32_instance(users_per_copy=1)

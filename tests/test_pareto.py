@@ -1,0 +1,106 @@
+"""Tests for repro.experiments.pareto."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentRow, SweepResult
+from repro.experiments.pareto import FrontierPoint, hypervolume, pareto_frontier
+
+
+def _row(algo: str, tau: float, f: float, g: float) -> ExperimentRow:
+    return ExperimentRow(
+        algorithm=algo, parameter="tau", value=tau,
+        utility=f, fairness=g, runtime=0.0, oracle_calls=0,
+        solution_size=5, feasible=True,
+    )
+
+
+def _sweep(rows) -> SweepResult:
+    return SweepResult(dataset="d", parameter="tau", rows=rows)
+
+
+class TestParetoFrontier:
+    def test_dominated_points_removed(self):
+        sweep = _sweep([
+            _row("A", 0.1, 0.9, 0.1),
+            _row("A", 0.5, 0.7, 0.3),
+            _row("A", 0.7, 0.6, 0.2),   # dominated by tau=0.5 point
+            _row("A", 0.9, 0.5, 0.5),
+        ])
+        frontier = pareto_frontier(sweep, "A")
+        assert [(p.fairness, p.utility) for p in frontier] == [
+            (0.1, 0.9), (0.3, 0.7), (0.5, 0.5)
+        ]
+
+    def test_algorithm_filtering(self):
+        sweep = _sweep([
+            _row("A", 0.1, 0.9, 0.1),
+            _row("B", 0.1, 1.0, 1.0),
+        ])
+        frontier = pareto_frontier(sweep, "A")
+        assert all(p.algorithm == "A" for p in frontier)
+        assert len(frontier) == 1
+
+    def test_duplicates_collapse(self):
+        sweep = _sweep([
+            _row("A", 0.1, 0.9, 0.1),
+            _row("A", 0.2, 0.9, 0.1),
+        ])
+        frontier = pareto_frontier(sweep, "A")
+        assert len(frontier) == 1
+        assert frontier[0].tau == 0.1  # smallest tau kept
+
+    def test_sorted_by_fairness(self):
+        sweep = _sweep([
+            _row("A", 0.9, 0.5, 0.5),
+            _row("A", 0.1, 0.9, 0.1),
+        ])
+        frontier = pareto_frontier(sweep, "A")
+        assert frontier[0].fairness <= frontier[1].fairness
+
+    def test_empty_for_unknown_algorithm(self):
+        sweep = _sweep([_row("A", 0.1, 0.9, 0.1)])
+        assert pareto_frontier(sweep, "Z") == []
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        hv = hypervolume([FrontierPoint(0.5, 0.8, 0.1, "A")])
+        assert hv == pytest.approx(0.5 * 0.8)
+
+    def test_staircase(self):
+        frontier = [
+            FrontierPoint(0.2, 1.0, 0.1, "A"),
+            FrontierPoint(0.6, 0.5, 0.5, "A"),
+        ]
+        # Area: [0,0.2] x 1.0 + [0.2,0.6] x 0.5.
+        assert hypervolume(frontier) == pytest.approx(0.2 * 1.0 + 0.4 * 0.5)
+
+    def test_reference_point(self):
+        frontier = [FrontierPoint(0.5, 0.8, 0.1, "A")]
+        hv = hypervolume(frontier, reference=(0.25, 0.3))
+        assert hv == pytest.approx(0.25 * 0.5)
+
+    def test_points_below_reference_ignored(self):
+        frontier = [FrontierPoint(0.1, 0.1, 0.1, "A")]
+        assert hypervolume(frontier, reference=(0.5, 0.5)) == 0.0
+
+    def test_dominating_frontier_has_larger_volume(self):
+        better = [FrontierPoint(0.6, 0.9, 0.1, "A")]
+        worse = [FrontierPoint(0.5, 0.8, 0.1, "B")]
+        assert hypervolume(better) > hypervolume(worse)
+
+    def test_end_to_end_with_real_sweep(self, small_coverage):
+        from repro.experiments.harness import sweep_tau
+        from repro.datasets.registry import Dataset
+
+        dataset = Dataset(name="fixture", kind="coverage",
+                          objective=small_coverage)
+        sweep = sweep_tau(
+            dataset, k=4, taus=(0.2, 0.5, 0.8),
+            algorithms=("BSM-TSGreedy", "BSM-Saturate"),
+        )
+        hv_sat = hypervolume(pareto_frontier(sweep, "BSM-Saturate"))
+        hv_tsg = hypervolume(pareto_frontier(sweep, "BSM-TSGreedy"))
+        assert hv_sat > 0 and hv_tsg > 0

@@ -1,0 +1,105 @@
+"""Tests for repro.experiments.plotting (ASCII charts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import ExperimentRow, SweepResult
+from repro.experiments.plotting import Series, ascii_chart, sweep_chart
+
+
+def make_sweep() -> SweepResult:
+    rows = []
+    for tau in (0.1, 0.5, 0.9):
+        for name, base in (("Greedy", 0.5), ("BSM-Saturate", 0.45)):
+            rows.append(
+                ExperimentRow(
+                    algorithm=name,
+                    parameter="tau",
+                    value=tau,
+                    utility=base - 0.1 * tau,
+                    fairness=0.1 + 0.2 * tau,
+                    runtime=0.01 * (1 + tau),
+                    oracle_calls=100,
+                    solution_size=5,
+                    feasible=True,
+                )
+            )
+    return SweepResult(dataset="toy", parameter="tau", rows=rows)
+
+
+class TestAsciiChart:
+    def test_contains_title_axes_and_legend(self):
+        chart = ascii_chart(
+            [Series.make("a", [(0, 0), (1, 1)])],
+            title="demo",
+            x_label="tau",
+            y_label="f",
+        )
+        assert chart.startswith("demo")
+        assert "o=a" in chart
+        assert "tau" in chart
+
+    def test_all_series_glyphs_present(self):
+        chart = ascii_chart(
+            [
+                Series.make("one", [(0, 0), (1, 1)]),
+                Series.make("two", [(0, 1), (1, 0)]),
+            ]
+        )
+        assert "o=one" in chart and "x=two" in chart
+        body = chart.splitlines()
+        assert any("o" in line for line in body[:-2])
+        assert any("x" in line for line in body[:-2])
+
+    def test_empty_series_handled(self):
+        chart = ascii_chart([], title="none")
+        assert "empty chart" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart([Series.make("flat", [(0, 2.0), (1, 2.0)])])
+        assert "flat" in chart
+
+    def test_dimensions_respected(self):
+        chart = ascii_chart(
+            [Series.make("a", [(0, 0), (1, 1)])], width=30, height=8
+        )
+        grid_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(grid_lines) == 8
+        assert all(len(l.split("|", 1)[1]) == 30 for l in grid_lines)
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_chart([Series.make("a", [(0, 0)])], width=5, height=2)
+
+    def test_log_scale_runtime(self):
+        chart = ascii_chart(
+            [Series.make("t", [(1, 0.001), (2, 1000.0)])], logy=True
+        )
+        assert "1.0e+03" in chart or "1e+03" in chart
+
+    def test_deterministic_output(self):
+        series = [Series.make("a", [(0, 0.3), (0.5, 0.6), (1, 0.2)])]
+        assert ascii_chart(series) == ascii_chart(series)
+
+
+class TestSweepChart:
+    def test_renders_all_algorithms(self):
+        chart = sweep_chart(make_sweep(), "utility")
+        assert "Greedy" in chart
+        assert "BSM-Saturate" in chart
+        assert "utility vs tau" in chart
+
+    def test_metric_selection(self):
+        fairness = sweep_chart(make_sweep(), "fairness")
+        assert "fairness vs tau" in fairness
+
+    def test_algorithm_filter(self):
+        chart = sweep_chart(make_sweep(), "utility", algorithms=["Greedy"])
+        assert "Greedy" in chart
+        assert "BSM-Saturate" not in chart
+
+    def test_runtime_uses_log_axis(self):
+        chart = sweep_chart(make_sweep(), "runtime")
+        assert "runtime vs tau" in chart

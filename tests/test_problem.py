@@ -1,0 +1,60 @@
+"""Tests for repro.core.problem (BSMProblem façade)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import BSMProblem
+
+
+class TestBSMProblem:
+    def test_validation(self, figure1):
+        with pytest.raises(ValueError):
+            BSMProblem(figure1, k=0)
+        with pytest.raises(ValueError):
+            BSMProblem(figure1, k=2, tau=2.0)
+        with pytest.raises(ValueError, match="exceeds the ground-set"):
+            BSMProblem(figure1, k=5)
+
+    def test_evaluate(self, figure1):
+        problem = BSMProblem(figure1, k=2, tau=0.5)
+        f, g = problem.evaluate([0, 3])
+        assert f == pytest.approx(7 / 12)
+        assert g == pytest.approx(5 / 9)
+
+    def test_available_algorithms(self, figure1):
+        problem = BSMProblem(figure1, k=2)
+        algos = problem.available_algorithms()
+        for name in (
+            "greedy", "saturate", "smsc",
+            "bsm-tsgreedy", "bsm-saturate", "bsm-optimal",
+        ):
+            assert name in algos
+
+    def test_dispatch_case_insensitive(self, figure1):
+        problem = BSMProblem(figure1, k=2, tau=0.5)
+        result = problem.solve("BSM-TSGreedy")
+        assert result.algorithm == "BSM-TSGreedy"
+
+    def test_unknown_algorithm(self, figure1):
+        problem = BSMProblem(figure1, k=2)
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            problem.solve("simulated-annealing")
+
+    def test_kwargs_forwarded(self, figure1):
+        problem = BSMProblem(figure1, k=2, tau=0.5)
+        result = problem.solve("bsm-saturate", epsilon=0.2)
+        assert result.algorithm == "BSM-Saturate"
+
+    def test_every_solver_runs(self, figure1):
+        problem = BSMProblem(figure1, k=2, tau=0.5)
+        for name in problem.available_algorithms():
+            if name == "stochastic-greedy":
+                result = problem.solve(name, seed=0)
+            else:
+                result = problem.solve(name)
+            assert result.size <= 2 or name == "saturate"
+
+    def test_default_solver_is_bsm_saturate(self, figure1):
+        problem = BSMProblem(figure1, k=2, tau=0.5)
+        assert problem.solve().algorithm == "BSM-Saturate"

@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The solver guarantees all rest on three structural facts, so we check them
+on randomly generated instances of every objective family:
+
+1. every ``f_i`` is normalised, monotone and submodular;
+2. incremental state updates agree with from-scratch evaluation;
+3. greedy/cover/saturate outputs respect their contracts (sizes, weak
+   fairness constraint, saturation targets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bsm_saturate import bsm_saturate
+from repro.core.functions import AverageUtility, TruncatedFairness
+from repro.core.greedy import greedy_max
+from repro.core.tsgreedy import bsm_tsgreedy
+from repro.problems.coverage import CoverageObjective
+from repro.problems.facility import FacilityLocationObjective
+from repro.influence.ris import RRCollection
+from repro.problems.influence import InfluenceObjective
+
+# -- instance strategies ------------------------------------------------
+@st.composite
+def coverage_instances(draw) -> CoverageObjective:
+    num_users = draw(st.integers(4, 14))
+    num_items = draw(st.integers(2, 8))
+    num_groups = draw(st.integers(1, 3))
+    labels = [draw(st.integers(0, num_groups - 1)) for _ in range(num_users)]
+    # Guarantee contiguity: force the first `num_groups` labels.
+    for g in range(num_groups):
+        labels[g % num_users] = g
+    sets = []
+    for _ in range(num_items):
+        members = draw(
+            st.lists(st.integers(0, num_users - 1), min_size=0, max_size=num_users)
+        )
+        sets.append(np.asarray(members, dtype=np.int64))
+    return CoverageObjective(sets, labels)
+
+
+@st.composite
+def facility_instances(draw) -> FacilityLocationObjective:
+    num_users = draw(st.integers(3, 10))
+    num_items = draw(st.integers(2, 6))
+    num_groups = draw(st.integers(1, 3))
+    labels = [draw(st.integers(0, num_groups - 1)) for _ in range(num_users)]
+    for g in range(num_groups):
+        labels[g % num_users] = g
+    benefits = np.array(
+        [
+            [draw(st.floats(0.0, 1.0, allow_nan=False)) for _ in range(num_items)]
+            for _ in range(num_users)
+        ]
+    )
+    return FacilityLocationObjective(benefits, labels)
+
+
+@st.composite
+def influence_instances(draw) -> InfluenceObjective:
+    num_nodes = draw(st.integers(3, 8))
+    num_groups = draw(st.integers(1, 2))
+    num_sets = draw(st.integers(num_groups, 12))
+    sets = []
+    roots = []
+    for j in range(num_sets):
+        members = draw(
+            st.lists(
+                st.integers(0, num_nodes - 1), min_size=1, max_size=num_nodes
+            )
+        )
+        sets.append(np.unique(np.asarray(members, dtype=np.int64)))
+        roots.append(j % num_groups)
+    coll = RRCollection(
+        sets=sets,
+        root_groups=np.asarray(roots, dtype=np.int64),
+        num_nodes=num_nodes,
+        num_groups=num_groups,
+    )
+    populations = [
+        draw(st.integers(1, 50)) for _ in range(num_groups)
+    ]
+    return InfluenceObjective(coll, populations)
+
+
+ALL_INSTANCES = st.one_of(
+    coverage_instances(), facility_instances(), influence_instances()
+)
+
+
+def _random_subsets(objective, data) -> tuple[list[int], list[int], int]:
+    """(S, T, v) with S subseteq T, v notin T, drawn from hypothesis data."""
+    n = objective.num_items
+    t_size = data.draw(st.integers(0, n - 1))
+    t = data.draw(
+        st.lists(
+            st.integers(0, n - 1), min_size=0, max_size=t_size, unique=True
+        )
+    )
+    s = [v for v in t if data.draw(st.booleans())]
+    v = data.draw(
+        st.sampled_from([x for x in range(n) if x not in t])
+    )
+    return s, t, v
+
+
+# -- properties ---------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(objective=ALL_INSTANCES, data=st.data())
+def test_monotone_submodular(objective, data):
+    s, t, v = _random_subsets(objective, data)
+    v_s = objective.evaluate(s)
+    v_sv = objective.evaluate(s + [v])
+    v_t = objective.evaluate(t)
+    v_tv = objective.evaluate(t + [v])
+    assert np.all(v_sv >= v_s - 1e-12)
+    assert np.all(v_tv >= v_t - 1e-12)
+    assert np.all((v_sv - v_s) >= (v_tv - v_t) - 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(objective=ALL_INSTANCES, data=st.data())
+def test_normalised_at_empty_set(objective, data):
+    np.testing.assert_allclose(objective.evaluate([]), 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(objective=ALL_INSTANCES, data=st.data())
+def test_incremental_matches_batch(objective, data):
+    n = objective.num_items
+    items = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=0, max_size=n, unique=True)
+    )
+    state = objective.new_state()
+    for item in items:
+        gains = objective.gains(state, item)
+        applied = objective.add(state, item)
+        np.testing.assert_allclose(gains, applied, atol=1e-12)
+    np.testing.assert_allclose(
+        state.group_values, objective.evaluate(items), atol=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(objective=ALL_INSTANCES, data=st.data())
+def test_lazy_greedy_matches_plain(objective, data):
+    k = data.draw(st.integers(1, objective.num_items))
+    lazy_state, _ = greedy_max(objective, AverageUtility(), k, lazy=True)
+    plain_state, _ = greedy_max(objective, AverageUtility(), k, lazy=False)
+    assert objective.utility(lazy_state) == pytest_approx(
+        objective.utility(plain_state)
+    )
+
+
+def pytest_approx(value: float, rel: float = 1e-9):
+    import pytest
+
+    return pytest.approx(value, rel=rel, abs=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(objective=coverage_instances(), data=st.data())
+def test_bsm_solvers_respect_weak_constraint(objective, data):
+    k = data.draw(st.integers(1, objective.num_items))
+    tau = data.draw(st.sampled_from([0.25, 0.5, 0.75, 1.0]))
+    for solver in (bsm_tsgreedy, bsm_saturate):
+        result = solver(objective, k, tau)
+        opt_g_approx = result.extra["opt_g_approx"]
+        if opt_g_approx is None:
+            continue
+        assert result.fairness >= tau * opt_g_approx - 1e-9
+        assert result.size <= k
+
+
+@settings(max_examples=30, deadline=None)
+@given(objective=ALL_INSTANCES, data=st.data())
+def test_truncated_fairness_saturates_exactly_at_threshold(objective, data):
+    full = objective.max_group_values()
+    if full.min() <= 0:
+        return  # vacuous instance
+    threshold = float(full.min()) * data.draw(st.sampled_from([0.5, 1.0]))
+    scal = TruncatedFairness(threshold)
+    value = scal.value(full, objective.group_weights)
+    assert value == pytest_approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(objective=ALL_INSTANCES, data=st.data())
+def test_state_copy_isolation(objective, data):
+    n = objective.num_items
+    state = objective.new_state()
+    first = data.draw(st.integers(0, n - 1))
+    objective.add(state, first)
+    snapshot = state.group_values.copy()
+    clone = objective.copy_state(state)
+    others = [x for x in range(n) if x != first]
+    if others:
+        objective.add(clone, data.draw(st.sampled_from(others)))
+    np.testing.assert_array_equal(state.group_values, snapshot)
+    assert state.size == 1

@@ -1,0 +1,138 @@
+"""Property-based tests for the extension modules' core invariants.
+
+Complements tests/test_properties.py (which covers the paper's three
+objectives): here hypothesis drives the extension objectives and
+algorithms through randomly generated instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributed import greedi, partition_items
+from repro.core.local_search import swap_local_search
+from repro.core.nonmonotone import MemoizedSetFunction, double_greedy
+from repro.core.streaming_bsm import reservoir_sample
+from repro.problems.recommendation import RecommendationObjective
+from repro.problems.summarization import SummarizationObjective
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def random_recommendation(seed: int, m: int = 12, n: int = 7):
+    rng = np.random.default_rng(seed)
+    relevance = rng.uniform(0.0, 1.0, size=(m, n))
+    labels = rng.integers(0, 3, size=m)
+    labels[:3] = [0, 1, 2]
+    return RecommendationObjective(relevance, labels)
+
+
+def random_summarization(seed: int, m: int = 12, d: int = 3):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(m, d)) * rng.uniform(0.5, 3.0)
+    labels = rng.integers(0, 2, size=m)
+    labels[:2] = [0, 1]
+    return SummarizationObjective(points, labels)
+
+
+class TestObjectiveInvariants:
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_recommendation_submodular_on_random_chain(self, seed):
+        obj = random_recommendation(seed)
+        rng = np.random.default_rng(seed + 1)
+        items = rng.permutation(obj.num_items)[:5].tolist()
+        small = items[:2]
+        large = items[:4]
+        extra = items[4]
+        gain_small = obj.evaluate(small + [extra]) - obj.evaluate(small)
+        gain_large = obj.evaluate(large + [extra]) - obj.evaluate(large)
+        assert np.all(gain_small >= gain_large - 1e-9)
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_summarization_submodular_on_random_chain(self, seed):
+        obj = random_summarization(seed)
+        rng = np.random.default_rng(seed + 1)
+        items = rng.permutation(obj.num_items)[:5].tolist()
+        small = items[:1]
+        large = items[:4]
+        extra = items[4]
+        gain_small = obj.evaluate(small + [extra]) - obj.evaluate(small)
+        gain_large = obj.evaluate(large + [extra]) - obj.evaluate(large)
+        assert np.all(gain_small >= gain_large - 1e-9)
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_summarization_facility_view_equivalent(self, seed):
+        obj = random_summarization(seed)
+        facility = obj.as_facility()
+        rng = np.random.default_rng(seed + 2)
+        subset = rng.permutation(obj.num_items)[:4].tolist()
+        assert np.allclose(
+            obj.evaluate(subset), facility.evaluate(subset), atol=1e-9
+        )
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_recommendation_order_independence(self, seed):
+        obj = random_recommendation(seed)
+        rng = np.random.default_rng(seed + 3)
+        subset = rng.permutation(obj.num_items)[:4].tolist()
+        forward = obj.evaluate(subset)
+        backward = obj.evaluate(list(reversed(subset)))
+        assert np.allclose(forward, backward, atol=1e-9)
+
+
+class TestAlgorithmInvariants:
+    @given(seed=seeds, machines=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_partition_is_exact_cover(self, seed, machines):
+        shards = partition_items(23, machines, seed=seed)
+        flat = np.sort(np.concatenate(shards))
+        assert np.array_equal(flat, np.arange(23))
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_greedi_never_exceeds_k(self, seed):
+        obj = random_recommendation(seed, m=15, n=10)
+        result = greedi(obj, 4, num_machines=3, seed=seed)
+        assert result.size <= 4
+        assert len(set(result.solution)) == result.size
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_local_search_never_decreases_utility(self, seed):
+        obj = random_recommendation(seed, m=10, n=8)
+        rng = np.random.default_rng(seed + 4)
+        start = rng.permutation(obj.num_items)[:3].tolist()
+        start_values = obj.evaluate(start)
+        start_utility = float(obj.group_weights @ start_values)
+        state, _ = swap_local_search(obj, start, max_sweeps=3)
+        end_utility = float(obj.group_weights @ state.group_values)
+        assert end_utility >= start_utility - 1e-9
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_double_greedy_value_matches_returned_set(self, seed):
+        obj = random_recommendation(seed, m=8, n=6)
+
+        def fn(items: frozenset[int]) -> float:
+            values = obj.evaluate(sorted(items))
+            # Subtract a modular term to make it non-monotone.
+            return float(obj.group_weights @ values) - 0.05 * len(items)
+
+        oracle = MemoizedSetFunction(fn)
+        solution, value = double_greedy(oracle, 6, seed=seed)
+        assert value == pytest.approx(fn(solution), abs=1e-9)
+
+    @given(seed=seeds, size=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_reservoir_sample_items_from_stream(self, seed, size):
+        stream = list(range(30))
+        sample = reservoir_sample(stream, size, seed=seed)
+        assert len(sample) == min(size, len(stream))
+        assert set(sample) <= set(stream)

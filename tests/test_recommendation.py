@@ -1,0 +1,150 @@
+"""Tests for repro.problems.recommendation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import BSMProblem
+from repro.core.weak import is_monotone, is_submodular
+from repro.problems.recommendation import (
+    RecommendationObjective,
+    latent_relevance,
+)
+from tests.conftest import assert_monotone_submodular
+
+
+@pytest.fixture
+def small_relevance() -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(33)
+    relevance = rng.uniform(0.0, 0.6, size=(15, 8))
+    labels = np.array([0] * 9 + [1] * 6)
+    return relevance, labels
+
+
+class TestLatentRelevance:
+    def test_shape_and_range(self):
+        rel = latent_relevance(40, 25, seed=0)
+        assert rel.shape == (40, 25)
+        assert np.all(rel >= 0.0) and np.all(rel <= 1.0)
+
+    def test_affinity_caps_probabilities(self):
+        rel = latent_relevance(30, 20, affinity=0.2, seed=1)
+        assert rel.max() <= 0.2 + 1e-12
+
+    def test_group_anchors_induce_correlation(self):
+        labels = np.array([0] * 25 + [1] * 25)
+        rel = latent_relevance(50, 30, group_labels=labels, seed=2)
+        # Same-group users agree on item relevance more than cross-group.
+        within = np.corrcoef(rel[:25].mean(axis=0), rel[1:26].mean(axis=0))
+        first = rel[:25].mean(axis=0)
+        second = rel[25:].mean(axis=0)
+        # Top items of group 0 differ from top items of group 1.
+        assert set(np.argsort(first)[-3:]) != set(np.argsort(second)[-3:])
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            latent_relevance(10, 5, affinity=0.0)
+        with pytest.raises(Exception):
+            latent_relevance(10, 5, group_labels=[0] * 9)
+
+
+class TestObjectiveProperties:
+    def test_normalized(self, small_relevance):
+        rel, labels = small_relevance
+        obj = RecommendationObjective(rel, labels)
+        assert np.allclose(obj.evaluate([]), 0.0)
+
+    def test_single_item_value_matches_mean_relevance(self, small_relevance):
+        rel, labels = small_relevance
+        obj = RecommendationObjective(rel, labels)
+        values = obj.evaluate([3])
+        for g in range(2):
+            expected = rel[labels == g, 3].mean()
+            assert values[g] == pytest.approx(expected)
+
+    def test_noisy_or_composition(self, small_relevance):
+        rel, labels = small_relevance
+        obj = RecommendationObjective(rel, labels)
+        values = obj.evaluate([1, 4])
+        hit = 1.0 - (1.0 - rel[:, 1]) * (1.0 - rel[:, 4])
+        for g in range(2):
+            assert values[g] == pytest.approx(hit[labels == g].mean())
+
+    def test_monotone_submodular_per_group(self, small_relevance):
+        rel, labels = small_relevance
+        obj = RecommendationObjective(rel, labels)
+        chains = [
+            ([], [0], 1),
+            ([2], [2, 5], 7),
+            ([0, 3], [0, 3, 6], 4),
+        ]
+        assert_monotone_submodular(obj, chains)
+
+    def test_scalar_view_monotone_submodular(self, small_relevance):
+        rel, labels = small_relevance
+        obj = RecommendationObjective(rel[:, :6], labels)
+
+        def fn(items: frozenset[int]) -> float:
+            values = obj.evaluate(sorted(items))
+            return float(obj.group_weights @ values)
+
+        assert is_monotone(fn, 6)
+        assert is_submodular(fn, 6)
+
+    def test_hit_probabilities_agree_with_oracle(self, small_relevance):
+        rel, labels = small_relevance
+        obj = RecommendationObjective(rel, labels)
+        slate = [0, 2, 7]
+        per_user = obj.hit_probabilities(slate)
+        values = obj.evaluate(slate)
+        for g in range(2):
+            assert values[g] == pytest.approx(per_user[labels == g].mean())
+
+    def test_incremental_matches_scratch(self, small_relevance):
+        rel, labels = small_relevance
+        obj = RecommendationObjective(rel, labels)
+        state = obj.new_state()
+        for item in (6, 0, 3):
+            obj.add(state, item)
+        assert np.allclose(state.group_values, obj.evaluate([6, 0, 3]))
+
+    def test_validates_inputs(self, small_relevance):
+        rel, labels = small_relevance
+        with pytest.raises(ValueError):
+            RecommendationObjective(rel * 3.0, labels)  # entries > 1
+        with pytest.raises(ValueError):
+            RecommendationObjective(-rel, labels)
+        with pytest.raises(Exception):
+            RecommendationObjective(rel, labels[:-1])
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_probabilities_stay_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        rel = rng.uniform(0.0, 1.0, size=(10, 6))
+        labels = rng.integers(0, 2, size=10)
+        labels[:2] = [0, 1]
+        obj = RecommendationObjective(rel, labels)
+        values = obj.evaluate(range(6))
+        assert np.all(values >= 0.0) and np.all(values <= 1.0 + 1e-12)
+
+
+class TestBSMIntegration:
+    def test_group_biased_relevance_creates_fairness_gap(self):
+        labels = np.array([0] * 40 + [1] * 10)
+        rel = latent_relevance(50, 30, group_labels=labels, seed=5)
+        obj = RecommendationObjective(rel, labels)
+        problem = BSMProblem(obj, k=4, tau=0.8)
+        plain = problem.solve("greedy")
+        fair = problem.solve("bsm-saturate")
+        assert fair.fairness >= plain.fairness - 1e-9
+
+    def test_full_slate_upper_bounds_everything(self, small_relevance):
+        rel, labels = small_relevance
+        obj = RecommendationObjective(rel, labels)
+        full = obj.max_group_values()
+        partial = obj.evaluate([0, 1, 2])
+        assert np.all(full >= partial - 1e-12)

@@ -1,0 +1,69 @@
+"""Tests for repro.experiments.replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.replication import (
+    ReplicatedSweep,
+    replicate_tau_sweep,
+)
+
+ALGOS = ("Greedy", "BSM-TSGreedy", "BSM-Saturate")
+TAUS = (0.2, 0.8)
+
+
+@pytest.fixture(scope="module")
+def rep() -> ReplicatedSweep:
+    return replicate_tau_sweep(
+        "rand-mc-c2",
+        k=3,
+        taus=TAUS,
+        seeds=(0, 1, 2),
+        algorithms=ALGOS,
+        num_nodes=80,
+    )
+
+
+class TestReplicatedSweep:
+    def test_one_sweep_per_seed(self, rep):
+        assert len(rep.sweeps) == 3
+        assert rep.seeds == (0, 1, 2)
+
+    def test_values_indexed_by_point(self, rep):
+        values = rep.values("Greedy", 0.2, "utility")
+        assert len(values) == 3
+        assert all(v > 0 for v in values)
+
+    def test_unknown_point_raises(self, rep):
+        with pytest.raises(KeyError):
+            rep.values("Greedy", 0.55)
+
+    def test_aggregate_shape(self, rep):
+        agg = rep.aggregate("BSM-Saturate", 0.8, "fairness")
+        assert agg.count == 3
+        assert agg.minimum <= agg.mean <= agg.maximum
+
+    def test_seed_variation_exists(self, rep):
+        # Different dataset seeds must actually change the instance.
+        values = rep.values("Greedy", 0.2, "utility")
+        assert len(set(values)) > 1
+
+    def test_compare_returns_probability(self, rep):
+        p = rep.compare("BSM-Saturate", "BSM-TSGreedy", "utility")
+        assert 0.0 <= p <= 1.0
+
+    def test_fairness_dominance_of_constraint(self, rep):
+        # BSM-Saturate at tau=0.8 should not lose to plain greedy on g
+        # across seeds (weak but stable claim).
+        p = rep.compare(
+            "BSM-Saturate", "Greedy", "fairness", values=[0.8]
+        )
+        assert p <= 0.5
+
+    def test_algorithms_listing(self, rep):
+        assert set(ALGOS) <= set(rep.algorithms())
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError):
+            replicate_tau_sweep("rand-mc-c2", 3, TAUS, seeds=())

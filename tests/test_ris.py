@@ -1,0 +1,117 @@
+"""Tests for repro.influence.ris (reverse-influence sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GroupPartitionError
+from repro.graphs.graph import Graph
+from repro.influence.ic_model import exact_group_spread
+from repro.influence.ris import (
+    RRCollection,
+    sample_rr_collection,
+    sample_rr_set,
+)
+
+
+def _path_graph(p: float = 0.5) -> Graph:
+    return Graph(3, [(0, 1, p), (1, 2, p)], directed=True, groups=[0, 0, 1])
+
+
+class TestSampleRRSet:
+    def test_root_always_included(self):
+        g = _path_graph(0.0)
+        rr = sample_rr_set(g.transpose().out_adjacency(), 2, np.random.default_rng(0))
+        assert rr.tolist() == [2]
+
+    def test_full_probability_collects_ancestors(self):
+        g = _path_graph(1.0)
+        rr = sample_rr_set(g.transpose().out_adjacency(), 2, np.random.default_rng(0))
+        assert sorted(rr.tolist()) == [0, 1, 2]
+
+    def test_scratch_buffer_reuse(self):
+        g = _path_graph(1.0)
+        adj = g.transpose().out_adjacency()
+        scratch = np.zeros(3, dtype=bool)
+        rr1 = sample_rr_set(adj, 2, np.random.default_rng(0), scratch)
+        rr2 = sample_rr_set(adj, 0, np.random.default_rng(0), scratch)
+        assert sorted(rr1.tolist()) == [0, 1, 2]
+        assert rr2.tolist() == [0]
+
+    def test_root_bounds(self):
+        g = _path_graph()
+        with pytest.raises(IndexError):
+            sample_rr_set(g.transpose().out_adjacency(), 9, np.random.default_rng(0))
+
+
+class TestRRCollection:
+    def test_validation_needs_every_group(self):
+        with pytest.raises(GroupPartitionError):
+            RRCollection(
+                sets=[np.array([0])],
+                root_groups=np.array([0]),
+                num_nodes=3,
+                num_groups=2,
+            )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RRCollection(
+                sets=[np.array([0])],
+                root_groups=np.array([0, 1]),
+                num_nodes=3,
+                num_groups=2,
+            )
+
+    def test_coverage_computation(self):
+        coll = RRCollection(
+            sets=[np.array([0, 1]), np.array([2]), np.array([1])],
+            root_groups=np.array([0, 0, 1]),
+            num_nodes=3,
+            num_groups=2,
+        )
+        cov = coll.coverage([1])
+        assert cov[0] == pytest.approx(0.5)  # one of two group-0 sets hit
+        assert cov[1] == pytest.approx(1.0)
+
+    def test_coverage_empty_seed(self):
+        coll = RRCollection(
+            sets=[np.array([0]), np.array([1])],
+            root_groups=np.array([0, 1]),
+            num_nodes=2,
+            num_groups=2,
+        )
+        assert coll.coverage([]).tolist() == [0.0, 0.0]
+
+
+class TestSampleRRCollection:
+    def test_stratified_quotas(self):
+        g = _path_graph()
+        coll = sample_rr_collection(g, 10, seed=0, stratified=True)
+        assert coll.num_sets == 10
+        assert coll.group_counts.tolist() == [5, 5]
+
+    def test_unstratified_guarantees_presence(self):
+        g = _path_graph()
+        coll = sample_rr_collection(g, 5, seed=0, stratified=False)
+        assert np.all(coll.group_counts >= 1)
+
+    def test_estimates_match_exact_spread(self):
+        g = _path_graph(0.5)
+        coll = sample_rr_collection(g, 6000, seed=1, stratified=True)
+        exact = exact_group_spread(g, [0])
+        estimate = coll.coverage([0])
+        np.testing.assert_allclose(estimate, exact, atol=0.05)
+
+    def test_estimates_match_exact_undirected(self):
+        g = Graph(4, [(0, 1, 0.4), (1, 2, 0.4), (2, 3, 0.4)],
+                  groups=[0, 0, 1, 1])
+        coll = sample_rr_collection(g, 8000, seed=2)
+        exact = exact_group_spread(g, [1])
+        estimate = coll.coverage([1])
+        np.testing.assert_allclose(estimate, exact, atol=0.05)
+
+    def test_num_samples_validated(self):
+        with pytest.raises(ValueError):
+            sample_rr_collection(_path_graph(), 0)

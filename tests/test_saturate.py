@@ -1,0 +1,80 @@
+"""Tests for repro.core.saturate (robust submodular maximisation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.saturate import saturate
+from repro.problems.coverage import CoverageObjective
+from tests.conftest import brute_force_best
+
+
+class TestSaturateFigure1:
+    def test_finds_paper_solution(self, figure1):
+        result = saturate(figure1, 2)
+        assert set(result.solution) == {0, 3}  # {v1, v4} per Example 3.1
+        assert result.fairness == pytest.approx(5 / 9)
+
+    def test_result_metadata(self, figure1):
+        result = saturate(figure1, 2)
+        assert result.algorithm == "Saturate"
+        assert result.size <= 2
+        assert result.oracle_calls > 0
+        assert result.extra["bisection_iters"] > 0
+        assert result.extra["upper_bound"] == pytest.approx(1.0)
+
+    def test_level_lower_bounds_fairness(self, figure1):
+        result = saturate(figure1, 2)
+        assert result.fairness >= result.extra["level"] - 1e-9
+
+
+class TestSaturateGeneral:
+    def test_respects_k(self, small_coverage):
+        result = saturate(small_coverage, 3)
+        assert result.size <= 3
+
+    def test_size_multiplier_relaxes_budget(self, figure1):
+        result = saturate(figure1, 1, size_multiplier=2.0)
+        assert result.size <= 2
+        assert result.extra["budget"] == 2
+
+    def test_size_multiplier_validation(self, figure1):
+        with pytest.raises(ValueError):
+            saturate(figure1, 2, size_multiplier=0.5)
+
+    def test_close_to_brute_force_optimum(self, small_coverage):
+        result = saturate(small_coverage, 4)
+        _, opt_g = brute_force_best(small_coverage, 4, metric="fairness")
+        # Saturate with budget k is a heuristic; on these tiny instances
+        # the level grid keeps it within a modest factor of OPT_g.
+        assert result.fairness >= 0.5 * opt_g - 1e-9
+
+    def test_zero_utility_group_falls_back(self):
+        # Group 1 is never covered by any set: RSM optimum is 0.
+        obj = CoverageObjective(
+            [np.array([0]), np.array([1])], [0, 0, 1]
+        )
+        result = saturate(obj, 1)
+        assert result.fairness == 0.0
+        assert result.size == 1
+        # Fallback still maximises f.
+        assert result.utility > 0.0
+
+    def test_candidates_restriction(self, figure1):
+        result = saturate(figure1, 2, candidates=[1, 2, 3])
+        assert set(result.solution) <= {1, 2, 3}
+
+    def test_grid_zero_still_works(self, figure1):
+        result = saturate(figure1, 2, grid=0)
+        assert result.size <= 2
+        assert result.fairness >= 1 / 3 - 1e-9
+
+    def test_k_validation(self, figure1):
+        with pytest.raises(ValueError):
+            saturate(figure1, 0)
+
+    def test_monotone_in_k(self, small_coverage):
+        g2 = saturate(small_coverage, 2).fairness
+        g5 = saturate(small_coverage, 5).fairness
+        assert g5 >= g2 - 1e-9

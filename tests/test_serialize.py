@@ -1,0 +1,106 @@
+"""Tests for repro.datasets.serialize (dataset persistence)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import Dataset, load_dataset
+from repro.datasets.serialize import (
+    FORMAT_VERSION,
+    load_dataset_dir,
+    save_dataset,
+)
+
+
+class TestRoundTrip:
+    def test_coverage_round_trip(self, tmp_path):
+        original = load_dataset("rand-mc-c2", seed=5, num_nodes=60)
+        save_dataset(original, tmp_path / "d")
+        restored = load_dataset_dir(tmp_path / "d")
+        assert restored.kind == "coverage"
+        assert restored.graph.num_nodes == original.graph.num_nodes
+        assert restored.graph.num_edges == original.graph.num_edges
+        assert np.array_equal(restored.graph.groups, original.graph.groups)
+        # Objectives agree on arbitrary solutions.
+        for subset in ([0, 5], [3, 9, 17]):
+            assert np.allclose(
+                restored.objective.evaluate(subset),
+                original.objective.evaluate(subset),
+            )
+
+    def test_influence_round_trip_preserves_probabilities(self, tmp_path):
+        original = load_dataset("rand-im-c2", seed=5, num_nodes=50)
+        save_dataset(original, tmp_path / "d")
+        restored = load_dataset_dir(tmp_path / "d")
+        assert restored.kind == "influence"
+        orig_edges = sorted(original.graph.edges())
+        rest_edges = sorted(restored.graph.edges())
+        assert orig_edges == rest_edges
+
+    def test_facility_round_trip(self, tmp_path):
+        original = load_dataset("rand-fl-c2", seed=5, num_points=40)
+        save_dataset(original, tmp_path / "d")
+        restored = load_dataset_dir(tmp_path / "d")
+        assert np.allclose(
+            restored.objective.benefits, original.objective.benefits
+        )
+        assert np.array_equal(
+            restored.objective.user_groups, original.objective.user_groups
+        )
+
+    def test_recommendation_round_trip(self, tmp_path):
+        original = load_dataset("rec-latent-c2", seed=5, num_users=40,
+                                num_items=20)
+        save_dataset(original, tmp_path / "d")
+        restored = load_dataset_dir(tmp_path / "d")
+        assert np.allclose(
+            restored.objective.relevance, original.objective.relevance
+        )
+
+    def test_summarization_round_trip(self, tmp_path):
+        original = load_dataset("summ-blobs-c2", seed=5, num_points=30)
+        save_dataset(original, tmp_path / "d")
+        restored = load_dataset_dir(tmp_path / "d")
+        for subset in ([0, 4], [2, 9, 15]):
+            assert np.allclose(
+                restored.objective.evaluate(subset),
+                original.objective.evaluate(subset),
+            )
+
+    def test_solver_results_identical_after_reload(self, tmp_path):
+        from repro.core.problem import BSMProblem
+
+        original = load_dataset("rand-mc-c2", seed=7, num_nodes=60)
+        save_dataset(original, tmp_path / "d")
+        restored = load_dataset_dir(tmp_path / "d")
+        a = BSMProblem(original.objective, k=4, tau=0.6).solve("bsm-tsgreedy")
+        b = BSMProblem(restored.objective, k=4, tau=0.6).solve("bsm-tsgreedy")
+        assert a.solution == b.solution
+        assert a.utility == pytest.approx(b.utility)
+
+
+class TestManifest:
+    def test_manifest_contents(self, tmp_path):
+        data = load_dataset("rand-mc-c2", seed=1, num_nodes=40)
+        path = save_dataset(data, tmp_path / "d")
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        assert manifest["format"] == FORMAT_VERSION
+        assert manifest["kind"] == "coverage"
+        assert manifest["num_nodes"] == 40
+
+    def test_rejects_unknown_format(self, tmp_path):
+        data = load_dataset("rand-mc-c2", seed=1, num_nodes=40)
+        path = save_dataset(data, tmp_path / "d")
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        manifest["format"] = 99
+        path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_dataset_dir(tmp_path / "d")
+
+    def test_rejects_graphless_unknown_kind(self, tmp_path):
+        bad = Dataset(name="x", kind="mystery", objective=None)
+        with pytest.raises(ValueError):
+            save_dataset(bad, tmp_path / "d")

@@ -1,0 +1,109 @@
+"""Tests for repro.core.sliding_window."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import greedy_utility
+from repro.core.sliding_window import (
+    SlidingWindowMaximizer,
+    sliding_window_utility,
+)
+
+
+class TestMaximizer:
+    def test_clock_advances(self, small_coverage):
+        sw = SlidingWindowMaximizer(small_coverage, 3, window=5)
+        for item in (0, 1, 2):
+            sw.process(item)
+        assert sw.clock == 3
+
+    def test_live_items_tracks_window(self, small_coverage):
+        sw = SlidingWindowMaximizer(small_coverage, 3, window=3)
+        for item in (0, 1, 2, 3, 4):
+            sw.process(item)
+        live = sw.live_items()
+        assert set(live) == {2, 3, 4}
+
+    def test_repeat_arrivals_refresh_recency(self, small_coverage):
+        sw = SlidingWindowMaximizer(small_coverage, 3, window=3)
+        for item in (0, 1, 2, 0, 3):
+            sw.process(item)
+        assert 0 in sw.live_items()
+        assert 1 not in sw.live_items()
+
+    def test_checkpoint_count_logarithmic(self, small_coverage):
+        sw = SlidingWindowMaximizer(small_coverage, 2, window=8)
+        stream = list(range(small_coverage.num_items)) * 3
+        peak = 0
+        for item in stream:
+            sw.process(item)
+            peak = max(peak, sw.num_checkpoints)
+        # Geometric spacing keeps live checkpoints small (vs 30 arrivals).
+        assert peak <= 12
+
+    def test_rejects_bad_item(self, small_coverage):
+        sw = SlidingWindowMaximizer(small_coverage, 2, window=4)
+        with pytest.raises(IndexError):
+            sw.process(small_coverage.num_items)
+
+    def test_validates_constructor(self, small_coverage):
+        with pytest.raises(ValueError):
+            SlidingWindowMaximizer(small_coverage, 0, window=4)
+        with pytest.raises(ValueError):
+            SlidingWindowMaximizer(small_coverage, 2, window=0)
+        with pytest.raises(ValueError):
+            SlidingWindowMaximizer(small_coverage, 2, window=4, spacing=1.0)
+
+    def test_best_never_negative(self, small_coverage):
+        sw = SlidingWindowMaximizer(small_coverage, 3, window=4)
+        state = sw.best()
+        assert state.size == 0  # nothing processed yet
+
+
+class TestSlidingWindowUtility:
+    def test_full_window_close_to_greedy(self, small_coverage):
+        n = small_coverage.num_items
+        result = sliding_window_utility(small_coverage, 4, window=n)
+        offline = greedy_utility(small_coverage, 4)
+        assert result.size <= 4
+        assert result.utility >= 0.5 * offline.utility - 1e-9
+
+    def test_small_window_restricts_to_suffix(self, small_coverage):
+        result = sliding_window_utility(small_coverage, 3, window=3)
+        # Only items 7, 8, 9 are alive at stream end; topping up may only
+        # use live items.
+        assert set(result.solution) <= {7, 8, 9}
+
+    def test_extra_diagnostics(self, small_coverage):
+        result = sliding_window_utility(small_coverage, 3, window=5)
+        assert result.extra["window"] == 5
+        assert result.extra["stream_length"] == small_coverage.num_items
+        assert result.extra["checkpoints"] >= 1
+
+    def test_custom_stream_with_repeats(self, small_coverage):
+        stream = [0, 1, 2, 3, 0, 1, 4, 5]
+        result = sliding_window_utility(
+            small_coverage, 3, window=4, stream=stream
+        )
+        assert result.size <= 3
+
+    def test_problem_facade_dispatch(self, small_coverage):
+        from repro.core.problem import BSMProblem
+
+        problem = BSMProblem(small_coverage, k=3, tau=0.0)
+        result = problem.solve("sliding-window", window=6)
+        assert result.algorithm == "SlidingWindow"
+        assert result.size <= 3
+
+    def test_fairness_scalarizer_supported(self, small_coverage):
+        from repro.core.functions import TruncatedFairness
+
+        result = sliding_window_utility(
+            small_coverage,
+            3,
+            window=small_coverage.num_items,
+            scalarizer=TruncatedFairness(0.2),
+        )
+        assert result.size <= 3

@@ -1,0 +1,51 @@
+"""Tests for repro.core.smsc (the SMSC baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.smsc import smsc
+from repro.errors import SolverError
+
+
+class TestSmsc:
+    def test_two_group_instance(self, figure1):
+        result = smsc(figure1, 2)
+        assert result.size == 2
+        assert result.algorithm == "SMSC"
+        # SMSC balances both groups: the level must be positive here.
+        assert result.extra["level"] > 0
+        assert result.fairness > 0
+
+    def test_rejects_more_than_two_groups(self, small_coverage):
+        assert small_coverage.num_groups == 3
+        with pytest.raises(SolverError, match="2 groups"):
+            smsc(small_coverage, 3)
+
+    def test_tau_independent(self, figure1):
+        # SMSC has no tau knob: repeated runs give identical solutions,
+        # which is why its curves are flat in every figure.
+        a = smsc(figure1, 2)
+        b = smsc(figure1, 2)
+        assert a.solution == b.solution
+
+    def test_facility_two_groups(self, small_facility):
+        result = smsc(small_facility, 3)
+        assert result.size == 3
+        assert result.fairness > 0
+
+    def test_per_group_opt_recorded(self, figure1):
+        result = smsc(figure1, 2)
+        opts = result.extra["per_group_opt"]
+        assert len(opts) == 2
+        assert all(v > 0 for v in opts)
+
+    def test_k_validation(self, figure1):
+        with pytest.raises(ValueError):
+            smsc(figure1, 0)
+
+    def test_fills_to_k_when_cover_is_small(self, figure1):
+        # Even when a single item saturates the level, SMSC must still
+        # return k items (top-up with utility-greedy picks).
+        result = smsc(figure1, 3)
+        assert result.size == 3

@@ -1,0 +1,82 @@
+"""Tests for repro.core.streaming (Sieve-Streaming)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import greedy_utility
+from repro.core.streaming import sieve_streaming
+from repro.core.tsgreedy import bsm_tsgreedy
+from tests.conftest import brute_force_best
+
+
+class TestSieveStreaming:
+    def test_respects_k(self, small_coverage):
+        result = sieve_streaming(small_coverage, 3)
+        assert result.size <= 3
+        assert result.algorithm == "SieveStreaming"
+
+    def test_half_approximation_guarantee(self, small_coverage):
+        eps = 0.1
+        result = sieve_streaming(small_coverage, 4, epsilon=eps)
+        _, opt = brute_force_best(small_coverage, 4, metric="utility")
+        assert result.utility >= (0.5 - eps) * opt - 1e-9
+
+    def test_half_approximation_facility(self, small_facility):
+        result = sieve_streaming(small_facility, 3, epsilon=0.1)
+        _, opt = brute_force_best(small_facility, 3, metric="utility")
+        assert result.utility >= 0.4 * opt - 1e-9
+
+    def test_close_to_offline_greedy(self, small_coverage):
+        stream_res = sieve_streaming(small_coverage, 4, epsilon=0.05)
+        greedy_res = greedy_utility(small_coverage, 4)
+        assert stream_res.utility >= 0.5 * greedy_res.utility
+
+    def test_stream_order_matters_but_guarantee_holds(self, small_coverage):
+        _, opt = brute_force_best(small_coverage, 4, metric="utility")
+        for order_seed in (0, 1, 2):
+            rng = np.random.default_rng(order_seed)
+            order = rng.permutation(small_coverage.num_items)
+            result = sieve_streaming(
+                small_coverage, 4, epsilon=0.1, stream=order
+            )
+            assert result.utility >= 0.4 * opt - 1e-9, order_seed
+
+    def test_single_pass_oracle_bound(self, small_coverage):
+        # Each of the n items is evaluated at most once per level plus the
+        # singleton probe: calls <= n * (levels + 1).
+        small_coverage.reset_counter()
+        result = sieve_streaming(small_coverage, 4, epsilon=0.2)
+        n = small_coverage.num_items
+        assert result.oracle_calls <= n * (result.extra["levels"] + 2)
+
+    def test_empty_utility_stream(self):
+        from repro.problems.facility import FacilityLocationObjective
+
+        obj = FacilityLocationObjective(np.zeros((3, 2)), [0, 0, 1])
+        result = sieve_streaming(obj, 2)
+        assert result.utility == 0.0
+        assert result.extra["max_singleton"] == 0.0
+
+    def test_validation(self, small_coverage):
+        with pytest.raises(ValueError):
+            sieve_streaming(small_coverage, 0)
+        with pytest.raises(ValueError):
+            sieve_streaming(small_coverage, 2, epsilon=0.0)
+
+    def test_streaming_subroutine_inside_tsgreedy(self, small_coverage):
+        # The BSM-TSGreedy extension point: replace the offline greedy
+        # sub-routine with the streaming pass.
+        stream_res = sieve_streaming(small_coverage, 4, epsilon=0.1)
+        result = bsm_tsgreedy(
+            small_coverage, 4, 0.5, greedy_result=stream_res
+        )
+        assert result.size == 4
+        assert result.fairness >= 0.5 * result.extra["opt_g_approx"] - 1e-9
+
+    def test_problem_dispatch(self, figure1):
+        from repro.core.problem import BSMProblem
+
+        result = BSMProblem(figure1, k=2).solve("sieve-streaming")
+        assert result.algorithm == "SieveStreaming"

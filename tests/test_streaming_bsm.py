@@ -1,0 +1,87 @@
+"""Tests for repro.core.streaming_bsm (two-pass streaming BSM)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.saturate import saturate
+from repro.core.streaming_bsm import reservoir_sample, streaming_tsgreedy
+
+
+class TestReservoirSample:
+    def test_short_stream_returns_everything(self):
+        assert sorted(reservoir_sample(range(4), 10, seed=0)) == [0, 1, 2, 3]
+
+    def test_sample_size_respected(self):
+        sample = reservoir_sample(range(100), 7, seed=1)
+        assert len(sample) == 7
+        assert all(0 <= v < 100 for v in sample)
+
+    def test_uniformity_rough(self):
+        # Item 0 should be kept in ~size/n of runs.
+        n, size, runs = 50, 5, 400
+        hits = sum(
+            0 in reservoir_sample(range(n), size, seed=s)
+            for s in range(runs)
+        )
+        assert abs(hits / runs - size / n) < 0.05
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            reservoir_sample(range(5), 0)
+
+
+class TestStreamingTSGreedy:
+    def test_respects_k(self, small_coverage):
+        result = streaming_tsgreedy(small_coverage, 3, 0.5, seed=0)
+        assert result.size <= 3
+        assert result.algorithm == "StreamingTSGreedy"
+
+    def test_tau_zero_is_pure_utility_sieve(self, small_coverage):
+        result = streaming_tsgreedy(small_coverage, 3, 0.0, seed=0)
+        assert result.extra["stage1_size"] == 0
+        assert result.extra["fairness_pass_value"] is None
+
+    def test_high_tau_prioritizes_fairness_items(self, small_coverage):
+        low = streaming_tsgreedy(small_coverage, 4, 0.1, seed=0)
+        high = streaming_tsgreedy(small_coverage, 4, 0.9, seed=0)
+        assert high.extra["stage1_size"] >= low.extra["stage1_size"]
+
+    def test_prior_estimate_skips_reservoir(self, small_coverage):
+        opt_g = saturate(small_coverage, 3).fairness
+        result = streaming_tsgreedy(
+            small_coverage, 3, 0.8, opt_g_estimate=opt_g, seed=0
+        )
+        assert result.extra["opt_g_estimate"] == pytest.approx(opt_g)
+
+    def test_feasibility_flag_consistent(self, small_coverage):
+        result = streaming_tsgreedy(small_coverage, 4, 0.7, seed=2)
+        floor = 0.7 * result.extra["opt_g_estimate"]
+        assert result.feasible == (result.fairness >= floor - 1e-9)
+
+    def test_stream_order_changes_little(self, small_coverage):
+        rng = np.random.default_rng(3)
+        base = streaming_tsgreedy(small_coverage, 4, 0.5, seed=1)
+        shuffled = streaming_tsgreedy(
+            small_coverage,
+            4,
+            0.5,
+            stream=rng.permutation(small_coverage.num_items).tolist(),
+            seed=1,
+        )
+        # Both orders must produce valid, non-trivial solutions.
+        assert base.utility > 0 and shuffled.utility > 0
+
+    def test_problem_facade_dispatch(self, small_coverage):
+        from repro.core.problem import BSMProblem
+
+        problem = BSMProblem(small_coverage, k=3, tau=0.6)
+        result = problem.solve("streaming-tsgreedy", seed=4)
+        assert result.size <= 3
+
+    def test_validates_inputs(self, small_coverage):
+        with pytest.raises(ValueError):
+            streaming_tsgreedy(small_coverage, 0, 0.5)
+        with pytest.raises(ValueError):
+            streaming_tsgreedy(small_coverage, 3, 1.5)

@@ -1,0 +1,174 @@
+"""Tests for repro.problems.summarization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import BSMProblem
+from repro.core.weak import is_monotone, is_submodular
+from repro.problems.summarization import SummarizationObjective
+from tests.conftest import assert_monotone_submodular
+
+
+@pytest.fixture
+def blobs() -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(21)
+    points = np.vstack(
+        [
+            rng.normal(loc=(-3.0, 0.0), scale=0.5, size=(12, 2)),
+            rng.normal(loc=(3.0, 0.0), scale=0.5, size=(8, 2)),
+        ]
+    )
+    labels = np.array([0] * 12 + [1] * 8)
+    return points, labels
+
+
+class TestConstruction:
+    def test_basic_shape(self, blobs):
+        points, labels = blobs
+        obj = SummarizationObjective(points, labels)
+        assert obj.num_items == 20
+        assert obj.num_groups == 2
+        assert obj.num_users == 20
+
+    def test_exemplar_pool_restriction(self, blobs):
+        points, labels = blobs
+        obj = SummarizationObjective(points, labels, exemplars=[0, 5, 15])
+        assert obj.num_items == 3
+        assert obj.exemplar_pool.tolist() == [0, 5, 15]
+
+    def test_validates_inputs(self, blobs):
+        points, labels = blobs
+        with pytest.raises(Exception):
+            SummarizationObjective(points, labels[:-1])
+        with pytest.raises(ValueError):
+            SummarizationObjective(points, labels, phantom_scale=0.5)
+        with pytest.raises(IndexError):
+            SummarizationObjective(points, labels, exemplars=[99])
+        with pytest.raises(ValueError):
+            SummarizationObjective(points, labels, exemplars=[])
+
+
+class TestObjectiveProperties:
+    def test_normalized(self, blobs):
+        points, labels = blobs
+        obj = SummarizationObjective(points, labels)
+        assert np.allclose(obj.evaluate([]), 0.0)
+
+    def test_gains_nonnegative_everywhere(self, blobs):
+        points, labels = blobs
+        obj = SummarizationObjective(points, labels)
+        state = obj.new_state()
+        for item in (3, 17, 9):
+            gains = obj.gains(state, item)
+            assert np.all(gains >= 0.0)
+            obj.add(state, item)
+
+    def test_monotone_submodular_per_group(self, blobs):
+        points, labels = blobs
+        obj = SummarizationObjective(points, labels)
+        chains = [
+            ([], [1], 2),
+            ([1], [1, 5], 2),
+            ([0, 3], [0, 3, 14], 19),
+        ]
+        assert_monotone_submodular(obj, chains)
+
+    def test_scalar_view_monotone_submodular(self, blobs):
+        points, labels = blobs
+        obj = SummarizationObjective(points, labels, exemplars=range(6))
+
+        def fn(items: frozenset[int]) -> float:
+            values = obj.evaluate(sorted(items))
+            return float(obj.group_weights @ values)
+
+        assert is_monotone(fn, 6)
+        assert is_submodular(fn, 6)
+
+    def test_loss_reduction_identity(self, blobs):
+        # f(S) (average over users) equals loss(∅) - loss(S).
+        points, labels = blobs
+        obj = SummarizationObjective(points, labels)
+        summary = [0, 15]
+        values = obj.evaluate(summary)
+        # group-weighted mean = population mean of per-user reductions
+        f_val = float(obj.group_weights @ values)
+        assert f_val == pytest.approx(obj.loss([]) - obj.loss(summary))
+
+    def test_incremental_matches_scratch(self, blobs):
+        points, labels = blobs
+        obj = SummarizationObjective(points, labels)
+        state = obj.new_state()
+        for item in (2, 11, 7):
+            obj.add(state, item)
+        assert np.allclose(state.group_values, obj.evaluate([2, 11, 7]))
+
+
+class TestFacilityEquivalence:
+    def test_as_facility_matches_values(self, blobs):
+        points, labels = blobs
+        obj = SummarizationObjective(points, labels)
+        facility = obj.as_facility()
+        for subset in ([], [0], [3, 15], [1, 7, 12, 19]):
+            assert np.allclose(
+                obj.evaluate(subset), facility.evaluate(subset), atol=1e-9
+            )
+
+    def test_bsm_optimal_via_facility_ilp(self):
+        # Tiny instance: BSM-Optimal on the summarization objective must
+        # match brute force over all size-k subsets.
+        from repro.core.optimal import bsm_optimal
+        from tests.conftest import brute_force_bsm
+
+        rng = np.random.default_rng(9)
+        points = rng.normal(size=(10, 2))
+        points[7:] += 6.0  # second cluster
+        labels = np.array([0] * 7 + [1] * 3)
+        obj = SummarizationObjective(points, labels)
+        tau = 0.8
+        exact = bsm_optimal(obj, 2, tau)
+        _, brute_f, _ = brute_force_bsm(obj, 2, tau)
+        assert exact.utility == pytest.approx(brute_f, rel=1e-6)
+        assert exact.feasible
+
+
+class TestBSMIntegration:
+    def test_fairness_constraint_shifts_summary(self, blobs):
+        # With k=1 a single exemplar cannot sit in both clusters: the
+        # utility-only pick favours the large group, the BSM pick must
+        # keep the weak fairness floor.
+        points, labels = blobs
+        obj = SummarizationObjective(points, labels)
+        problem = BSMProblem(obj, k=1, tau=0.9)
+        plain = problem.solve("greedy")
+        fair = problem.solve("bsm-saturate")
+        assert fair.fairness >= plain.fairness - 1e-9
+        floor = 0.9 * fair.extra["opt_g_approx"]
+        assert fair.fairness >= floor - 1e-9 or not fair.feasible
+
+    def test_phantom_scale_changes_magnitude_not_ranking(self, blobs):
+        # For scales >= 3 the phantom never binds (its distance to any
+        # user exceeds all pairwise distances), so the greedy ranking is
+        # scale-invariant while values grow with the scale.
+        points, labels = blobs
+        near = SummarizationObjective(points, labels, phantom_scale=3.0)
+        far = SummarizationObjective(points, labels, phantom_scale=5.0)
+        p_near = BSMProblem(near, k=3, tau=0.0).solve("greedy")
+        p_far = BSMProblem(far, k=3, tau=0.0).solve("greedy")
+        assert p_far.utility > p_near.utility  # larger loss to reduce
+        assert set(p_near.solution) == set(p_far.solution)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_random_instances_stay_monotone(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(12, 3))
+        labels = rng.integers(0, 2, size=12)
+        labels[:2] = [0, 1]
+        obj = SummarizationObjective(points, labels)
+        values_small = obj.evaluate([0, 1])
+        values_large = obj.evaluate([0, 1, 2, 3])
+        assert np.all(values_large >= values_small - 1e-9)

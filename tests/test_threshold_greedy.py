@@ -1,0 +1,90 @@
+"""Tests for the descending-thresholds greedy variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.functions import AverageUtility, TruncatedFairness
+from repro.core.greedy import greedy_max, threshold_greedy_max
+from tests.conftest import brute_force_best
+
+
+class TestThresholdGreedy:
+    def test_respects_budget(self, small_coverage):
+        state, steps = threshold_greedy_max(
+            small_coverage, AverageUtility(), 3, epsilon=0.1
+        )
+        assert state.size <= 3
+        assert len(steps) == state.size
+
+    def test_guarantee_against_optimum(self, small_coverage):
+        eps = 0.1
+        k = 4
+        _, opt = brute_force_best(small_coverage, k, metric="utility")
+        state, _ = threshold_greedy_max(
+            small_coverage, AverageUtility(), k, epsilon=eps
+        )
+        value = float(small_coverage.group_weights @ state.group_values)
+        assert value >= (1.0 - 1.0 / np.e - eps) * opt - 1e-9
+
+    def test_close_to_lazy_greedy(self, small_facility):
+        k = 3
+        thresh, _ = threshold_greedy_max(
+            small_facility, AverageUtility(), k, epsilon=0.05
+        )
+        lazy, _ = greedy_max(small_facility, AverageUtility(), k)
+        t_val = float(small_facility.group_weights @ thresh.group_values)
+        l_val = float(small_facility.group_weights @ lazy.group_values)
+        assert t_val >= 0.9 * l_val
+
+    def test_smaller_epsilon_never_worse_much(self, small_coverage):
+        coarse, _ = threshold_greedy_max(
+            small_coverage, AverageUtility(), 4, epsilon=0.5
+        )
+        fine, _ = threshold_greedy_max(
+            small_coverage, AverageUtility(), 4, epsilon=0.05
+        )
+        c_val = float(small_coverage.group_weights @ coarse.group_values)
+        f_val = float(small_coverage.group_weights @ fine.group_values)
+        assert f_val >= c_val - 0.1 * max(f_val, 1e-9)
+
+    def test_zero_objective_returns_empty(self):
+        from repro.problems.facility import FacilityLocationObjective
+
+        obj = FacilityLocationObjective(np.zeros((4, 3)), [0, 0, 1, 1])
+        state, steps = threshold_greedy_max(obj, AverageUtility(), 2)
+        assert state.size == 0
+        assert steps == []
+
+    def test_candidates_restriction(self, small_coverage):
+        state, _ = threshold_greedy_max(
+            small_coverage, AverageUtility(), 3, candidates=[0, 1, 2]
+        )
+        assert set(state.solution) <= {0, 1, 2}
+
+    def test_works_with_fairness_surrogate(self, small_coverage):
+        state, _ = threshold_greedy_max(
+            small_coverage, TruncatedFairness(0.2), 4, epsilon=0.1
+        )
+        assert state.size <= 4
+
+    def test_validates_epsilon(self, small_coverage):
+        with pytest.raises(ValueError):
+            threshold_greedy_max(small_coverage, AverageUtility(), 2,
+                                 epsilon=0.0)
+        with pytest.raises(ValueError):
+            threshold_greedy_max(small_coverage, AverageUtility(), 2,
+                                 epsilon=1.0)
+
+    def test_oracle_calls_bounded_by_sweep_budget(self, small_coverage):
+        # Total touches are at most n per threshold sweep (plus the
+        # singleton pass), and the sweep count is log(n/eps)/(-log(1-eps))
+        # — independent of k.
+        eps = 0.2
+        n = small_coverage.num_items
+        small_coverage.reset_counter()
+        threshold_greedy_max(small_coverage, AverageUtility(), 8,
+                             epsilon=eps)
+        sweeps = np.ceil(np.log(n / eps) / -np.log1p(-eps)) + 1
+        assert small_coverage.oracle_calls <= n * (sweeps + 1)

@@ -1,0 +1,173 @@
+"""Tests for repro.influence.triggering (general triggering model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import stochastic_block_model
+from repro.graphs.graph import Graph
+from repro.influence.ic_model import monte_carlo_group_spread
+from repro.influence.lt_model import LTModel
+from repro.influence.triggering import (
+    TriggeringModel,
+    ic_trigger_sampler,
+    lt_trigger_sampler,
+    topk_trigger_sampler,
+)
+
+
+@pytest.fixture
+def small_graph() -> Graph:
+    g = stochastic_block_model([15, 25], 0.15, 0.05, seed=11)
+    g.set_edge_probabilities(0.25)
+    return g
+
+
+@pytest.fixture
+def line_graph() -> Graph:
+    """0 -> 1 -> 2 with certain propagation (deterministic cascades)."""
+    g = Graph(3, directed=True, groups=[0, 0, 1])
+    g.add_edge(0, 1, probability=1.0)
+    g.add_edge(1, 2, probability=1.0)
+    return g
+
+
+class TestSamplers:
+    def test_ic_sampler_empty_neighborhood(self):
+        sample = ic_trigger_sampler()
+        empty = np.zeros(0, dtype=np.int64)
+        rng = np.random.default_rng(0)
+        assert sample(empty, np.zeros(0), rng).size == 0
+
+    def test_ic_sampler_probability_one_takes_all(self):
+        sample = ic_trigger_sampler()
+        neighbors = np.array([3, 7, 9])
+        rng = np.random.default_rng(0)
+        chosen = sample(neighbors, np.ones(3), rng)
+        assert np.array_equal(chosen, neighbors)
+
+    def test_lt_sampler_at_most_one(self):
+        sample = lt_trigger_sampler()
+        neighbors = np.array([1, 2, 3, 4])
+        probs = np.array([0.3, 0.3, 0.3, 0.3])
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            chosen = sample(neighbors, probs, rng)
+            assert chosen.size <= 1
+
+    def test_lt_sampler_normalizes_heavy_weights(self):
+        sample = lt_trigger_sampler(normalize=True)
+        neighbors = np.array([1, 2])
+        rng = np.random.default_rng(1)
+        chosen = sample(neighbors, np.array([2.0, 2.0]), rng)
+        assert chosen.size == 1  # weights sum to 1 after rescale
+
+    def test_lt_sampler_rejects_heavy_weights_without_normalize(self):
+        sample = lt_trigger_sampler(normalize=False)
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            sample(np.array([1, 2]), np.array([0.8, 0.8]), rng)
+
+    def test_topk_all_or_nothing(self):
+        sample = topk_trigger_sampler(2)
+        neighbors = np.array([4, 5, 6])
+        probs = np.array([0.9, 0.8, 0.1])
+        rng = np.random.default_rng(2)
+        sizes = {sample(neighbors, probs, rng).size for _ in range(100)}
+        assert sizes <= {0, 2}
+        assert 2 in sizes  # fires with prob ~0.85
+
+
+class TestSimulation:
+    def test_deterministic_line_cascade(self, line_graph):
+        model = TriggeringModel(line_graph, ic_trigger_sampler())
+        rng = np.random.default_rng(0)
+        active = model.simulate([0], rng)
+        assert active.tolist() == [True, True, True]
+
+    def test_seeds_always_active(self, small_graph):
+        model = TriggeringModel(small_graph)
+        rng = np.random.default_rng(3)
+        active = model.simulate([4, 8], rng)
+        assert active[4] and active[8]
+
+    def test_rejects_bad_seed(self, small_graph):
+        model = TriggeringModel(small_graph)
+        with pytest.raises(IndexError):
+            model.simulate([small_graph.num_nodes], np.random.default_rng(0))
+
+    def test_ic_sampler_matches_native_ic(self, small_graph):
+        seeds = [0, 5, 20]
+        trig = TriggeringModel(small_graph, ic_trigger_sampler())
+        a = trig.monte_carlo_group_spread(seeds, 1500, seed=7)
+        b = monte_carlo_group_spread(small_graph, seeds, 1500, seed=8)
+        assert np.allclose(a, b, atol=0.05)
+
+    def test_lt_sampler_matches_lt_model(self, small_graph):
+        seeds = [0, 5, 20]
+        trig = TriggeringModel(
+            small_graph, lt_trigger_sampler(normalize=True)
+        )
+        lt = LTModel(small_graph, weighting="probability")
+        a = trig.monte_carlo_group_spread(seeds, 1500, seed=7)
+        b = lt.monte_carlo_group_spread(seeds, 1500, seed=8)
+        assert np.allclose(a, b, atol=0.05)
+
+    def test_monotone_in_seeds(self, small_graph):
+        model = TriggeringModel(small_graph, topk_trigger_sampler(2))
+        small = model.monte_carlo_group_spread([0], 600, seed=1)
+        large = model.monte_carlo_group_spread([0, 1, 2], 600, seed=1)
+        assert np.all(large >= small - 0.05)
+
+
+class TestRRSampling:
+    def test_rr_sets_contain_root(self, small_graph):
+        model = TriggeringModel(small_graph)
+        rng = np.random.default_rng(0)
+        for root in (0, 7, 30):
+            rr = model.sample_rr_set(root, rng)
+            assert root in rr
+            assert np.unique(rr).size == rr.size
+
+    def test_rr_collection_shape(self, small_graph):
+        model = TriggeringModel(small_graph)
+        rr = model.sample_rr_collection(120, seed=4)
+        assert rr.num_sets == 120
+        assert rr.num_groups == small_graph.num_groups
+        assert np.all(rr.group_counts > 0)
+
+    def test_stratified_balances_roots(self, small_graph):
+        model = TriggeringModel(small_graph)
+        rr = model.sample_rr_collection(100, seed=4, stratified=True)
+        assert abs(int(rr.group_counts[0]) - int(rr.group_counts[1])) <= 1
+
+    def test_rr_estimate_tracks_simulation(self, small_graph):
+        # Unbiasedness: RR coverage of seeds ~ per-group activation probs.
+        model = TriggeringModel(small_graph, ic_trigger_sampler())
+        seeds = [0, 5]
+        rr = model.sample_rr_collection(3000, seed=10)
+        estimate = rr.coverage(seeds)
+        simulated = model.monte_carlo_group_spread(seeds, 1500, seed=11)
+        assert np.allclose(estimate, simulated, atol=0.06)
+
+    def test_line_graph_reverse_reachability(self, line_graph):
+        model = TriggeringModel(line_graph, ic_trigger_sampler())
+        rng = np.random.default_rng(0)
+        rr = model.sample_rr_set(2, rng)
+        # With probability-1 arcs the RR set of node 2 is {2, 1, 0}.
+        assert sorted(rr.tolist()) == [0, 1, 2]
+
+    def test_objective_integration(self, small_graph):
+        from repro.core.problem import BSMProblem
+        from repro.problems.influence import InfluenceObjective
+
+        model = TriggeringModel(small_graph, lt_trigger_sampler())
+        rr = model.sample_rr_collection(400, seed=5)
+        objective = InfluenceObjective(
+            rr, small_graph.group_sizes().tolist()
+        )
+        problem = BSMProblem(objective, k=3, tau=0.5)
+        result = problem.solve("bsm-tsgreedy")
+        assert result.size <= 3
+        assert result.utility > 0.0

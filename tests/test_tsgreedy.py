@@ -1,0 +1,74 @@
+"""Tests for repro.core.tsgreedy (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import greedy_utility
+from repro.core.saturate import saturate
+from repro.core.tsgreedy import bsm_tsgreedy
+
+
+class TestBsmTsgreedy:
+    def test_returns_exactly_k_items(self, small_coverage):
+        result = bsm_tsgreedy(small_coverage, 4, 0.5)
+        assert result.size == 4
+
+    def test_tau_zero_equals_greedy(self, small_coverage):
+        greedy_res = greedy_utility(small_coverage, 4)
+        result = bsm_tsgreedy(small_coverage, 4, 0.0)
+        assert set(result.solution) == set(greedy_res.solution)
+        assert result.utility == pytest.approx(greedy_res.utility)
+
+    def test_weak_constraint_satisfied(self, small_coverage):
+        for tau in (0.2, 0.5, 0.8):
+            result = bsm_tsgreedy(small_coverage, 4, tau)
+            opt_g_approx = result.extra["opt_g_approx"]
+            assert result.fairness >= tau * opt_g_approx - 1e-9, tau
+            assert result.feasible
+
+    def test_precomputed_subroutines_reused(self, small_coverage):
+        greedy_res = greedy_utility(small_coverage, 4)
+        saturate_res = saturate(small_coverage, 4)
+        small_coverage.reset_counter()
+        result = bsm_tsgreedy(
+            small_coverage, 4, 0.5,
+            greedy_result=greedy_res, saturate_result=saturate_res,
+        )
+        # Only stage 1 + stage 2 calls; far fewer than running subroutines.
+        assert result.oracle_calls < greedy_res.oracle_calls + saturate_res.oracle_calls
+
+    def test_stage_bookkeeping(self, small_coverage):
+        result = bsm_tsgreedy(small_coverage, 4, 0.5)
+        stage1 = result.extra["stage1_size"]
+        k_prime = result.extra["k_prime"]
+        assert 0 <= stage1 <= 4
+        assert 0 <= k_prime <= 4
+        if not result.extra["used_sg_fallback"]:
+            assert stage1 + k_prime <= 4
+
+    def test_utility_decreases_with_tau(self, small_coverage):
+        # Not guaranteed in theory, but holds on this fixture and matches
+        # the paper's monotone trade-off curves.
+        f_low = bsm_tsgreedy(small_coverage, 4, 0.1).utility
+        f_high = bsm_tsgreedy(small_coverage, 4, 0.9).utility
+        assert f_high <= f_low + 1e-9
+
+    def test_fairness_increases_with_tau(self, small_coverage):
+        g_low = bsm_tsgreedy(small_coverage, 4, 0.1).fairness
+        g_high = bsm_tsgreedy(small_coverage, 4, 0.9).fairness
+        assert g_high >= g_low - 1e-9
+
+    def test_facility_instance(self, small_facility):
+        result = bsm_tsgreedy(small_facility, 3, 0.8)
+        assert result.size == 3
+        assert result.fairness >= 0.8 * result.extra["opt_g_approx"] - 1e-9
+
+    def test_validation(self, small_coverage):
+        with pytest.raises(ValueError):
+            bsm_tsgreedy(small_coverage, 0, 0.5)
+        with pytest.raises(ValueError):
+            bsm_tsgreedy(small_coverage, 2, 1.5)
+
+    def test_algorithm_name(self, small_coverage):
+        assert bsm_tsgreedy(small_coverage, 2, 0.5).algorithm == "BSM-TSGreedy"

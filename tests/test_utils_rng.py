@@ -1,0 +1,129 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    deterministic_partition,
+    random_partition,
+    sample_without_replacement,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, size=5)
+        b = as_generator(42).integers(0, 1_000_000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=8)
+        b = as_generator(2).integers(0, 1_000_000, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(7, 4)
+        assert len(gens) == 4
+
+    def test_independent_streams(self):
+        a, b = spawn_generators(7, 2)
+        assert not np.array_equal(
+            a.integers(0, 10**9, size=10), b.integers(0, 10**9, size=10)
+        )
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_spawn_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(3), 2)
+        assert len(gens) == 2
+
+
+class TestSampleWithoutReplacement:
+    def test_distinct(self):
+        rng = np.random.default_rng(0)
+        out = sample_without_replacement(rng, 50, 20)
+        assert len(set(out.tolist())) == 20
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        out = sample_without_replacement(rng, 10, 10)
+        assert sorted(out.tolist()) == list(range(10))
+
+    def test_oversample_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_without_replacement(rng, 3, 4)
+
+
+class TestRandomPartition:
+    def test_labels_in_range(self):
+        rng = np.random.default_rng(0)
+        labels = random_partition(rng, 100, [0.5, 0.5])
+        assert labels.min() >= 0 and labels.max() <= 1
+
+    def test_proportions_roughly_respected(self):
+        rng = np.random.default_rng(0)
+        labels = random_partition(rng, 10_000, [0.2, 0.8])
+        frac = (labels == 0).mean()
+        assert 0.15 < frac < 0.25
+
+    def test_percent_inputs_normalised(self):
+        rng = np.random.default_rng(0)
+        labels = random_partition(rng, 100, [20, 80])
+        assert set(labels.tolist()) <= {0, 1}
+
+    def test_bad_proportions_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_partition(rng, 10, [])
+        with pytest.raises(ValueError):
+            random_partition(rng, 10, [-1, 2])
+        with pytest.raises(ValueError):
+            random_partition(rng, 10, [0.0, 0.0])
+
+
+class TestDeterministicPartition:
+    def test_exact_counts(self):
+        labels = deterministic_partition(100, [20, 80])
+        counts = np.bincount(labels)
+        assert counts.tolist() == [20, 80]
+
+    def test_every_group_nonempty(self):
+        labels = deterministic_partition(100, [1, 99])
+        assert (labels == 0).sum() >= 1
+
+    def test_tiny_groups_survive_small_n(self):
+        # 5 groups with a 1% group on 100 elements (Adult-Small mix).
+        labels = deterministic_partition(100, [1, 2, 14, 82, 1])
+        assert np.bincount(labels, minlength=5).min() >= 1
+
+    def test_total_preserved(self):
+        labels = deterministic_partition(137, [8, 12, 20, 60])
+        assert labels.size == 137
+
+    def test_deterministic(self):
+        a = deterministic_partition(53, [21, 23, 52, 3, 1])
+        b = deterministic_partition(53, [21, 23, 52, 3, 1])
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError):
+            deterministic_partition(10, [])

@@ -1,0 +1,99 @@
+"""Tests for repro.utils.validation and repro.utils.timing."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(5, "k") == 5
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(3), "k") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            check_positive_int(0, "k")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-2, "k")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "k")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "k")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_accepts_positive(self):
+        assert check_non_negative(1.5, "x") == 1.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x must be non-negative"):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckFraction:
+    def test_closed_bounds(self):
+        assert check_fraction(0.0, "tau") == 0.0
+        assert check_fraction(1.0, "tau") == 1.0
+
+    def test_open_low(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "eps", inclusive_low=False)
+        assert check_fraction(0.01, "eps", inclusive_low=False) == 0.01
+
+    def test_open_high(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "eps", inclusive_high=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.2, "tau")
+        with pytest.raises(ValueError):
+            check_fraction(-0.2, "tau")
+
+    def test_probability_alias(self):
+        assert check_probability(0.5, "p") == 0.5
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.005
+
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.005)
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed > first
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running()
+        with t:
+            assert t.running()
+        assert not t.running()

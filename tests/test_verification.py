@@ -1,0 +1,168 @@
+"""Tests for repro.experiments.verification (claim checks).
+
+Two layers: synthetic sweeps validate each predicate's logic in
+isolation; one real MC sweep confirms the paper-claims bundle passes on
+an actual instance (the same bundle EXPERIMENTS.md cites).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.harness import ExperimentRow, SweepResult, sweep_tau
+from repro.experiments.verification import (
+    check_dominance,
+    check_flat_baseline,
+    check_tradeoff_shape,
+    check_weak_constraint,
+    verify_paper_claims,
+)
+
+
+def synthetic_sweep(series: dict[str, list[tuple[float, float, float]]],
+                    opt_g: float = 1.0) -> SweepResult:
+    """Build a sweep from {algorithm: [(tau, utility, fairness), ...]}."""
+    rows = [
+        ExperimentRow(
+            algorithm=name,
+            parameter="tau",
+            value=tau,
+            utility=utility,
+            fairness=fairness,
+            runtime=0.0,
+            oracle_calls=0,
+            solution_size=3,
+            feasible=True,
+        )
+        for name, points in series.items()
+        for tau, utility, fairness in points
+    ]
+    return SweepResult(
+        dataset="synthetic",
+        parameter="tau",
+        rows=rows,
+        references={"opt_g_approx": opt_g},
+    )
+
+
+class TestTradeoffShape:
+    def test_correct_shape_passes(self):
+        sweep = synthetic_sweep(
+            {"A": [(0.1, 0.9, 0.2), (0.5, 0.8, 0.4), (0.9, 0.7, 0.6)]}
+        )
+        assert check_tradeoff_shape(sweep, "A").holds
+
+    def test_falling_fairness_fails(self):
+        sweep = synthetic_sweep(
+            {"A": [(0.1, 0.9, 0.6), (0.9, 0.7, 0.2)]}
+        )
+        report = check_tradeoff_shape(sweep, "A")
+        assert not report.holds
+        assert "fairness falls" in report.violations[0]
+
+    def test_rising_utility_fails(self):
+        sweep = synthetic_sweep(
+            {"A": [(0.1, 0.5, 0.2), (0.9, 0.9, 0.6)]}
+        )
+        assert not check_tradeoff_shape(sweep, "A").holds
+
+    def test_interior_dip_tolerated(self):
+        sweep = synthetic_sweep(
+            {"A": [(0.1, 0.9, 0.2), (0.5, 0.95, 0.1), (0.9, 0.7, 0.6)]}
+        )
+        assert check_tradeoff_shape(sweep, "A").holds
+
+    def test_unknown_algorithm_raises(self):
+        sweep = synthetic_sweep({"A": [(0.1, 1.0, 1.0)]})
+        with pytest.raises(KeyError):
+            check_tradeoff_shape(sweep, "B")
+
+
+class TestFlatBaseline:
+    def test_flat_passes(self):
+        sweep = synthetic_sweep(
+            {"G": [(0.1, 0.9, 0.2), (0.9, 0.9, 0.2)]}
+        )
+        assert check_flat_baseline(sweep, "G").holds
+
+    def test_varying_fails(self):
+        sweep = synthetic_sweep(
+            {"G": [(0.1, 0.9, 0.2), (0.9, 0.8, 0.2)]}
+        )
+        report = check_flat_baseline(sweep, "G")
+        assert not report.holds
+        assert "utility varies" in report.violations[0]
+
+
+class TestWeakConstraint:
+    def test_satisfied_passes(self):
+        sweep = synthetic_sweep(
+            {"A": [(0.5, 0.9, 0.6), (0.9, 0.8, 0.95)]}, opt_g=1.0
+        )
+        assert check_weak_constraint(sweep, "A").holds
+
+    def test_violation_detected(self):
+        sweep = synthetic_sweep(
+            {"A": [(0.9, 0.8, 0.5)]}, opt_g=1.0
+        )
+        report = check_weak_constraint(sweep, "A")
+        assert not report.holds
+        assert "tau=0.9" in report.violations[0]
+
+    def test_violation_budget(self):
+        sweep = synthetic_sweep(
+            {"A": [(0.5, 0.9, 0.6), (0.9, 0.8, 0.5)]}, opt_g=1.0
+        )
+        assert check_weak_constraint(
+            sweep, "A", allowed_violations=1
+        ).holds
+
+    def test_missing_reference_fails(self):
+        sweep = synthetic_sweep({"A": [(0.5, 0.9, 0.6)]})
+        sweep.references.clear()
+        assert not check_weak_constraint(sweep, "A").holds
+
+
+class TestDominance:
+    def test_dominant_passes(self):
+        sweep = synthetic_sweep(
+            {
+                "A": [(0.1, 0.9, 0.0), (0.9, 0.8, 0.0)],
+                "B": [(0.1, 0.85, 0.0), (0.9, 0.75, 0.0)],
+            }
+        )
+        assert check_dominance(sweep, "A", "B").holds
+
+    def test_crossover_counted(self):
+        sweep = synthetic_sweep(
+            {
+                "A": [(0.1, 0.9, 0.0), (0.9, 0.7, 0.0)],
+                "B": [(0.1, 0.85, 0.0), (0.9, 0.75, 0.0)],
+            }
+        )
+        assert not check_dominance(sweep, "A", "B").holds
+        assert check_dominance(sweep, "A", "B", allowed_violations=1).holds
+
+    def test_report_renders(self):
+        sweep = synthetic_sweep(
+            {"A": [(0.1, 1.0, 0.0)], "B": [(0.1, 0.9, 0.0)]}
+        )
+        text = str(check_dominance(sweep, "A", "B"))
+        assert text.startswith("[PASS]")
+
+
+class TestRealSweepBundle:
+    def test_mc_sweep_passes_paper_claims(self):
+        data = load_dataset("rand-mc-c2", seed=11, num_nodes=120)
+        sweep = sweep_tau(
+            data,
+            4,
+            (0.1, 0.5, 0.9),
+            algorithms=("Greedy", "Saturate", "BSM-TSGreedy",
+                        "BSM-Saturate"),
+            seed=11,
+        )
+        reports = verify_paper_claims(sweep)
+        failures = [str(r) for r in reports if not r.holds]
+        assert not failures, failures

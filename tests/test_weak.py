@@ -1,0 +1,163 @@
+"""Tests for repro.core.weak (submodularity ratio, checkers, weak greedy)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weak import (
+    greedy_guarantee,
+    is_monotone,
+    is_submodular,
+    sampled_submodularity_ratio,
+    submodularity_ratio,
+    weak_greedy,
+)
+
+
+def coverage_fn(sets: list[set[int]]):
+    def fn(items: frozenset[int]) -> float:
+        covered: set[int] = set()
+        for v in items:
+            covered |= sets[v]
+        return float(len(covered))
+
+    return fn
+
+
+def quadratic_fn(items: frozenset[int]) -> float:
+    """|S|^2 — supermodular, so the ratio drops strictly below 1."""
+    return float(len(items)) ** 2
+
+
+COVERAGE = coverage_fn([{0, 1}, {1, 2}, {2, 3}, {3, 4, 5}])
+
+
+class TestCheckers:
+    def test_coverage_is_monotone_submodular(self):
+        assert is_monotone(COVERAGE, 4)
+        assert is_submodular(COVERAGE, 4)
+
+    def test_quadratic_is_monotone_not_submodular(self):
+        assert is_monotone(quadratic_fn, 5)
+        assert not is_submodular(quadratic_fn, 5)
+
+    def test_decreasing_not_monotone(self):
+        assert not is_monotone(lambda s: -float(len(s)), 4)
+
+    def test_refuses_huge_ground_sets(self):
+        with pytest.raises(ValueError):
+            is_monotone(COVERAGE, 20)
+        with pytest.raises(ValueError):
+            is_submodular(COVERAGE, 20)
+
+
+class TestSubmodularityRatio:
+    def test_submodular_function_has_ratio_one(self):
+        assert submodularity_ratio(COVERAGE, 4) == pytest.approx(1.0)
+
+    def test_modular_function_has_ratio_one(self):
+        fn = lambda s: float(sum(v + 1 for v in s))
+        assert submodularity_ratio(fn, 4) == pytest.approx(1.0)
+
+    def test_supermodular_ratio_below_one(self):
+        gamma = submodularity_ratio(quadratic_fn, 4)
+        assert gamma < 1.0
+        # For |S|=2 from L=∅: singles=2, joint=4 -> gamma <= 1/2.
+        assert gamma <= 0.5 + 1e-12
+
+    def test_cardinality_cap_relaxes_ratio(self):
+        unrestricted = submodularity_ratio(quadratic_fn, 4)
+        capped = submodularity_ratio(quadratic_fn, 4, max_cardinality=1)
+        assert capped >= unrestricted
+        assert capped == pytest.approx(1.0)  # singleton S always ratio 1
+
+    def test_sampled_ratio_upper_bounds_exact(self):
+        exact = submodularity_ratio(quadratic_fn, 6)
+        sampled = sampled_submodularity_ratio(
+            quadratic_fn, 6, samples=400, seed=0
+        )
+        assert sampled >= exact - 1e-12
+
+    def test_sampled_ratio_submodular_stays_one(self):
+        assert sampled_submodularity_ratio(
+            COVERAGE, 4, samples=300, seed=1
+        ) == pytest.approx(1.0)
+
+    def test_refuses_huge_ground_sets(self):
+        with pytest.raises(ValueError):
+            submodularity_ratio(COVERAGE, 13)
+
+
+class TestGreedyGuarantee:
+    def test_full_run_classic_bound(self):
+        assert greedy_guarantee(1.0, budget=5) == pytest.approx(
+            1.0 - math.exp(-1.0)
+        )
+
+    def test_partial_run_matches_theorem_42(self):
+        # Theorem 4.2's factor 1 - exp(-k'/k) with gamma = 1.
+        assert greedy_guarantee(1.0, steps=2, budget=5) == pytest.approx(
+            1.0 - math.exp(-2.0 / 5.0)
+        )
+
+    def test_zero_steps_zero_guarantee(self):
+        assert greedy_guarantee(0.7, steps=0, budget=3) == 0.0
+
+    def test_gamma_scales_monotonically(self):
+        lows = greedy_guarantee(0.3, budget=4)
+        highs = greedy_guarantee(0.9, budget=4)
+        assert lows < highs
+
+    def test_validates_gamma(self):
+        with pytest.raises(ValueError):
+            greedy_guarantee(1.5, budget=3)
+
+    @given(
+        gamma=st.floats(min_value=0.0, max_value=1.0),
+        steps=st.integers(min_value=0, max_value=10),
+        budget=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_guarantee_in_unit_interval(self, gamma, steps, budget):
+        value = greedy_guarantee(gamma, steps=steps, budget=budget)
+        assert 0.0 <= value < 1.0
+
+
+class TestWeakGreedy:
+    def test_matches_bound_on_weakly_submodular_function(self):
+        # sqrt of modular sums is weakly submodular with good gamma.
+        weights = np.array([4.0, 3.0, 2.0, 1.0, 0.5])
+        fn = lambda s: float(np.sqrt(sum(weights[v] for v in s)))
+        solution, value, _ = weak_greedy(fn, 5, 2)
+        gamma = submodularity_ratio(fn, 5, max_cardinality=2)
+        opt = max(
+            fn(frozenset({i, j}))
+            for i in range(5)
+            for j in range(i + 1, 5)
+        )
+        assert value >= greedy_guarantee(gamma, budget=2) * opt - 1e-9
+        assert len(solution) == 2
+
+    def test_gain_sequence_monotone_for_submodular(self):
+        _, _, gains = weak_greedy(COVERAGE, 4, 4)
+        assert all(a >= b - 1e-12 for a, b in zip(gains, gains[1:]))
+
+    def test_gain_sequence_can_increase_for_supermodular(self):
+        _, _, gains = weak_greedy(quadratic_fn, 4, 3)
+        assert any(b > a for a, b in zip(gains, gains[1:]))
+
+    def test_stops_at_zero_gain(self):
+        fn = lambda s: min(float(len(s)), 1.0)
+        solution, value, gains = weak_greedy(fn, 5, 4)
+        assert len(solution) == 1
+        assert value == 1.0
+        assert gains == [1.0]
+
+    def test_candidates_restriction(self):
+        solution, _, _ = weak_greedy(COVERAGE, 4, 2, candidates=[2, 3])
+        assert solution <= {2, 3}
