@@ -25,7 +25,8 @@ from typing import Iterable, Optional
 
 from repro.core.baselines import greedy_utility
 from repro.core.cover import greedy_cover
-from repro.core.functions import BSMCombined, GroupedObjective
+from repro.core.functions import AverageUtility, BSMCombined, GroupedObjective
+from repro.core.greedy import greedy_max
 from repro.core.result import SolverResult, make_result
 from repro.core.saturate import saturate
 from repro.utils.timing import Timer
@@ -94,7 +95,7 @@ def bsm_saturate(
             state = objective.new_state()
             for item in greedy_result.solution:
                 objective.add(state, item)
-            best = make_result(
+            degenerate = make_result(
                 "BSM-Saturate",
                 objective,
                 state,
@@ -109,11 +110,10 @@ def bsm_saturate(
                     "degenerate": True,
                 },
             )
-            best.runtime = timer.elapsed  # set below __exit__, adjusted after
-            degenerate = best
         else:
             degenerate = None
     if degenerate is not None:
+        # Timer.elapsed is only final outside the `with` block.
         degenerate.runtime = timer.elapsed
         return degenerate
     with timer:
@@ -151,9 +151,6 @@ def bsm_saturate(
         # The bisection's last accepted state may have fewer than k items
         # (cover can saturate early); spend any remaining slots on utility.
         if best_state.size < k:
-            from repro.core.functions import AverageUtility
-            from repro.core.greedy import greedy_max
-
             greedy_max(
                 objective,
                 AverageUtility(),

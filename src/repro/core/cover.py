@@ -7,6 +7,11 @@ reached — uses at most ``(1 + ln(F_max / delta))`` times the optimal number
 of items. Both BSM algorithms rely on it: Algorithm 1's first stage covers
 ``g'_tau`` to 1, and Algorithm 2 covers ``F'_alpha`` to ``2(1 - eps/c)``
 inside each bisection step.
+
+This module is a thin shim over :func:`repro.core.greedy.greedy_max`, so
+it inherits the batched oracle fast path (one
+:meth:`~repro.core.functions.GroupedObjective.gains_batch` call per
+round) without any change in semantics.
 """
 
 from __future__ import annotations

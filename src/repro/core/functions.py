@@ -22,6 +22,19 @@ vectors*; a :class:`Scalarizer` folds a group-value vector into a scalar.
 Solvers combine the two, which keeps each concrete problem (coverage,
 facility location, RIS-based influence) to three small hooks and lets the
 lazy-forward greedy work unchanged across problems and surrogates.
+
+Batch oracle: :meth:`GroupedObjective.gains_batch` scores a whole
+candidate pool against one state in a single call and returns a
+``(len(items), num_groups)`` gain matrix. The generic implementation
+loops over :meth:`_gains`; dense backends override :meth:`_gains_batch`
+with a vectorized pass so a greedy round costs one NumPy kernel instead
+of ``n`` Python round-trips. Scalarizers mirror this with
+:meth:`Scalarizer.gain_batch`, which folds the gain matrix into a vector
+of scalar marginal gains. Both paths compute the same quantities —
+solvers that switch between them select identical solutions (ties break
+toward the lowest item id either way). ``oracle_calls`` counts *items
+scored* on both paths, so per-item/batch comparisons stay meaningful;
+``batch_oracle_calls`` additionally counts the batched invocations.
 """
 
 from __future__ import annotations
@@ -85,6 +98,7 @@ class GroupedObjective(abc.ABC):
         self._group_sizes = sizes
         self._group_weights = sizes / sizes.sum()
         self.oracle_calls = 0
+        self.batch_oracle_calls = 0
 
     # -- public read-only properties ------------------------------------
     @property
@@ -109,8 +123,9 @@ class GroupedObjective(abc.ABC):
         return self._group_weights
 
     def reset_counter(self) -> None:
-        """Zero the oracle-call counter (used between harness runs)."""
+        """Zero the oracle-call counters (used between harness runs)."""
         self.oracle_calls = 0
+        self.batch_oracle_calls = 0
 
     # -- state management -------------------------------------------------
     def new_state(self) -> ObjectiveState:
@@ -138,6 +153,33 @@ class GroupedObjective(abc.ABC):
         if state.in_solution[item]:
             return np.zeros(self.num_groups, dtype=float)
         return self._gains(state.payload, item)
+
+    def gains_batch(
+        self, state: ObjectiveState, items: Sequence[int]
+    ) -> np.ndarray:
+        """Marginal group-gain matrix for a whole candidate pool.
+
+        Returns an array of shape ``(len(items), num_groups)`` whose row
+        ``r`` equals ``self.gains(state, items[r])`` (items already in the
+        solution get zero rows). One call scores the entire pool, so dense
+        backends can amortise the evaluation into a single vectorized
+        pass; ``oracle_calls`` still advances by ``len(items)`` to keep
+        per-item/batch comparisons apples-to-apples.
+        """
+        idx = np.asarray(items, dtype=np.int64).reshape(-1)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_items):
+            raise IndexError(
+                f"items out of range [0, {self.num_items}): {idx}"
+            )
+        self.oracle_calls += int(idx.size)
+        self.batch_oracle_calls += 1
+        out = np.zeros((idx.size, self.num_groups), dtype=float)
+        if idx.size == 0:
+            return out
+        novel = ~state.in_solution[idx]
+        if novel.any():
+            out[novel] = self._gains_batch(state.payload, idx[novel])
+        return out
 
     def add(self, state: ObjectiveState, item: int) -> np.ndarray:
         """Commit ``item`` to the solution; returns its group-gain vector."""
@@ -187,6 +229,18 @@ class GroupedObjective(abc.ABC):
     @abc.abstractmethod
     def _gains(self, payload: Any, item: int) -> np.ndarray:
         """Group-gain vector of ``item`` against ``payload`` (pure)."""
+
+    def _gains_batch(self, payload: Any, items: np.ndarray) -> np.ndarray:
+        """Gain matrix for ``items`` (all valid, none in the solution).
+
+        Generic fallback loops :meth:`_gains`; dense backends override
+        this with one vectorized pass. Must be pure (no payload mutation)
+        and produce exactly the rows :meth:`_gains` would.
+        """
+        out = np.zeros((items.size, self.num_groups), dtype=float)
+        for r, item in enumerate(items):
+            out[r] = self._gains(payload, int(item))
+        return out
 
     def _apply(self, payload: Any, item: int) -> np.ndarray:
         """Commit ``item``; default recomputes gains then delegates."""
@@ -273,6 +327,20 @@ class Scalarizer(abc.ABC):
     def value(self, group_values: np.ndarray, weights: np.ndarray) -> float:
         """Scalar objective at ``group_values`` (weights are ``m_i/m``)."""
 
+    def value_batch(
+        self, group_values_matrix: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Row-wise :meth:`value` over a ``(N, num_groups)`` matrix.
+
+        Generic fallback loops :meth:`value`; the concrete scalarizers
+        override it with one vectorized expression mirroring the scalar
+        formula term by term, so each row equals the scalar evaluation.
+        """
+        return np.asarray(
+            [self.value(row, weights) for row in group_values_matrix],
+            dtype=float,
+        )
+
     def gain(
         self,
         group_values: np.ndarray,
@@ -283,6 +351,22 @@ class Scalarizer(abc.ABC):
         return self.value(group_values + gains, weights) - self.value(
             group_values, weights
         )
+
+    def gain_batch(
+        self,
+        group_values: np.ndarray,
+        gains_matrix: np.ndarray,
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`gain`: one scalar gain per gain-matrix row.
+
+        ``gains_matrix`` is the ``(N, num_groups)`` output of
+        :meth:`GroupedObjective.gains_batch`; the result's entry ``r``
+        equals ``self.gain(group_values, gains_matrix[r], weights)``
+        (same after-minus-before form, shared "before" term).
+        """
+        after = self.value_batch(group_values[None, :] + gains_matrix, weights)
+        return after - self.value(group_values, weights)
 
     @property
     def target(self) -> Optional[float]:
@@ -296,6 +380,11 @@ class AverageUtility(Scalarizer):
     def value(self, group_values: np.ndarray, weights: np.ndarray) -> float:
         return float(weights @ group_values)
 
+    def value_batch(
+        self, group_values_matrix: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        return group_values_matrix @ weights
+
 
 class MinUtility(Scalarizer):
     """``g(S) = min_i f_i(S)`` — the paper's maximin fairness objective.
@@ -306,6 +395,11 @@ class MinUtility(Scalarizer):
 
     def value(self, group_values: np.ndarray, weights: np.ndarray) -> float:
         return float(group_values.min())
+
+    def value_batch(
+        self, group_values_matrix: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        return group_values_matrix.min(axis=1)
 
 
 class TruncatedFairness(Scalarizer):
@@ -324,6 +418,12 @@ class TruncatedFairness(Scalarizer):
     def value(self, group_values: np.ndarray, weights: np.ndarray) -> float:
         clipped = np.minimum(1.0, group_values / self.threshold)
         return float(clipped.mean())
+
+    def value_batch(
+        self, group_values_matrix: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        clipped = np.minimum(1.0, group_values_matrix / self.threshold)
+        return clipped.mean(axis=1)
 
     @property
     def target(self) -> Optional[float]:
@@ -351,6 +451,16 @@ class BSMCombined(Scalarizer):
         )
         return utility_part + fairness_part
 
+    def value_batch(
+        self, group_values_matrix: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        f_vals = group_values_matrix @ weights
+        utility_part = np.minimum(1.0, f_vals / self.utility_threshold)
+        fairness_part = np.minimum(
+            1.0, group_values_matrix / self.fairness_threshold
+        ).mean(axis=1)
+        return utility_part + fairness_part
+
     @property
     def target(self) -> Optional[float]:
         return 2.0
@@ -375,3 +485,11 @@ class WeightedCombination(Scalarizer):
         return float(
             sum(coef * s.value(group_values, weights) for coef, s in self.parts)
         )
+
+    def value_batch(
+        self, group_values_matrix: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        total = np.zeros(group_values_matrix.shape[0], dtype=float)
+        for coef, s in self.parts:
+            total += coef * s.value_batch(group_values_matrix, weights)
+        return total

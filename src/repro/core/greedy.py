@@ -13,6 +13,15 @@ Implements the three greedy variants the paper relies on:
 All variants also serve as the *greedy submodular cover* inner loop: pass
 ``stop_value`` to halt as soon as the scalar objective reaches a target
 (Wolsey's greedy for submodular cover — see :mod:`repro.core.cover`).
+
+Every loop drives the oracle through the *batch* API
+(:meth:`GroupedObjective.gains_batch` + :meth:`Scalarizer.gain_batch`):
+plain, stochastic and threshold greedy score their whole candidate pool
+once per round with a single vectorized call, and CELF seeds its priority
+queue with one batched pass before entering the heap. Selection is
+unchanged — each round picks the same item (ties toward the lowest id)
+the per-item loops would, so Saturate, greedy cover and both BSM
+algorithms inherit the fast path with identical solutions.
 """
 
 from __future__ import annotations
@@ -102,6 +111,34 @@ def _candidate_list(
     return [int(v) for v in pool if not state.in_solution[int(v)]]
 
 
+def _pool_gains(
+    objective: GroupedObjective,
+    scalarizer: Scalarizer,
+    state: ObjectiveState,
+    items: Sequence[int],
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Scalar marginal gain of every item in ``items`` — one batched call."""
+    gains_matrix = objective.gains_batch(state, items)
+    return scalarizer.gain_batch(state.group_values, gains_matrix, weights)
+
+
+def _scan_best(items: Sequence[int], gains: np.ndarray) -> tuple[int, float]:
+    """Best (item, gain) under the per-item loops' selection rule.
+
+    Replays the sequential ``gain > best + GAIN_EPS`` scan over the
+    batched gains so ties (and near-ties inside the epsilon band) break
+    toward the earliest item exactly as the per-item loops did. Items with
+    gain <= GAIN_EPS can never win, so the scan only visits positive rows.
+    """
+    best_item, best_gain = -1, 0.0
+    for idx in np.nonzero(gains > GAIN_EPS)[0]:
+        gain = float(gains[idx])
+        if gain > best_gain + GAIN_EPS:
+            best_item, best_gain = int(items[idx]), gain
+    return best_item, best_gain
+
+
 def _plain_loop(
     objective: GroupedObjective,
     scalarizer: Scalarizer,
@@ -113,19 +150,14 @@ def _plain_loop(
     tolerance: float,
 ) -> None:
     weights = objective.group_weights
-    # Sorted iteration makes ties break toward the lowest item id, the
-    # same order the lazy heap uses — keeps the two variants comparable.
+    # Sorted candidate order makes ties break toward the lowest item id,
+    # the same order the lazy heap uses — keeps the variants comparable.
     remaining = sorted(set(cand))
     for _ in range(budget):
         if not remaining:
             break
-        best_item, best_gain = -1, 0.0
-        for item in remaining:
-            gain = scalarizer.gain(
-                state.group_values, objective.gains(state, item), weights
-            )
-            if gain > best_gain + GAIN_EPS:
-                best_item, best_gain = item, gain
+        gains = _pool_gains(objective, scalarizer, state, remaining, weights)
+        best_item, best_gain = _scan_best(remaining, gains)
         if best_item < 0:
             break  # no item improves the objective: greedy is saturated
         objective.add(state, best_item)
@@ -147,11 +179,19 @@ def _lazy_loop(
     tolerance: float,
 ) -> None:
     weights = objective.group_weights
-    # Heap of (-upper_bound, item); bounds start at +inf so every item is
-    # evaluated at least once against the current solution.
-    heap: list[tuple[float, int]] = [(-np.inf, item) for item in cand]
+    if not cand:
+        return
+    # Heap of (-upper_bound, item). CELF must evaluate every item at least
+    # once against the starting solution anyway, so the re-seeding pass
+    # scores the whole pool with one batched call and enters the heap with
+    # exact round-0 bounds (the classic variant pushes -inf bounds and
+    # pays n Python round-trips to reach the same heap).
+    seed_gains = _pool_gains(objective, scalarizer, state, cand, weights)
+    heap: list[tuple[float, int]] = [
+        (-float(gain), item) for item, gain in zip(cand, seed_gains)
+    ]
     heapq.heapify(heap)
-    fresh: dict[int, int] = {item: -1 for item in cand}  # round of last eval
+    fresh: dict[int, int] = {item: 0 for item in cand}  # round of last eval
     round_no = 0
     while round_no < budget and heap:
         while heap:
@@ -214,14 +254,11 @@ def stochastic_greedy_max(
             break
         size = min(sample_size, len(available))
         sample_idx = rng.choice(len(available), size=size, replace=False)
-        best_item, best_gain = -1, 0.0
-        for idx in sample_idx:
-            item = available[int(idx)]
-            gain = scalarizer.gain(
-                state.group_values, objective.gains(state, item), weights
-            )
-            if gain > best_gain + GAIN_EPS:
-                best_item, best_gain = item, gain
+        # Keep the draw order: the per-item loop scanned the sample as
+        # drawn, and _scan_best preserves that tie-breaking.
+        sample = [available[int(idx)] for idx in sample_idx]
+        gains = _pool_gains(objective, scalarizer, state, sample, weights)
+        best_item, best_gain = _scan_best(sample, gains)
         if best_item < 0:
             continue  # the whole sample was worthless; resample next round
         objective.add(state, best_item)
@@ -251,6 +288,12 @@ def threshold_greedy_max(
     total — independent of ``k`` — for a ``(1 - 1/e - eps)`` guarantee,
     making it the preferred accelerator when ``k`` is large and CELF's
     heap still degenerates to many re-evaluations.
+
+    Like CELF, the batched sweep requires a *submodular* scalarization:
+    after an add, items whose stale gain already missed the threshold are
+    dropped for the rest of the sweep on the grounds that gains only
+    decrease. Feeding a non-submodular scalarizer (e.g. ``MinUtility``)
+    voids both the guarantee and the per-item-sweep equivalence.
     """
     check_positive_int(budget, "budget")
     if not 0 < epsilon < 1:
@@ -261,34 +304,40 @@ def threshold_greedy_max(
     ]
     weights = objective.group_weights
     best_singleton = 0.0
-    empty = objective.new_state()
-    for item in pool:
-        gain = scalarizer.gain(
-            empty.group_values, objective.gains(empty, item), weights
+    if pool:
+        empty = objective.new_state()
+        singleton_gains = _pool_gains(
+            objective, scalarizer, empty, pool, weights
         )
-        best_singleton = max(best_singleton, gain)
+        best_singleton = max(0.0, float(singleton_gains.max()))
     steps: list[GreedyStep] = []
     if best_singleton <= 0:
         return state, steps
     threshold = best_singleton
     floor = epsilon / len(pool) * best_singleton
     while threshold >= floor and state.size < budget:
-        for item in pool:
-            if state.size >= budget:
+        # One batched scoring of the remaining pool per sweep. After an
+        # add, submodularity says stale gains only overestimate: items
+        # already below the threshold stay below (drop them without a
+        # fresh call), while stale *hits* are rescored in the next batch
+        # before being trusted — the adds are exactly those the per-item
+        # sweep would have made.
+        current = [v for v in pool if not state.in_solution[v]]
+        while current and state.size < budget:
+            gains = _pool_gains(objective, scalarizer, state, current, weights)
+            hit_pos = np.nonzero(gains >= threshold)[0]
+            if hit_pos.size == 0:
                 break
-            if state.in_solution[item]:
-                continue
-            gain = scalarizer.gain(
-                state.group_values, objective.gains(state, item), weights
-            )
-            if gain >= threshold:
-                objective.add(state, item)
-                steps.append(
-                    GreedyStep(
-                        item,
-                        gain,
-                        scalarizer.value(state.group_values, weights),
-                    )
+            first = int(hit_pos[0])
+            item = current[first]
+            objective.add(state, item)
+            steps.append(
+                GreedyStep(
+                    item,
+                    float(gains[first]),
+                    scalarizer.value(state.group_values, weights),
                 )
+            )
+            current = [current[i] for i in hit_pos[1:]]
         threshold *= 1.0 - epsilon
     return state, steps

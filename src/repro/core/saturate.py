@@ -27,7 +27,13 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.core.cover import greedy_cover
-from repro.core.functions import GroupedObjective, ObjectiveState, TruncatedFairness
+from repro.core.functions import (
+    AverageUtility,
+    GroupedObjective,
+    ObjectiveState,
+    TruncatedFairness,
+)
+from repro.core.greedy import greedy_max
 from repro.core.result import SolverResult, make_result
 from repro.utils.timing import Timer
 from repro.utils.validation import check_positive_int
@@ -91,9 +97,6 @@ def saturate(
             # Some group derives zero utility from the entire ground set;
             # the RSM optimum is 0 and any set works. Return greedy-on-f
             # of size k so the result is still a sensible solution.
-            from repro.core.functions import AverageUtility
-            from repro.core.greedy import greedy_max
-
             best_state, _ = greedy_max(
                 objective, AverageUtility(), k, candidates=cand, lazy=lazy
             )

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.functions import GroupedObjective
 from repro.errors import GroupPartitionError
 from repro.graphs.graph import Graph
+from repro.utils.csr import batch_group_counts, build_csr
 
 
 class _CoveragePayload:
@@ -70,6 +71,10 @@ class CoverageObjective(GroupedObjective):
                 )
         super().__init__(len(self._sets), sizes)
         self._labels = labels
+        # CSR-style item -> user incidence: set j occupies the slice
+        # [_set_indptr[j], _set_indptr[j+1]) of _set_indices. Lets the
+        # batch oracle gather whole candidate pools without Python loops.
+        self._set_indptr, self._set_indices = build_csr(self._sets)
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CoverageObjective":
@@ -109,6 +114,19 @@ class CoverageObjective(GroupedObjective):
         members = self._sets[item]
         fresh = members[~payload.covered[members]]
         counts = np.bincount(self._labels[fresh], minlength=self.num_groups)
+        return counts / self._group_sizes
+
+    def _gains_batch(
+        self, payload: _CoveragePayload, items: np.ndarray
+    ) -> np.ndarray:
+        counts = batch_group_counts(
+            self._set_indptr,
+            self._set_indices,
+            items,
+            payload.covered,
+            self._labels,
+            self.num_groups,
+        )
         return counts / self._group_sizes
 
     def _apply(self, payload: _CoveragePayload, item: int) -> np.ndarray:

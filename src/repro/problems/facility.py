@@ -96,7 +96,11 @@ class FacilityLocationObjective(GroupedObjective):
         benefits: np.ndarray,
         user_groups: Sequence[int],
     ) -> None:
-        matrix = np.asarray(benefits, dtype=float)
+        # Own an immutable copy: the batch oracle keeps a transposed
+        # view of the matrix, and a caller mutating a shared buffer
+        # would silently desynchronize the two.
+        matrix = np.array(benefits, dtype=float)
+        matrix.setflags(write=False)
         if matrix.ndim != 2:
             raise ValueError(f"benefits must be 2-d, got shape {matrix.shape}")
         if not np.all(np.isfinite(matrix)):
@@ -117,9 +121,20 @@ class FacilityLocationObjective(GroupedObjective):
         super().__init__(matrix.shape[1], sizes)
         self._benefits = matrix
         self._labels = labels
+        # Batch-oracle precomputation: a transposed contiguous copy so a
+        # candidate pool gathers whole rows (one memcpy each, instead of
+        # strided column picks), and a one-hot (m, c) group-membership
+        # matrix reducing per-user deltas to group sums in a single BLAS
+        # matmul.
+        self._benefits_t = np.ascontiguousarray(matrix.T)
+        self._benefits_t.setflags(write=False)
+        onehot = np.zeros((labels.size, self.num_groups), dtype=float)
+        onehot[np.arange(labels.size), labels] = 1.0
+        self._group_onehot = onehot
 
     @property
     def benefits(self) -> np.ndarray:
+        """The benefit matrix (an immutable copy of the input)."""
         return self._benefits
 
     @property
@@ -137,6 +152,17 @@ class FacilityLocationObjective(GroupedObjective):
         delta = np.maximum(0.0, self._benefits[:, item] - payload.best)
         sums = np.bincount(self._labels, weights=delta, minlength=self.num_groups)
         return sums / self._group_sizes
+
+    def _gains_batch(
+        self, payload: _FacilityPayload, items: np.ndarray
+    ) -> np.ndarray:
+        # (N, m) improvement each candidate offers every user (built
+        # in place on the row gather), reduced to (N, c) group sums in
+        # one matmul instead of N bincount passes.
+        delta = self._benefits_t[items]
+        np.subtract(delta, payload.best, out=delta)
+        np.maximum(delta, 0.0, out=delta)
+        return (delta @ self._group_onehot) / self._group_sizes
 
     def _apply(self, payload: _FacilityPayload, item: int) -> np.ndarray:
         gains = self._gains(payload, item)

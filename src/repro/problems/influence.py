@@ -19,6 +19,7 @@ from repro.core.functions import GroupedObjective
 from repro.graphs.graph import Graph
 from repro.influence.imm import imm_rr_collection
 from repro.influence.ris import RRCollection, sample_rr_collection
+from repro.utils.csr import batch_group_counts, build_csr
 from repro.utils.rng import SeedLike
 
 
@@ -71,6 +72,10 @@ class InfluenceObjective(GroupedObjective):
         ]
         self._root_groups = collection.root_groups
         self._group_counts = collection.group_counts.astype(float)
+        # CSR view of the inverted index (node j's RR-set ids occupy the
+        # slice [_mem_indptr[j], _mem_indptr[j+1]) of _mem_indices) so the
+        # batch oracle can score whole candidate pools in one pass.
+        self._mem_indptr, self._mem_indices = build_csr(self._membership)
 
     @classmethod
     def from_collection(
@@ -136,6 +141,19 @@ class InfluenceObjective(GroupedObjective):
         fresh = ids[~payload.covered[ids]]
         counts = np.bincount(
             self._root_groups[fresh], minlength=self.num_groups
+        )
+        return counts / self._group_counts
+
+    def _gains_batch(
+        self, payload: _InfluencePayload, items: np.ndarray
+    ) -> np.ndarray:
+        counts = batch_group_counts(
+            self._mem_indptr,
+            self._mem_indices,
+            items,
+            payload.covered,
+            self._root_groups,
+            self.num_groups,
         )
         return counts / self._group_counts
 

@@ -1,0 +1,63 @@
+"""CSR-style incidence helpers shared by the batch-oracle backends.
+
+Coverage and influence both score a candidate pool by gathering each
+candidate's incidence list (users covered / RR sets hit), masking the
+entries the current solution already accounts for, and counting the
+survivors per ``(candidate, group)`` cell. The ragged lists are stored
+flattened (``indptr``/``indices``, as in a CSR sparse matrix) so the
+whole pool is one NumPy gather plus one ``bincount`` pass.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def build_csr(arrays: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten ragged ``arrays`` into ``(indptr, indices)``.
+
+    Entry ``j``'s values occupy ``indices[indptr[j]:indptr[j + 1]]``.
+    """
+    lengths = np.asarray([np.asarray(a).size for a in arrays], dtype=np.int64)
+    indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(lengths)])
+    if lengths.sum():
+        indices = np.concatenate([np.asarray(a, dtype=np.int64) for a in arrays])
+    else:
+        indices = np.zeros(0, dtype=np.int64)
+    return indptr, indices
+
+
+def batch_group_counts(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    items: np.ndarray,
+    already_counted: np.ndarray,
+    labels: np.ndarray,
+    num_groups: int,
+) -> np.ndarray:
+    """Per-``(item, group)`` counts of *fresh* incidence entries.
+
+    For each requested item, gathers its slice of ``indices``, drops the
+    entries flagged in the boolean ``already_counted`` mask, maps the
+    survivors through ``labels`` and counts them per group — all in one
+    flat ``bincount`` pass. Returns an integer array of shape
+    ``(len(items), num_groups)``.
+    """
+    starts = indptr[items]
+    lengths = indptr[items + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros((items.size, num_groups), dtype=np.int64)
+    ends = np.cumsum(lengths)
+    # Flat gather of every requested slice, tagged by the row (candidate)
+    # it belongs to: position t of row r maps to indices[starts[r] + t].
+    flat = np.arange(total) + np.repeat(starts - (ends - lengths), lengths)
+    entries = indices[flat]
+    row_id = np.repeat(np.arange(items.size), lengths)
+    fresh = ~already_counted[entries]
+    bins = row_id[fresh] * num_groups + labels[entries[fresh]]
+    return np.bincount(bins, minlength=items.size * num_groups).reshape(
+        items.size, num_groups
+    )

@@ -1,0 +1,446 @@
+"""Batch-oracle layer: parity with the per-item oracle across objectives,
+scalarizers and solvers.
+
+Two families of guarantees are locked down here:
+
+* **oracle parity** — ``gains_batch`` returns exactly the rows that
+  stacking per-item ``gains`` calls would, for every concrete backend
+  (vectorized coverage / facility / influence / recommendation /
+  summarization paths) and for the generic :class:`PerUserObjective`
+  fallback;
+* **solver parity** — plain, lazy and batched greedy pick *identical*
+  solutions on seeded instances, including against a frozen reference
+  implementation of the seed's per-item CELF loop (same tie-breaking
+  toward the lowest item id).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.core.functions import (
+    AverageUtility,
+    BSMCombined,
+    GroupedObjective,
+    MinUtility,
+    ObjectiveState,
+    PerUserObjective,
+    Scalarizer,
+    TruncatedFairness,
+    WeightedCombination,
+)
+from repro.core.greedy import GAIN_EPS, greedy_max, threshold_greedy_max
+from repro.graphs.generators import random_groups_graph
+from repro.problems.coverage import CoverageObjective
+from repro.problems.facility import FacilityLocationObjective
+from repro.problems.influence import InfluenceObjective
+from repro.problems.recommendation import RecommendationObjective
+from repro.problems.summarization import SummarizationObjective
+
+
+# ---------------------------------------------------------------------------
+# Seeded instances, one per problem domain
+# ---------------------------------------------------------------------------
+def _coverage(seed: int = 101) -> CoverageObjective:
+    rng = np.random.default_rng(seed)
+    sets = [
+        rng.choice(40, size=int(rng.integers(1, 9)), replace=False)
+        for _ in range(14)
+    ]
+    groups = rng.integers(0, 3, size=40)
+    groups[:3] = [0, 1, 2]
+    return CoverageObjective(sets, groups)
+
+
+def _facility(seed: int = 202) -> FacilityLocationObjective:
+    rng = np.random.default_rng(seed)
+    benefits = rng.uniform(0.0, 1.0, size=(30, 12))
+    groups = rng.integers(0, 3, size=30)
+    groups[:3] = [0, 1, 2]
+    return FacilityLocationObjective(benefits, groups)
+
+
+def _influence(seed: int = 303) -> InfluenceObjective:
+    graph = random_groups_graph(50, 4.0, [0.3, 0.7], seed=seed)
+    return InfluenceObjective.from_graph(graph, 400, seed=seed + 1)
+
+
+def _recommendation(seed: int = 404) -> RecommendationObjective:
+    rng = np.random.default_rng(seed)
+    relevance = rng.uniform(0.0, 1.0, size=(25, 10))
+    groups = rng.integers(0, 2, size=25)
+    groups[:2] = [0, 1]
+    return RecommendationObjective(relevance, groups)
+
+
+def _summarization(seed: int = 505) -> SummarizationObjective:
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(24, 3))
+    groups = rng.integers(0, 2, size=24)
+    groups[:2] = [0, 1]
+    return SummarizationObjective(points, groups)
+
+
+def _per_user(seed: int = 606) -> PerUserObjective:
+    rng = np.random.default_rng(seed)
+    weight = rng.uniform(0.2, 1.0, size=(12, 8))
+
+    def utility_fn(user: int, solution: frozenset[int]) -> float:
+        if not solution:
+            return 0.0
+        return float(max(weight[user, v] for v in solution))
+
+    groups = [0, 0, 0, 1, 1, 1, 2, 2, 2, 0, 1, 2]
+    return PerUserObjective(8, groups, utility_fn)
+
+
+DOMAINS = {
+    "coverage": _coverage,
+    "facility": _facility,
+    "influence": _influence,
+    "recommendation": _recommendation,
+    "summarization": _summarization,
+}
+
+
+def _partial_state(objective: GroupedObjective) -> ObjectiveState:
+    """A state with two committed items (exercise non-empty payloads)."""
+    state = objective.new_state()
+    objective.add(state, 0)
+    objective.add(state, min(3, objective.num_items - 1))
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Frozen reference: the seed's per-item CELF loop
+# ---------------------------------------------------------------------------
+def per_item_celf(
+    objective: GroupedObjective,
+    scalarizer: Scalarizer,
+    budget: int,
+) -> ObjectiveState:
+    """The pre-batch lazy-forward greedy, verbatim (per-item oracle)."""
+    state = objective.new_state()
+    weights = objective.group_weights
+    cand = list(range(objective.num_items))
+    heap: list[tuple[float, int]] = [(-np.inf, item) for item in cand]
+    heapq.heapify(heap)
+    fresh = {item: -1 for item in cand}
+    round_no = 0
+    while round_no < budget and heap:
+        while heap:
+            neg_ub, item = heapq.heappop(heap)
+            if state.in_solution[item]:
+                continue
+            if fresh[item] == round_no:
+                gain = -neg_ub
+                if gain <= GAIN_EPS:
+                    heap.clear()
+                    break
+                objective.add(state, item)
+                round_no += 1
+                break
+            gain = scalarizer.gain(
+                state.group_values, objective.gains(state, item), weights
+            )
+            fresh[item] = round_no
+            heapq.heappush(heap, (-gain, item))
+        else:
+            break
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Oracle parity
+# ---------------------------------------------------------------------------
+def _assert_gains_match(domain: str, batch, per_item) -> None:
+    if domain == "facility":
+        # The facility batch path reduces per-user deltas with one BLAS
+        # matmul whose accumulation order differs from the per-item
+        # bincount, so agreement is to the last ulp rather than bitwise
+        # (GAIN_EPS in the solvers absorbs this; solutions stay
+        # identical — see TestSolverParity).
+        np.testing.assert_allclose(batch, per_item, rtol=1e-12, atol=1e-14)
+    else:
+        np.testing.assert_array_equal(batch, per_item)
+
+
+class TestGainsBatchParity:
+    @pytest.mark.parametrize("domain", sorted(DOMAINS))
+    def test_matches_stacked_gains_on_empty_state(self, domain):
+        objective = DOMAINS[domain]()
+        state = objective.new_state()
+        items = list(range(objective.num_items))
+        batch = objective.gains_batch(state, items)
+        per_item = np.stack([objective.gains(state, v) for v in items])
+        assert batch.shape == (objective.num_items, objective.num_groups)
+        _assert_gains_match(domain, batch, per_item)
+
+    @pytest.mark.parametrize("domain", sorted(DOMAINS))
+    def test_matches_stacked_gains_on_partial_state(self, domain):
+        objective = DOMAINS[domain]()
+        state = _partial_state(objective)
+        items = list(range(objective.num_items))
+        batch = objective.gains_batch(state, items)
+        per_item = np.stack([objective.gains(state, v) for v in items])
+        _assert_gains_match(domain, batch, per_item)
+
+    def test_per_user_fallback_matches(self):
+        objective = _per_user()
+        state = _partial_state(objective)
+        items = list(range(objective.num_items))
+        batch = objective.gains_batch(state, items)
+        per_item = np.stack([objective.gains(state, v) for v in items])
+        np.testing.assert_array_equal(batch, per_item)
+
+    def test_in_solution_items_get_zero_rows(self):
+        objective = _coverage()
+        state = _partial_state(objective)
+        selected = list(state.selected)
+        batch = objective.gains_batch(state, selected)
+        np.testing.assert_array_equal(batch, np.zeros_like(batch))
+
+    def test_subset_and_order_preserved(self):
+        objective = _facility()
+        state = _partial_state(objective)
+        items = [7, 2, 11, 2]  # arbitrary order, with a duplicate
+        batch = objective.gains_batch(state, items)
+        per_item = np.stack([objective.gains(state, v) for v in items])
+        _assert_gains_match("facility", batch, per_item)
+
+    def test_empty_pool(self):
+        objective = _coverage()
+        state = objective.new_state()
+        batch = objective.gains_batch(state, [])
+        assert batch.shape == (0, objective.num_groups)
+
+    def test_out_of_range_raises(self):
+        objective = _coverage()
+        state = objective.new_state()
+        with pytest.raises(IndexError):
+            objective.gains_batch(state, [0, objective.num_items])
+
+    def test_counters(self):
+        objective = _coverage()
+        state = objective.new_state()
+        objective.reset_counter()
+        objective.gains_batch(state, [0, 1, 2])
+        assert objective.oracle_calls == 3
+        assert objective.batch_oracle_calls == 1
+        objective.gains(state, 0)
+        assert objective.oracle_calls == 4
+        assert objective.batch_oracle_calls == 1
+        objective.reset_counter()
+        assert objective.oracle_calls == 0
+        assert objective.batch_oracle_calls == 0
+
+    def test_gains_batch_is_pure(self):
+        objective = _coverage()
+        state = _partial_state(objective)
+        before = state.group_values.copy()
+        payload_covered = state.payload.covered.copy()
+        objective.gains_batch(state, list(range(objective.num_items)))
+        np.testing.assert_array_equal(state.group_values, before)
+        np.testing.assert_array_equal(state.payload.covered, payload_covered)
+
+
+# ---------------------------------------------------------------------------
+# Scalarizer batch parity
+# ---------------------------------------------------------------------------
+SCALARIZERS = {
+    "average": AverageUtility(),
+    "min": MinUtility(),
+    "truncated": TruncatedFairness(0.4),
+    "bsm": BSMCombined(utility_threshold=0.5, fairness_threshold=0.3),
+    "weighted": WeightedCombination(
+        [(0.7, AverageUtility()), (0.3, TruncatedFairness(0.4))]
+    ),
+}
+
+
+class TestScalarizerBatchParity:
+    @pytest.mark.parametrize("name", sorted(SCALARIZERS))
+    def test_gain_batch_matches_gain(self, name):
+        scalarizer = SCALARIZERS[name]
+        rng = np.random.default_rng(17)
+        weights = rng.dirichlet(np.ones(4))
+        group_values = rng.uniform(0.0, 0.6, size=4)
+        gains_matrix = rng.uniform(0.0, 0.3, size=(9, 4))
+        batch = scalarizer.gain_batch(group_values, gains_matrix, weights)
+        per_item = np.asarray(
+            [
+                scalarizer.gain(group_values, row, weights)
+                for row in gains_matrix
+            ]
+        )
+        np.testing.assert_allclose(batch, per_item, rtol=0, atol=1e-15)
+
+    @pytest.mark.parametrize("name", sorted(SCALARIZERS))
+    def test_value_batch_matches_value(self, name):
+        scalarizer = SCALARIZERS[name]
+        rng = np.random.default_rng(29)
+        weights = rng.dirichlet(np.ones(3))
+        matrix = rng.uniform(0.0, 1.0, size=(7, 3))
+        batch = scalarizer.value_batch(matrix, weights)
+        per_row = np.asarray(
+            [scalarizer.value(row, weights) for row in matrix]
+        )
+        np.testing.assert_allclose(batch, per_row, rtol=0, atol=1e-15)
+
+    def test_generic_fallback_used_by_custom_scalarizer(self):
+        class Quadratic(Scalarizer):
+            def value(self, group_values, weights):
+                return float((group_values**2) @ weights)
+
+        rng = np.random.default_rng(31)
+        weights = rng.dirichlet(np.ones(3))
+        group_values = rng.uniform(size=3)
+        gains_matrix = rng.uniform(size=(5, 3))
+        s = Quadratic()
+        batch = s.gain_batch(group_values, gains_matrix, weights)
+        per_item = [
+            s.gain(group_values, row, weights) for row in gains_matrix
+        ]
+        np.testing.assert_array_equal(batch, np.asarray(per_item))
+
+
+# ---------------------------------------------------------------------------
+# Frozen reference: the seed's per-item plain loop
+# ---------------------------------------------------------------------------
+def per_item_plain(
+    objective: GroupedObjective,
+    scalarizer: Scalarizer,
+    budget: int,
+) -> ObjectiveState:
+    """The pre-batch plain greedy, verbatim (per-item oracle)."""
+    state = objective.new_state()
+    weights = objective.group_weights
+    remaining = sorted(range(objective.num_items))
+    for _ in range(budget):
+        if not remaining:
+            break
+        best_item, best_gain = -1, 0.0
+        for item in remaining:
+            gain = scalarizer.gain(
+                state.group_values, objective.gains(state, item), weights
+            )
+            if gain > best_gain + GAIN_EPS:
+                best_item, best_gain = item, gain
+        if best_item < 0:
+            break
+        objective.add(state, best_item)
+        remaining.remove(best_item)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Solver parity
+# ---------------------------------------------------------------------------
+class TestSolverParity:
+    @pytest.mark.parametrize("domain", sorted(DOMAINS))
+    def test_batched_lazy_matches_per_item_celf(self, domain):
+        budget = 5
+        reference = per_item_celf(
+            DOMAINS[domain](), AverageUtility(), budget
+        )
+        objective = DOMAINS[domain]()
+        state, _ = greedy_max(objective, AverageUtility(), budget, lazy=True)
+        assert state.solution == reference.solution, domain
+        np.testing.assert_array_equal(
+            state.group_values, reference.group_values
+        )
+
+    @pytest.mark.parametrize("domain", sorted(DOMAINS))
+    def test_batched_plain_matches_per_item_plain(self, domain):
+        budget = 6
+        reference = per_item_plain(
+            DOMAINS[domain](), AverageUtility(), budget
+        )
+        objective = DOMAINS[domain]()
+        state, _ = greedy_max(objective, AverageUtility(), budget, lazy=False)
+        assert state.solution == reference.solution, domain
+        np.testing.assert_array_equal(
+            state.group_values, reference.group_values
+        )
+
+    @pytest.mark.parametrize("domain", sorted(DOMAINS))
+    def test_plain_near_equals_lazy(self, domain):
+        # Plain and lazy may break a last-ulp float tie toward different
+        # items (true of the per-item seed loops as well — see the lazy
+        # ablation bench), after which the greedy paths can diverge
+        # slightly; the contract is near-identical value, not an
+        # identical set.
+        objective = DOMAINS[domain]()
+        plain, _ = greedy_max(objective, AverageUtility(), 6, lazy=False)
+        lazy, _ = greedy_max(objective, AverageUtility(), 6, lazy=True)
+        f_plain, f_lazy = objective.utility(plain), objective.utility(lazy)
+        assert abs(f_plain - f_lazy) <= 0.05 * max(f_plain, f_lazy)
+
+    def test_per_user_fallback_solver_parity(self):
+        budget = 4
+        reference = per_item_celf(_per_user(), AverageUtility(), budget)
+        objective = _per_user()
+        state, _ = greedy_max(objective, AverageUtility(), budget)
+        assert state.solution == reference.solution
+
+    def test_truncated_fairness_parity(self):
+        budget = 6
+        reference = per_item_celf(
+            _coverage(), TruncatedFairness(0.5), budget
+        )
+        objective = _coverage()
+        for lazy in (False, True):
+            state, _ = greedy_max(
+                objective, TruncatedFairness(0.5), budget, lazy=lazy
+            )
+            assert state.solution == reference.solution
+
+    def test_threshold_greedy_matches_per_item_sweep(self):
+        objective = _coverage()
+        state, steps = threshold_greedy_max(
+            objective, AverageUtility(), 6, epsilon=0.2
+        )
+        # Frozen per-item reference sweep (the seed implementation).
+        ref_objective = _coverage()
+        scalarizer = AverageUtility()
+        weights = ref_objective.group_weights
+        ref_state = ref_objective.new_state()
+        empty = ref_objective.new_state()
+        best_singleton = 0.0
+        pool = list(range(ref_objective.num_items))
+        for item in pool:
+            gain = scalarizer.gain(
+                empty.group_values, ref_objective.gains(empty, item), weights
+            )
+            best_singleton = max(best_singleton, gain)
+        threshold = best_singleton
+        floor = 0.2 / len(pool) * best_singleton
+        while threshold >= floor and ref_state.size < 6:
+            for item in pool:
+                if ref_state.size >= 6:
+                    break
+                if ref_state.in_solution[item]:
+                    continue
+                gain = scalarizer.gain(
+                    ref_state.group_values,
+                    ref_objective.gains(ref_state, item),
+                    weights,
+                )
+                if gain >= threshold:
+                    ref_objective.add(ref_state, item)
+            threshold *= 0.8
+        assert state.solution == ref_state.solution
+
+    def test_batched_loops_count_batches(self):
+        objective = _coverage()
+        objective.reset_counter()
+        greedy_max(objective, AverageUtility(), 4, lazy=False)
+        assert objective.batch_oracle_calls >= 1
+        per_round = objective.oracle_calls
+        objective.reset_counter()
+        greedy_max(objective, AverageUtility(), 4, lazy=True)
+        assert objective.batch_oracle_calls == 1  # CELF seeds once
+        assert objective.oracle_calls <= per_round
