@@ -1,0 +1,293 @@
+"""Micro-bench — per-item vs multi-state batch oracle on item streams.
+
+Replays the same n >= 2000 facility-location stream through the two
+multi-instance online solvers twice: once driving the oracle per solution
+state (the pre-batch per-arrival hot loops, frozen here as references)
+and once through the ``gains_states``/``gain_states`` multi-state path
+they now use — sieve streaming scores each arrival against all live
+sieve levels in one call, the sliding-window maximizer against all live
+checkpoints. Both runs must select identical solutions; the win is pure
+vectorization (one stacked NumPy pass per arrival instead of one Python
+round-trip per state).
+
+Also checks the sliding-window invariant fixed alongside the batch
+rewire: live checkpoints stay O(log window) (two per geometric scale
+plus the pre-horizon cover), not O(window / spacing).
+
+Emits ``benchmarks/results/BENCH_streaming_batch.json`` alongside the
+usual rendered table. Run standalone (``PYTHONPATH=src python
+benchmarks/bench_streaming_batch.py``) or through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_streaming_batch.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks._common import RESULTS_DIR, SEED, record, run_once
+from repro.core.functions import AverageUtility, GroupedObjective, Scalarizer
+from repro.core.sliding_window import SlidingWindowMaximizer
+from repro.core.streaming import (
+    ObjectiveStateBox,
+    _level_indices,
+    _prune_levels,
+    sieve_streaming,
+)
+from repro.problems.facility import FacilityLocationObjective, kmedian_benefits
+
+#: Instance size (the acceptance bar is an n >= 2000 stream). The live
+#: state count per arrival (sieve levels / checkpoints) drives the
+#: per-item path's Python round-trips — the cost the multi-state oracle
+#: removes; m sets the per-call arithmetic, which both paths pay.
+NUM_USERS = 2000
+NUM_FACILITIES = 2048
+NUM_GROUPS = 4
+BUDGET = 10
+EPSILON = 0.1
+WINDOW = 512
+
+#: Required combined per-arrival wall-time ratio (per-item / batch).
+MIN_SPEEDUP = 3.0
+
+
+def _instance() -> tuple[FacilityLocationObjective, list[int]]:
+    rng = np.random.default_rng(SEED)
+    users = rng.normal(size=(NUM_USERS, 2))
+    facilities = rng.normal(size=(NUM_FACILITIES, 2))
+    benefits = kmedian_benefits(users, facilities)
+    groups = rng.integers(0, NUM_GROUPS, size=NUM_USERS)
+    groups[:NUM_GROUPS] = np.arange(NUM_GROUPS)
+    objective = FacilityLocationObjective(benefits, groups)
+    stream = [int(v) for v in rng.permutation(NUM_FACILITIES)]
+    return objective, stream
+
+
+def _per_item_sieve(
+    objective: GroupedObjective,
+    k: int,
+    epsilon: float,
+    stream: list[int],
+) -> tuple[int, ...]:
+    """The pre-batch sieve arrival loop: one oracle call per live level."""
+    scal = AverageUtility()
+    weights = objective.group_weights
+    max_singleton = 0.0
+    sieves: dict[int, ObjectiveStateBox] = {}
+    for item in stream:
+        empty = objective.new_state()
+        singleton = scal.gain(
+            empty.group_values, objective.gains(empty, item), weights
+        )
+        if singleton > max_singleton:
+            max_singleton = singleton
+            sieves = _prune_levels(sieves, max_singleton, k, epsilon)
+        if max_singleton <= 0:
+            continue
+        for j in _level_indices(max_singleton, k, epsilon):
+            box = sieves.get(j)
+            if box is None:
+                box = ObjectiveStateBox(objective.new_state())
+                sieves[j] = box
+            state = box.state
+            if state.size >= k or state.in_solution[item]:
+                continue
+            v = (1.0 + epsilon) ** j
+            value = scal.value(state.group_values, weights)
+            threshold = (v / 2.0 - value) / (k - state.size)
+            gain = scal.gain(
+                state.group_values, objective.gains(state, item), weights
+            )
+            if gain >= threshold and gain > 0:
+                objective.add(state, item)
+    best_state = objective.new_state()
+    best_value = 0.0
+    for box in sieves.values():
+        value = scal.value(box.state.group_values, weights)
+        if value > best_value:
+            best_value = value
+            best_state = box.state
+    return best_state.solution
+
+
+class _PerItemSlidingWindow(SlidingWindowMaximizer):
+    """The fixed sliding-window maximizer with the pre-batch arrival loop."""
+
+    def process(self, item: int) -> None:
+        self._expire()
+        self._maybe_spawn()
+        self._last_seen[item] = self._clock
+        weights = self._objective.group_weights
+        singleton = self._scal.gain(
+            self._empty.group_values,
+            self._objective.gains(self._empty, item),
+            weights,
+        )
+        for ckpt in self._checkpoints:
+            if singleton > ckpt.max_singleton:
+                ckpt.max_singleton = singleton
+            state = ckpt.state
+            if state.in_solution[item] or state.size >= self._k:
+                continue
+            gains = self._objective.gains(state, item)
+            gain = self._scal.gain(state.group_values, gains, weights)
+            guess = 2.0 * ckpt.max_singleton * self._k
+            value = self._scal.value(state.group_values, weights)
+            threshold = max(
+                (guess / 2.0 - value) / (self._k - state.size), 0.0
+            )
+            if gain >= threshold and gain > 0.0:
+                self._objective.add(state, item)
+        self._clock += 1
+
+
+def _measure() -> dict:
+    objective, stream = _instance()
+
+    # -- sieve streaming -------------------------------------------------
+    objective.reset_counter()
+    start = time.perf_counter()
+    sieve_per_item = _per_item_sieve(objective, BUDGET, EPSILON, stream)
+    sieve_per_item_s = time.perf_counter() - start
+    sieve_per_item_calls = objective.oracle_calls
+
+    objective.reset_counter()
+    start = time.perf_counter()
+    sieve_batch = sieve_streaming(
+        objective, BUDGET, epsilon=EPSILON, stream=stream
+    )
+    sieve_batch_s = time.perf_counter() - start
+
+    # -- sliding window --------------------------------------------------
+    ref = _PerItemSlidingWindow(objective, BUDGET, WINDOW)
+    start = time.perf_counter()
+    for item in stream:
+        ref.process(item)
+    window_per_item_s = time.perf_counter() - start
+
+    batch = SlidingWindowMaximizer(objective, BUDGET, WINDOW)
+    peak = 0
+    start = time.perf_counter()
+    for item in stream:
+        batch.process(item)
+        peak = max(peak, batch.num_checkpoints)
+    window_batch_s = time.perf_counter() - start
+    checkpoint_bound = 2 * len(batch._blocks) + 2
+
+    per_item_total = sieve_per_item_s + window_per_item_s
+    batch_total = sieve_batch_s + window_batch_s
+    speedup = (
+        per_item_total / batch_total if batch_total > 0 else float("inf")
+    )
+    arrivals = len(stream)
+    return {
+        "bench": "streaming_batch",
+        "seed": SEED,
+        "instance": {
+            "problem": "facility-location",
+            "num_users": NUM_USERS,
+            "num_facilities": NUM_FACILITIES,
+            "num_groups": NUM_GROUPS,
+            "budget": BUDGET,
+            "epsilon": EPSILON,
+            "window": WINDOW,
+            "stream_length": arrivals,
+        },
+        "sieve": {
+            "per_item_s": sieve_per_item_s,
+            "batch_s": sieve_batch_s,
+            "per_item_oracle_calls": sieve_per_item_calls,
+            "speedup": sieve_per_item_s / sieve_batch_s,
+            "identical_solutions": tuple(sieve_per_item)
+            == tuple(sieve_batch.solution),
+        },
+        "sliding_window": {
+            "per_item_s": window_per_item_s,
+            "batch_s": window_batch_s,
+            "speedup": window_per_item_s / window_batch_s,
+            "identical_solutions": ref.best().solution
+            == batch.best().solution,
+            "peak_checkpoints": peak,
+            "checkpoint_bound": checkpoint_bound,
+        },
+        "per_arrival_us": {
+            "per_item": per_item_total / arrivals * 1e6,
+            "batch": batch_total / arrivals * 1e6,
+        },
+        "speedup": speedup,
+        "identical_solutions": (
+            tuple(sieve_per_item) == tuple(sieve_batch.solution)
+            and ref.best().solution == batch.best().solution
+        ),
+        "checkpoints_logarithmic": peak <= checkpoint_bound,
+    }
+
+
+def _report(payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_streaming_batch.json"
+    json_path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    sieve = payload["sieve"]
+    window = payload["sliding_window"]
+    lines = [
+        "Multi-state batch oracle vs per-item oracle (facility location, "
+        f"n={NUM_FACILITIES}, m={NUM_USERS}, k={BUDGET}, "
+        f"window={WINDOW})",
+        f"  sieve streaming:  {sieve['per_item_s']:.3f}s -> "
+        f"{sieve['batch_s']:.3f}s  ({sieve['speedup']:.1f}x, identical: "
+        f"{sieve['identical_solutions']})",
+        f"  sliding window:   {window['per_item_s']:.3f}s -> "
+        f"{window['batch_s']:.3f}s  ({window['speedup']:.1f}x, identical: "
+        f"{window['identical_solutions']})",
+        f"  checkpoints:      peak {window['peak_checkpoints']} <= bound "
+        f"{window['checkpoint_bound']} (O(log window))",
+        f"  per arrival:      {payload['per_arrival_us']['per_item']:.0f}us "
+        f"-> {payload['per_arrival_us']['batch']:.0f}us   combined "
+        f"speedup {payload['speedup']:.1f}x",
+        f"  [json written to {json_path}]",
+    ]
+    record("streaming_batch", "\n".join(lines))
+
+
+def bench_streaming_batch(benchmark) -> None:
+    payload = run_once(benchmark, _measure)
+    _report(payload)
+    assert payload["identical_solutions"], (
+        "multi-state streaming diverged from the per-item references"
+    )
+    assert payload["checkpoints_logarithmic"], (
+        "sliding-window checkpoints exceeded the O(log window) bound"
+    )
+    assert payload["speedup"] >= MIN_SPEEDUP, (
+        f"streaming batch speedup {payload['speedup']:.2f}x below "
+        f"{MIN_SPEEDUP}x"
+    )
+
+
+def main() -> int:
+    payload = _measure()
+    _report(payload)
+    if not payload["identical_solutions"]:
+        print("FAIL: multi-state streaming diverged from the per-item "
+              "references")
+        return 1
+    if not payload["checkpoints_logarithmic"]:
+        print("FAIL: sliding-window checkpoints exceeded the O(log window) "
+              "bound")
+        return 1
+    if payload["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {payload['speedup']:.2f}x < {MIN_SPEEDUP}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

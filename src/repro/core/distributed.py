@@ -109,6 +109,9 @@ def greedi(
     with timer:
         machine_states: list[ObjectiveState] = []
         machine_calls: list[int] = []
+        # Each shard solve (and the merge below) scores its candidate
+        # pool through the batched greedy loops — one gains_batch call
+        # per round rather than one oracle round-trip per candidate.
         for shard in parts:
             before = objective.oracle_calls
             state, _ = greedy_max(
@@ -123,11 +126,18 @@ def greedi(
         merged, _ = greedy_max(objective, scal, k, candidates=union, lazy=lazy)
         merge_calls = objective.oracle_calls - before
 
+        # Fold every contender's group values in one multi-state pass;
+        # the strict-improvement scan keeps the original tie-breaking
+        # (merge wins ties, then the lowest machine index).
+        contenders = [merged] + machine_states
+        values = scal.value_batch(
+            np.stack([s.group_values for s in contenders]), weights
+        )
         best_state = merged
         winner = "merge"
-        best_value = scal.value(merged.group_values, weights)
+        best_value = float(values[0])
         for index, state in enumerate(machine_states):
-            value = scal.value(state.group_values, weights)
+            value = float(values[index + 1])
             if value > best_value:
                 best_value = value
                 best_state = state

@@ -34,6 +34,7 @@ from repro.core.functions import (
     GroupedObjective,
     ObjectiveState,
     Scalarizer,
+    fold_states,
 )
 from repro.core.greedy import greedy_max
 from repro.utils.validation import check_positive_int
@@ -78,6 +79,10 @@ class DynamicMaximizer:
         self._rebuild_after = max(1, int(np.ceil(rebuild_factor * k)))
         self._live: set[int] = set()
         self._state = objective.new_state()
+        # Persistent empty state anchoring the singleton probes of
+        # _offer/_rebuild (gains against it are pure, so one allocation
+        # serves the structure's whole lifetime).
+        self._empty = objective.new_state()
         self._max_singleton = 0.0
         self._dirty = 0
         self.rebuilds = 0
@@ -160,18 +165,36 @@ class DynamicMaximizer:
             )
 
     def _offer(self, item: int) -> None:
-        """Threshold-insert one item into the maintained solution."""
-        weights = self._objective.group_weights
-        gains = self._objective.gains(self._state, item)
-        gain = self._scal.gain(self._state.group_values, gains, weights)
-        if gain > self._max_singleton:
-            self._max_singleton = gain
-        if self._state.size >= self._k or self._state.in_solution[item]:
+        """Threshold-insert one item into the maintained solution.
+
+        The optimum guess is anchored on the best true *singleton* value
+        ``f({v})`` among offered items — the documented sieve rule —
+        while admission uses the item's marginal gain against the
+        current solution, so both the empty-state and current-state
+        gains are needed: one multi-state oracle call scores the item
+        against both at once. (Anchoring on marginal gains instead would
+        understate the optimum guess and loosen the admission
+        threshold.)
+        """
+        state_open = (
+            self._state.size < self._k
+            and not self._state.in_solution[item]
+        )
+        states = (
+            [self._empty, self._state] if state_open else [self._empty]
+        )
+        values, folded = fold_states(self._objective, self._scal, states, item)
+        singleton = float(folded[0])
+        if singleton > self._max_singleton:
+            self._max_singleton = singleton
+        if not state_open:
             return
+        gain = float(folded[1])
         guess = 2.0 * self._max_singleton * self._k
-        value = self._scal.value(self._state.group_values, weights)
         threshold = max(
-            (guess / 2.0 - value) / (self._k - self._state.size), 0.0
+            (guess / 2.0 - float(values[1]))
+            / (self._k - self._state.size),
+            0.0,
         )
         if gain >= threshold and gain > 0.0:
             self._objective.add(self._state, item)
@@ -190,11 +213,14 @@ class DynamicMaximizer:
             self._k,
             candidates=sorted(self._live),
         )
-        empty = self._objective.new_state()
-        weights = self._objective.group_weights
-        for item in self._state.selected:
-            single = self._scal.gain(
-                empty.group_values, self._objective.gains(empty, item),
-                weights,
+        if self._state.selected:
+            # Re-anchor the guess on the kept items' true singleton
+            # values — one pool-batched call instead of a per-item loop.
+            weights = self._objective.group_weights
+            singles = self._objective.gains_batch(
+                self._empty, self._state.selected
             )
-            self._max_singleton = max(self._max_singleton, single)
+            folded = self._scal.gain_batch(
+                self._empty.group_values, singles, weights
+            )
+            self._max_singleton = max(0.0, float(folded.max()))

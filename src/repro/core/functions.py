@@ -35,6 +35,22 @@ solvers that switch between them select identical solutions (ties break
 toward the lowest item id either way). ``oracle_calls`` counts *items
 scored* on both paths, so per-item/batch comparisons stay meaningful;
 ``batch_oracle_calls`` additionally counts the batched invocations.
+
+Multi-state batch oracle: :meth:`GroupedObjective.gains_states` is the
+transpose of :meth:`gains_batch` — one arriving item scored against
+*many* solution states at once, returning a
+``(len(states), num_groups)`` gain matrix. This is the hot path of the
+multi-instance online solvers (sieve streaming keeps one state per
+optimum guess, the sliding-window maximizer one per checkpoint, dynamic
+maintenance an empty anchor plus the live solution): each stream
+arrival costs one vectorized call instead of one Python round-trip per
+state. The generic implementation loops :meth:`_gains` over the state
+payloads; dense backends override :meth:`_gains_states` by stacking the
+per-state bookkeeping (covered-user masks, per-user bests, hit RR-set
+masks) into a single bincount / maximum / matmul pass over the item's
+incidence data. :meth:`Scalarizer.gain_states` is the matching fold —
+row-wise marginal gains against a matrix of per-state group values —
+and both counters advance exactly as for :meth:`gains_batch`.
 """
 
 from __future__ import annotations
@@ -181,6 +197,36 @@ class GroupedObjective(abc.ABC):
             out[novel] = self._gains_batch(state.payload, idx[novel])
         return out
 
+    def gains_states(
+        self, states: Sequence[ObjectiveState], item: int
+    ) -> np.ndarray:
+        """Marginal group-gain matrix of one item against many states.
+
+        Returns an array of shape ``(len(states), num_groups)`` whose row
+        ``r`` equals ``self.gains(states[r], item)`` (states that already
+        contain the item get zero rows). One call scores the arrival
+        against every live solution state — the per-arrival hot path of
+        the sieve/sliding-window/dynamic solvers — so dense backends can
+        amortise the evaluation into a single stacked pass.
+        ``oracle_calls`` still advances by ``len(states)`` to keep
+        per-item/batch comparisons apples-to-apples.
+        """
+        self._check_item(item)
+        states = list(states)
+        self.oracle_calls += len(states)
+        self.batch_oracle_calls += 1
+        if not states:
+            return np.zeros((0, self.num_groups), dtype=float)
+        novel = [not s.in_solution[item] for s in states]
+        if all(novel):
+            # Hot path (per-arrival scoring filters taken states first).
+            return self._gains_states([s.payload for s in states], item)
+        out = np.zeros((len(states), self.num_groups), dtype=float)
+        if any(novel):
+            payloads = [s.payload for s, nv in zip(states, novel) if nv]
+            out[np.asarray(novel)] = self._gains_states(payloads, item)
+        return out
+
     def add(self, state: ObjectiveState, item: int) -> np.ndarray:
         """Commit ``item`` to the solution; returns its group-gain vector."""
         self._check_item(item)
@@ -240,6 +286,20 @@ class GroupedObjective(abc.ABC):
         out = np.zeros((items.size, self.num_groups), dtype=float)
         for r, item in enumerate(items):
             out[r] = self._gains(payload, int(item))
+        return out
+
+    def _gains_states(
+        self, payloads: Sequence[Any], item: int
+    ) -> np.ndarray:
+        """Gain rows of ``item`` against many payloads (item in none).
+
+        Generic fallback loops :meth:`_gains`; dense backends override
+        this with one stacked vectorized pass. Must be pure (no payload
+        mutation) and produce exactly the rows :meth:`_gains` would.
+        """
+        out = np.zeros((len(payloads), self.num_groups), dtype=float)
+        for r, payload in enumerate(payloads):
+            out[r] = self._gains(payload, item)
         return out
 
     def _apply(self, payload: Any, item: int) -> np.ndarray:
@@ -312,6 +372,36 @@ class PerUserObjective(GroupedObjective):
         payload.add(item)
 
 
+def fold_states(
+    objective: "GroupedObjective",
+    scalarizer: "Scalarizer",
+    states: Sequence[ObjectiveState],
+    item: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Score ``item`` against ``states`` and fold to scalars in one pass.
+
+    The shared per-arrival kernel of the multi-instance online solvers:
+    one :meth:`GroupedObjective.gains_states` call, one row-stack of the
+    per-state group values, and one :meth:`Scalarizer.value_batch` /
+    :meth:`Scalarizer.gain_states` fold (the "before" values are reused
+    for both). Returns ``(values, gains)`` where ``values[r]`` is the
+    scalar objective of ``states[r]`` and ``gains[r]`` the scalar
+    marginal gain of ``item`` against it.
+    """
+    gains_matrix = objective.gains_states(states, item)
+    group_values = np.empty(
+        (len(states), objective.num_groups), dtype=float
+    )
+    for pos, state in enumerate(states):
+        group_values[pos] = state.group_values
+    weights = objective.group_weights
+    values = scalarizer.value_batch(group_values, weights)
+    gains = scalarizer.gain_states(
+        group_values, gains_matrix, weights, values=values
+    )
+    return values, gains
+
+
 # ---------------------------------------------------------------------------
 # Scalarizers
 # ---------------------------------------------------------------------------
@@ -367,6 +457,35 @@ class Scalarizer(abc.ABC):
         """
         after = self.value_batch(group_values[None, :] + gains_matrix, weights)
         return after - self.value(group_values, weights)
+
+    def gain_states(
+        self,
+        group_values_matrix: np.ndarray,
+        gains_matrix: np.ndarray,
+        weights: np.ndarray,
+        *,
+        values: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Row-wise marginal gain against many states at once.
+
+        ``group_values_matrix`` stacks each state's group values and
+        ``gains_matrix`` is the matching
+        :meth:`GroupedObjective.gains_states` output; the result's entry
+        ``r`` equals
+        ``self.gain(group_values_matrix[r], gains_matrix[r], weights)``.
+        Rides on :meth:`value_batch`, so every concrete scalarizer's
+        vectorized row formula applies to both terms. Callers that
+        already hold ``value_batch(group_values_matrix, weights)`` (the
+        threshold solvers need it anyway) pass it as ``values`` to skip
+        recomputing the "before" term.
+        """
+        after = self.value_batch(group_values_matrix + gains_matrix, weights)
+        before = (
+            self.value_batch(group_values_matrix, weights)
+            if values is None
+            else values
+        )
+        return after - before
 
     @property
     def target(self) -> Optional[float]:

@@ -10,10 +10,15 @@ on:
   sub-instances ("checkpoints"), each started at a different stream
   offset, so at any time at least one checkpoint covers exactly the
   items that are still alive;
-* retire checkpoints whose start has aged out of the window; spawn new
-  ones at a geometric spacing, which bounds the number of simultaneously
-  live checkpoints by ``O(log window)`` at a constant-factor cost in the
-  guarantee.
+* retire checkpoints whose start has aged out of the window; thin the
+  rest to a geometric start grid (ages ``1, s, s^2, ...``), which
+  bounds the number of simultaneously live checkpoints by
+  ``O(log window)`` at a constant-factor cost in the guarantee.
+
+Each arrival is scored against *all* live checkpoints with a single
+:meth:`~repro.core.functions.GroupedObjective.gains_states` call, so
+per-arrival cost is one vectorized oracle pass instead of
+``O(log window)`` Python round-trips.
 
 The maximiser tracks the *utility* objective by default but accepts any
 scalarizer, so a fairness surrogate can be monitored over a stream too —
@@ -33,11 +38,12 @@ from repro.core.functions import (
     GroupedObjective,
     ObjectiveState,
     Scalarizer,
+    fold_states,
 )
 from repro.core.greedy import greedy_max
 from repro.core.result import SolverResult, make_result
 from repro.utils.timing import Timer
-from repro.utils.validation import check_fraction, check_positive_int
+from repro.utils.validation import check_positive_int
 
 
 @dataclass
@@ -46,7 +52,10 @@ class _Checkpoint:
 
     start: int
     state: ObjectiveState
-    #: Best singleton value seen since ``start`` (threshold grid anchor).
+    #: Best true singleton value ``f({v})`` among arrivals since
+    #: ``start`` — the documented sieve anchor for the optimum guess
+    #: (marginal gains against the running state would understate it and
+    #: loosen the admission threshold).
     max_singleton: float = 0.0
 
 
@@ -57,10 +66,22 @@ class SlidingWindowMaximizer:
     :meth:`best` at any time. Each arriving item is offered to every
     live checkpoint with the Sieve-style threshold rule
     ``gain >= (v/2 - value) / (k - |S|)`` where ``v`` is the checkpoint's
-    current optimum guess ``2 * max_singleton * k`` — a single-level
-    simplification that keeps per-item work at ``O(log window)`` oracle
-    calls while preserving the constant-factor behaviour the experiments
-    need.
+    current optimum guess ``2 * max_singleton * k``, anchored on the
+    best true singleton value among the arrivals the checkpoint has
+    seen — a single-level simplification that keeps per-item work at one
+    batched multi-state oracle call while preserving the constant-factor
+    behaviour the experiments need.
+
+    Checkpoints are spawned at every position and immediately thinned to
+    a geometric start grid: a checkpoint started at position ``t`` is
+    retained while ``t`` is one of the two most recent multiples of some
+    block size ``b_i`` (``b_0 = 1``, ``b_{i+1} = ceil(spacing * b_i)``,
+    up to the first block ``>= window``). Every scale's retention
+    interval for ``t`` begins at ``t``, so their union is contiguous —
+    a checkpoint is never dropped and needed again — and at most
+    ``2 * num_blocks + 1`` checkpoints are ever live, the documented
+    ``O(log window)`` bound with surviving ages on the geometric ladder
+    ``1, s, s^2, ...``.
 
     Items are identified by their ground-set index; the stream may
     repeat an item (later arrivals refresh its recency).
@@ -84,10 +105,24 @@ class SlidingWindowMaximizer:
         self._k = k
         self._window = window
         self._spacing = float(spacing)
+        # Geometric block sizes 1, ceil(s), ceil(s*ceil(s)), ... up to the
+        # first block covering the whole window.
+        blocks = [1]
+        while blocks[-1] < window:
+            blocks.append(
+                max(blocks[-1] + 1, int(np.ceil(blocks[-1] * self._spacing)))
+            )
+        self._blocks = blocks
+        # Persistent empty state anchoring the singleton probes (gains
+        # against it are pure, so one allocation serves the stream).
+        self._empty = objective.new_state()
         self._clock = 0
         self._checkpoints: list[_Checkpoint] = []
         #: item -> last arrival position (for live-set reconstruction).
         self._last_seen: dict[int, int] = {}
+        #: (clock, state) memo so polling :meth:`best` between arrivals
+        #: does not replay the live-restriction rebuild each time.
+        self._best_cache: Optional[tuple[int, ObjectiveState]] = None
 
     # -- public API ---------------------------------------------------------
     @property
@@ -115,21 +150,36 @@ class SlidingWindowMaximizer:
         self._expire()
         self._maybe_spawn()
         self._last_seen[item] = self._clock
-        weights = self._objective.group_weights
+        open_ckpts = [
+            c
+            for c in self._checkpoints
+            if not c.state.in_solution[item]
+            and c.state.size < self._k
+        ]
+        # Checkpoints evolve independently, so one multi-state oracle
+        # call scores the arrival against every checkpoint that can
+        # still absorb it, with the shared empty state as row 0 — the
+        # item's true singleton value, which anchors every checkpoint's
+        # optimum guess.
+        states = [self._empty] + [c.state for c in open_ckpts]
+        values, gains_vec = fold_states(
+            self._objective, self._scal, states, item
+        )
+        singleton = float(gains_vec[0])
         for ckpt in self._checkpoints:
+            # Every live checkpoint observed this arrival (full ones and
+            # ones already holding the item included: the singleton still
+            # informs their guess).
+            if singleton > ckpt.max_singleton:
+                ckpt.max_singleton = singleton
+        for pos, ckpt in enumerate(open_ckpts, start=1):
             state = ckpt.state
-            if state.in_solution[item]:
-                continue
-            gains = self._objective.gains(state, item)
-            gain = self._scal.gain(state.group_values, gains, weights)
-            if gain > ckpt.max_singleton:
-                ckpt.max_singleton = gain
-            if state.size >= self._k:
-                continue
+            gain = float(gains_vec[pos])
             guess = 2.0 * ckpt.max_singleton * self._k
-            value = self._scal.value(state.group_values, weights)
             threshold = max(
-                (guess / 2.0 - value) / (self._k - state.size), 0.0
+                (guess / 2.0 - values[pos])
+                / (self._k - state.size),
+                0.0,
             )
             if gain >= threshold and gain > 0.0:
                 self._objective.add(state, item)
@@ -138,22 +188,49 @@ class SlidingWindowMaximizer:
     def best(self) -> ObjectiveState:
         """Current best checkpoint state restricted to live items.
 
-        The oldest live checkpoint saw every live item, so its solution
-        only contains live items once stale checkpoints are expired;
-        younger checkpoints may score higher on the suffix they saw, so
-        all live checkpoints compete.
+        The pre-horizon "cover" checkpoint retained by :meth:`_expire`
+        saw every live item but may also still hold items that have aged
+        out of the window, so any state containing dead items is
+        re-evaluated on its live subset before competing. Younger
+        checkpoints may score higher on the suffix they saw, so all live
+        checkpoints compete.
+
+        The result is memoised per clock tick: checkpoints only change
+        inside :meth:`process`, so polling between arrivals replays
+        neither the scan nor the live-restriction rebuild.
         """
+        if (
+            self._best_cache is not None
+            and self._best_cache[0] == self._clock
+        ):
+            return self._best_cache[1]
         weights = self._objective.group_weights
+        live = set(self.live_items())
         best_state = self._objective.new_state()
         best_value = 0.0
         for ckpt in self._checkpoints:
-            value = self._scal.value(ckpt.state.group_values, weights)
+            state = ckpt.state
+            if any(v not in live for v in state.selected):
+                state = self._restrict_to_live(state, live)
+            value = self._scal.value(state.group_values, weights)
             if value > best_value:
                 best_value = value
-                best_state = ckpt.state
+                best_state = state
+        self._best_cache = (self._clock, best_state)
         return best_state
 
     # -- internals ------------------------------------------------------
+    def _restrict_to_live(
+        self, state: ObjectiveState, live: set[int]
+    ) -> ObjectiveState:
+        """Fresh state holding only ``state``'s live items (original
+        selection order, so the surviving greedy chain replays intact)."""
+        fresh = self._objective.new_state()
+        for item in state.selected:
+            if item in live:
+                self._objective.add(fresh, item)
+        return fresh
+
     def _expire(self) -> None:
         horizon = self._clock - self._window
         survivors = [c for c in self._checkpoints if c.start > horizon]
@@ -165,20 +242,36 @@ class SlidingWindowMaximizer:
                 survivors.insert(0, aged[-1])
         self._checkpoints = survivors
 
+    def _retained_starts(self) -> set[int]:
+        """Geometric start grid: the two most recent multiples of every
+        block size (ages spread over the ladder ``1, s, s^2, ...``)."""
+        starts: set[int] = set()
+        for block in self._blocks:
+            latest = (self._clock // block) * block
+            starts.add(latest)
+            if latest >= block:
+                starts.add(latest - block)
+        return starts
+
     def _maybe_spawn(self) -> None:
-        """Start a new checkpoint at geometric ages 1, s, s^2, ... ."""
-        ages = {self._clock - c.start for c in self._checkpoints}
-        if 0 in ages:
-            return
-        # Spawn whenever no checkpoint is younger than `spacing` times
-        # the youngest age we want represented.
-        youngest = min(ages) if ages else None
-        if youngest is None or youngest >= self._spacing:
-            self._checkpoints.append(
-                _Checkpoint(
-                    start=self._clock, state=self._objective.new_state()
-                )
-            )
+        """Spawn at the current position, then thin to the geometric grid.
+
+        Every position gets exactly one checkpoint (``process`` advances
+        the clock after each arrival, so no start can repeat; ``b_0 = 1``
+        keeps it retained for at least two arrivals); thinning drops the
+        starts that have fallen off every scale's two-multiple retention
+        band. The oldest checkpoint is never thinned — :meth:`_expire`
+        owns its retirement once it has served as the pre-horizon cover.
+        """
+        self._checkpoints.append(
+            _Checkpoint(start=self._clock, state=self._objective.new_state())
+        )
+        retained = self._retained_starts()
+        self._checkpoints = [
+            c
+            for index, c in enumerate(self._checkpoints)
+            if index == 0 or c.start in retained
+        ]
 
 
 def sliding_window_utility(
@@ -187,7 +280,6 @@ def sliding_window_utility(
     window: int,
     stream: Optional[list[int]] = None,
     *,
-    epsilon: float = 0.1,
     scalarizer: Optional[Scalarizer] = None,
 ) -> SolverResult:
     """Run a full stream through a :class:`SlidingWindowMaximizer`.
@@ -196,9 +288,10 @@ def sliding_window_utility(
     sieve_streaming`: returns the final-window solution with
     ``extra['checkpoints']`` reporting peak live checkpoints and
     ``extra['window']`` / ``extra['stream_length']`` the run shape.
+    (The historical ``epsilon`` parameter was validated but never used —
+    the maximizer's single-level guess has no geometric grid to
+    resolve — so it has been removed.)
     """
-    check_fraction(epsilon, "epsilon", inclusive_low=False,
-                   inclusive_high=False)
     items = list(range(objective.num_items)) if stream is None else [
         int(v) for v in stream
     ]

@@ -22,7 +22,12 @@ from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
-from repro.core.functions import AverageUtility, GroupedObjective, Scalarizer
+from repro.core.functions import (
+    AverageUtility,
+    GroupedObjective,
+    Scalarizer,
+    fold_states,
+)
 from repro.core.result import SolverResult, make_result
 from repro.utils.timing import Timer
 from repro.utils.validation import check_fraction, check_positive_int
@@ -45,7 +50,10 @@ def sieve_streaming(
         Geometric grid resolution; the guarantee is ``1/2 - epsilon``.
     stream:
         Item arrival order (defaults to ``0..n-1``). Single pass: each
-        item is examined once per active sieve level.
+        item is examined once per active sieve level, and all levels are
+        scored together with one
+        :meth:`~repro.core.functions.GroupedObjective.gains_states` call
+        per arrival (selections are identical to the per-level loop).
 
     Returns
     -------
@@ -65,8 +73,10 @@ def sieve_streaming(
     with timer:
         max_singleton = 0.0
         sieves: dict[int, "ObjectiveStateBox"] = {}
+        # Persistent empty state for the singleton probes (gains is pure,
+        # so one allocation serves the whole stream).
+        empty = objective.new_state()
         for item in items:
-            empty = objective.new_state()
             singleton_gain = scal.gain(
                 empty.group_values, objective.gains(empty, item), weights
             )
@@ -76,6 +86,8 @@ def sieve_streaming(
                 sieves = _prune_levels(sieves, max_singleton, k, epsilon)
             if max_singleton <= 0:
                 continue
+            active_levels: list[int] = []
+            active_states: list[ObjectiveState] = []
             for j in _level_indices(max_singleton, k, epsilon):
                 box = sieves.get(j)
                 if box is None:
@@ -84,12 +96,22 @@ def sieve_streaming(
                 state = box.state
                 if state.size >= k or state.in_solution[item]:
                     continue
+                active_levels.append(j)
+                active_states.append(state)
+            if not active_states:
+                continue
+            # Sieve levels evolve independently, so one multi-state call
+            # scores the arrival against every level that can still
+            # absorb it (same levels — and call count — as the per-item
+            # loop).
+            values, gains_vec = fold_states(
+                objective, scal, active_states, item
+            )
+            for pos, j in enumerate(active_levels):
+                state = active_states[pos]
                 v = (1.0 + epsilon) ** j
-                value = scal.value(state.group_values, weights)
-                threshold = (v / 2.0 - value) / (k - state.size)
-                gain = scal.gain(
-                    state.group_values, objective.gains(state, item), weights
-                )
+                threshold = (v / 2.0 - values[pos]) / (k - state.size)
+                gain = float(gains_vec[pos])
                 if gain >= threshold and gain > 0:
                     objective.add(state, item)
         best_state = objective.new_state()

@@ -5,11 +5,15 @@ building block and promises the composition; this module delivers it.
 When items arrive as a stream too large to sweep repeatedly, Algorithm 1
 (BSM-TSGreedy) translates pass-by-pass:
 
-* **Pass 1** runs two sieves side by side over the same arrivals — one
-  on the utility objective ``f`` (the stand-in for the offline greedy
-  solution ``S_f``), one on the truncated fairness surrogate
-  ``g'_tau`` (the stand-in for the cover stage). Both passes share each
-  item's oracle evaluations, so the stream is read once.
+* **Sieve passes** run over the same arrivals — one on the utility
+  objective ``f`` (the stand-in for the offline greedy solution
+  ``S_f``), one on the truncated fairness surrogate ``g'_tau`` (the
+  stand-in for the cover stage). Each pass reads the stream once and
+  inherits :func:`repro.core.streaming.sieve_streaming`'s multi-state
+  fast path: every arrival is scored against all live sieve levels with
+  a single :meth:`~repro.core.functions.GroupedObjective.gains_states`
+  call, so per-arrival cost is two vectorized oracle passes rather than
+  one Python round-trip per level.
 * **Selection** then mirrors Algorithm 1 offline: take the fairness
   sieve's solution first (it approximately saturates the constraint),
   then fill up to ``k`` with the utility sieve's items in their

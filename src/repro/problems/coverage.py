@@ -129,6 +129,31 @@ class CoverageObjective(GroupedObjective):
         )
         return counts / self._group_sizes
 
+    def _gains_states(
+        self, payloads: Sequence[_CoveragePayload], item: int
+    ) -> np.ndarray:
+        # One arrival vs many solution states: gather the item's member
+        # list once, stack the per-state covered flags on those members
+        # only ((S, |set|), not (S, m)), and count the fresh entries per
+        # (state, group) cell with a single flat bincount.
+        members = self._sets[item]
+        num_states = len(payloads)
+        if members.size == 0 or num_states == 0:
+            return np.zeros((num_states, self.num_groups), dtype=float)
+        fresh = np.empty((num_states, members.size), dtype=bool)
+        for r, payload in enumerate(payloads):
+            np.take(payload.covered, members, out=fresh[r])
+        np.logical_not(fresh, out=fresh)
+        member_labels = self._labels[members]
+        bins = (
+            np.arange(num_states)[:, None] * self.num_groups
+            + member_labels[None, :]
+        )
+        counts = np.bincount(
+            bins[fresh], minlength=num_states * self.num_groups
+        ).reshape(num_states, self.num_groups)
+        return counts / self._group_sizes
+
     def _apply(self, payload: _CoveragePayload, item: int) -> np.ndarray:
         gains = self._gains(payload, item)
         payload.covered[self._sets[item]] = True

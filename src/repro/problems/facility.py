@@ -164,6 +164,26 @@ class FacilityLocationObjective(GroupedObjective):
         np.maximum(delta, 0.0, out=delta)
         return (delta @ self._group_onehot) / self._group_sizes
 
+    def _gains_states(
+        self, payloads: Sequence[_FacilityPayload], item: int
+    ) -> np.ndarray:
+        # One facility vs many solution states: stack the per-state
+        # per-user bests into an (S, m) matrix, subtract them from the
+        # facility's (contiguous) benefit row in one pass, and reduce to
+        # (S, c) group sums with the same one-hot matmul the pool-batch
+        # path uses.
+        if not payloads:
+            return np.zeros((0, self.num_groups), dtype=float)
+        # Row-assignment fill (one memcpy per state) beats np.stack's
+        # per-call shape analysis on the ~log-many states of the online
+        # solvers' per-arrival hot path.
+        delta = np.empty((len(payloads), self.num_users), dtype=float)
+        for r, payload in enumerate(payloads):
+            delta[r] = payload.best
+        np.subtract(self._benefits_t[item][None, :], delta, out=delta)
+        np.maximum(delta, 0.0, out=delta)
+        return (delta @ self._group_onehot) / self._group_sizes
+
     def _apply(self, payload: _FacilityPayload, item: int) -> np.ndarray:
         gains = self._gains(payload, item)
         np.maximum(payload.best, self._benefits[:, item], out=payload.best)

@@ -157,6 +157,31 @@ class InfluenceObjective(GroupedObjective):
         )
         return counts / self._group_counts
 
+    def _gains_states(
+        self, payloads: Sequence[_InfluencePayload], item: int
+    ) -> np.ndarray:
+        # One node vs many seed-set states: gather the node's RR-set ids
+        # once, stack the per-state hit flags on those ids only, and
+        # count the fresh roots per (state, group) cell with one flat
+        # bincount — the multi-state twin of the CSR pool batch.
+        ids = self._membership[item]
+        num_states = len(payloads)
+        if ids.size == 0 or num_states == 0:
+            return np.zeros((num_states, self.num_groups), dtype=float)
+        fresh = np.empty((num_states, ids.size), dtype=bool)
+        for r, payload in enumerate(payloads):
+            np.take(payload.covered, ids, out=fresh[r])
+        np.logical_not(fresh, out=fresh)
+        root_labels = self._root_groups[ids]
+        bins = (
+            np.arange(num_states)[:, None] * self.num_groups
+            + root_labels[None, :]
+        )
+        counts = np.bincount(
+            bins[fresh], minlength=num_states * self.num_groups
+        ).reshape(num_states, self.num_groups)
+        return counts / self._group_counts
+
     def _apply(self, payload: _InfluencePayload, item: int) -> np.ndarray:
         gains = self._gains(payload, item)
         payload.covered[self._membership[item]] = True

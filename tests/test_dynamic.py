@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.baselines import greedy_utility
 from repro.core.dynamic import DynamicMaximizer
+from repro.problems.coverage import CoverageObjective
 
 
 class TestBasicOperations:
@@ -82,6 +83,40 @@ class TestBasicOperations:
             dyn.insert(small_coverage.num_items)
         with pytest.raises(IndexError):
             dyn.delete(-1)
+
+
+class TestSingletonAnchoring:
+    """Regression tests: the sieve guess must be anchored on true
+    singleton values ``f({v})``, not on marginal gains against the
+    current solution (which understate the optimum and loosen the
+    admission threshold)."""
+
+    @staticmethod
+    def _instance() -> CoverageObjective:
+        # 100 users, one group. Item 0 covers 30 users (singleton 0.3),
+        # item 1 covers those plus 10 more (singleton 0.4, marginal 0.1
+        # after item 0), item 2 covers 30 fresh users (marginal 0.3).
+        sets = [np.arange(30), np.arange(40), np.arange(40, 70)]
+        return CoverageObjective(sets, np.zeros(100, dtype=np.int64))
+
+    def test_guess_tracks_best_singleton(self):
+        dyn = DynamicMaximizer(self._instance(), 2)
+        dyn.insert(0)
+        dyn.insert(1)
+        # Item 1's marginal is only 0.1; its *singleton* is 0.4. The
+        # marginal-anchored code left the guess at 0.3.
+        assert dyn._max_singleton == pytest.approx(0.4)
+
+    def test_loose_anchor_does_not_over_admit(self):
+        dyn = DynamicMaximizer(self._instance(), 2)
+        dyn.insert(0)  # admitted: gain 0.3 meets its own threshold
+        dyn.insert(1)  # rejected: marginal 0.1 < threshold
+        dyn.insert(2)
+        # With the guess correctly at 0.4, item 2's threshold is
+        # (0.4*2 - 0.3) / 1 = 0.5 > 0.3 -> rejected. The marginal-anchored
+        # code computed (0.3*2 - 0.3) / 1 = 0.3 <= 0.3 and admitted it.
+        assert 2 not in dyn.solution
+        assert dyn.solution == (0,)
 
 
 class TestQuality:

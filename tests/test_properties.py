@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.core.bsm_saturate import bsm_saturate
+from repro.core.bsm_saturate import DEFAULT_EPSILON, bsm_saturate
 from repro.core.functions import AverageUtility, TruncatedFairness
 from repro.core.greedy import greedy_max
 from repro.core.tsgreedy import bsm_tsgreedy
@@ -171,7 +171,18 @@ def test_bsm_solvers_respect_weak_constraint(objective, data):
         opt_g_approx = result.extra["opt_g_approx"]
         if opt_g_approx is None:
             continue
-        assert result.fairness >= tau * opt_g_approx - 1e-9
+        if solver is bsm_saturate:
+            # Algorithm 2's bisection accepts any cover reaching
+            # 2(1 - eps/c), which lets the fairness part fall short of
+            # full saturation by 2*eps/c on average — i.e. a single
+            # group may sit at (1 - 2*eps) * tau * OPT'_g (Theorem 4.5's
+            # epsilon-relaxed guarantee). Algorithm 1's stage 1 either
+            # saturates exactly or falls back to S_g, so it keeps the
+            # exact threshold.
+            slack = 1.0 - 2.0 * DEFAULT_EPSILON
+        else:
+            slack = 1.0
+        assert result.fairness >= slack * tau * opt_g_approx - 1e-9
         assert result.size <= k
 
 

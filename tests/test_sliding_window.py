@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import inspect
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,7 @@ from repro.core.sliding_window import (
     SlidingWindowMaximizer,
     sliding_window_utility,
 )
+from repro.problems.coverage import CoverageObjective
 
 
 class TestMaximizer:
@@ -60,6 +63,132 @@ class TestMaximizer:
         sw = SlidingWindowMaximizer(small_coverage, 3, window=4)
         state = sw.best()
         assert state.size == 0  # nothing processed yet
+
+
+class TestGeometricCheckpointGrid:
+    """Regression tests: live checkpoints must stay O(log window), not
+    O(window / spacing) as the old every-`spacing`-arrivals spawn rule
+    produced."""
+
+    def test_live_checkpoints_logarithmic_in_window(self, small_coverage):
+        window = 64
+        sw = SlidingWindowMaximizer(small_coverage, 2, window=window)
+        stream = (list(range(small_coverage.num_items)) * 30)[: 4 * window]
+        peak = 0
+        for item in stream:
+            sw.process(item)
+            peak = max(peak, sw.num_checkpoints)
+        # Two retained starts per geometric scale plus the pre-horizon
+        # cover: 2 * (log2(window) + 1) + 2 = 16 for window=64. The old
+        # linear spawn rule kept ~window/spacing + 1 = 33 live.
+        num_scales = int(np.ceil(np.log2(window))) + 1
+        assert len(sw._blocks) == num_scales
+        assert peak <= 2 * num_scales + 2
+        assert peak >= 3  # the grid is populated, not degenerate
+
+    def test_surviving_starts_lie_on_the_block_grid(self, small_coverage):
+        window = 32
+        sw = SlidingWindowMaximizer(small_coverage, 2, window=window)
+        for item in (list(range(small_coverage.num_items)) * 20)[: 5 * window]:
+            sw.process(item)
+        horizon = sw.clock - window
+        for ckpt in sw._checkpoints:
+            if ckpt.start <= horizon:
+                continue  # the cover instance is exempt
+            age = sw.clock - ckpt.start
+            assert any(
+                ckpt.start % block == 0 and age <= 2 * block
+                for block in sw._blocks
+            ), (ckpt.start, age)
+
+    def test_spacing_controls_grid_density(self, small_coverage):
+        def peak_for(spacing: float) -> int:
+            sw = SlidingWindowMaximizer(
+                small_coverage, 2, window=32, spacing=spacing
+            )
+            peak = 0
+            for item in (list(range(small_coverage.num_items)) * 15)[:128]:
+                sw.process(item)
+                peak = max(peak, sw.num_checkpoints)
+            return peak
+
+        assert peak_for(4.0) <= peak_for(1.5)
+
+
+class TestBestRestrictedToLive:
+    """Regression test: the pre-horizon cover checkpoint can hold items
+    that have aged out; ``best()`` must never return them."""
+
+    @staticmethod
+    def _instance() -> CoverageObjective:
+        # Item 0 dominates (4 users) but arrives only once, at position
+        # 0; items 1..10 cover one fresh user each.
+        sets = [np.arange(4)] + [np.asarray([3 + i]) for i in range(1, 11)]
+        return CoverageObjective(sets, np.zeros(20, dtype=np.int64))
+
+    def test_best_contains_only_live_items(self):
+        objective = self._instance()
+        sw = SlidingWindowMaximizer(objective, 1, window=8)
+        for item in range(11):
+            sw.process(item)
+        live = set(sw.live_items())
+        assert 0 not in live  # the dominant item has expired
+        best = sw.best()
+        assert set(best.solution) <= live
+        assert best.size == 1  # a live singleton wins once 0 is filtered
+
+    def test_wrapper_solution_only_live_items(self):
+        objective = self._instance()
+        result = sliding_window_utility(
+            objective, 1, window=8, stream=list(range(11))
+        )
+        assert set(result.solution) <= {3, 4, 5, 6, 7, 8, 9, 10}
+
+
+class TestSingletonAnchoring:
+    """Regression test: each checkpoint's optimum guess must be anchored
+    on true singleton values ``f({v})``, not on marginal gains against
+    its running state (same rule — and same defect class — as
+    :class:`repro.core.dynamic.DynamicMaximizer`)."""
+
+    @staticmethod
+    def _instance() -> CoverageObjective:
+        # Mirrors tests/test_dynamic.py::TestSingletonAnchoring: item 0
+        # covers 30 users (0.3), item 1 overlaps it plus 10 more
+        # (singleton 0.4, marginal 0.1), item 2 covers 30 fresh users
+        # (marginal 0.3).
+        sets = [np.arange(30), np.arange(40), np.arange(40, 70)]
+        return CoverageObjective(sets, np.zeros(100, dtype=np.int64))
+
+    def test_checkpoint_guess_tracks_singletons(self):
+        sw = SlidingWindowMaximizer(self._instance(), 2, window=16)
+        for item in (0, 1):
+            sw.process(item)
+        oldest = sw._checkpoints[0]
+        assert oldest.max_singleton == pytest.approx(0.4)
+
+    def test_loose_anchor_does_not_over_admit(self):
+        sw = SlidingWindowMaximizer(self._instance(), 2, window=16)
+        for item in (0, 1, 2):
+            sw.process(item)
+        oldest = sw._checkpoints[0]
+        # With the guess at 0.4, item 2's threshold at the oldest
+        # checkpoint is (0.4*2 - 0.3) / 1 = 0.5 > 0.3 -> rejected; the
+        # marginal-anchored rule computed 0.3 <= 0.3 and admitted it.
+        assert 2 not in oldest.state.solution
+        assert oldest.state.solution == (0,)
+
+
+class TestEpsilonRemoved:
+    def test_dead_epsilon_parameter_is_gone(self):
+        # `epsilon` was validated but never consumed; the signature no
+        # longer advertises it.
+        params = inspect.signature(sliding_window_utility).parameters
+        assert "epsilon" not in params
+
+    def test_unexpected_epsilon_rejected(self, small_coverage):
+        with pytest.raises(TypeError):
+            sliding_window_utility(small_coverage, 3, window=5, epsilon=0.1)
 
 
 class TestSlidingWindowUtility:
