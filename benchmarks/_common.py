@@ -8,7 +8,7 @@ comparable artifacts behind (EXPERIMENTS.md references them).
 
 Scale: benches run at ``scale='small'`` by default so the whole suite
 finishes on a laptop. Set ``REPRO_BENCH_SCALE=paper`` to run the published
-sizes (slower; see DESIGN.md §5 for the Pokec scaling note).
+sizes (slower; see DESIGN.md §6 for the Pokec scaling note).
 """
 
 from __future__ import annotations

@@ -1,0 +1,211 @@
+"""Micro-bench — per-sample vs batched influence sampling engine.
+
+Times the two halves of the influence subsystem on the same n >= 2000
+SBM graph: RR-set generation (the scalar ``sample_rr_set`` reverse BFS
+vs the engine's ``sample_rr_sets_batch`` level-synchronous multi-root
+BFS) and Monte-Carlo cascade evaluation (one ``simulate_cascade`` per
+simulation vs ``simulate_cascades_batch`` running every cascade
+simultaneously). Both paths draw from the same distributions, so the
+sanity checks compare the estimates statistically (mean RR-set size,
+spread estimate) rather than bitwise; the win is pure vectorization —
+one NumPy pass per BFS level instead of one Python BFS per sample.
+
+Emits ``benchmarks/results/BENCH_rr_engine.json`` alongside the usual
+rendered table. Run standalone (``PYTHONPATH=src python
+benchmarks/bench_rr_engine.py``) or through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_rr_engine.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks._common import RESULTS_DIR, SEED, record, run_once
+from repro.graphs.generators import stochastic_block_model
+from repro.influence.engine import sample_rr_sets_batch
+from repro.influence.ic_model import simulate_cascade, simulate_cascades_batch
+from repro.influence.ris import sample_rr_set
+
+#: Instance size (the acceptance bar is n >= 2000 nodes). The edge
+#: probability keeps the cascades sub-critical — many small-to-medium
+#: samples, the regime the paper's IM experiments run in (uniform
+#: p = 0.1 / 0.01) and the one where per-sample Python overhead
+#: dominates the scalar path.
+NUM_BLOCK = 1024
+P_INTRA = 0.01
+P_INTER = 0.002
+EDGE_PROB = 0.09
+NUM_RR_SAMPLES = 4_000
+NUM_CASCADES = 2_000
+NUM_SEEDS = 10
+
+#: Required wall-time ratio (per-sample / batched) for both halves.
+MIN_SPEEDUP = 5.0
+
+
+def _instance():
+    graph = stochastic_block_model([NUM_BLOCK, NUM_BLOCK], P_INTRA, P_INTER, seed=SEED)
+    graph.set_edge_probabilities(EDGE_PROB)
+    return graph
+
+
+def _measure() -> dict:
+    graph = _instance()
+    transpose = graph.transpose_adjacency()
+    roots = np.random.default_rng(SEED).integers(
+        0, graph.num_nodes, size=NUM_RR_SAMPLES
+    )
+
+    # -- RR-set generation -------------------------------------------------
+    scratch = np.zeros(graph.num_nodes, dtype=bool)
+    rng = np.random.default_rng(SEED + 1)
+    start = time.perf_counter()
+    scalar_sizes = np.asarray(
+        [sample_rr_set(transpose, int(r), rng, scratch).size for r in roots]
+    )
+    rr_scalar_s = time.perf_counter() - start
+
+    rng = np.random.default_rng(SEED + 1)
+    start = time.perf_counter()
+    set_indptr, _ = sample_rr_sets_batch(transpose, roots, rng)
+    rr_batch_s = time.perf_counter() - start
+    batch_sizes = np.diff(set_indptr)
+
+    # -- Monte-Carlo cascade evaluation ------------------------------------
+    seeds = np.random.default_rng(SEED + 2).choice(
+        graph.num_nodes, size=NUM_SEEDS, replace=False
+    )
+    rng = np.random.default_rng(SEED + 3)
+    start = time.perf_counter()
+    scalar_active = sum(
+        int(simulate_cascade(graph, seeds, rng).sum())
+        for _ in range(NUM_CASCADES)
+    )
+    mc_scalar_s = time.perf_counter() - start
+    scalar_spread = scalar_active / (NUM_CASCADES * graph.num_nodes)
+
+    rng = np.random.default_rng(SEED + 3)
+    start = time.perf_counter()
+    counts = simulate_cascades_batch(graph, seeds, NUM_CASCADES, rng)
+    mc_batch_s = time.perf_counter() - start
+    batch_spread = float(counts.sum()) / (NUM_CASCADES * graph.num_nodes)
+
+    rr_speedup = rr_scalar_s / rr_batch_s if rr_batch_s > 0 else float("inf")
+    mc_speedup = mc_scalar_s / mc_batch_s if mc_batch_s > 0 else float("inf")
+    return {
+        "bench": "rr_engine",
+        "seed": SEED,
+        "instance": {
+            "problem": "influence-sampling",
+            "num_nodes": graph.num_nodes,
+            "num_arcs": graph.num_arcs,
+            "edge_probability": EDGE_PROB,
+            "num_rr_samples": NUM_RR_SAMPLES,
+            "num_cascades": NUM_CASCADES,
+            "num_seeds": NUM_SEEDS,
+        },
+        "rr_sampling": {
+            "per_sample_wall_time_s": rr_scalar_s,
+            "batched_wall_time_s": rr_batch_s,
+            "per_sample_rate": NUM_RR_SAMPLES / rr_scalar_s,
+            "batched_rate": NUM_RR_SAMPLES / rr_batch_s,
+            "speedup": rr_speedup,
+            "mean_set_size_per_sample": float(scalar_sizes.mean()),
+            "mean_set_size_batched": float(batch_sizes.mean()),
+        },
+        "mc_evaluation": {
+            "per_cascade_wall_time_s": mc_scalar_s,
+            "batched_wall_time_s": mc_batch_s,
+            "per_cascade_rate": NUM_CASCADES / mc_scalar_s,
+            "batched_rate": NUM_CASCADES / mc_batch_s,
+            "speedup": mc_speedup,
+            "spread_per_cascade": scalar_spread,
+            "spread_batched": batch_spread,
+        },
+    }
+
+
+def _equivalent(payload: dict) -> bool:
+    """Statistical agreement of the two paths (they share distributions)."""
+    rr = payload["rr_sampling"]
+    mc = payload["mc_evaluation"]
+    size_gap = abs(
+        rr["mean_set_size_per_sample"] - rr["mean_set_size_batched"]
+    ) / max(rr["mean_set_size_per_sample"], 1.0)
+    spread_gap = abs(mc["spread_per_cascade"] - mc["spread_batched"])
+    return size_gap < 0.25 and spread_gap < 0.01
+
+
+def _report(payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_rr_engine.json"
+    json_path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    rr = payload["rr_sampling"]
+    mc = payload["mc_evaluation"]
+    inst = payload["instance"]
+    lines = [
+        "Batched sampling engine vs per-sample loops "
+        f"(SBM n={inst['num_nodes']}, arcs={inst['num_arcs']}, "
+        f"p={inst['edge_probability']})",
+        f"  RR sets ({inst['num_rr_samples']} samples):",
+        f"    per-sample: {rr['per_sample_wall_time_s']:.3f}s "
+        f"({rr['per_sample_rate']:.0f} samples/s)",
+        f"    batched:    {rr['batched_wall_time_s']:.3f}s "
+        f"({rr['batched_rate']:.0f} samples/s)",
+        f"    speedup:    {rr['speedup']:.1f}x",
+        f"  MC cascades ({inst['num_cascades']} cascades, "
+        f"{inst['num_seeds']} seeds):",
+        f"    per-cascade: {mc['per_cascade_wall_time_s']:.3f}s "
+        f"({mc['per_cascade_rate']:.0f} cascades/s)",
+        f"    batched:     {mc['batched_wall_time_s']:.3f}s "
+        f"({mc['batched_rate']:.0f} cascades/s)",
+        f"    speedup:     {mc['speedup']:.1f}x",
+        f"  spread estimates: per-cascade {mc['spread_per_cascade']:.4f} "
+        f"vs batched {mc['spread_batched']:.4f}",
+        f"  [json written to {json_path}]",
+    ]
+    record("rr_engine", "\n".join(lines))
+
+
+def bench_rr_engine(benchmark) -> None:
+    payload = run_once(benchmark, _measure)
+    _report(payload)
+    assert _equivalent(payload), (
+        "batched estimates diverged from the per-sample path"
+    )
+    assert payload["rr_sampling"]["speedup"] >= MIN_SPEEDUP, (
+        f"RR sampling speedup {payload['rr_sampling']['speedup']:.2f}x "
+        f"below {MIN_SPEEDUP}x"
+    )
+    assert payload["mc_evaluation"]["speedup"] >= MIN_SPEEDUP, (
+        f"MC evaluation speedup {payload['mc_evaluation']['speedup']:.2f}x "
+        f"below {MIN_SPEEDUP}x"
+    )
+
+
+def main() -> int:
+    payload = _measure()
+    _report(payload)
+    if not _equivalent(payload):
+        print("FAIL: batched estimates diverged from the per-sample path")
+        return 1
+    failed = False
+    for half in ("rr_sampling", "mc_evaluation"):
+        speedup = payload[half]["speedup"]
+        if speedup < MIN_SPEEDUP:
+            print(f"FAIL: {half} speedup {speedup:.2f}x < {MIN_SPEEDUP}x")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,7 +3,7 @@
 Regenerates the paper's dataset table: node counts, edge counts and group
 percentages for RAND (c=2/4), Facebook (c=2/4), DBLP (c=5) and Pokec
 (gender c=2, age c=6). At small scale Pokec is built at 3,000 nodes; at
-paper scale at the 50,000-node default (DESIGN.md §5 explains the Pokec
+paper scale at the 50,000-node default (DESIGN.md §6 explains the Pokec
 scaling substitution).
 """
 

@@ -168,6 +168,51 @@ def _plain_loop(
             break
 
 
+def _resolve_ties(
+    objective: GroupedObjective,
+    scalarizer: Scalarizer,
+    state: ObjectiveState,
+    weights: np.ndarray,
+    heap: list[tuple[float, int]],
+    fresh: dict[int, int],
+    round_no: int,
+    best_item: int,
+    best_gain: float,
+) -> tuple[int, int | float]:
+    """Settle an epsilon-band tie at the top of the CELF heap.
+
+    Pops every entry whose cached bound could still tie with
+    ``best_gain`` (rescoring stale ones), then replays the plain loop's
+    sequential lowest-id scan over the contenders. Losers go back on the
+    heap with fresh bounds. No-ops (one peek) when the top is clear of
+    the band — the common case.
+    """
+    contenders = [(best_item, best_gain)]
+    while heap and -heap[0][0] > best_gain - GAIN_EPS:
+        neg_ub, item = heapq.heappop(heap)
+        if state.in_solution[item]:
+            continue
+        if fresh[item] != round_no:
+            gain = scalarizer.gain(
+                state.group_values, objective.gains(state, item), weights
+            )
+            fresh[item] = round_no
+            heapq.heappush(heap, (-gain, item))
+            continue
+        contenders.append((item, -neg_ub))
+    if len(contenders) == 1:
+        return best_item, best_gain
+    contenders.sort()
+    winner, winner_gain = -1, 0.0
+    for item, gain in contenders:
+        if gain > winner_gain + GAIN_EPS:
+            winner, winner_gain = item, gain
+    for item, gain in contenders:
+        if item != winner:
+            heapq.heappush(heap, (-gain, item))
+    return winner, winner_gain
+
+
 def _lazy_loop(
     objective: GroupedObjective,
     scalarizer: Scalarizer,
@@ -204,6 +249,16 @@ def _lazy_loop(
                 if gain <= GAIN_EPS:
                     heap.clear()
                     break
+                # Ties: the heap orders by exact floats, but the plain
+                # loop's scan treats gains within GAIN_EPS as equal and
+                # keeps the earliest item. Re-apply that rule over every
+                # heap entry whose bound falls in the epsilon band, so a
+                # mathematically exact tie whose two computations differ
+                # in the last ulp cannot make the variants diverge.
+                item, gain = _resolve_ties(
+                    objective, scalarizer, state, weights,
+                    heap, fresh, round_no, item, gain,
+                )
                 objective.add(state, item)
                 value = scalarizer.value(state.group_values, weights)
                 steps.append(GreedyStep(item, gain, value))

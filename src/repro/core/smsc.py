@@ -5,7 +5,7 @@ Matsuoka [52], which maximises one submodular function while keeping
 another above a threshold, and notes it "can be used for BSM only when
 ``c = 2`` by maximizing two submodular functions ``f_1`` and ``f_2``
 simultaneously". The reference implementation is not available offline, so
-this module reproduces the baseline's *role* (DESIGN.md §5): treat the two
+this module reproduces the baseline's *role* (DESIGN.md §6): treat the two
 group objectives symmetrically — no ``tau`` knob — and find the largest
 common saturation level both groups can reach with ``k`` items.
 

@@ -2,7 +2,7 @@
 
 Real datasets (Facebook, DBLP, Pokec, Adult, FourSquare) are unavailable
 offline; each has a synthetic *-like* substitute matching the published
-sizes, densities and group mixes (DESIGN.md §5). The RAND datasets are
+sizes, densities and group mixes (DESIGN.md §6). The RAND datasets are
 faithful re-implementations of the paper's own synthetic generators.
 """
 

@@ -3,7 +3,7 @@
 The real Facebook (Rice), DBLP and Pokec graphs are not redistributable
 offline. Each builder below matches the published node count, target edge
 count and exact group mix, and reproduces the structural property the
-experiments depend on (DESIGN.md §5):
+experiments depend on (DESIGN.md §6):
 
 * ``facebook_like`` — dense homophilous friendship graph (avg degree ~70);
 * ``dblp_like`` — sparse clustered co-authorship graph (avg degree ~3.5);

@@ -9,7 +9,7 @@ Two scales are provided:
   the full suite regenerates on a laptop in minutes. Curve *shapes* match
   the paper; absolute values drift with size.
 * ``"paper"`` — the published sizes (Tables 1–2). Pokec remains scaled to
-  50k nodes by default (DESIGN.md §5); pass dataset overrides to go
+  50k nodes by default (DESIGN.md §6); pass dataset overrides to go
   bigger.
 """
 
@@ -242,7 +242,8 @@ def run_figure9(
     from repro.core.baselines import greedy_utility
     from repro.core.bsm_saturate import bsm_saturate
     from repro.core.saturate import saturate as run_saturate
-    from repro.problems.influence import InfluenceObjective
+    from repro.experiments.harness import _objective_for
+    from repro.utils.rng import as_generator
 
     small = scale == "small"
     num_nodes = 120 if small else 500
@@ -253,8 +254,14 @@ def run_figure9(
     fl2 = load_dataset("rand-fl-c2", seed=seed)
     panels["a: RAND (MC, c=2)"] = mc2.objective
     panels["b: RAND (MC, c=4)"] = mc4.objective
-    panels["c: RAND (IM, c=2)"] = InfluenceObjective.from_graph(
-        im2.graph, 1_000 if small else 10_000, seed=seed
+    # Built through the harness's shared objective builder so figure 9
+    # derives its sampling seed the same way the sweeps do. (Each runner
+    # loads its own graph object, so the identity-keyed cache does not
+    # share samples across separate runs — only within one.)
+    panels["c: RAND (IM, c=2)"] = _objective_for(
+        im2,
+        seed=int(as_generator(seed).integers(0, 2**62)),
+        im_samples=1_000 if small else 10_000,
     )
     panels["d: RAND (FL, c=2)"] = fl2.objective
     out: dict[str, list[tuple[float, float, float]]] = {}

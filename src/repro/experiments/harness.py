@@ -13,6 +13,11 @@ Implementation notes mirroring the paper's Section 5:
 * For influence instances the greedy runs on RIS estimates, but reported
   ``f(S)``/``g(S)`` come from independent Monte-Carlo simulation
   (``mc_simulations``; the paper uses 10,000).
+* Influence sweeps reuse one sampled RR collection and one evaluation
+  cascade bundle across all tau/k sweep points (module-level caches keyed
+  by seed, dataset and graph identity — the scaling-notes
+  recommendation of DESIGN.md §6), so repeated sweep points pay for
+  solver time only.
 * ``OPT'_g`` (the dashed green line) is ``Saturate``'s value; the solid
   line ``OPT_g`` comes from the ILP when the instance is small enough.
 """
@@ -20,9 +25,7 @@ Implementation notes mirroring the paper's Section 5:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Sequence
-
-import numpy as np
+from typing import Any, Optional, Sequence
 
 from repro.core.baselines import greedy_utility
 from repro.core.bsm_saturate import bsm_saturate
@@ -85,8 +88,33 @@ class SweepResult:
         return list(seen)
 
 
-def _objective_for(dataset: Dataset, *, seed: SeedLike, im_samples: int) -> GroupedObjective:
-    """Materialise the solvable objective for a dataset."""
+#: Sampled-collection and Monte-Carlo-evaluation caches. RR sampling and
+#: the 10,000-cascade evaluation dominate influence sweeps (DESIGN.md §6),
+#: and a tau/k sweep re-scores the same graph — often the same solution —
+#: at every sweep point. Keys carry the derived integer seed plus the
+#: *identity* of the graph object (two same-shaped graphs may differ in
+#: edge probabilities) and its mutation counter (an in-place
+#: ``set_edge_probabilities``/``add_edge`` must invalidate the entry);
+#: each cache entry stores the graph alongside its value, which both pins
+#: the id() against reuse after garbage collection and allows an exact
+#: identity check on hit.
+_RR_OBJECTIVE_CACHE: dict[tuple, tuple[Any, GroupedObjective]] = {}
+_MC_EVAL_CACHE: dict[tuple, tuple[Any, tuple[float, float]]] = {}
+_CACHE_LIMIT = 32
+
+
+def _graph_key(dataset: Dataset) -> tuple:
+    return (dataset.name, id(dataset.graph), dataset.graph.version)
+
+
+def _objective_for(dataset: Dataset, *, seed: int, im_samples: int) -> GroupedObjective:
+    """Materialise the solvable objective for a dataset.
+
+    Influence objectives (an RR-set sampling pass plus the packed
+    inverted index) are cached per ``(dataset, graph dims, samples,
+    seed)`` so the tau sweep and k sweep of one figure — and repeated
+    panels across figures — share a single sampled collection.
+    """
     if dataset.kind in (
         "coverage",
         "facility",
@@ -97,9 +125,17 @@ def _objective_for(dataset: Dataset, *, seed: SeedLike, im_samples: int) -> Grou
     if dataset.kind == "influence":
         from repro.problems.influence import InfluenceObjective
 
-        return InfluenceObjective.from_graph(
+        key = _graph_key(dataset) + (im_samples, seed)
+        entry = _RR_OBJECTIVE_CACHE.get(key)
+        if entry is not None and entry[0] is dataset.graph:
+            return entry[1]
+        if len(_RR_OBJECTIVE_CACHE) >= _CACHE_LIMIT:
+            _RR_OBJECTIVE_CACHE.clear()
+        objective = InfluenceObjective.from_graph(
             dataset.graph, im_samples, seed=seed
         )
+        _RR_OBJECTIVE_CACHE[key] = (dataset.graph, objective)
+        return objective
     raise ValueError(f"unknown dataset kind {dataset.kind!r}")
 
 
@@ -108,18 +144,37 @@ def _score(
     result: SolverResult,
     *,
     mc_simulations: int,
-    seed: SeedLike,
+    seed: int,
 ) -> tuple[float, float]:
-    """Final reported (f, g): Monte-Carlo for IM, oracle values otherwise."""
+    """Final reported (f, g): Monte-Carlo for IM, oracle values otherwise.
+
+    One cascade bundle per ``(graph, seed set, budget, seed)``: within a
+    sweep every row re-scoring the same solution (flat baselines, or a
+    tau-aware algorithm whose selection did not move between sweep
+    points) reuses the batched simulation instead of re-running 10,000
+    cascades, and all rows of a sweep share one evaluation seed — common
+    random numbers, so cross-algorithm differences are not sampling
+    noise.
+    """
     if dataset.kind != "influence" or mc_simulations <= 0:
         return result.utility, result.fairness
     from repro.influence.ic_model import monte_carlo_group_spread
 
+    key = _graph_key(dataset) + (
+        tuple(sorted(result.solution)), mc_simulations, seed,
+    )
+    entry = _MC_EVAL_CACHE.get(key)
+    if entry is not None and entry[0] is dataset.graph:
+        return entry[1]
     values = monte_carlo_group_spread(
         dataset.graph, result.solution, mc_simulations, seed=seed
     )
     weights = dataset.graph.group_sizes() / dataset.graph.num_nodes
-    return float(weights @ values), float(values.min())
+    scored = float(weights @ values), float(values.min())
+    if len(_MC_EVAL_CACHE) >= _CACHE_LIMIT * 8:
+        _MC_EVAL_CACHE.clear()
+    _MC_EVAL_CACHE[key] = (dataset.graph, scored)
+    return scored
 
 
 def _run_algorithm(
@@ -178,8 +233,13 @@ def sweep_tau(
     seed: SeedLike = 0,
 ) -> SweepResult:
     """Vary the balance factor ``tau`` at fixed ``k`` (Figs. 3/5/7/10)."""
+    # Derive integer sub-seeds up front: they key the sampling/evaluation
+    # caches and keep the streams deterministic whether or not a cached
+    # collection is hit.
     rng = as_generator(seed)
-    objective = _objective_for(dataset, seed=rng, im_samples=im_samples)
+    sample_seed = int(rng.integers(0, 2**62))
+    mc_seed = int(rng.integers(0, 2**62))
+    objective = _objective_for(dataset, seed=sample_seed, im_samples=im_samples)
     algorithms = list(algorithms)
     if include_optimal and "BSM-Optimal" not in algorithms:
         algorithms.append("BSM-Optimal")
@@ -203,7 +263,6 @@ def sweep_tau(
             "opt_g": opt0.extra["opt_g"],
         }
     rows: list[ExperimentRow] = []
-    mc_seed_root = rng.integers(0, 2**62)
     for name in algorithms:
         for tau in taus:
             if name not in TAU_AWARE and rows and any(
@@ -235,7 +294,7 @@ def sweep_tau(
             f_val, g_val = _score(
                 dataset, result,
                 mc_simulations=mc_simulations,
-                seed=int(mc_seed_root) + len(rows),
+                seed=mc_seed,
             )
             rows.append(
                 ExperimentRow(
@@ -269,13 +328,14 @@ def sweep_k(
 ) -> SweepResult:
     """Vary the solution size ``k`` at fixed ``tau`` (Figs. 4/6/8/11)."""
     rng = as_generator(seed)
-    objective = _objective_for(dataset, seed=rng, im_samples=im_samples)
+    sample_seed = int(rng.integers(0, 2**62))
+    mc_seed = int(rng.integers(0, 2**62))
+    objective = _objective_for(dataset, seed=sample_seed, im_samples=im_samples)
     algorithms = list(algorithms)
     if objective.num_groups != 2 and "SMSC" in algorithms:
         algorithms.remove("SMSC")
     rows: list[ExperimentRow] = []
     references: dict[str, float] = {}
-    mc_seed_root = rng.integers(0, 2**62)
     for k in ks:
         greedy_res = greedy_utility(objective, int(k))
         saturate_res = saturate(objective, int(k))
@@ -289,7 +349,7 @@ def sweep_k(
             f_val, g_val = _score(
                 dataset, result,
                 mc_simulations=mc_simulations,
-                seed=int(mc_seed_root) + len(rows),
+                seed=mc_seed,
             )
             rows.append(
                 ExperimentRow(

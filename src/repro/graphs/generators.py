@@ -5,7 +5,7 @@ intra-/inter-group probabilities 0.1 / 0.02 (Section 5.1). The real social
 graphs (Facebook, DBLP, Pokec) are unavailable offline, so the dataset
 layer composes these generators into *-like* graphs that match the papers'
 published node counts, edge densities and group mixes — see
-``repro/datasets/social.py`` and DESIGN.md §5.
+``repro/datasets/social.py`` and DESIGN.md §6.
 """
 
 from __future__ import annotations

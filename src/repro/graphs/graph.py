@@ -13,6 +13,7 @@ from typing import Iterable, Iterator, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import GroupPartitionError
+from repro.utils.csr import invert_csr
 from repro.utils.validation import check_positive_int
 
 EdgeLike = Tuple[int, int]
@@ -52,6 +53,10 @@ class Graph:
         self._groups: Optional[np.ndarray] = None
         self._num_groups = 0
         self._csr_cache: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._transpose_cache: Optional[
+            tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+        self._version = 0
         for edge in edges:
             if len(edge) == 2:
                 u, v = edge  # type: ignore[misc]
@@ -78,6 +83,8 @@ class Graph:
             self._succ_p[v].append(probability)
         self._num_input_edges += 1
         self._csr_cache = None
+        self._transpose_cache = None
+        self._version += 1
 
     def set_groups(self, groups: Sequence[int]) -> None:
         """Attach group labels; labels must be ``0..c-1`` with no empty group."""
@@ -107,6 +114,8 @@ class Graph:
             for i in range(len(plist)):
                 plist[i] = probability
         self._csr_cache = None
+        self._transpose_cache = None
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -120,6 +129,17 @@ class Graph:
     def num_arcs(self) -> int:
         """Number of stored directed arcs (2x input edges when undirected)."""
         return sum(len(lst) for lst in self._succ)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every structural or weight change.
+
+        External caches keyed by graph identity (e.g. the experiment
+        harness's sampled-collection cache) include this so an in-place
+        ``add_edge``/``set_edge_probabilities`` invalidates their entries
+        the same way it invalidates the graph's own CSR caches.
+        """
+        return self._version
 
     @property
     def groups(self) -> np.ndarray:
@@ -180,6 +200,23 @@ class Graph:
                 probs[lo:hi] = self._succ_p[u]
             self._csr_cache = (indptr, indices, probs)
         return self._csr_cache
+
+    def transpose_adjacency(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR arrays ``(indptr, indices, probabilities)`` of *in*-arcs.
+
+        Equals ``transpose().out_adjacency()`` entry for entry (arcs of a
+        target sorted by source in insertion order) but is built directly
+        from the cached out-CSR with one stable argsort instead of
+        re-adding every arc to a fresh Python adjacency list — the RIS
+        sampler and IMM schedule hit this once per collection.
+        """
+        if self._transpose_cache is None:
+            indptr, indices, probs = self.out_adjacency()
+            t_indptr, sources, order = invert_csr(
+                indptr, indices, self.num_nodes
+            )
+            self._transpose_cache = (t_indptr, sources, probs[order])
+        return self._transpose_cache
 
     def transpose(self) -> "Graph":
         """Reverse of the graph (arcs flipped); groups carried over.

@@ -2,7 +2,7 @@
 
 Table 1 of the paper characterises each dataset by size and group mix;
 because every real graph here is replaced by a synthetic substitute
-(DESIGN.md §5), these metrics are how the substitution is *validated*:
+(DESIGN.md §6), these metrics are how the substitution is *validated*:
 the substitute must match the original's node/edge counts and group
 proportions, and preserve the structural features that drive MC/IM
 behaviour (degree spread, clustering, group homophily).

@@ -6,10 +6,12 @@ The paper estimates influence spread with the RIS-based IMM algorithm
 cascade simulations; this package implements both halves.
 """
 
+from repro.influence.engine import sample_rr_sets_batch
 from repro.influence.ic_model import (
     monte_carlo_group_spread,
     monte_carlo_spread,
     simulate_cascade,
+    simulate_cascades_batch,
 )
 from repro.influence.lt_model import LTModel
 from repro.influence.ris import RRCollection, sample_rr_collection
@@ -32,6 +34,8 @@ __all__ = [
     "monte_carlo_group_spread",
     "monte_carlo_spread",
     "sample_rr_collection",
+    "sample_rr_sets_batch",
     "simulate_cascade",
+    "simulate_cascades_batch",
     "topk_trigger_sampler",
 ]

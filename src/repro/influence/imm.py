@@ -14,24 +14,41 @@ draw ``lambda' / x`` samples, greedy-solve the coverage instance, and stop
 once the estimated spread certifies ``OPT >= x / (1 + eps')``.
 
 This module implements that schedule *simplified in constants only* (we
-use the published formulas but do not implement the final-phase sample
-reuse trick), and adds one extension for BSM: the returned collection can
-be *stratified* so each group's ``f_i`` estimator gets an equal share of
-roots, which keeps the fairness estimate's variance bounded for small
-groups. ``max_samples`` caps the budget so that laptop-scale benchmark
-runs stay fast; the cap is reported in the result for transparency.
+use the published formulas) and adds one extension for BSM: the returned
+collection can be *stratified* so each group's ``f_i`` estimator gets an
+equal share of roots, which keeps the fairness estimate's variance
+bounded for small groups. ``max_samples`` caps the budget so that
+laptop-scale benchmark runs stay fast; the cap is reported in the result
+for transparency.
+
+Sampling runs through the batched frontier engine: each doubling probe
+tops its pool up to ``theta_i`` with one :func:`sample_rr_sets_batch`
+call (the probe sizes grow geometrically, so the top-ups do too), and in
+the unstratified case the final collection *reuses* the doubling-phase
+samples — uniform roots are exactly the final distribution — drawing
+only the shortfall. ``IMMResult.reused_samples`` reports how many came
+from the phase. Caveat, as in IMM's own final-phase reuse: the retained
+samples are the ones on which the stopping rule fired, so they are not
+independent of the certified lower bound and the formal
+``(1 - 1/e - eps)`` guarantee holds only for a fresh draw
+(``stratified=True``, the default, re-draws and keeps it). The
+reproduction tolerates this for the throughput win because, as in the
+paper's pipeline, final solutions are re-scored with independent
+Monte-Carlo simulation anyway.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.graphs.graph import Graph
-from repro.influence.ris import RRCollection, sample_rr_collection, sample_rr_set
+from repro.influence.engine import sample_rr_sets_batch
+from repro.influence.ris import RRCollection, sample_rr_collection
+from repro.utils.csr import build_csr, concat_packed, gather_csr_slices, invert_csr
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
 
@@ -77,6 +94,7 @@ class IMMResult:
     opt_lower_bound: float
     target_samples: int
     capped: bool
+    reused_samples: int = 0
 
 
 def imm_rr_collection(
@@ -99,7 +117,9 @@ def imm_rr_collection(
         simulation anyway, so the RR estimate only steers the greedy.
     stratified:
         Re-draw the final collection with per-group quotas (see
-        :func:`repro.influence.ris.sample_rr_collection`).
+        :func:`repro.influence.ris.sample_rr_collection`). Unstratified
+        collections instead reuse the doubling-phase samples and top up
+        only the shortfall.
     max_samples:
         Hard cap on the number of RR sets (``None`` disables). Reported
         via ``IMMResult.capped``.
@@ -117,12 +137,14 @@ def imm_rr_collection(
         * n
         / eps_prime**2
     )
-    # Doubling phase: probe OPT lower bounds x = n / 2^i.
-    transpose = graph.transpose().out_adjacency()
-    scratch = np.zeros(n, dtype=bool)
+    # Doubling phase: probe OPT lower bounds x = n / 2^i; each probe tops
+    # the shared pool up to theta_i through one batched sampling call.
+    transpose = graph.transpose_adjacency()
     labels = graph.groups
-    sets: list[np.ndarray] = []
-    root_groups: list[int] = []
+    parts: list[tuple[np.ndarray, np.ndarray]] = []
+    group_parts: list[np.ndarray] = []
+    num_have = 0
+    packed = (np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64))
     lb = 1.0
     max_iters = max(int(math.log2(n)), 1)
     for i in range(1, max_iters + 1):
@@ -130,15 +152,18 @@ def imm_rr_collection(
         theta_i = int(math.ceil(lambda_prime / x))
         if max_samples is not None:
             theta_i = min(theta_i, max_samples)
-        while len(sets) < theta_i:
-            root = int(rng.integers(0, n))
-            sets.append(sample_rr_set(transpose, root, rng, scratch))
-            root_groups.append(int(labels[root]))
-        frac = _greedy_coverage_fraction(sets, n, k)
+        if theta_i > num_have:
+            roots = rng.integers(0, n, size=theta_i - num_have)
+            parts.append(sample_rr_sets_batch(transpose, roots, rng))
+            group_parts.append(labels[roots])
+            num_have = theta_i
+            packed = concat_packed(parts)
+            parts = [packed]
+        frac = _greedy_coverage_fraction(packed, n, k)
         if n * frac >= (1.0 + eps_prime) * x:
             lb = n * frac / (1.0 + eps_prime)
             break
-        if max_samples is not None and len(sets) >= max_samples:
+        if max_samples is not None and num_have >= max_samples:
             lb = max(n * frac, 1.0)
             break
     lambda_star = imm_sample_bound(n, k, epsilon=epsilon, ell=ell)
@@ -148,41 +173,111 @@ def imm_rr_collection(
         theta = max_samples
         capped = True
     theta = max(theta, graph.num_groups)  # at least one RR set per group
-    collection = sample_rr_collection(
-        graph, theta, seed=rng, stratified=stratified
-    )
+    if stratified:
+        # Per-group quotas need a fresh root distribution; the phase pool
+        # (uniform roots) cannot be reused.
+        collection = sample_rr_collection(
+            graph, theta, seed=rng, stratified=True
+        )
+        reused = 0
+    else:
+        collection, reused = _final_unstratified(
+            graph, packed, np.concatenate(group_parts), theta, transpose, rng
+        )
     return IMMResult(
         collection=collection,
         opt_lower_bound=lb,
         target_samples=theta,
         capped=capped,
+        reused_samples=reused,
     )
 
 
-def _greedy_coverage_fraction(sets: list[np.ndarray], n: int, k: int) -> float:
+def _final_unstratified(
+    graph: Graph,
+    packed: tuple[np.ndarray, np.ndarray],
+    phase_groups: np.ndarray,
+    theta: int,
+    transpose: tuple[np.ndarray, np.ndarray, np.ndarray],
+    rng: np.random.Generator,
+) -> tuple[RRCollection, int]:
+    """Assemble the final unstratified collection, reusing phase samples.
+
+    The doubling phase drew roots uniformly — the same distribution the
+    final unstratified collection needs — so the first ``theta`` phase
+    samples are kept verbatim and only the shortfall is drawn. The kept
+    samples are conditioned on the doubling phase's stopping event (see
+    the module docstring for why that trade is accepted). Groups that no
+    root hit get one extra RR set each (the collection requires every
+    group to be present), mirroring ``sample_rr_collection``.
+    """
+    set_indptr, set_indices = packed
+    reused = min(set_indptr.size - 1, theta)
+    parts = [(set_indptr[: reused + 1].copy(), set_indices[: set_indptr[reused]])]
+    group_parts = [phase_groups[:reused]]
+    labels = graph.groups
+    if theta > reused:
+        roots = rng.integers(0, graph.num_nodes, size=theta - reused)
+        parts.append(sample_rr_sets_batch(transpose, roots, rng))
+        group_parts.append(labels[roots])
+    root_groups = np.concatenate(group_parts)
+    present = np.bincount(root_groups, minlength=graph.num_groups)
+    missing = np.flatnonzero(present == 0)
+    if missing.size:
+        extra = np.asarray(
+            [
+                graph.group_members(i)[rng.integers(0, graph.group_members(i).size)]
+                for i in missing
+            ],
+            dtype=np.int64,
+        )
+        parts.append(sample_rr_sets_batch(transpose, extra, rng))
+        group_parts.append(labels[extra])
+        root_groups = np.concatenate(group_parts)
+    merged_ptr, merged_idx = concat_packed(parts)
+    collection = RRCollection.from_packed(
+        merged_ptr, merged_idx, root_groups, graph.num_nodes, graph.num_groups
+    )
+    return collection, reused
+
+
+def _greedy_coverage_fraction(
+    sets: Sequence[np.ndarray] | tuple[np.ndarray, np.ndarray],
+    n: int,
+    k: int,
+) -> float:
     """Fraction of RR sets covered by the greedy size-k node set.
 
-    Standard max-coverage greedy over the inverted index; used only inside
-    the doubling phase to certify OPT lower bounds.
+    Standard max-coverage greedy, run on the packed inverted index: the
+    node->RR-set CSR comes from one stable argsort of the packed entries,
+    per-node counts start as one ``bincount``, and each round's decrement
+    gathers the freshly covered sets' members in a single flat pass.
+    Accepts either the packed ``(set_indptr, set_indices)`` pair or the
+    legacy list of per-set node arrays. Used only inside the doubling
+    phase to certify OPT lower bounds.
     """
-    if not sets:
+    if isinstance(sets, tuple):
+        set_indptr, set_indices = sets
+    else:
+        if not len(sets):
+            return 0.0
+        set_indptr, set_indices = build_csr(list(sets))
+    num_sets = set_indptr.size - 1
+    if num_sets == 0:
         return 0.0
-    counts = np.zeros(n, dtype=np.int64)
-    membership: dict[int, list[int]] = {}
-    for j, rr in enumerate(sets):
-        for v in rr:
-            counts[v] += 1
-            membership.setdefault(int(v), []).append(j)
-    covered = np.zeros(len(sets), dtype=bool)
+    mem_indptr, mem_indices, _ = invert_csr(set_indptr, set_indices, n)
+    counts = np.bincount(set_indices, minlength=n)
+    covered = np.zeros(num_sets, dtype=bool)
     total = 0
     for _ in range(k):
         best = int(np.argmax(counts))
         if counts[best] <= 0:
             break
-        for j in membership.get(best, ()):
-            if not covered[j]:
-                covered[j] = True
-                total += 1
-                for v in sets[j]:
-                    counts[v] -= 1
-    return total / len(sets)
+        ids = mem_indices[mem_indptr[best]:mem_indptr[best + 1]]
+        fresh = ids[~covered[ids]]
+        if fresh.size:
+            covered[fresh] = True
+            total += fresh.size
+            positions, _ = gather_csr_slices(set_indptr, fresh)
+            counts -= np.bincount(set_indices[positions], minlength=n)
+    return total / num_sets

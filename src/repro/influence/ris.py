@@ -8,29 +8,36 @@ indicator over many RR sets therefore estimates activation probabilities
 — and, with roots drawn per group, the group utilities ``f_i(S)`` needed
 by BSM. Coverage of a fixed RR-set collection is monotone submodular in
 ``S``, so the whole greedy machinery applies to the estimates.
+
+Sampling runs through the batched frontier engine
+(:mod:`repro.influence.engine`): all requested RR sets grow level by
+level through one shared reverse BFS, and the collection stores them
+CSR-packed (``set_indptr``/``set_indices``) so coverage queries and the
+objective layer's inverted index are single NumPy passes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import GroupPartitionError
 from repro.graphs.graph import Graph
+from repro.influence.engine import sample_rr_sets_batch
+from repro.utils.csr import build_csr
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
 
 
-@dataclass
 class RRCollection:
-    """A bag of RR sets plus the group of each root.
+    """A bag of RR sets plus the group of each root, stored CSR-packed.
 
     Attributes
     ----------
-    sets:
-        ``sets[j]`` is the node array of the ``j``-th RR set.
+    set_indptr, set_indices:
+        Packed storage: RR set ``j``'s nodes occupy
+        ``set_indices[set_indptr[j]:set_indptr[j + 1]]``.
     root_groups:
         Group label of the root of each RR set.
     num_nodes, num_groups:
@@ -38,16 +45,34 @@ class RRCollection:
     group_counts:
         Number of RR sets rooted in each group; the per-group estimate of
         ``f_i(S)`` is (covered sets with group-i root) / ``group_counts[i]``.
+
+    The constructor also accepts the legacy list-of-arrays form via
+    ``sets`` (packed on entry); the :attr:`sets` property exposes the
+    matching compatibility view as per-set slices of ``set_indices``.
     """
 
-    sets: list[np.ndarray]
-    root_groups: np.ndarray
-    num_nodes: int
-    num_groups: int
-
-    def __post_init__(self) -> None:
-        self.root_groups = np.asarray(self.root_groups, dtype=np.int64)
-        if len(self.sets) != self.root_groups.size:
+    def __init__(
+        self,
+        sets: Optional[Sequence[np.ndarray]] = None,
+        root_groups: Optional[np.ndarray] = None,
+        num_nodes: int = 0,
+        num_groups: int = 0,
+        *,
+        set_indptr: Optional[np.ndarray] = None,
+        set_indices: Optional[np.ndarray] = None,
+    ) -> None:
+        if sets is not None:
+            if set_indptr is not None or set_indices is not None:
+                raise ValueError("pass either sets or packed arrays, not both")
+            set_indptr, set_indices = build_csr(list(sets))
+        if set_indptr is None or set_indices is None:
+            raise ValueError("either sets or set_indptr/set_indices required")
+        self.set_indptr = np.asarray(set_indptr, dtype=np.int64)
+        self.set_indices = np.asarray(set_indices, dtype=np.int64)
+        self.num_nodes = num_nodes
+        self.num_groups = num_groups
+        self.root_groups = np.asarray(root_groups, dtype=np.int64)
+        if self.set_indptr.size - 1 != self.root_groups.size:
             raise ValueError("sets and root_groups must have equal length")
         counts = np.bincount(self.root_groups, minlength=self.num_groups)
         if np.any(counts == 0):
@@ -55,20 +80,57 @@ class RRCollection:
                 "every group needs at least one RR set for its f_i estimate"
             )
         self.group_counts = counts
+        self._row_ids: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_packed(
+        cls,
+        set_indptr: np.ndarray,
+        set_indices: np.ndarray,
+        root_groups: np.ndarray,
+        num_nodes: int,
+        num_groups: int,
+    ) -> "RRCollection":
+        """Wrap already-packed arrays (no copy beyond dtype coercion)."""
+        return cls(
+            root_groups=root_groups,
+            num_nodes=num_nodes,
+            num_groups=num_groups,
+            set_indptr=set_indptr,
+            set_indices=set_indices,
+        )
 
     @property
     def num_sets(self) -> int:
-        return len(self.sets)
+        return self.set_indptr.size - 1
+
+    @property
+    def sets(self) -> list[np.ndarray]:
+        """Compatibility view: RR set ``j`` as a slice of ``set_indices``."""
+        return [
+            self.set_indices[self.set_indptr[j]:self.set_indptr[j + 1]]
+            for j in range(self.num_sets)
+        ]
+
+    def entry_rows(self) -> np.ndarray:
+        """RR-set id of every packed entry (cached ``np.repeat`` expansion)."""
+        if self._row_ids is None:
+            self._row_ids = np.repeat(
+                np.arange(self.num_sets, dtype=np.int64),
+                np.diff(self.set_indptr),
+            )
+        return self._row_ids
 
     def coverage(self, seeds: np.ndarray | list[int]) -> np.ndarray:
-        """Per-group fraction of RR sets hit by ``seeds`` (= ``f_i`` estimate)."""
+        """Per-group fraction of RR sets hit by ``seeds`` (= ``f_i`` estimate).
+
+        One mask-gather over the packed entries plus two ``bincount``
+        passes — no per-set Python loop.
+        """
         seed_mask = np.zeros(self.num_nodes, dtype=bool)
         seed_mask[np.asarray(list(seeds), dtype=np.int64)] = True
-        hit = np.fromiter(
-            (bool(seed_mask[s].any()) if s.size else False for s in self.sets),
-            dtype=bool,
-            count=self.num_sets,
-        )
+        hit_rows = self.entry_rows()[seed_mask[self.set_indices]]
+        hit = np.bincount(hit_rows, minlength=self.num_sets) > 0
         covered = np.bincount(
             self.root_groups[hit], minlength=self.num_groups
         ).astype(float)
@@ -86,7 +148,10 @@ def sample_rr_set(
     ``transpose_adjacency`` is the CSR triple of the *transpose* graph, so
     walking its out-arcs follows original arcs backwards. ``scratch`` is an
     optional reusable visited buffer (cleared on entry) to avoid an O(n)
-    allocation per sample.
+    allocation per sample. Collections should be sampled through
+    :func:`repro.influence.engine.sample_rr_sets_batch` instead — this
+    scalar path remains as the per-sample reference (benchmarked against
+    the engine in ``benchmarks/bench_rr_engine.py``).
     """
     indptr, indices, probs = transpose_adjacency
     n = indptr.size - 1
@@ -128,7 +193,12 @@ def sample_rr_collection(
     Parameters
     ----------
     num_samples:
-        Total number of RR sets.
+        Total number of RR sets. When ``stratified`` and the graph has
+        more groups than ``num_samples``, the total is clamped up to
+        ``max(num_samples, num_groups)`` — one RR set per group is the
+        minimum for every ``f_i`` estimate to exist. (The unstratified
+        path can likewise exceed ``num_samples`` by up to the number of
+        groups that uniform root draws missed.)
     stratified:
         ``True`` (default) splits the budget evenly across groups so every
         ``f_i`` estimate has comparable variance — important because the
@@ -140,35 +210,32 @@ def sample_rr_collection(
     rng = as_generator(seed)
     labels = graph.groups
     c = graph.num_groups
-    transpose = graph.transpose().out_adjacency()
-    scratch = np.zeros(graph.num_nodes, dtype=bool)
-    sets: list[np.ndarray] = []
-    root_groups: list[int] = []
+    transpose = graph.transpose_adjacency()
     if stratified:
-        members = [np.flatnonzero(labels == i) for i in range(c)]
-        base, rem = divmod(num_samples, c)
+        total = max(num_samples, c)
+        base, rem = divmod(total, c)
+        root_parts: list[np.ndarray] = []
+        group_parts: list[np.ndarray] = []
         for i in range(c):
             quota = base + (1 if i < rem else 0)
-            quota = max(quota, 1)
-            roots = members[i][rng.integers(0, members[i].size, size=quota)]
-            for r in roots:
-                sets.append(sample_rr_set(transpose, int(r), rng, scratch))
-                root_groups.append(i)
+            members = np.flatnonzero(labels == i)
+            root_parts.append(members[rng.integers(0, members.size, size=quota)])
+            group_parts.append(np.full(quota, i, dtype=np.int64))
+        roots = np.concatenate(root_parts)
+        root_groups = np.concatenate(group_parts)
     else:
         roots = rng.integers(0, graph.num_nodes, size=num_samples)
-        for r in roots:
-            sets.append(sample_rr_set(transpose, int(r), rng, scratch))
-            root_groups.append(int(labels[r]))
+        root_groups = labels[roots]
         # Guarantee at least one RR set per group (RRCollection requires it).
-        present = np.bincount(np.asarray(root_groups), minlength=c)
-        for i in np.flatnonzero(present == 0):
-            members = np.flatnonzero(labels == i)
-            r = int(members[rng.integers(0, members.size)])
-            sets.append(sample_rr_set(transpose, r, rng, scratch))
-            root_groups.append(int(i))
-    return RRCollection(
-        sets=sets,
-        root_groups=np.asarray(root_groups, dtype=np.int64),
-        num_nodes=graph.num_nodes,
-        num_groups=c,
+        present = np.bincount(root_groups, minlength=c)
+        extra_roots = [
+            graph.group_members(i)[rng.integers(0, graph.group_sizes()[i])]
+            for i in np.flatnonzero(present == 0)
+        ]
+        if extra_roots:
+            roots = np.concatenate([roots, np.asarray(extra_roots)])
+            root_groups = labels[roots]
+    set_indptr, set_indices = sample_rr_sets_batch(transpose, roots, rng)
+    return RRCollection.from_packed(
+        set_indptr, set_indices, root_groups, graph.num_nodes, c
     )

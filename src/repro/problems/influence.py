@@ -19,7 +19,7 @@ from repro.core.functions import GroupedObjective
 from repro.graphs.graph import Graph
 from repro.influence.imm import imm_rr_collection
 from repro.influence.ris import RRCollection, sample_rr_collection
-from repro.utils.csr import batch_group_counts, build_csr
+from repro.utils.csr import batch_group_counts, invert_csr
 from repro.utils.rng import SeedLike
 
 
@@ -62,20 +62,16 @@ class InfluenceObjective(GroupedObjective):
             )
         super().__init__(collection.num_nodes, population_sizes)
         self._collection = collection
-        # Inverted index: node -> RR-set ids containing it.
-        membership: list[list[int]] = [[] for _ in range(collection.num_nodes)]
-        for j, rr in enumerate(collection.sets):
-            for v in rr:
-                membership[int(v)].append(j)
-        self._membership = [
-            np.asarray(ids, dtype=np.int64) for ids in membership
-        ]
+        # Inverted CSR index (node v's RR-set ids occupy the slice
+        # [_mem_indptr[v], _mem_indptr[v+1]) of _mem_indices), built
+        # directly from the collection's packed arrays: the stable
+        # inversion keeps each node's RR-set ids in increasing order,
+        # exactly as the per-set append loop did.
+        self._mem_indptr, self._mem_indices, _ = invert_csr(
+            collection.set_indptr, collection.set_indices, collection.num_nodes
+        )
         self._root_groups = collection.root_groups
         self._group_counts = collection.group_counts.astype(float)
-        # CSR view of the inverted index (node j's RR-set ids occupy the
-        # slice [_mem_indptr[j], _mem_indptr[j+1]) of _mem_indices) so the
-        # batch oracle can score whole candidate pools in one pass.
-        self._mem_indptr, self._mem_indices = build_csr(self._membership)
 
     @classmethod
     def from_collection(
@@ -136,8 +132,14 @@ class InfluenceObjective(GroupedObjective):
     def _copy_payload(self, payload: _InfluencePayload) -> _InfluencePayload:
         return payload.copy()
 
+    def _member_ids(self, item: int) -> np.ndarray:
+        """RR-set ids containing ``item`` (a view into the inverted CSR)."""
+        return self._mem_indices[
+            self._mem_indptr[item]:self._mem_indptr[item + 1]
+        ]
+
     def _gains(self, payload: _InfluencePayload, item: int) -> np.ndarray:
-        ids = self._membership[item]
+        ids = self._member_ids(item)
         fresh = ids[~payload.covered[ids]]
         counts = np.bincount(
             self._root_groups[fresh], minlength=self.num_groups
@@ -164,7 +166,7 @@ class InfluenceObjective(GroupedObjective):
         # once, stack the per-state hit flags on those ids only, and
         # count the fresh roots per (state, group) cell with one flat
         # bincount — the multi-state twin of the CSR pool batch.
-        ids = self._membership[item]
+        ids = self._member_ids(item)
         num_states = len(payloads)
         if ids.size == 0 or num_states == 0:
             return np.zeros((num_states, self.num_groups), dtype=float)
@@ -184,5 +186,5 @@ class InfluenceObjective(GroupedObjective):
 
     def _apply(self, payload: _InfluencePayload, item: int) -> np.ndarray:
         gains = self._gains(payload, item)
-        payload.covered[self._membership[item]] = True
+        payload.covered[self._member_ids(item)] = True
         return gains

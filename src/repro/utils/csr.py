@@ -29,6 +29,68 @@ def build_csr(arrays: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
     return indptr, indices
 
 
+def invert_csr(
+    indptr: np.ndarray, indices: np.ndarray, num_cols: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Invert a packed row->cols mapping into its col->rows CSR.
+
+    Returns ``(inv_indptr, inv_rows, order)``: column ``c``'s owning rows
+    occupy ``inv_rows[inv_indptr[c]:inv_indptr[c + 1]]`` in increasing
+    row order (one stable argsort — within a column, flattened entries
+    keep row order). ``order`` is the argsort permutation of the packed
+    entries, so per-entry payloads travel along via ``payload[order]``
+    (the graph transpose permutes its edge probabilities this way).
+    """
+    order = np.argsort(indices, kind="stable")
+    rows = np.repeat(
+        np.arange(indptr.size - 1, dtype=np.int64), np.diff(indptr)
+    )
+    inv_indptr = np.zeros(num_cols + 1, dtype=np.int64)
+    inv_indptr[1:] = np.cumsum(np.bincount(indices, minlength=num_cols))
+    return inv_indptr, rows[order], order
+
+
+def gather_csr_slices(
+    indptr: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat positions of every CSR entry of ``rows``, plus each entry's owner.
+
+    Returns ``(positions, owners)`` where ``positions`` indexes the CSR
+    data arrays and ``owners[t]`` is the index into ``rows`` whose slice
+    produced ``positions[t]`` — the repeat/fancy-index gather that
+    :func:`batch_group_counts` and the sampling engine's frontier
+    expansion are built on.
+    """
+    starts = indptr[rows]
+    lengths = indptr[rows + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    ends = np.cumsum(lengths)
+    positions = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - (ends - lengths), lengths
+    )
+    owners = np.repeat(np.arange(rows.size, dtype=np.int64), lengths)
+    return positions, owners
+
+
+def concat_packed(
+    parts: Sequence[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate packed ``(indptr, indices)`` pairs into one pair."""
+    if not parts:
+        return np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    if len(parts) == 1:
+        return parts[0]
+    indptrs, indices = zip(*parts)
+    offsets = np.cumsum([0] + [ptr[-1] for ptr in indptrs[:-1]])
+    merged_ptr = np.concatenate(
+        [indptrs[0][:1]] + [ptr[1:] + off for ptr, off in zip(indptrs, offsets)]
+    )
+    return merged_ptr, np.concatenate(indices)
+
+
 def batch_group_counts(
     indptr: np.ndarray,
     indices: np.ndarray,

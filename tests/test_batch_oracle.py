@@ -122,32 +122,62 @@ def per_item_celf(
     scalarizer: Scalarizer,
     budget: int,
 ) -> ObjectiveState:
-    """The pre-batch lazy-forward greedy, verbatim (per-item oracle)."""
+    """The pre-batch lazy-forward greedy (per-item oracle).
+
+    Tie rule matches the plain loops: gains within ``GAIN_EPS`` are
+    equal and the earliest item wins. (The naive heap breaks such ties
+    by exact floats instead, which can diverge from plain greedy when
+    two computations of a mathematically identical gain differ in the
+    last ulp — the bug the solver's ``_resolve_ties`` fixes; this
+    reference resolves the band the same way.)
+    """
     state = objective.new_state()
     weights = objective.group_weights
     cand = list(range(objective.num_items))
     heap: list[tuple[float, int]] = [(-np.inf, item) for item in cand]
     heapq.heapify(heap)
     fresh = {item: -1 for item in cand}
+
+    def rescore(item: int) -> None:
+        gain = scalarizer.gain(
+            state.group_values, objective.gains(state, item), weights
+        )
+        fresh[item] = round_no
+        heapq.heappush(heap, (-gain, item))
+
     round_no = 0
     while round_no < budget and heap:
         while heap:
             neg_ub, item = heapq.heappop(heap)
             if state.in_solution[item]:
                 continue
-            if fresh[item] == round_no:
-                gain = -neg_ub
-                if gain <= GAIN_EPS:
-                    heap.clear()
-                    break
-                objective.add(state, item)
-                round_no += 1
+            if fresh[item] != round_no:
+                rescore(item)
+                continue
+            gain = -neg_ub
+            if gain <= GAIN_EPS:
+                heap.clear()
                 break
-            gain = scalarizer.gain(
-                state.group_values, objective.gains(state, item), weights
-            )
-            fresh[item] = round_no
-            heapq.heappush(heap, (-gain, item))
+            contenders = [(item, gain)]
+            while heap and -heap[0][0] > gain - GAIN_EPS:
+                neg_ub2, item2 = heapq.heappop(heap)
+                if state.in_solution[item2]:
+                    continue
+                if fresh[item2] != round_no:
+                    rescore(item2)
+                    continue
+                contenders.append((item2, -neg_ub2))
+            contenders.sort()
+            best_item, best_gain = -1, 0.0
+            for cont_item, cont_gain in contenders:
+                if cont_gain > best_gain + GAIN_EPS:
+                    best_item, best_gain = cont_item, cont_gain
+            for cont_item, cont_gain in contenders:
+                if cont_item != best_item:
+                    heapq.heappush(heap, (-cont_gain, cont_item))
+            objective.add(state, best_item)
+            round_no += 1
+            break
         else:
             break
     return state

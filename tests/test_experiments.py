@@ -103,6 +103,51 @@ class TestInfluenceSweep:
         row = sweep.rows[0]
         assert 0 <= row.fairness <= row.utility <= 1
 
+    def test_collection_shared_across_tau_and_k_sweeps(self):
+        from repro.experiments import harness
+
+        harness._RR_OBJECTIVE_CACHE.clear()
+        data = load_dataset("rand-im-c2", seed=1)
+        kwargs = dict(algorithms=("Greedy",), im_samples=200,
+                      mc_simulations=20, seed=3)
+        sweep_tau(data, k=3, taus=(0.5,), **kwargs)
+        assert len(harness._RR_OBJECTIVE_CACHE) == 1
+        sweep_k(data, ks=(3,), tau=0.5, **kwargs)
+        assert len(harness._RR_OBJECTIVE_CACHE) == 1  # reused, not re-sampled
+
+    def test_cache_distinguishes_same_shaped_graphs(self):
+        # Regression: two graphs with identical name/dimensions but
+        # different edge probabilities must not share a cached collection.
+        from repro.experiments import harness
+
+        harness._RR_OBJECTIVE_CACHE.clear()
+        a = load_dataset("rand-im-c2", seed=1)
+        b = load_dataset("rand-im-c2", seed=1)
+        b.graph.set_edge_probabilities(0.9)
+        kwargs = dict(algorithms=("Greedy",), im_samples=200,
+                      mc_simulations=0, seed=3)
+        low = sweep_tau(a, k=3, taus=(0.5,), **kwargs)
+        high = sweep_tau(b, k=3, taus=(0.5,), **kwargs)
+        assert len(harness._RR_OBJECTIVE_CACHE) == 2
+        # p=0.9 spreads much further than the default p: a shared cache
+        # entry would have made these rows identical.
+        assert high.rows[0].utility > low.rows[0].utility
+
+    def test_cache_invalidated_by_in_place_mutation(self):
+        # Regression: mutating the same graph object between sweeps must
+        # not return the collection sampled under the old probabilities
+        # (Graph.version is part of the cache key).
+        from repro.experiments import harness
+
+        harness._RR_OBJECTIVE_CACHE.clear()
+        data = load_dataset("rand-im-c2", seed=1)
+        kwargs = dict(algorithms=("Greedy",), im_samples=200,
+                      mc_simulations=0, seed=3)
+        low = sweep_tau(data, k=3, taus=(0.5,), **kwargs)
+        data.graph.set_edge_probabilities(0.9)
+        high = sweep_tau(data, k=3, taus=(0.5,), **kwargs)
+        assert high.rows[0].utility > low.rows[0].utility
+
 
 class TestFigures:
     def test_all_figures_registered(self):

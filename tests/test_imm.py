@@ -83,6 +83,32 @@ class TestImmRRCollection:
         counts = res.collection.group_counts
         assert abs(int(counts[0]) - int(counts[1])) <= 1
 
+    def test_unstratified_reuses_phase_samples(self):
+        res = imm_rr_collection(
+            self._graph(), 3, seed=0, max_samples=500, stratified=False
+        )
+        # The doubling phase draws uniform roots — exactly the final
+        # unstratified distribution — so the final collection keeps them
+        # and only tops up the shortfall.
+        assert res.reused_samples > 0
+        assert res.reused_samples <= res.target_samples
+        assert res.collection.num_sets >= res.target_samples
+
+    def test_stratified_does_not_reuse(self):
+        res = imm_rr_collection(
+            self._graph(), 3, seed=0, max_samples=200, stratified=True
+        )
+        assert res.reused_samples == 0
+
+    def test_greedy_fraction_accepts_packed_pair(self):
+        sets = [np.array([0]), np.array([0, 1]), np.array([2])]
+        from repro.utils.csr import build_csr
+
+        packed = build_csr(sets)
+        assert _greedy_coverage_fraction(packed, 3, 2) == pytest.approx(
+            _greedy_coverage_fraction(sets, 3, 2)
+        )
+
     def test_k_too_large_rejected(self):
         with pytest.raises(ValueError):
             imm_rr_collection(self._graph(), 40, seed=0)

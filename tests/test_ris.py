@@ -92,6 +92,31 @@ class TestSampleRRCollection:
         assert coll.num_sets == 10
         assert coll.group_counts.tolist() == [5, 5]
 
+    def test_stratified_quota_clamped_to_group_count(self):
+        # Regression: quotas of max(quota, 1) per group used to return up
+        # to num_groups sets when groups outnumber samples; the total is
+        # now clamped to max(num_samples, num_groups) exactly.
+        g = Graph(
+            5,
+            [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 4, 0.5)],
+            directed=True,
+            groups=[0, 1, 2, 3, 4],
+        )
+        coll = sample_rr_collection(g, 3, seed=0, stratified=True)
+        assert coll.num_sets == 5  # max(3 samples, 5 groups)
+        assert coll.group_counts.tolist() == [1, 1, 1, 1, 1]
+
+    def test_stratified_uneven_quota_exact_total(self):
+        g = Graph(
+            4,
+            [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)],
+            directed=True,
+            groups=[0, 0, 1, 2],
+        )
+        coll = sample_rr_collection(g, 10, seed=0, stratified=True)
+        assert coll.num_sets == 10
+        assert coll.group_counts.tolist() == [4, 3, 3]
+
     def test_unstratified_guarantees_presence(self):
         g = _path_graph()
         coll = sample_rr_collection(g, 5, seed=0, stratified=False)
