@@ -10,8 +10,6 @@ with more machines.
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks._common import SEED, record, run_once
 from repro.core.baselines import greedy_utility
 from repro.core.distributed import greedi

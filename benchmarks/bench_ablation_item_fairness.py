@@ -14,8 +14,6 @@ incidental.
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks._common import SEED, record, run_once
 from repro.core.bsm_saturate import bsm_saturate
 from repro.core.baselines import greedy_utility
@@ -29,7 +27,6 @@ K = 10
 def _measure() -> list[list[object]]:
     data = load_dataset("rand-mc-c2", seed=SEED)
     objective = data.objective
-    rng = np.random.default_rng(SEED)
     # Item categories: which group the set's *owner node* belongs to —
     # correlated with, but distinct from, the user-side partition.
     categories = data.graph.groups.copy()

@@ -32,7 +32,7 @@ if __name__ == "__main__":  # allow `python benchmarks/bench_streaming_batch.py`
     sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
 from benchmarks._common import RESULTS_DIR, SEED, record, run_once
-from repro.core.functions import AverageUtility, GroupedObjective, Scalarizer
+from repro.core.functions import AverageUtility, GroupedObjective
 from repro.core.sliding_window import SlidingWindowMaximizer
 from repro.core.streaming import (
     ObjectiveStateBox,

@@ -1,0 +1,162 @@
+"""Bench regression gate — compare fresh BENCH_*.json against baselines.
+
+Every ``bench_*`` module emits a ``benchmarks/results/BENCH_<name>.json``
+payload; the numbers committed under ``benchmarks/baselines/`` are the
+reference. This script fails (exit 1) when any *speedup* metric of a
+fresh run falls more than :data:`TOLERANCE` below its baseline.
+
+Only relative metrics are gated: raw wall times vary wildly across
+machines, but the speedup ratios measure an algorithmic property
+(vectorization win, pool scaling) that should survive a hardware change.
+The comparison is one-sided — faster than baseline is never a failure.
+
+A payload may opt out of the speedup comparison by carrying a top-level
+``"speedup_gate": false`` (the parallel bench does this on boxes with
+fewer than 4 CPUs, where pool speedups are meaningless). A gate-disabled
+*fresh* run is reported as SKIP; a gate-disabled *baseline* under a
+gate-enabled fresh run falls back to the fresh payload's own
+``min_speedup`` as an absolute floor, so the gate still arms on capable
+machines until a multi-core baseline is committed. A missing fresh
+result for a committed baseline is always a failure — it means a bench
+silently stopped running.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --tolerance 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterator
+
+BASE_DIR = Path(__file__).parent
+BASELINES_DIR = BASE_DIR / "baselines"
+RESULTS_DIR = BASE_DIR / "results"
+
+#: Allowed relative shortfall vs baseline before a metric fails.
+TOLERANCE = 0.30
+
+
+def iter_speedups(payload: object, prefix: str = "") -> Iterator[tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric speedup leaf."""
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if "speedup" in str(key).lower() and key != "min_speedup":
+                    yield path, float(value)
+            else:
+                yield from iter_speedups(value, path)
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            yield from iter_speedups(value, f"{prefix}[{index}]")
+
+
+def compare_file(
+    baseline_path: Path, results_dir: Path, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Compare one baseline file; returns (report lines, failures)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    name = baseline_path.name
+    fresh_path = results_dir / name
+    if not fresh_path.exists():
+        failures.append(f"{name}: no fresh result at {fresh_path}")
+        return lines, failures
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+    if fresh.get("speedup_gate") is False:
+        lines.append(f"  {name}: SKIP (speedup gate disabled on this machine)")
+        return lines, failures
+    if baseline.get("speedup_gate") is False:
+        # The committed baseline was measured on a machine that could not
+        # exercise parallel speedups (its ratios are noise), but *this*
+        # machine can: hold the bench's own gated metrics to its absolute
+        # floor instead of a relative one, so the gate still arms until a
+        # multi-core baseline is committed. Ungated metrics (the bench
+        # reports some speedups informationally) are left alone.
+        floor = float(fresh.get("min_speedup", 1.0))
+        gated = fresh.get("gated_metrics")
+        for path, fresh_value in iter_speedups(fresh):
+            if gated is not None and path not in gated:
+                continue
+            status = "ok" if fresh_value >= floor else "REGRESSION"
+            lines.append(
+                f"  {name}: {path} = {fresh_value:.2f} "
+                f"(baseline unusable, absolute floor {floor:.2f}) {status}"
+            )
+            if fresh_value < floor:
+                failures.append(
+                    f"{name}: {path} at {fresh_value:.2f} below the "
+                    f"absolute floor {floor:.2f} (baseline was recorded "
+                    "on a machine without enough cores — regenerate it "
+                    "on this one)"
+                )
+        return lines, failures
+    fresh_values = dict(iter_speedups(fresh))
+    for path, base_value in iter_speedups(baseline):
+        fresh_value = fresh_values.get(path)
+        if fresh_value is None:
+            failures.append(f"{name}: metric {path} missing from fresh run")
+            continue
+        floor = base_value * (1.0 - tolerance)
+        status = "ok" if fresh_value >= floor else "REGRESSION"
+        lines.append(
+            f"  {name}: {path} = {fresh_value:.2f} "
+            f"(baseline {base_value:.2f}, floor {floor:.2f}) {status}"
+        )
+        if fresh_value < floor:
+            failures.append(
+                f"{name}: {path} regressed to {fresh_value:.2f} "
+                f"(baseline {base_value:.2f}, tolerance {tolerance:.0%})"
+            )
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=TOLERANCE,
+        help="allowed relative shortfall vs baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=BASELINES_DIR,
+        help="directory of committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=RESULTS_DIR,
+        help="directory of freshly emitted BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+    baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"no baselines found under {args.baselines}", file=sys.stderr)
+        return 1
+    all_failures: list[str] = []
+    print(f"bench regression gate (tolerance {args.tolerance:.0%}):")
+    for baseline_path in baseline_files:
+        lines, failures = compare_file(baseline_path, args.results, args.tolerance)
+        print("\n".join(lines) if lines else f"  {baseline_path.name}: -")
+        all_failures.extend(failures)
+    if all_failures:
+        print("\nFAILURES:")
+        for failure in all_failures:
+            print(f"  {failure}")
+        return 1
+    print("all benches within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,6 @@ read the persisted artifacts under ``benchmarks/results/``.
 
 from __future__ import annotations
 
-import pytest
 
 
 def pytest_collection_modifyitems(config, items):

@@ -18,8 +18,6 @@ Run:  python examples/fair_influence_campaign.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import InfluenceObjective, load_dataset
 from repro.core import bsm_saturate, greedy_utility, saturate
 from repro.influence import monte_carlo_group_spread

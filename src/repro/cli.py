@@ -26,6 +26,19 @@ from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.reporting import render_series
 
 
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "process-pool width for RR sampling and Monte-Carlo "
+            "evaluation (default: serial; -1 = one per CPU; results are "
+            "identical for every positive worker count)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -50,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--im-samples", type=int, default=2_000,
         help="RR samples for influence datasets",
     )
+    _add_workers_flag(solve)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("figure_id", choices=sorted(FIGURES))
@@ -60,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="utility",
         choices=["utility", "fairness", "runtime"],
     )
+    _add_workers_flag(figure)
 
     chart = sub.add_parser(
         "chart", help="regenerate one figure as an ASCII line chart"
@@ -74,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chart.add_argument("--width", type=int, default=60)
     chart.add_argument("--height", type=int, default=16)
+    _add_workers_flag(chart)
 
     pareto = sub.add_parser(
         "pareto", help="print the utility-fairness frontier of a tau sweep"
@@ -92,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=[0.1, 0.3, 0.5, 0.7, 0.9],
     )
+    _add_workers_flag(pareto)
 
     sub.add_parser("datasets", help="list the dataset catalogue")
     return parser
@@ -103,7 +120,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         from repro.problems.influence import InfluenceObjective
 
         objective = InfluenceObjective.from_graph(
-            data.graph, args.im_samples, seed=args.seed
+            data.graph, args.im_samples, seed=args.seed, workers=args.workers
         )
     else:
         objective = data.objective
@@ -114,7 +131,9 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
-    results = run_figure(args.figure_id, scale=args.scale, seed=args.seed)
+    results = run_figure(
+        args.figure_id, scale=args.scale, seed=args.seed, workers=args.workers
+    )
     for panel, sweep in results.items():
         print(f"\n[{args.figure_id} {panel}]")
         print(render_series(sweep, args.metric))
@@ -124,7 +143,9 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_chart(args: argparse.Namespace) -> int:
     from repro.experiments.plotting import sweep_chart
 
-    results = run_figure(args.figure_id, scale=args.scale, seed=args.seed)
+    results = run_figure(
+        args.figure_id, scale=args.scale, seed=args.seed, workers=args.workers
+    )
     for panel, sweep in results.items():
         print(f"\n[{args.figure_id} {panel}]")
         print(
@@ -146,6 +167,7 @@ def cmd_pareto(args: argparse.Namespace) -> int:
         args.taus,
         algorithms=args.algorithms,
         seed=args.seed,
+        workers=args.workers,
     )
     for algorithm in args.algorithms:
         frontier = pareto_frontier(sweep, algorithm)

@@ -12,10 +12,16 @@ scheme:
 For monotone submodular objectives the result is
 ``(1 - 1/e)^2 / min(sqrt(k), num_machines)``-approximate in the
 adversarial-partition worst case and near-greedy in practice with random
-partitions. Workers here are simulated sequentially (the point of the
-module is the *algorithmic* substrate — shard-local greedy + merge — not
-wall-clock parallelism), so oracle-call counts faithfully reflect
-per-machine work via ``extra['machine_calls']``.
+partitions. Shard solves run as genuinely independent workers when
+``workers > 1``: each machine's greedy executes in its own OS process
+(:func:`repro.utils.parallel.parallel_map`, the scheme's actual
+independent-worker model), falling back to an in-process loop for
+``workers <= 1`` or platforms without ``fork``. Shard greedy is
+deterministic, so serial and parallel execution return bitwise-identical
+solutions, and oracle-call counts faithfully reflect per-machine work
+via ``extra['machine_calls']`` either way (worker call deltas are folded
+back into the parent's counters). ``extra['workers_used']`` records how
+many processes actually ran.
 
 BSM hook: :func:`distributed_tsgreedy_stage2` lets BSM-TSGreedy swap its
 offline utility-greedy subroutine for a distributed one, which is the
@@ -36,6 +42,7 @@ from repro.core.functions import (
 )
 from repro.core.greedy import greedy_max
 from repro.core.result import SolverResult, make_result
+from repro.utils.parallel import WorkerContext, parallel_map, pool_width
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
 from repro.utils.validation import check_positive_int
@@ -63,6 +70,29 @@ def partition_items(
     return [np.sort(shard) for shard in np.array_split(order, num_machines)]
 
 
+def _shard_solve(
+    ctx: WorkerContext, shard: np.ndarray
+) -> tuple[ObjectiveState, int, int]:
+    """Worker: one machine's greedy solve on its shard.
+
+    Runs on the worker's own copy of the objective (delivered once per
+    process via the pool payload); returns the selected state plus the
+    oracle/batch-call deltas so the parent can fold the work back into
+    its own counters.
+    """
+    objective, scal, k, lazy = ctx.payload
+    before = objective.oracle_calls
+    before_batch = objective.batch_oracle_calls
+    state, _ = greedy_max(
+        objective, scal, k, candidates=shard.tolist(), lazy=lazy
+    )
+    return (
+        state,
+        objective.oracle_calls - before,
+        objective.batch_oracle_calls - before_batch,
+    )
+
+
 def greedi(
     objective: GroupedObjective,
     k: int,
@@ -72,25 +102,32 @@ def greedi(
     shards: Optional[Sequence[Sequence[int]]] = None,
     seed: SeedLike = None,
     lazy: bool = True,
+    workers: Optional[int] = None,
 ) -> SolverResult:
     """Run the two-round GreeDi scheme on a grouped objective.
 
     Parameters
     ----------
     num_machines:
-        Number of simulated workers (ignored when ``shards`` is given).
+        Number of logical workers (ignored when ``shards`` is given).
     shards:
         Explicit ground-set partition, for callers that control data
         placement; must cover disjoint item subsets.
     scalarizer:
         Scalar view to maximise (defaults to the utility objective
         ``f``; pass a truncated surrogate to distribute a cover stage).
+    workers:
+        OS processes to spread the shard solves over (capped at the
+        shard count). ``None``/``0``/``1`` solve shards in-process;
+        solutions are bitwise-identical either way because shard greedy
+        is deterministic.
 
     Returns
     -------
     SolverResult
         ``extra`` carries ``machine_calls`` (per-shard oracle work),
-        ``merge_calls``, and ``winner`` ("merge" or ``"machine:<i>"``).
+        ``merge_calls``, ``winner`` ("merge" or ``"machine:<i>"``), and
+        ``workers_used`` (processes that actually ran the shards).
     """
     check_positive_int(k, "k")
     scal = scalarizer or AverageUtility()
@@ -104,21 +141,34 @@ def greedi(
         if flat.size != np.unique(flat).size:
             raise ValueError("shards must be disjoint")
     weights = objective.group_weights
+    # pool_width is parallel_map's own fallback rule: the counter
+    # fold-back below must know whether the shards ran on copies (pool)
+    # or on this very objective (in-process loop, which advances the
+    # counters itself).
+    workers_used = pool_width(workers, len(parts))
     timer = Timer()
     start_calls = objective.oracle_calls
     with timer:
-        machine_states: list[ObjectiveState] = []
-        machine_calls: list[int] = []
         # Each shard solve (and the merge below) scores its candidate
         # pool through the batched greedy loops — one gains_batch call
         # per round rather than one oracle round-trip per candidate.
-        for shard in parts:
-            before = objective.oracle_calls
-            state, _ = greedy_max(
-                objective, scal, k, candidates=shard.tolist(), lazy=lazy
-            )
-            machine_calls.append(objective.oracle_calls - before)
+        # With workers > 1 the shards run in separate processes against
+        # per-worker objective copies; the call deltas are folded back
+        # into this objective so accounting matches the in-process loop.
+        shard_results = parallel_map(
+            _shard_solve,
+            parts,
+            workers=workers_used,
+            payload=(objective, scal, k, lazy),
+        )
+        machine_states: list[ObjectiveState] = []
+        machine_calls: list[int] = []
+        for state, calls_delta, batch_delta in shard_results:
             machine_states.append(state)
+            machine_calls.append(calls_delta)
+            if workers_used > 1:
+                objective.oracle_calls += calls_delta
+                objective.batch_oracle_calls += batch_delta
         union = sorted(
             {item for state in machine_states for item in state.selected}
         )
@@ -153,6 +203,7 @@ def greedi(
             "machine_calls": machine_calls,
             "merge_calls": merge_calls,
             "winner": winner,
+            "workers_used": workers_used,
         },
     )
 
@@ -164,6 +215,7 @@ def distributed_tsgreedy_stage2(
     *,
     num_machines: int = 4,
     seed: SeedLike = None,
+    workers: Optional[int] = None,
 ) -> ObjectiveState:
     """Fill a partial BSM-TSGreedy solution using GreeDi item order.
 
@@ -178,7 +230,7 @@ def distributed_tsgreedy_stage2(
     if remaining <= 0:
         return stage1_state
     flat = greedi(
-        objective, k, num_machines=num_machines, seed=seed
+        objective, k, num_machines=num_machines, seed=seed, workers=workers
     )
     state = objective.copy_state(stage1_state)
     for item in flat.solution:

@@ -26,13 +26,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-import numpy as np
-
-from repro.core.functions import (
-    AverageUtility,
-    GroupedObjective,
-    ObjectiveState,
-)
+from repro.core.functions import GroupedObjective, ObjectiveState
 from repro.core.result import SolverResult, make_result
 from repro.utils.timing import Timer
 from repro.utils.validation import check_non_negative, check_positive_int

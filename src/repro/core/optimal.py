@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.core.functions import GroupedObjective
 from repro.core.result import SolverResult
 from repro.errors import InfeasibleError, SolverError

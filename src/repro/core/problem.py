@@ -10,7 +10,7 @@ the solver functions directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable
 
 from repro.core.baselines import greedy_utility, stochastic_greedy_utility
 from repro.core.bsm_saturate import bsm_saturate

@@ -18,7 +18,7 @@ Within this reproduction it serves two purposes:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Optional
 
 import numpy as np
 

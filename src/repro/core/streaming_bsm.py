@@ -29,8 +29,6 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-import numpy as np
-
 from repro.core.functions import (
     AverageUtility,
     GroupedObjective,

@@ -26,9 +26,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable, Iterable, Optional, Sequence
-
-import numpy as np
+from typing import Callable, Iterable, Optional
 
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int

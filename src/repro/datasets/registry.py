@@ -30,7 +30,7 @@ from repro.problems.facility import (
     kmedian_benefits,
     rbf_benefits,
 )
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike
 
 
 @dataclass

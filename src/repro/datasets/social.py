@@ -15,10 +15,6 @@ experiments depend on (DESIGN.md §6):
 
 from __future__ import annotations
 
-from typing import Optional
-
-import numpy as np
-
 from repro.graphs.generators import preferential_attachment, random_groups_graph
 from repro.graphs.graph import Graph
 from repro.utils.rng import SeedLike, as_generator, deterministic_partition

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.graphs.generators import gaussian_points, stochastic_block_model
 from repro.graphs.graph import Graph
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
 
 #: Paper's SBM connection probabilities (Section 5.1).

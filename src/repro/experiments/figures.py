@@ -16,7 +16,7 @@ Two scales are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.datasets.registry import load_dataset
 from repro.experiments.harness import SweepResult, sweep_k, sweep_tau
@@ -180,8 +180,14 @@ def run_figure(
     algorithms: Optional[Sequence[str]] = None,
     im_samples: Optional[int] = None,
     mc_simulations: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> dict[str, SweepResult]:
-    """Execute every panel of ``figure_id`` and return name -> sweep."""
+    """Execute every panel of ``figure_id`` and return name -> sweep.
+
+    ``workers`` spreads each panel's RR sampling and Monte-Carlo
+    evaluation over a process pool (see :mod:`repro.utils.parallel`);
+    any positive count returns identical sweeps.
+    """
     if figure_id not in FIGURES:
         raise KeyError(
             f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}"
@@ -208,6 +214,7 @@ def run_figure(
             "im_samples": im_samples,
             "mc_simulations": mc_simulations,
             "seed": seed,
+            "workers": workers,
         }
         if algorithms is not None:
             kwargs["algorithms"] = list(algorithms)
@@ -233,6 +240,7 @@ def run_figure9(
     tau: float = 0.8,
     scale: str = "small",
     seed: SeedLike = 0,
+    workers: Optional[int] = None,
 ) -> dict[str, list[tuple[float, float, float]]]:
     """Fig. 9: BSM-Saturate's sensitivity to the error parameter eps.
 
@@ -262,6 +270,7 @@ def run_figure9(
         im2,
         seed=int(as_generator(seed).integers(0, 2**62)),
         im_samples=1_000 if small else 10_000,
+        workers=workers,
     )
     panels["d: RAND (FL, c=2)"] = fl2.objective
     out: dict[str, list[tuple[float, float, float]]] = {}

@@ -107,7 +107,25 @@ def _graph_key(dataset: Dataset) -> tuple:
     return (dataset.name, id(dataset.graph), dataset.graph.version)
 
 
-def _objective_for(dataset: Dataset, *, seed: int, im_samples: int) -> GroupedObjective:
+def _decomposition_law(workers) -> str:
+    """Cache-key component for the sampling RNG decomposition.
+
+    ``workers=None`` runs the legacy in-line stream; any worker count
+    runs the unit decomposition, and all counts produce bitwise-identical
+    results (the parallel backend's determinism contract) — so cached
+    entries are shared across worker counts but never across the two
+    laws, whose streams differ.
+    """
+    return "serial" if workers is None else "units"
+
+
+def _objective_for(
+    dataset: Dataset,
+    *,
+    seed: int,
+    im_samples: int,
+    workers: Optional[int] = None,
+) -> GroupedObjective:
     """Materialise the solvable objective for a dataset.
 
     Influence objectives (an RR-set sampling pass plus the packed
@@ -125,14 +143,16 @@ def _objective_for(dataset: Dataset, *, seed: int, im_samples: int) -> GroupedOb
     if dataset.kind == "influence":
         from repro.problems.influence import InfluenceObjective
 
-        key = _graph_key(dataset) + (im_samples, seed)
+        key = _graph_key(dataset) + (
+            im_samples, seed, _decomposition_law(workers),
+        )
         entry = _RR_OBJECTIVE_CACHE.get(key)
         if entry is not None and entry[0] is dataset.graph:
             return entry[1]
         if len(_RR_OBJECTIVE_CACHE) >= _CACHE_LIMIT:
             _RR_OBJECTIVE_CACHE.clear()
         objective = InfluenceObjective.from_graph(
-            dataset.graph, im_samples, seed=seed
+            dataset.graph, im_samples, seed=seed, workers=workers
         )
         _RR_OBJECTIVE_CACHE[key] = (dataset.graph, objective)
         return objective
@@ -145,6 +165,7 @@ def _score(
     *,
     mc_simulations: int,
     seed: int,
+    workers: Optional[int] = None,
 ) -> tuple[float, float]:
     """Final reported (f, g): Monte-Carlo for IM, oracle values otherwise.
 
@@ -162,12 +183,14 @@ def _score(
 
     key = _graph_key(dataset) + (
         tuple(sorted(result.solution)), mc_simulations, seed,
+        _decomposition_law(workers),
     )
     entry = _MC_EVAL_CACHE.get(key)
     if entry is not None and entry[0] is dataset.graph:
         return entry[1]
     values = monte_carlo_group_spread(
-        dataset.graph, result.solution, mc_simulations, seed=seed
+        dataset.graph, result.solution, mc_simulations, seed=seed,
+        workers=workers,
     )
     weights = dataset.graph.group_sizes() / dataset.graph.num_nodes
     scored = float(weights @ values), float(values.min())
@@ -231,15 +254,23 @@ def sweep_tau(
     include_optimal: bool = False,
     ilp_backend: str = "scipy",
     seed: SeedLike = 0,
+    workers: Optional[int] = None,
 ) -> SweepResult:
-    """Vary the balance factor ``tau`` at fixed ``k`` (Figs. 3/5/7/10)."""
+    """Vary the balance factor ``tau`` at fixed ``k`` (Figs. 3/5/7/10).
+
+    ``workers`` spreads RR sampling and Monte-Carlo evaluation over a
+    process pool (:mod:`repro.utils.parallel`); solver rows are
+    unaffected. Results are identical for every positive worker count.
+    """
     # Derive integer sub-seeds up front: they key the sampling/evaluation
     # caches and keep the streams deterministic whether or not a cached
     # collection is hit.
     rng = as_generator(seed)
     sample_seed = int(rng.integers(0, 2**62))
     mc_seed = int(rng.integers(0, 2**62))
-    objective = _objective_for(dataset, seed=sample_seed, im_samples=im_samples)
+    objective = _objective_for(
+        dataset, seed=sample_seed, im_samples=im_samples, workers=workers
+    )
     algorithms = list(algorithms)
     if include_optimal and "BSM-Optimal" not in algorithms:
         algorithms.append("BSM-Optimal")
@@ -295,6 +326,7 @@ def sweep_tau(
                 dataset, result,
                 mc_simulations=mc_simulations,
                 seed=mc_seed,
+                workers=workers,
             )
             rows.append(
                 ExperimentRow(
@@ -325,12 +357,19 @@ def sweep_k(
     im_samples: int = 2_000,
     mc_simulations: int = 1_000,
     seed: SeedLike = 0,
+    workers: Optional[int] = None,
 ) -> SweepResult:
-    """Vary the solution size ``k`` at fixed ``tau`` (Figs. 4/6/8/11)."""
+    """Vary the solution size ``k`` at fixed ``tau`` (Figs. 4/6/8/11).
+
+    ``workers`` spreads RR sampling and Monte-Carlo evaluation over a
+    process pool, exactly as in :func:`sweep_tau`.
+    """
     rng = as_generator(seed)
     sample_seed = int(rng.integers(0, 2**62))
     mc_seed = int(rng.integers(0, 2**62))
-    objective = _objective_for(dataset, seed=sample_seed, im_samples=im_samples)
+    objective = _objective_for(
+        dataset, seed=sample_seed, im_samples=im_samples, workers=workers
+    )
     algorithms = list(algorithms)
     if objective.num_groups != 2 and "SMSC" in algorithms:
         algorithms.remove("SMSC")
@@ -350,6 +389,7 @@ def sweep_k(
                 dataset, result,
                 mc_simulations=mc_simulations,
                 seed=mc_seed,
+                workers=workers,
             )
             rows.append(
                 ExperimentRow(

@@ -7,7 +7,7 @@ comparison).
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import Sequence
 
 from repro.experiments.harness import SweepResult
 

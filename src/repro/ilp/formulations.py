@@ -1,7 +1,7 @@
 """Appendix-A ILP formulations for maximum coverage and facility location.
 
-Each builder returns ``(model, x_vars)`` where ``x_vars[l]`` indicates
-whether item ``l`` joins the solution; the BSM variants additionally take
+Each builder returns ``(model, x_vars)`` where ``x_vars[loc]`` indicates
+whether item ``loc`` joins the solution; the BSM variants additionally take
 ``opt_g`` (the robust optimum, produced by the corresponding robust ILP)
 and the balance factor ``tau``.
 
@@ -13,8 +13,6 @@ paper's omission of BSM-Optimal for IM.
 """
 
 from __future__ import annotations
-
-from typing import Sequence
 
 import numpy as np
 
@@ -39,18 +37,18 @@ def _coverage_base(
     ``x`` is. Branching then only happens on the ``n`` set variables.
     """
     n, m = objective.num_items, objective.num_users
-    x = [model.add_binary(f"x{l}") for l in range(n)]
+    x = [model.add_binary(f"x{loc}") for loc in range(n)]
     y = [model.add_variable(f"y{j}", lower=0.0, upper=1.0) for j in range(m)]
     model.add_constraint(
         LinearExpr({v.index: 1.0 for v in x}) <= k, name="cardinality"
     )
     # y_j <= sum of x_l over sets containing user j.
     containing: list[list[int]] = [[] for _ in range(m)]
-    for l, members in enumerate(objective.sets):
+    for loc, members in enumerate(objective.sets):
         for u in members:
-            containing[int(u)].append(l)
+            containing[int(u)].append(loc)
     for j in range(m):
-        cover_expr = LinearExpr({x[l].index: 1.0 for l in containing[j]})
+        cover_expr = LinearExpr({x[loc].index: 1.0 for loc in containing[j]})
         model.add_constraint(cover_expr >= y[j], name=f"cover{j}")
     return x, y
 
@@ -126,9 +124,9 @@ def _facility_base(
     branch.
     """
     m, n = objective.benefits.shape
-    x = [model.add_binary(f"x{l}") for l in range(n)]
+    x = [model.add_binary(f"x{loc}") for loc in range(n)]
     y = [
-        [model.add_variable(f"y{j}_{l}", lower=0.0, upper=1.0) for l in range(n)]
+        [model.add_variable(f"y{j}_{loc}", lower=0.0, upper=1.0) for loc in range(n)]
         for j in range(m)
     ]
     model.add_constraint(
@@ -139,8 +137,8 @@ def _facility_base(
             LinearExpr({v.index: 1.0 for v in y[j]}) <= 1.0,
             name=f"assign{j}",
         )
-        for l in range(n):
-            model.add_constraint(y[j][l] <= x[l], name=f"open{j}_{l}")
+        for loc in range(n):
+            model.add_constraint(y[j][loc] <= x[loc], name=f"open{j}_{loc}")
     return x, y
 
 
@@ -155,8 +153,8 @@ def _group_benefit_expr(
     benefits = objective.benefits
     coeffs: dict[int, float] = {}
     for j in np.flatnonzero(labels == group):
-        for l in range(benefits.shape[1]):
-            coeffs[y[int(j)][l].index] = float(benefits[j, l]) / sizes[group]
+        for loc in range(benefits.shape[1]):
+            coeffs[y[int(j)][loc].index] = float(benefits[j, loc]) / sizes[group]
     return LinearExpr(coeffs)
 
 
@@ -169,10 +167,10 @@ def facility_ilp(
     x, y = _facility_base(objective, k, model)
     m, n = objective.benefits.shape
     coeffs = {
-        y[j][l].index: float(objective.benefits[j, l]) / m
+        y[j][loc].index: float(objective.benefits[j, loc]) / m
         for j in range(m)
-        for l in range(n)
-        if objective.benefits[j, l] > 0
+        for loc in range(n)
+        if objective.benefits[j, loc] > 0
     }
     model.set_objective(LinearExpr(coeffs))
     return model, x
@@ -208,10 +206,10 @@ def bsm_facility_ilp(
     x, y = _facility_base(objective, k, model)
     m, n = objective.benefits.shape
     coeffs = {
-        y[j][l].index: float(objective.benefits[j, l]) / m
+        y[j][loc].index: float(objective.benefits[j, loc]) / m
         for j in range(m)
-        for l in range(n)
-        if objective.benefits[j, l] > 0
+        for loc in range(n)
+        if objective.benefits[j, loc] > 0
     }
     model.set_objective(LinearExpr(coeffs))
     threshold = tau * float(opt_g)

@@ -11,7 +11,7 @@ export to the dense standard form consumed by the solvers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Union
 
 import numpy as np

@@ -17,13 +17,36 @@ flips every frontier edge's coin in a single ``rng.random`` draw, and
 dedups arrivals against a flat visited buffer — no per-node Python work.
 Memory is bounded by chunking the instances so the visited buffer stays
 under ``max_keys`` bools regardless of ``n`` or the sample count.
+
+Multi-core execution: every entry point takes ``workers``. ``None`` (the
+default) keeps the legacy in-line stream — one caller-supplied generator
+drawn across chunks sequentially, bit-for-bit the pre-parallel
+behaviour. Any integer ``workers >= 1`` switches to the *unit
+decomposition*: instances are split into fixed work units (sized by the
+visited-buffer cap and :data:`repro.utils.parallel.DEFAULT_UNITS`, never
+by the worker count), each unit draws from its own
+``SeedSequence.spawn`` child stream, and units are dispatched over a
+shared-memory process pool (:func:`repro.utils.parallel.parallel_map`;
+the CSR triple travels through ``multiprocessing.shared_memory``, not
+pickle). Because the decomposition and the streams depend only on the
+inputs, results are bitwise-identical for every worker count — including
+``workers=1``, which runs the same units serially in-process.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from repro.utils.csr import gather_csr_slices
+from repro.utils.csr import concat_packed, gather_csr_slices
+from repro.utils.parallel import (
+    WorkerContext,
+    parallel_map,
+    spawn_seed_sequences,
+    split_ranges,
+    unit_size_for,
+)
 
 Adjacency = tuple[np.ndarray, np.ndarray, np.ndarray]
 
@@ -71,6 +94,63 @@ def _reachability_chunk(
     return np.concatenate(reached) if len(reached) > 1 else reached[0]
 
 
+def _instance_units(
+    num_instances: int, n: int, max_keys: int
+) -> list[tuple[int, int]]:
+    """Fixed work-unit ranges for the parallel decomposition.
+
+    Unit size honours the visited-buffer cap (``max_keys // n``) and the
+    global unit target; it depends only on the inputs, so every worker
+    count sees the same units (the determinism contract).
+    """
+    cap = max(int(max_keys) // max(n, 1), 1)
+    return split_ranges(num_instances, unit_size_for(num_instances, cap=cap))
+
+
+def _reachability_unit(ctx: WorkerContext, task: tuple) -> np.ndarray:
+    """Worker: one reachability unit on the shared CSR triple."""
+    start_keys, num_instances, seed = task
+    return _reachability_chunk(
+        ctx.arrays, start_keys, num_instances, np.random.default_rng(seed)
+    )
+
+
+def _rr_pack_unit(
+    ctx: WorkerContext, task: tuple
+) -> tuple[np.ndarray, np.ndarray]:
+    """Worker: sample one unit's RR sets and CSR-pack them locally."""
+    roots, seed = task
+    indptr = ctx.arrays[0]
+    n = indptr.size - 1
+    keys = _reachability_chunk(
+        ctx.arrays,
+        np.arange(roots.size, dtype=np.int64) * n + roots,
+        roots.size,
+        np.random.default_rng(seed),
+    )
+    sample_ids, nodes = keys // n, keys % n
+    order = np.argsort(sample_ids, kind="stable")
+    counts = np.bincount(sample_ids, minlength=roots.size)
+    set_indptr = np.zeros(roots.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=set_indptr[1:])
+    return set_indptr, nodes[order]
+
+
+def _cascade_count_unit(ctx: WorkerContext, task: tuple) -> np.ndarray:
+    """Worker: per-node activation counts of one unit of cascades."""
+    seeds, num_cascades, seed = task
+    indptr = ctx.arrays[0]
+    n = indptr.size - 1
+    keys = _reachability_chunk(
+        ctx.arrays,
+        np.repeat(np.arange(num_cascades, dtype=np.int64), seeds.size) * n
+        + np.tile(seeds, num_cascades),
+        num_cascades,
+        np.random.default_rng(seed),
+    )
+    return np.bincount(keys % n, minlength=n)
+
+
 def batched_reachability(
     adjacency: Adjacency,
     start_ids: np.ndarray,
@@ -79,6 +159,7 @@ def batched_reachability(
     rng: np.random.Generator,
     *,
     max_keys: int = MAX_FLAT_KEYS,
+    workers: Optional[int] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Randomized multi-instance reachability; returns ``(ids, nodes)``.
 
@@ -87,7 +168,9 @@ def batched_reachability(
     result enumerates every reached ``(instance, node)`` pair, sources
     included, each pair exactly once. Instances are processed in chunks
     of ``max_keys // n`` so the visited buffer never exceeds ``max_keys``
-    bools.
+    bools. With ``workers`` set, the chunks become per-unit tasks with
+    spawned RNG streams, dispatched over the shared-memory pool (see the
+    module docstring for the determinism contract).
     """
     indptr = adjacency[0]
     n = indptr.size - 1
@@ -96,6 +179,25 @@ def batched_reachability(
     if num_instances == 0 or start_ids.size == 0:
         empty = np.zeros(0, dtype=np.int64)
         return empty, empty
+    if workers is not None:
+        units = _instance_units(num_instances, n, max_keys)
+        seeds = spawn_seed_sequences(rng, len(units))
+        tasks = []
+        for (lo, hi), seq in zip(units, seeds):
+            in_unit = (start_ids >= lo) & (start_ids < hi)
+            tasks.append(
+                (
+                    (start_ids[in_unit] - lo) * n + start_nodes[in_unit],
+                    hi - lo,
+                    seq,
+                )
+            )
+        parts = parallel_map(
+            _reachability_unit, tasks, workers=workers, shared=adjacency
+        )
+        ids_parts = [keys // n + lo for (lo, _), keys in zip(units, parts)]
+        node_parts = [keys % n for keys in parts]
+        return np.concatenate(ids_parts), np.concatenate(node_parts)
     chunk = max(int(max_keys) // max(n, 1), 1)
     if num_instances <= chunk:
         keys = _reachability_chunk(
@@ -124,19 +226,34 @@ def sample_rr_sets_batch(
     rng: np.random.Generator,
     *,
     max_keys: int = MAX_FLAT_KEYS,
+    workers: Optional[int] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sample one RR set per root, all through one batched reverse BFS.
 
     ``transpose_adjacency`` is the CSR triple of the transpose graph (so
     out-arcs walk original arcs backwards). Returns the packed pair
     ``(set_indptr, set_indices)``: sample ``j``'s nodes occupy
-    ``set_indices[set_indptr[j]:set_indptr[j + 1]]``, root first.
+    ``set_indices[set_indptr[j]:set_indptr[j + 1]]``, root first. With
+    ``workers`` set, root ranges become pool tasks — each unit samples
+    *and packs* its sets, the parent concatenates the packed pairs in
+    unit order, so the result is bitwise-identical for every worker
+    count.
     """
     roots = np.asarray(roots, dtype=np.int64)
     n = transpose_adjacency[0].size - 1
     if roots.size and (roots.min() < 0 or roots.max() >= n):
         bad = roots[(roots < 0) | (roots >= n)][0]
         raise IndexError(f"root {bad} out of range [0, {n})")
+    if workers is not None and roots.size:
+        units = _instance_units(roots.size, n, max_keys)
+        seeds = spawn_seed_sequences(rng, len(units))
+        tasks = [
+            (roots[lo:hi], seq) for (lo, hi), seq in zip(units, seeds)
+        ]
+        parts = parallel_map(
+            _rr_pack_unit, tasks, workers=workers, shared=transpose_adjacency
+        )
+        return concat_packed(parts)
     sample_ids, nodes = batched_reachability(
         transpose_adjacency,
         np.arange(roots.size, dtype=np.int64),
@@ -159,6 +276,7 @@ def cascade_activation_counts(
     rng: np.random.Generator,
     *,
     max_keys: int = MAX_FLAT_KEYS,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """Per-node activation counts over ``num_cascades`` batched IC cascades.
 
@@ -168,10 +286,24 @@ def cascade_activation_counts(
     the sufficient statistic for both the per-group Monte-Carlo spread
     (``bincount`` over group labels) and the scalar spread (one sum) —
     the full ``(cascade, node)`` activation matrix never materializes.
+    With ``workers`` set, cascade ranges run as pool units; int64 count
+    vectors sum exactly, so the total is bitwise worker-count-invariant.
     """
     n = adjacency[0].size - 1
     counts = np.zeros(n, dtype=np.int64)
     if seeds.size == 0 or num_cascades == 0:
+        return counts
+    if workers is not None:
+        units = _instance_units(num_cascades, n, max_keys)
+        seqs = spawn_seed_sequences(rng, len(units))
+        tasks = [
+            (seeds, hi - lo, seq) for (lo, hi), seq in zip(units, seqs)
+        ]
+        parts = parallel_map(
+            _cascade_count_unit, tasks, workers=workers, shared=adjacency
+        )
+        for part in parts:
+            counts += part
         return counts
     chunk = max(int(max_keys) // max(n, 1), 1)
     for lo in range(0, num_cascades, chunk):

@@ -13,7 +13,7 @@ evaluate final solutions (Section 5.2).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -81,6 +81,8 @@ def simulate_cascades_batch(
     seeds: Sequence[int] | np.ndarray,
     num_cascades: int,
     rng: np.random.Generator,
+    *,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """Run ``num_cascades`` IC cascades from ``seeds`` simultaneously.
 
@@ -88,12 +90,14 @@ def simulate_cascades_batch(
     engine (:mod:`repro.influence.engine`); seeds are validated once.
     Returns the per-node activation-count vector: entry ``v`` is the
     number of cascades in which ``v`` became active — the sufficient
-    statistic for every Monte-Carlo spread estimate.
+    statistic for every Monte-Carlo spread estimate. ``workers`` selects
+    the process-pool backend (bitwise worker-count-invariant; ``None``
+    keeps the in-line serial stream).
     """
     check_positive_int(num_cascades, "num_cascades")
     prepared = prepare_seeds(graph, seeds)
     return cascade_activation_counts(
-        graph.out_adjacency(), prepared, num_cascades, rng
+        graph.out_adjacency(), prepared, num_cascades, rng, workers=workers
     )
 
 
@@ -103,13 +107,16 @@ def monte_carlo_group_spread(
     num_simulations: int = 1000,
     *,
     seed: SeedLike = None,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """Estimate ``(f_1(S), ..., f_c(S))`` — per-group average activation
     probabilities — by averaging ``num_simulations`` batched cascades."""
     check_positive_int(num_simulations, "num_simulations")
     rng = as_generator(seed)
     sizes = graph.group_sizes().astype(float)
-    counts = simulate_cascades_batch(graph, seeds, num_simulations, rng)
+    counts = simulate_cascades_batch(
+        graph, seeds, num_simulations, rng, workers=workers
+    )
     totals = np.bincount(
         graph.groups, weights=counts, minlength=graph.num_groups
     )
@@ -122,11 +129,14 @@ def monte_carlo_spread(
     num_simulations: int = 1000,
     *,
     seed: SeedLike = None,
+    workers: Optional[int] = None,
 ) -> float:
     """Estimate the normalised spread ``f(S)`` (expected active fraction)."""
     check_positive_int(num_simulations, "num_simulations")
     rng = as_generator(seed)
-    counts = simulate_cascades_batch(graph, seeds, num_simulations, rng)
+    counts = simulate_cascades_batch(
+        graph, seeds, num_simulations, rng, workers=workers
+    )
     return float(counts.sum()) / (num_simulations * graph.num_nodes)
 
 

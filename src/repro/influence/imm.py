@@ -106,6 +106,7 @@ def imm_rr_collection(
     stratified: bool = True,
     max_samples: Optional[int] = 200_000,
     seed: SeedLike = None,
+    workers: Optional[int] = None,
 ) -> IMMResult:
     """Run the IMM doubling phase and return a sized RR collection.
 
@@ -123,6 +124,9 @@ def imm_rr_collection(
     max_samples:
         Hard cap on the number of RR sets (``None`` disables). Reported
         via ``IMMResult.capped``.
+    workers:
+        Process-pool width for every sampling call (doubling phase and
+        final collection); see :mod:`repro.utils.parallel`.
     """
     check_positive_int(k, "k")
     rng = as_generator(seed)
@@ -154,7 +158,9 @@ def imm_rr_collection(
             theta_i = min(theta_i, max_samples)
         if theta_i > num_have:
             roots = rng.integers(0, n, size=theta_i - num_have)
-            parts.append(sample_rr_sets_batch(transpose, roots, rng))
+            parts.append(
+                sample_rr_sets_batch(transpose, roots, rng, workers=workers)
+            )
             group_parts.append(labels[roots])
             num_have = theta_i
             packed = concat_packed(parts)
@@ -177,12 +183,13 @@ def imm_rr_collection(
         # Per-group quotas need a fresh root distribution; the phase pool
         # (uniform roots) cannot be reused.
         collection = sample_rr_collection(
-            graph, theta, seed=rng, stratified=True
+            graph, theta, seed=rng, stratified=True, workers=workers
         )
         reused = 0
     else:
         collection, reused = _final_unstratified(
-            graph, packed, np.concatenate(group_parts), theta, transpose, rng
+            graph, packed, np.concatenate(group_parts), theta, transpose, rng,
+            workers=workers,
         )
     return IMMResult(
         collection=collection,
@@ -200,6 +207,8 @@ def _final_unstratified(
     theta: int,
     transpose: tuple[np.ndarray, np.ndarray, np.ndarray],
     rng: np.random.Generator,
+    *,
+    workers: Optional[int] = None,
 ) -> tuple[RRCollection, int]:
     """Assemble the final unstratified collection, reusing phase samples.
 
@@ -218,7 +227,9 @@ def _final_unstratified(
     labels = graph.groups
     if theta > reused:
         roots = rng.integers(0, graph.num_nodes, size=theta - reused)
-        parts.append(sample_rr_sets_batch(transpose, roots, rng))
+        parts.append(
+            sample_rr_sets_batch(transpose, roots, rng, workers=workers)
+        )
         group_parts.append(labels[roots])
     root_groups = np.concatenate(group_parts)
     present = np.bincount(root_groups, minlength=graph.num_groups)
@@ -231,7 +242,7 @@ def _final_unstratified(
             ],
             dtype=np.int64,
         )
-        parts.append(sample_rr_sets_batch(transpose, extra, rng))
+        parts.append(sample_rr_sets_batch(transpose, extra, rng, workers=workers))
         group_parts.append(labels[extra])
         root_groups = np.concatenate(group_parts)
     merged_ptr, merged_idx = concat_packed(parts)

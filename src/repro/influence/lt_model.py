@@ -20,7 +20,7 @@ that equivalence are exercised in the tests.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

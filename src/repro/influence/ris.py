@@ -187,6 +187,7 @@ def sample_rr_collection(
     *,
     seed: SeedLike = None,
     stratified: bool = True,
+    workers: Optional[int] = None,
 ) -> RRCollection:
     """Sample an :class:`RRCollection` from a grouped graph.
 
@@ -205,6 +206,11 @@ def sample_rr_collection(
         fairness objective is driven by the *smallest* (often rarest)
         group. ``False`` draws roots uniformly from all users, matching
         plain IMM.
+    workers:
+        Process-pool width for the sampling engine
+        (:mod:`repro.utils.parallel`). ``None`` keeps the serial in-line
+        stream; any integer switches to the worker-count-invariant unit
+        decomposition (bitwise-identical collections for all counts).
     """
     check_positive_int(num_samples, "num_samples")
     rng = as_generator(seed)
@@ -235,7 +241,9 @@ def sample_rr_collection(
         if extra_roots:
             roots = np.concatenate([roots, np.asarray(extra_roots)])
             root_groups = labels[roots]
-    set_indptr, set_indices = sample_rr_sets_batch(transpose, roots, rng)
+    set_indptr, set_indices = sample_rr_sets_batch(
+        transpose, roots, rng, workers=workers
+    )
     return RRCollection.from_packed(
         set_indptr, set_indices, root_groups, graph.num_nodes, c
     )

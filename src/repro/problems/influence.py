@@ -90,10 +90,16 @@ class InfluenceObjective(GroupedObjective):
         *,
         seed: SeedLike = None,
         stratified: bool = True,
+        workers: Optional[int] = None,
     ) -> "InfluenceObjective":
-        """Sample ``num_samples`` RR sets from ``graph`` and wrap them."""
+        """Sample ``num_samples`` RR sets from ``graph`` and wrap them.
+
+        ``workers`` selects the process-pool sampling backend (see
+        :func:`repro.influence.ris.sample_rr_collection`).
+        """
         collection = sample_rr_collection(
-            graph, num_samples, seed=seed, stratified=stratified
+            graph, num_samples, seed=seed, stratified=stratified,
+            workers=workers,
         )
         return cls.from_collection(collection, graph.group_sizes())
 
@@ -108,6 +114,7 @@ class InfluenceObjective(GroupedObjective):
         max_samples: Optional[int] = 200_000,
         seed: SeedLike = None,
         stratified: bool = True,
+        workers: Optional[int] = None,
     ) -> "InfluenceObjective":
         """IMM-sized sampling (see :mod:`repro.influence.imm`)."""
         imm = imm_rr_collection(
@@ -118,6 +125,7 @@ class InfluenceObjective(GroupedObjective):
             max_samples=max_samples,
             seed=seed,
             stratified=stratified,
+            workers=workers,
         )
         return cls.from_collection(imm.collection, graph.group_sizes())
 

@@ -5,6 +5,14 @@ other subsystem — graphs, datasets, solvers — can import them without
 creating cycles.
 """
 
+from repro.utils.parallel import (
+    SharedArrays,
+    WorkerContext,
+    fork_available,
+    parallel_map,
+    resolve_workers,
+    spawn_seed_sequences,
+)
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.stats import (
     Aggregate,
@@ -23,7 +31,9 @@ from repro.utils.validation import (
 
 __all__ = [
     "Aggregate",
+    "SharedArrays",
     "Timer",
+    "WorkerContext",
     "aggregate",
     "as_generator",
     "bootstrap_ci",
@@ -31,7 +41,11 @@ __all__ = [
     "check_non_negative",
     "check_positive_int",
     "check_probability",
+    "fork_available",
     "paired_sign_test",
+    "parallel_map",
     "replicate",
+    "resolve_workers",
     "spawn_generators",
+    "spawn_seed_sequences",
 ]

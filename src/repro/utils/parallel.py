@@ -1,0 +1,271 @@
+"""Shared-memory process-pool execution backend.
+
+Every hot path of the library — RR-set generation, Monte-Carlo cascade
+evaluation, GreeDi shard solves — decomposes into independent work units
+over read-only arrays. This module runs those units across real OS
+processes while keeping three guarantees:
+
+* **Shared memory, not pickling, for bulk data.** The CSR arrays of a
+  graph (indptr/indices/probs) are exported once into
+  :mod:`multiprocessing.shared_memory` segments; workers attach zero-copy
+  views instead of deserialising megabytes per task.
+* **Deterministic decomposition.** The work-unit partition and the
+  per-unit RNG streams (:func:`spawn_seed_sequences`, backed by
+  ``SeedSequence.spawn``) depend only on the problem inputs — never on
+  the worker count — so a fixed seed yields bitwise-identical results
+  whether the units run on one process or eight.
+* **Graceful serial fallback.** ``workers`` of ``None``/``0``/``1``, a
+  platform without ``fork``, or a task list shorter than two units all
+  run the same unit functions in-process, no pool, no shared-memory
+  round-trip.
+
+The pool itself is a thin wrapper over
+:class:`concurrent.futures.ProcessPoolExecutor` with the ``fork`` start
+method: workers inherit the parent's modules, the initializer attaches
+the shared segments exactly once per worker, and results come back in
+task order.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import spawn_seed_sequences
+
+__all__ = [
+    "DEFAULT_UNITS",
+    "SharedArrays",
+    "WorkerContext",
+    "attach_shared",
+    "fork_available",
+    "parallel_map",
+    "pool_width",
+    "resolve_workers",
+    "spawn_seed_sequences",  # canonical impl lives in repro.utils.rng
+    "split_ranges",
+    "unit_size_for",
+]
+
+WorkerFn = Callable[["WorkerContext", Any], Any]
+
+#: Target number of work units per parallel call. Fixed (never derived
+#: from the worker count) so the decomposition — and therefore every
+#: per-unit RNG stream — is identical no matter how many processes
+#: execute it. 16 units keep a 4-worker pool load-balanced (4 units per
+#: worker) without fragmenting the NumPy batches that make each unit fast.
+DEFAULT_UNITS = 16
+
+
+def fork_available() -> bool:
+    """Whether the platform supports the ``fork`` start method."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a user-facing ``workers`` knob to a positive int.
+
+    ``None`` and ``0`` mean serial (1); negative values request one
+    worker per available CPU (``os.cpu_count()``).
+    """
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return os.cpu_count() or 1
+    return int(workers)
+
+
+def pool_width(workers: Optional[int], num_tasks: int) -> int:
+    """Processes :func:`parallel_map` will actually use for a task list.
+
+    The single source of truth for the serial-fallback rule: capped at
+    the task count, and 1 whenever the platform lacks ``fork``. Callers
+    that need to know whether work ran on pool copies (e.g. GreeDi's
+    oracle-counter fold-back) must consult this rather than re-deriving
+    it.
+    """
+    count = min(resolve_workers(workers), num_tasks)
+    if count <= 1 or not fork_available():
+        return 1
+    return count
+
+
+def split_ranges(total: int, unit_size: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``[lo, hi)`` units of ``unit_size``."""
+    if unit_size <= 0:
+        raise ValueError(f"unit_size must be positive, got {unit_size}")
+    return [(lo, min(lo + unit_size, total)) for lo in range(0, total, unit_size)]
+
+
+def unit_size_for(total: int, *, cap: Optional[int] = None) -> int:
+    """Deterministic work-unit size for ``total`` independent instances.
+
+    Targets :data:`DEFAULT_UNITS` units, additionally honouring ``cap``
+    (a memory ceiling such as the sampling engine's visited-buffer
+    budget). Depends only on the inputs, never on the worker count.
+    """
+    if total <= 0:
+        return 1
+    size = -(-total // DEFAULT_UNITS)  # ceil division
+    if cap is not None:
+        size = min(size, max(int(cap), 1))
+    return max(size, 1)
+
+
+@dataclass
+class WorkerContext:
+    """What a unit function sees besides its task.
+
+    ``arrays`` is the tuple of shared read-only ndarrays (the CSR triple
+    in the sampling engine), ``payload`` an arbitrary picklable object
+    delivered once per worker (the objective in GreeDi). In the serial
+    fallback both are simply the caller's originals.
+    """
+
+    arrays: Optional[tuple[np.ndarray, ...]] = None
+    payload: Any = None
+
+
+class SharedArrays:
+    """Export a tuple of ndarrays into named shared-memory segments.
+
+    Use as a context manager in the parent::
+
+        with SharedArrays(arrays) as shared:
+            pool_map(fn, tasks, descriptor=shared.descriptor(), ...)
+
+    Workers rebuild zero-copy views via :func:`attach_shared`. The parent
+    owns the segments: ``__exit__`` closes and unlinks them.
+    """
+
+    def __init__(self, arrays: Sequence[np.ndarray]) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._specs: list[tuple[str, str, tuple[int, ...]]] = []
+        try:
+            for array in arrays:
+                array = np.ascontiguousarray(array)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(array.nbytes, 1)
+                )
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                view[...] = array
+                self._segments.append(segment)
+                self._specs.append((segment.name, array.dtype.str, array.shape))
+        except BaseException:
+            self.close(unlink=True)
+            raise
+
+    def descriptor(self) -> list[tuple[str, str, tuple[int, ...]]]:
+        """Picklable ``(name, dtype, shape)`` list for :func:`attach_shared`."""
+        return list(self._specs)
+
+    def close(self, *, unlink: bool = True) -> None:
+        for segment in self._segments:
+            try:
+                segment.close()
+                if unlink:
+                    segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+        self._specs = []
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close(unlink=True)
+
+
+#: Per-worker attachment state, populated by the pool initializer.
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def attach_shared(
+    descriptor: Sequence[tuple[str, str, tuple[int, ...]]],
+) -> tuple[tuple[np.ndarray, ...], list[shared_memory.SharedMemory]]:
+    """Attach to exported segments; returns (views, open segments).
+
+    The segment handles must stay referenced as long as the views are in
+    use — dropping them invalidates the buffers.
+    """
+    segments = []
+    views = []
+    for name, dtype, shape in descriptor:
+        segment = shared_memory.SharedMemory(name=name)
+        segments.append(segment)
+        views.append(np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf))
+    return tuple(views), segments
+
+
+def _close_worker_segments() -> None:  # pragma: no cover - worker-side
+    for segment in _WORKER_STATE.get("segments", ()):
+        try:
+            segment.close()
+        except Exception:
+            pass
+
+
+def _init_worker(  # pragma: no cover - worker-side
+    descriptor: Optional[Sequence[tuple[str, str, tuple[int, ...]]]],
+    payload: Any,
+) -> None:
+    arrays: Optional[tuple[np.ndarray, ...]] = None
+    segments: list[shared_memory.SharedMemory] = []
+    if descriptor is not None:
+        arrays, segments = attach_shared(descriptor)
+    _WORKER_STATE["context"] = WorkerContext(arrays=arrays, payload=payload)
+    _WORKER_STATE["segments"] = segments
+    atexit.register(_close_worker_segments)
+
+
+def _run_task(packed: tuple[WorkerFn, Any]) -> Any:  # pragma: no cover - worker-side
+    fn, task = packed
+    return fn(_WORKER_STATE["context"], task)
+
+
+def parallel_map(
+    fn: WorkerFn,
+    tasks: Sequence[Any],
+    *,
+    workers: Optional[int] = None,
+    shared: Optional[Sequence[np.ndarray]] = None,
+    payload: Any = None,
+) -> list[Any]:
+    """Run ``fn(context, task)`` for every task, results in task order.
+
+    ``fn`` must be a module-level function (pickled by reference).
+    ``shared`` arrays travel through shared memory; ``payload`` is
+    pickled once per worker via the pool initializer. Falls back to an
+    in-process loop — same functions, same order, no pool — when the
+    resolved worker count is 1, the task list has fewer than two tasks,
+    or the platform lacks ``fork``.
+    """
+    tasks = list(tasks)
+    count = pool_width(workers, len(tasks))
+    if count <= 1:
+        context = WorkerContext(
+            arrays=tuple(shared) if shared is not None else None,
+            payload=payload,
+        )
+        return [fn(context, task) for task in tasks]
+    exported = SharedArrays(shared) if shared is not None else None
+    descriptor = exported.descriptor() if exported is not None else None
+    try:
+        with ProcessPoolExecutor(
+            max_workers=count,
+            mp_context=mp.get_context("fork"),
+            initializer=_init_worker,
+            initargs=(descriptor, payload),
+        ) as executor:
+            return list(executor.map(_run_task, [(fn, t) for t in tasks]))
+    finally:
+        if exported is not None:
+            exported.close(unlink=True)

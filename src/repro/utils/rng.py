@@ -10,7 +10,7 @@ and every layer below derives its own independent stream from it.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -28,11 +28,15 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
-    """Derive ``count`` statistically independent generators from ``seed``.
+def spawn_seed_sequences(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
+    """Derive ``count`` independent, picklable child seed sequences.
 
-    Used when a component fans work out (e.g. one stream per Monte-Carlo
-    worker or per RIS batch) and must not correlate the streams.
+    ``SeedSequence.spawn`` siblings are statistically independent and
+    safe to hand to concurrent processes (the parallel backend keys its
+    per-work-unit streams on them). When ``seed`` is a live
+    ``Generator``, exactly **one** draw is consumed from it — regardless
+    of ``count`` — so the caller's stream advances identically whatever
+    the fan-out width.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -43,7 +47,19 @@ def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
         seq = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
     else:
         seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seq.spawn(count)]
+    return seq.spawn(count)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Used when a component fans work out (e.g. one stream per Monte-Carlo
+    worker or per RIS batch) and must not correlate the streams. Thin
+    wrapper over :func:`spawn_seed_sequences`.
+    """
+    return [
+        np.random.default_rng(child) for child in spawn_seed_sequences(seed, count)
+    ]
 
 
 def sample_without_replacement(

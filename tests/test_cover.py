@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.cover import greedy_cover
 from repro.core.functions import AverageUtility, TruncatedFairness
 

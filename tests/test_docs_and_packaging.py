@@ -7,8 +7,6 @@ import importlib
 import pkgutil
 from pathlib import Path
 
-import pytest
-
 import repro
 
 REPO_ROOT = Path(repro.__file__).resolve().parents[2]

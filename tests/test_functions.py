@@ -8,7 +8,6 @@ import pytest
 from repro.core.functions import (
     AverageUtility,
     BSMCombined,
-    GroupedObjective,
     MinUtility,
     PerUserObjective,
     TruncatedFairness,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.functions import AverageUtility, MinUtility, TruncatedFairness
+from repro.core.functions import AverageUtility, TruncatedFairness
 from repro.core.greedy import greedy_max, stochastic_greedy_max
 from tests.conftest import brute_force_best
 

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.graphs.graph import Graph
-from repro.influence.ris import RRCollection, sample_rr_collection
+from repro.influence.ris import RRCollection
 from repro.problems.influence import InfluenceObjective
 
 

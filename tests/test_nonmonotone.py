@@ -99,13 +99,17 @@ class TestRandomGreedy:
         # On a monotone modular function random greedy with k slots of
         # all-positive gains still picks k items.
         weights = [5.0, 4.0, 3.0, 2.0, 1.0]
-        fn = lambda s: float(sum(weights[v] for v in s))
+        def fn(s):
+            return float(sum(weights[v] for v in s))
+
         values = [random_greedy(fn, 5, 2, seed=s)[1] for s in range(30)]
         # Expectation >= (1 - 1/e) * OPT = (1 - 1/e) * 9.
         assert np.mean(values) >= (1 - 1 / np.e) * 9.0 - 1e-9
 
     def test_candidates_restriction(self):
-        fn = lambda s: float(len(s))
+        def fn(s):
+            return float(len(s))
+
         solution, _ = random_greedy(fn, 6, 3, candidates=[0, 1], seed=1)
         assert solution <= {0, 1}
 
@@ -115,7 +119,9 @@ class TestRandomGreedy:
 
     def test_stops_when_nothing_helps(self):
         # Strictly decreasing function: no item is ever added.
-        fn = lambda s: -float(len(s))
+        def fn(s):
+            return -float(len(s))
+
         solution, value = random_greedy(fn, 4, 3, seed=0)
         assert solution == frozenset()
         assert value == 0.0

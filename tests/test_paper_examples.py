@@ -7,14 +7,13 @@ Lemma-3.2 inapproximability gadget.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.baselines import greedy_utility
 from repro.core.bsm_saturate import bsm_saturate
 from repro.core.saturate import saturate
 from repro.core.tsgreedy import bsm_tsgreedy
-from repro.datasets.paper_example import figure1_instance, lemma32_instance
+from repro.datasets.paper_example import lemma32_instance
 from tests.conftest import brute_force_best, brute_force_bsm
 
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments.harness import ExperimentRow, SweepResult
@@ -65,9 +64,9 @@ class TestAsciiChart:
         chart = ascii_chart(
             [Series.make("a", [(0, 0), (1, 1)])], width=30, height=8
         )
-        grid_lines = [l for l in chart.splitlines() if "|" in l]
+        grid_lines = [ln for ln in chart.splitlines() if "|" in ln]
         assert len(grid_lines) == 8
-        assert all(len(l.split("|", 1)[1]) == 30 for l in grid_lines)
+        assert all(len(ln.split("|", 1)[1]) == 30 for ln in grid_lines)
 
     def test_rejects_tiny_canvas(self):
         with pytest.raises(ValueError):

@@ -37,8 +37,6 @@ class TestLatentRelevance:
     def test_group_anchors_induce_correlation(self):
         labels = np.array([0] * 25 + [1] * 25)
         rel = latent_relevance(50, 30, group_labels=labels, seed=2)
-        # Same-group users agree on item relevance more than cross-group.
-        within = np.corrcoef(rel[:25].mean(axis=0), rel[1:26].mean(axis=0))
         first = rel[:25].mean(axis=0)
         second = rel[25:].mean(axis=0)
         # Top items of group 0 differ from top items of group 1.

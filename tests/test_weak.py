@@ -61,7 +61,9 @@ class TestSubmodularityRatio:
         assert submodularity_ratio(COVERAGE, 4) == pytest.approx(1.0)
 
     def test_modular_function_has_ratio_one(self):
-        fn = lambda s: float(sum(v + 1 for v in s))
+        def fn(s):
+            return float(sum(v + 1 for v in s))
+
         assert submodularity_ratio(fn, 4) == pytest.approx(1.0)
 
     def test_supermodular_ratio_below_one(self):
@@ -132,7 +134,9 @@ class TestWeakGreedy:
     def test_matches_bound_on_weakly_submodular_function(self):
         # sqrt of modular sums is weakly submodular with good gamma.
         weights = np.array([4.0, 3.0, 2.0, 1.0, 0.5])
-        fn = lambda s: float(np.sqrt(sum(weights[v] for v in s)))
+        def fn(s):
+            return float(np.sqrt(sum(weights[v] for v in s)))
+
         solution, value, _ = weak_greedy(fn, 5, 2)
         gamma = submodularity_ratio(fn, 5, max_cardinality=2)
         opt = max(
@@ -152,7 +156,9 @@ class TestWeakGreedy:
         assert any(b > a for a, b in zip(gains, gains[1:]))
 
     def test_stops_at_zero_gain(self):
-        fn = lambda s: min(float(len(s)), 1.0)
+        def fn(s):
+            return min(float(len(s)), 1.0)
+
         solution, value, gains = weak_greedy(fn, 5, 4)
         assert len(solution) == 1
         assert value == 1.0
