@@ -1,0 +1,200 @@
+"""Micro-bench — cold vs warm request economics of the solver service.
+
+The service layer's pitch is that a long-lived process amortises
+everything derivable from a dataset across requests. This bench pins
+the economics on an influence instance, where the derived state (an
+RR-set sampling pass plus the packed inverted index) dominates one-shot
+cost [Borgs et al. 2014]:
+
+* **cold** — a fresh :class:`ServiceEngine` serves its first ``solve``
+  request: dataset load + RR sampling + CELF solve;
+* **warm** — the same engine serves the identical request again: the
+  sampled objective is resident, so only the solve itself runs.
+
+The acceptance bar is a >= 5x cold/warm win (``min_speedup``), gated in
+CI against the committed baseline by ``check_regression.py``. The bench
+also measures request coalescing (one shared greedy run serving a
+budget sweep vs sequential solves) and asserts the coalesced responses
+are bitwise-identical to the sequential ones — the ratio is reported as
+``coalesce_ratio`` (not a ``*speedup`` key: prefix replays are cheap
+but timing-noisy at millisecond scale, so it stays informational).
+
+Emits ``benchmarks/results/BENCH_service.json``. Run standalone
+(``PYTHONPATH=src python benchmarks/bench_service.py``) or through
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_service.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks._common import RESULTS_DIR, record, run_once
+from repro.service.engine import ServiceEngine
+from repro.service.protocol import Request
+
+#: The influence workload: a Facebook-like graph at its Table-1 size.
+#: ``IM_SAMPLES`` is sized so sampling dominates a cold request the way
+#: it dominates the paper's own influence runs.
+DATASET = "facebook-im-c2"
+IM_SAMPLES = 30_000
+K = 10
+SEED = 7
+
+#: Acceptance bar: warm requests at least this much faster than cold.
+MIN_SPEEDUP = 5.0
+
+#: The gated metric is capped here. The raw ratio lands near 100x (a
+#: 3 ms warm solve against a 300 ms sampling pass), where the
+#: denominator is pure scheduler noise — an uncapped baseline would
+#: flake on any loaded CI runner. Capping keeps the regression gate
+#: meaningful (a reuse-path regression collapses the ratio toward 1x,
+#: far below the capped floor) without gating on noise; the uncapped
+#: value is reported as ``warm_ratio_raw``.
+SPEEDUP_CAP = 25.0
+
+#: Budget sweep used for the coalescing comparison.
+COALESCE_KS = (2, 3, 4, 5, 6, 8, 10)
+
+#: Warm-request timing repeats (median is reported).
+WARM_REPEATS = 5
+
+
+def _solve_request(k: int, request_id: str) -> Request:
+    return Request(
+        op="solve", id=request_id, dataset=DATASET, algorithm="greedy",
+        k=k, seed=SEED, im_samples=IM_SAMPLES,
+    )
+
+
+def _measure() -> dict:
+    engine = ServiceEngine()
+    request = _solve_request(K, "cold")
+
+    start = time.perf_counter()
+    cold = engine.handle(request)
+    cold_seconds = time.perf_counter() - start
+    assert cold.ok, cold.error
+    assert not cold.warm
+
+    # Median over a few repeats: a warm solve is milliseconds, so a
+    # single sample would be scheduler noise.
+    warm_samples = []
+    for _ in range(WARM_REPEATS):
+        start = time.perf_counter()
+        warm = engine.handle(request)
+        warm_samples.append(time.perf_counter() - start)
+        assert warm.ok, warm.error
+        assert warm.warm
+        assert warm.result["solution"] == cold.result["solution"]
+    warm_seconds = sorted(warm_samples)[len(warm_samples) // 2]
+
+    # Coalescing: one shared run vs sequential solves, on warm state so
+    # the comparison isolates solver work.
+    sequential_requests = [
+        _solve_request(k, f"seq-{k}") for k in COALESCE_KS
+    ]
+    start = time.perf_counter()
+    sequential = [engine.handle(r) for r in sequential_requests]
+    sequential_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    coalesced = engine.handle_batch(list(sequential_requests))
+    coalesced_seconds = time.perf_counter() - start
+    bitwise = all(
+        got.result["solution"] == want.result["solution"]
+        and got.result["utility"] == want.result["utility"]
+        and got.result["fairness"] == want.result["fairness"]
+        and got.result["group_values"] == want.result["group_values"]
+        for got, want in zip(coalesced, sequential)
+    )
+
+    session_stats = warm.cache
+    return {
+        "bench": "service",
+        "instance": {
+            "dataset": DATASET,
+            "im_samples": IM_SAMPLES,
+            "k": K,
+            "seed": SEED,
+        },
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_speedup": min(cold_seconds / warm_seconds, SPEEDUP_CAP),
+        "warm_ratio_raw": cold_seconds / warm_seconds,
+        "min_speedup": MIN_SPEEDUP,
+        "speedup_gate": True,
+        "coalesce": {
+            "ks": list(COALESCE_KS),
+            "sequential_seconds": sequential_seconds,
+            "coalesced_seconds": coalesced_seconds,
+            "coalesce_ratio": sequential_seconds / coalesced_seconds,
+            "bitwise_identical": bitwise,
+        },
+        "warm_hit_ratio": session_stats["objective"]["hit_ratio"],
+    }
+
+
+def _check(payload: dict) -> list[str]:
+    failures = []
+    if payload["warm_ratio_raw"] < MIN_SPEEDUP:
+        failures.append(
+            f"warm request only {payload['warm_ratio_raw']:.2f}x faster "
+            f"than cold (bar: {MIN_SPEEDUP:.1f}x)"
+        )
+    if not payload["coalesce"]["bitwise_identical"]:
+        failures.append(
+            "coalesced responses differ from sequential solves"
+        )
+    return failures
+
+
+def _report(payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_service.json"
+    json_path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    inst = payload["instance"]
+    coalesce = payload["coalesce"]
+    lines = [
+        "service layer: cold vs warm request latency "
+        f"({inst['dataset']}, {inst['im_samples']} RR samples, "
+        f"k={inst['k']})",
+        f"  cold (load + sample + solve): {payload['cold_seconds']:.3f}s",
+        f"  warm (solve only):            {payload['warm_seconds']:.3f}s",
+        f"  speedup:                      {payload['warm_ratio_raw']:.1f}x "
+        f"(bar {payload['min_speedup']:.1f}x, "
+        f"gated at {payload['warm_speedup']:.1f}x)",
+        f"  coalescing ({len(coalesce['ks'])} budgets): "
+        f"sequential {coalesce['sequential_seconds']:.3f}s vs "
+        f"coalesced {coalesce['coalesced_seconds']:.3f}s "
+        f"({coalesce['coalesce_ratio']:.1f}x, bitwise identical: "
+        f"{coalesce['bitwise_identical']})",
+        f"  [json written to {json_path}]",
+    ]
+    record("service", "\n".join(lines))
+
+
+def bench_service(benchmark) -> None:
+    payload = run_once(benchmark, _measure)
+    _report(payload)
+    failures = _check(payload)
+    assert not failures, "; ".join(failures)
+
+
+def main() -> int:
+    payload = _measure()
+    _report(payload)
+    failures = _check(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,168 @@
+"""Service smoke check — drive a real ``repro serve`` process end to end.
+
+Starts the JSON-lines daemon as a subprocess, replays a 20-request
+mixed script (solve / update / evaluate / sweep across three datasets,
+including a coalesced batch line and repeated warm requests), and
+asserts:
+
+* every response is ``ok`` and pairs to its request id;
+* the warm-hit ratio over warm-eligible requests clears
+  :data:`MIN_WARM_RATIO` (the service actually reuses state);
+* the coalesced batch members report their shared run;
+* the daemon acknowledges ``shutdown`` and exits cleanly (status 0).
+
+Run in CI (see ``.github/workflows/ci.yml``) or locally::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+IM_SAMPLES = 500
+MIN_WARM_RATIO = 0.5
+TIMEOUT_SECONDS = 300
+
+
+def _script() -> tuple[list[str], int]:
+    """The request lines plus the expected response count."""
+
+    def solve(rid, dataset, k, algorithm="greedy", **extra):
+        return {
+            "op": "solve", "id": rid, "dataset": dataset, "k": k,
+            "algorithm": algorithm, "im_samples": IM_SAMPLES, **extra,
+        }
+
+    singles = [
+        solve("s01", "rand-im-c2", 3),                      # cold sample
+        solve("s02", "rand-im-c2", 3),                      # warm repeat
+        solve("s03", "rand-im-c2", 4, algorithm="bsm-saturate", tau=0.6),
+        {"op": "evaluate", "id": "s04", "dataset": "rand-im-c2",
+         "items": [1, 2, 3], "im_samples": IM_SAMPLES},
+        solve("s05", "rand-mc-c2", 4),                      # cold (no sampling)
+        solve("s06", "rand-mc-c2", 4),                      # warm repeat
+        {"op": "update", "id": "s07", "dataset": "rand-mc-c2", "k": 3,
+         "events": [["insert", 0], ["insert", 5], ["insert", 9]]},
+        {"op": "update", "id": "s08", "dataset": "rand-mc-c2", "k": 3,
+         "events": [["delete", 5], ["insert", 2]]},
+        {"op": "evaluate", "id": "s09", "dataset": "rand-mc-c2",
+         "items": [0, 2, 9]},
+        solve("s10", "rand-im-c2", 5, algorithm="bsm-tsgreedy", tau=0.4),
+        {"op": "sweep", "id": "s11", "dataset": "rand-mc-c2", "k": 3,
+         "parameter": "tau", "values": [0.3, 0.7],
+         "algorithms": ["Greedy", "BSM-Saturate"]},
+        solve("s12", "rand-im-c2", 3),                      # still warm
+        {"op": "evaluate", "id": "s13", "dataset": "rand-im-c2",
+         "items": [4, 7], "im_samples": IM_SAMPLES},
+        solve("s14", "rand-fl-c2", 3),
+        {"op": "stats", "id": "s15"},
+    ]
+    batch = [
+        solve("b16", "rand-fl-c2", 2),
+        solve("b17", "rand-fl-c2", 4),
+        solve("b18", "rand-fl-c2", 5),
+        solve("b19", "rand-fl-c2", 2),
+    ]
+    shutdown = {"op": "shutdown", "id": "s20"}
+    lines = [json.dumps(member) for member in singles]
+    lines.append(json.dumps(batch))
+    lines.append(json.dumps(shutdown))
+    expected = len(singles) + len(batch) + 1
+    return lines, expected
+
+
+def main() -> int:
+    lines, expected = _script()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve"],
+        cwd=REPO_ROOT,
+        env=env,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        stdout, stderr = process.communicate(
+            "\n".join(lines) + "\n", timeout=TIMEOUT_SECONDS
+        )
+    except subprocess.TimeoutExpired:
+        process.kill()
+        print("FAIL: daemon did not finish the script in time")
+        return 1
+
+    failures: list[str] = []
+    responses = [json.loads(line) for line in stdout.splitlines()]
+    by_id = {response["id"]: response for response in responses}
+
+    if len(responses) != expected:
+        failures.append(
+            f"expected {expected} responses, got {len(responses)}"
+        )
+    not_ok = [r["id"] for r in responses if not r["ok"]]
+    if not_ok:
+        failures.append(f"non-ok responses: {not_ok}")
+
+    # Warm-hit ratio over the requests that *can* be warm (everything
+    # after the first touch of each dataset; stats/shutdown excluded,
+    # as is s07 — the first `update` creates its live maximizer, which
+    # the warm flag honestly reports as cold).
+    warm_eligible = [
+        "s02", "s03", "s04", "s06", "s08", "s09", "s10", "s11",
+        "s12", "s13", "b16", "b17", "b18", "b19",
+    ]
+    warm_hits = sum(
+        1 for rid in warm_eligible if by_id.get(rid, {}).get("warm")
+    )
+    warm_ratio = warm_hits / len(warm_eligible)
+    if warm_ratio < MIN_WARM_RATIO:
+        failures.append(
+            f"warm-hit ratio {warm_ratio:.2f} below {MIN_WARM_RATIO:.2f} "
+            f"({warm_hits}/{len(warm_eligible)})"
+        )
+
+    coalesced = [
+        by_id[rid] for rid in ("b16", "b17", "b18", "b19") if rid in by_id
+    ]
+    if not all(
+        r["result"].get("extra", {}).get("coalesced") for r in coalesced
+    ):
+        failures.append("batch members were not coalesced")
+
+    stats = by_id.get("s15", {}).get("result", {})
+    if stats.get("requests_served", 0) < 14:
+        failures.append(f"stats under-report requests: {stats}")
+
+    if by_id.get("s20", {}).get("result") != {"stopping": True}:
+        failures.append("shutdown was not acknowledged")
+    if process.returncode != 0:
+        failures.append(
+            f"daemon exited with status {process.returncode}; "
+            f"stderr:\n{stderr}"
+        )
+
+    print(
+        f"service smoke: {len(responses)} responses, "
+        f"warm ratio {warm_ratio:.2f}, "
+        f"coalesced batch of {len(coalesced)}, "
+        f"exit status {process.returncode}"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

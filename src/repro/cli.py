@@ -1,6 +1,6 @@
 """Command-line interface: solve instances and regenerate experiments.
 
-Five subcommands::
+Seven subcommands::
 
     python -m repro.cli solve --dataset rand-mc-c2 --algorithm bsm-saturate \
         --k 5 --tau 0.8
@@ -8,10 +8,16 @@ Five subcommands::
     python -m repro.cli chart fig3 --metric fairness    # ASCII line plot
     python -m repro.cli pareto --dataset rand-mc-c2 --k 5
     python -m repro.cli datasets            # list the catalogue
+    python -m repro.cli serve               # JSON-lines daemon on stdio
+    python -m repro.cli request '{"op": "solve", "dataset": "rand-mc-c2"}'
 
-The CLI is a thin veneer over :class:`repro.core.problem.BSMProblem` and
-:mod:`repro.experiments.figures`; anything it prints can be produced
-programmatically too.
+The CLI is a thin veneer over :class:`repro.core.problem.BSMProblem`,
+:mod:`repro.experiments.figures` and the persistent service layer
+(:mod:`repro.service`); anything it prints can be produced
+programmatically too. ``serve`` keeps solver sessions warm across
+requests (sampled RR collections, benefit matrices, evaluation bundles
+survive between lines), which is what makes repeated requests against
+one dataset cheap; ``request`` is the matching one-shot runner.
 """
 
 from __future__ import annotations
@@ -111,6 +117,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_flag(pareto)
 
     sub.add_parser("datasets", help="list the dataset catalogue")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent solver service (JSON lines on stdio)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=8,
+        help="warm dataset sessions kept live (LRU beyond this)",
+    )
+    _add_workers_flag(serve)
+
+    request = sub.add_parser(
+        "request",
+        help="run one service request in-process and print the response",
+    )
+    request.add_argument(
+        "request_json",
+        help=(
+            "JSON request object, e.g. "
+            "'{\"op\": \"solve\", \"dataset\": \"rand-mc-c2\", \"k\": 5}'"
+        ),
+    )
+    _add_workers_flag(request)
     return parser
 
 
@@ -186,6 +215,30 @@ def cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceEngine, serve_forever
+
+    engine = ServiceEngine(
+        workers=args.workers, max_sessions=args.max_sessions
+    )
+    return serve_forever(sys.stdin, sys.stdout, engine=engine)
+
+
+def cmd_request(args: argparse.Namespace) -> int:
+    from repro.service import ServiceEngine, encode_response
+    from repro.service.protocol import ProtocolError, decode_request
+
+    try:
+        request = decode_request(args.request_json)
+    except ProtocolError as exc:
+        print(f"invalid request: {exc}", file=sys.stderr)
+        return 2
+    engine = ServiceEngine(workers=args.workers)
+    response = engine.handle(request)
+    print(encode_response(response))
+    return 0 if response.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "solve":
@@ -198,6 +251,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_pareto(args)
     if args.command == "datasets":
         return cmd_datasets(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "request":
+        return cmd_request(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -25,7 +25,7 @@ pins the empirical gap to offline greedy.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -124,6 +124,43 @@ class DynamicMaximizer:
             self._dirty += 1
             if self._dirty > self._rebuild_after:
                 self._rebuild()
+
+    def process_events(
+        self, events: Iterable[tuple[str, int]]
+    ) -> dict[str, int]:
+        """Apply an ``(action, item)`` event stream in order.
+
+        ``action`` is ``"insert"`` or ``"delete"``; the service's
+        ``update`` op feeds request events through here. The whole
+        stream is validated *before* anything is applied, so a bad
+        action or out-of-range item rejects the batch without mutating
+        the maintained state — a caller whose batch errors can retry it
+        verbatim. Returns the applied counts plus the lifetime rebuild
+        total.
+        """
+        validated: list[tuple[str, int]] = []
+        for action, item in events:
+            if action not in ("insert", "delete"):
+                raise ValueError(
+                    f"unknown event action {action!r} "
+                    "(expected 'insert' or 'delete')"
+                )
+            item = int(item)
+            self._check(item)
+            validated.append((action, item))
+        inserted = deleted = 0
+        for action, item in validated:
+            if action == "insert":
+                self.insert(item)
+                inserted += 1
+            else:
+                self.delete(item)
+                deleted += 1
+        return {
+            "inserted": inserted,
+            "deleted": deleted,
+            "rebuilds": self.rebuilds,
+        }
 
     def best(self) -> ObjectiveState:
         """A state whose solution contains only live items.

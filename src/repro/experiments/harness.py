@@ -88,35 +88,17 @@ class SweepResult:
         return list(seen)
 
 
-#: Sampled-collection and Monte-Carlo-evaluation caches. RR sampling and
-#: the 10,000-cascade evaluation dominate influence sweeps (DESIGN.md §6),
-#: and a tau/k sweep re-scores the same graph — often the same solution —
-#: at every sweep point. Keys carry the derived integer seed plus the
-#: *identity* of the graph object (two same-shaped graphs may differ in
-#: edge probabilities) and its mutation counter (an in-place
-#: ``set_edge_probabilities``/``add_edge`` must invalidate the entry);
-#: each cache entry stores the graph alongside its value, which both pins
-#: the id() against reuse after garbage collection and allows an exact
-#: identity check on hit.
-_RR_OBJECTIVE_CACHE: dict[tuple, tuple[Any, GroupedObjective]] = {}
-_MC_EVAL_CACHE: dict[tuple, tuple[Any, tuple[float, float]]] = {}
-_CACHE_LIMIT = 32
-
-
-def _graph_key(dataset: Dataset) -> tuple:
-    return (dataset.name, id(dataset.graph), dataset.graph.version)
-
-
-def _decomposition_law(workers) -> str:
-    """Cache-key component for the sampling RNG decomposition.
-
-    ``workers=None`` runs the legacy in-line stream; any worker count
-    runs the unit decomposition, and all counts produce bitwise-identical
-    results (the parallel backend's determinism contract) — so cached
-    entries are shared across worker counts but never across the two
-    laws, whose streams differ.
-    """
-    return "serial" if workers is None else "units"
+# Sampled-collection and Monte-Carlo-evaluation reuse lives in the
+# service layer's warm sessions (repro.service.session): RR sampling and
+# the 10,000-cascade evaluation dominate influence sweeps (DESIGN.md
+# section 6), and a tau/k sweep re-scores the same graph -- often the
+# same solution -- at every sweep point. `shared_session` keys sessions
+# by dataset identity (an in-place `set_edge_probabilities`/`add_edge`
+# bumps `Graph.version` and invalidates the session's internal entries),
+# and every cache is a byte-budgeted LRU (`repro.utils.caching`), so a
+# long-lived batch process cannot leak -- the unbounded module dicts
+# that used to live here are gone. The `repro serve` daemon runs through
+# the same sessions, so batch jobs and the service share one reuse path.
 
 
 def _objective_for(
@@ -126,37 +108,18 @@ def _objective_for(
     im_samples: int,
     workers: Optional[int] = None,
 ) -> GroupedObjective:
-    """Materialise the solvable objective for a dataset.
+    """Materialise the solvable objective via the dataset's warm session.
 
     Influence objectives (an RR-set sampling pass plus the packed
-    inverted index) are cached per ``(dataset, graph dims, samples,
-    seed)`` so the tau sweep and k sweep of one figure — and repeated
-    panels across figures — share a single sampled collection.
+    inverted index) are cached per ``(dataset, samples, seed)`` so the
+    tau sweep and k sweep of one figure -- and repeated panels across
+    figures -- share a single sampled collection.
     """
-    if dataset.kind in (
-        "coverage",
-        "facility",
-        "recommendation",
-        "summarization",
-    ):
-        return dataset.objective
-    if dataset.kind == "influence":
-        from repro.problems.influence import InfluenceObjective
+    from repro.service.session import shared_session
 
-        key = _graph_key(dataset) + (
-            im_samples, seed, _decomposition_law(workers),
-        )
-        entry = _RR_OBJECTIVE_CACHE.get(key)
-        if entry is not None and entry[0] is dataset.graph:
-            return entry[1]
-        if len(_RR_OBJECTIVE_CACHE) >= _CACHE_LIMIT:
-            _RR_OBJECTIVE_CACHE.clear()
-        objective = InfluenceObjective.from_graph(
-            dataset.graph, im_samples, seed=seed, workers=workers
-        )
-        _RR_OBJECTIVE_CACHE[key] = (dataset.graph, objective)
-        return objective
-    raise ValueError(f"unknown dataset kind {dataset.kind!r}")
+    return shared_session(dataset, workers=workers).objective(
+        im_samples=im_samples, sample_seed=seed, workers=workers
+    )
 
 
 def _score(
@@ -173,31 +136,20 @@ def _score(
     sweep every row re-scoring the same solution (flat baselines, or a
     tau-aware algorithm whose selection did not move between sweep
     points) reuses the batched simulation instead of re-running 10,000
-    cascades, and all rows of a sweep share one evaluation seed — common
-    random numbers, so cross-algorithm differences are not sampling
-    noise.
+    cascades, and all rows of a sweep share one evaluation seed --
+    common random numbers, so cross-algorithm differences are not
+    sampling noise.
     """
     if dataset.kind != "influence" or mc_simulations <= 0:
         return result.utility, result.fairness
-    from repro.influence.ic_model import monte_carlo_group_spread
+    from repro.service.session import shared_session
 
-    key = _graph_key(dataset) + (
-        tuple(sorted(result.solution)), mc_simulations, seed,
-        _decomposition_law(workers),
-    )
-    entry = _MC_EVAL_CACHE.get(key)
-    if entry is not None and entry[0] is dataset.graph:
-        return entry[1]
-    values = monte_carlo_group_spread(
-        dataset.graph, result.solution, mc_simulations, seed=seed,
+    return shared_session(dataset, workers=workers).evaluate_mc(
+        result.solution,
+        mc_simulations=mc_simulations,
+        mc_seed=seed,
         workers=workers,
     )
-    weights = dataset.graph.group_sizes() / dataset.graph.num_nodes
-    scored = float(weights @ values), float(values.min())
-    if len(_MC_EVAL_CACHE) >= _CACHE_LIMIT * 8:
-        _MC_EVAL_CACHE.clear()
-    _MC_EVAL_CACHE[key] = (dataset.graph, scored)
-    return scored
 
 
 def _run_algorithm(

@@ -133,6 +133,25 @@ class InfluenceObjective(GroupedObjective):
     def collection(self) -> RRCollection:
         return self._collection
 
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the sampled state.
+
+        Counts the packed collection plus the inverted index — the
+        arrays that dominate a warm influence objective. Used by the
+        byte-budgeted caches (:mod:`repro.utils.caching`) to account
+        entries.
+        """
+        collection = self._collection
+        return int(
+            collection.set_indptr.nbytes
+            + collection.set_indices.nbytes
+            + collection.root_groups.nbytes
+            + self._mem_indptr.nbytes
+            + self._mem_indices.nbytes
+            + self._group_counts.nbytes
+            + self._group_sizes.nbytes
+        )
+
     # -- GroupedObjective hooks ------------------------------------------
     def _new_payload(self) -> _InfluencePayload:
         return _InfluencePayload(self._collection.num_sets)

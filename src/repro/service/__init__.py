@@ -1,0 +1,44 @@
+"""Persistent in-process solver service.
+
+The batch oracle (PR 1), sampling engine (PR 3) and parallel backend
+(PR 4) made each *call* fast; this package makes calls *cheap to repeat*
+by keeping derived state warm across requests:
+
+* :class:`repro.service.session.SolverSession` — per-dataset warm state
+  (materialised objectives, RR collections, Monte-Carlo evaluation
+  bundles, dynamic maximizers) behind byte-budgeted LRU caches;
+* :class:`repro.service.engine.ServiceEngine` — typed request dispatch
+  (``solve`` / ``sweep`` / ``evaluate`` / ``update`` / ``pareto`` /
+  ``stats``) over a bounded session registry, with coalescing of
+  compatible concurrent ``solve`` requests into one batched greedy run;
+* :mod:`repro.service.protocol` — the JSON-lines request/response
+  schema used by ``repro serve`` and ``repro request``;
+* :func:`repro.service.daemon.serve_forever` — the stdin/stdout loop.
+"""
+
+from repro.service.daemon import serve_forever
+from repro.service.engine import ServiceEngine
+from repro.service.protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.service.session import SolverSession, shared_session
+
+__all__ = [
+    "ProtocolError",
+    "Request",
+    "Response",
+    "ServiceEngine",
+    "SolverSession",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "serve_forever",
+    "shared_session",
+]

@@ -1,0 +1,496 @@
+"""Request dispatch and coalescing over warm solver sessions.
+
+:class:`ServiceEngine` is the service's brain: it owns a bounded
+registry of :class:`~repro.service.session.SolverSession` instances
+(one per ``(dataset, seed)``), dispatches typed requests through the
+solver registry of :class:`~repro.core.problem.BSMProblem`, and
+coalesces compatible concurrent ``solve`` requests into one shared
+batched run.
+
+Coalescing rule
+---------------
+Requests submitted together (a JSON-array line to ``repro serve``, or
+one :meth:`handle_batch` call) are *concurrent*. Concurrent ``solve``
+requests with ``algorithm="greedy"`` and identical
+``(dataset, seed, im_samples, workers)`` — i.e. the same warm objective
+and the same ``AverageUtility`` scalarizer (``tau`` does not enter
+plain greedy) — run as **one** ``gains_batch``-backed CELF solve at the
+largest requested budget. Greedy's prefix property makes this exact:
+the run at budget ``k_max`` selects, step by step, precisely the items
+a run at any smaller ``k`` would, with identical tie-breaking, and
+replaying the first ``k`` accepted items reproduces the smaller run's
+state bit for bit (the incremental ``group_values`` sums are performed
+in the same order). Solutions, group values, utility and fairness are
+therefore *bitwise-identical* to sequential solves — pinned on all five
+domains by ``tests/test_service.py``. Shared-run figures
+(``oracle_calls``, ``runtime``) are reported on every coalesced
+response along with ``extra["coalesced_width"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.result import SolverResult, make_result
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.service.protocol import Request, Response
+from repro.service.session import SolverSession
+from repro.utils.caching import BoundedCache
+from repro.utils.timing import Timer
+
+#: Algorithms eligible for shared-run coalescing. Deterministic,
+#: AverageUtility-scalarized, and prefix-nested in ``k`` — plain greedy
+#: is all three; Saturate/BSM runs are not prefix-nested (their inner
+#: bisections depend on ``k`` and ``tau``), stochastic greedy is random.
+COALESCABLE = ("greedy",)
+
+#: Default capacity of the session registry (sessions, LRU).
+MAX_SESSIONS = 8
+
+
+class ServiceEngine:
+    """Long-lived dispatcher over warm per-dataset sessions."""
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        max_sessions: int = MAX_SESSIONS,
+        objective_budget: Optional[int] = None,
+        eval_budget: Optional[int] = None,
+    ) -> None:
+        self.workers = workers
+        self._objective_budget = objective_budget
+        self._eval_budget = eval_budget
+        self._sessions = BoundedCache(max_sessions, sizeof=lambda s: 1)
+        self.requests_served = 0
+        self.coalesced_requests = 0
+        self.coalesced_runs = 0
+
+    # -- sessions ---------------------------------------------------------
+    def session(self, dataset_name: str, seed: int = 0) -> SolverSession:
+        """The warm session for ``(dataset_name, seed)`` (loads once)."""
+        if dataset_name not in DATASETS:
+            raise KeyError(
+                f"unknown dataset {dataset_name!r}; "
+                f"available: {sorted(DATASETS)}"
+            )
+        key = (dataset_name, int(seed))
+
+        def build() -> SolverSession:
+            dataset = load_dataset(dataset_name, seed=seed)
+            kwargs: dict[str, Any] = {"workers": self.workers}
+            if self._objective_budget is not None:
+                kwargs["objective_budget"] = self._objective_budget
+            if self._eval_budget is not None:
+                kwargs["eval_budget"] = self._eval_budget
+            return SolverSession(dataset, **kwargs)
+
+        return self._sessions.get_or_create(key, build)
+
+    def stats(self) -> dict[str, Any]:
+        from repro.service.session import shared_session_stats
+
+        sessions = [
+            self._sessions.peek(key).stats() for key in self._sessions.keys()
+        ]
+        return {
+            "requests_served": self.requests_served,
+            "coalesced_requests": self.coalesced_requests,
+            "coalesced_runs": self.coalesced_runs,
+            "sessions": sessions,
+            "session_registry": self._sessions.stats.as_dict(),
+            # In-process batch jobs (the sweep harness) keep their warm
+            # state in the module-level shared sessions; surfacing them
+            # here makes sweep-op reuse observable to clients.
+            "shared_sessions": shared_session_stats(),
+        }
+
+    # -- dispatch ----------------------------------------------------------
+    def handle(self, request: Request) -> Response:
+        """Process one request (no coalescing)."""
+        self.requests_served += 1
+        try:
+            return self._dispatch(request)
+        except Exception as exc:  # noqa: BLE001 — service boundary
+            return Response(
+                op=request.op, id=request.id, ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    def handle_batch(self, requests: list[Request]) -> list[Response]:
+        """Process concurrent requests, coalescing compatible solves."""
+        responses: list[Optional[Response]] = [None] * len(requests)
+        groups: dict[tuple, list[int]] = {}
+        for pos, request in enumerate(requests):
+            if request.op == "solve" and request.algorithm in COALESCABLE:
+                key = (
+                    request.algorithm, request.dataset, request.seed,
+                    request.im_samples, request.workers,
+                    request.mc_simulations,
+                )
+                groups.setdefault(key, []).append(pos)
+        for positions in groups.values():
+            if len(positions) < 2:
+                continue
+            try:
+                coalesced = self._solve_coalesced(
+                    [requests[pos] for pos in positions]
+                )
+            except Exception as exc:  # noqa: BLE001 — service boundary
+                coalesced = [
+                    Response(
+                        op="solve", id=requests[pos].id, ok=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    for pos in positions
+                ]
+            for pos, response in zip(positions, coalesced):
+                responses[pos] = response
+            self.requests_served += len(positions)
+            self.coalesced_requests += len(positions)
+            self.coalesced_runs += 1
+        return [
+            response if response is not None else self.handle(request)
+            for request, response in zip(requests, responses)
+        ]
+
+    def _dispatch(self, request: Request) -> Response:
+        op = request.op
+        if op == "solve":
+            return self._op_solve(request)
+        if op == "evaluate":
+            return self._op_evaluate(request)
+        if op == "update":
+            return self._op_update(request)
+        if op == "sweep":
+            return self._op_sweep(request)
+        if op == "pareto":
+            return self._op_pareto(request)
+        if op == "stats":
+            return Response(op=op, id=request.id, result=self.stats())
+        if op == "shutdown":
+            # The daemon loop terminates after sending this ack.
+            return Response(op=op, id=request.id, result={"stopping": True})
+        raise ValueError(f"unhandled op {op!r}")  # pragma: no cover
+
+    # -- ops ---------------------------------------------------------------
+    def _session_for(
+        self, request: Request
+    ) -> tuple[SolverSession, bool]:
+        """Resolve the request's session plus whether it already existed."""
+        hits_before = self._sessions.stats.hits
+        session = self.session(request.dataset, request.seed)
+        return session, self._sessions.stats.hits > hits_before
+
+    class _WarmProbe:
+        """Measure whether an op actually reused paid-for state.
+
+        ``warm`` is true only when the session pre-existed *and* the op
+        scored at least one hit on the watched caches while it ran — a
+        solve that triggers a fresh sampling pass (say, a new
+        ``im_samples``) reports cold even on a warm session.
+        """
+
+        def __init__(
+            self, session: SolverSession, reused: bool, *caches
+        ) -> None:
+            self._session = session
+            self._reused = reused
+            self._caches = caches
+            self._before = [cache.stats.hits for cache in caches]
+
+        @property
+        def warm(self) -> bool:
+            if not self._reused:
+                return False
+            if self._session.dataset.kind != "influence":
+                return True
+            return any(
+                cache.stats.hits > before
+                for cache, before in zip(self._caches, self._before)
+            )
+
+    def _result_payload(self, result: SolverResult) -> dict[str, Any]:
+        extra = {
+            key: value
+            for key, value in result.extra.items()
+            if isinstance(value, (bool, int, float, str))
+        }
+        return {
+            "algorithm": result.algorithm,
+            "solution": [int(v) for v in result.solution],
+            "size": result.size,
+            "utility": float(result.utility),
+            "fairness": float(result.fairness),
+            "group_values": [float(v) for v in result.group_values],
+            "oracle_calls": int(result.oracle_calls),
+            "runtime": float(result.runtime),
+            "feasible": bool(result.feasible),
+            "extra": extra,
+        }
+
+    def _op_solve(self, request: Request) -> Response:
+        session, reused = self._session_for(request)
+        probe = self._WarmProbe(session, reused, session.objective_cache)
+        result = session.solve(
+            request.algorithm, request.k, request.tau,
+            im_samples=request.im_samples,
+            sample_seed=request.seed,
+            workers=request.workers,
+        )
+        payload = self._result_payload(result)
+        if (
+            session.dataset.kind == "influence"
+            and request.mc_simulations > 0
+        ):
+            f_val, g_val = session.evaluate_mc(
+                result.solution,
+                mc_simulations=request.mc_simulations,
+                mc_seed=request.seed,
+                workers=request.workers,
+            )
+            payload["mc_utility"] = f_val
+            payload["mc_fairness"] = g_val
+        return Response(
+            op="solve", id=request.id, warm=probe.warm,
+            result=payload, cache=session.stats(),
+        )
+
+    def _op_evaluate(self, request: Request) -> Response:
+        session, reused = self._session_for(request)
+        probe = self._WarmProbe(
+            session, reused,
+            session.objective_cache, session.evaluation_cache,
+        )
+        f_val, g_val = session.evaluate(
+            request.items,
+            im_samples=request.im_samples,
+            sample_seed=request.seed,
+            mc_simulations=request.mc_simulations,
+            workers=request.workers,
+        )
+        return Response(
+            op="evaluate", id=request.id, warm=probe.warm,
+            result={
+                "items": list(request.items),
+                "utility": f_val,
+                "fairness": g_val,
+            },
+            cache=session.stats(),
+        )
+
+    def _op_update(self, request: Request) -> Response:
+        session, reused = self._session_for(request)
+        # A warm update is one whose live maximizer already existed.
+        hits_before = session.dynamic_cache.stats.hits
+        maximizer = session.dynamic(
+            request.k,
+            im_samples=request.im_samples,
+            sample_seed=request.seed,
+        )
+        warm = reused and session.dynamic_cache.stats.hits > hits_before
+        counts = maximizer.process_events(request.events)
+        state = maximizer.best()
+        return Response(
+            op="update", id=request.id, warm=warm,
+            result={
+                "solution": [int(v) for v in state.solution],
+                "value": maximizer.value(),
+                "live_items": len(maximizer.live_items),
+                **counts,
+            },
+            cache=session.stats(),
+        )
+
+    def _op_sweep(self, request: Request) -> Response:
+        from repro.experiments.harness import sweep_k, sweep_tau
+
+        # Warm here means dataset-level reuse: the sweep's sampling
+        # reuse happens inside the harness's shared session (reported
+        # via the stats op), not this engine session.
+        session, warm = self._session_for(request)
+        kwargs: dict[str, Any] = {
+            "im_samples": request.im_samples,
+            "mc_simulations": request.mc_simulations,
+            "seed": request.seed,
+            "workers": request.workers,
+        }
+        if request.algorithms:
+            kwargs["algorithms"] = list(request.algorithms)
+        if request.parameter == "tau":
+            values = request.values or (0.1, 0.3, 0.5, 0.7, 0.9)
+            sweep = sweep_tau(
+                session.dataset, request.k, list(values), **kwargs
+            )
+        else:
+            values = request.values or (2.0, 5.0, 10.0)
+            sweep = sweep_k(
+                session.dataset, [int(v) for v in values], request.tau,
+                **kwargs,
+            )
+        rows = [
+            {
+                "algorithm": row.algorithm,
+                "parameter": row.parameter,
+                "value": row.value,
+                "utility": row.utility,
+                "fairness": row.fairness,
+                "runtime": row.runtime,
+                "oracle_calls": row.oracle_calls,
+                "solution_size": row.solution_size,
+                "feasible": row.feasible,
+            }
+            for row in sweep.rows
+        ]
+        return Response(
+            op="sweep", id=request.id, warm=warm,
+            result={
+                "dataset": sweep.dataset,
+                "parameter": sweep.parameter,
+                "rows": rows,
+                "references": {
+                    key: float(value)
+                    for key, value in sweep.references.items()
+                },
+            },
+            cache=session.stats(),
+        )
+
+    def _op_pareto(self, request: Request) -> Response:
+        from repro.experiments.harness import sweep_tau
+        from repro.experiments.pareto import hypervolume, pareto_frontier
+
+        session, warm = self._session_for(request)
+        algorithms = list(request.algorithms) or [
+            "BSM-TSGreedy", "BSM-Saturate",
+        ]
+        taus = list(request.values) or [0.1, 0.3, 0.5, 0.7, 0.9]
+        sweep = sweep_tau(
+            session.dataset, request.k, taus,
+            algorithms=algorithms,
+            im_samples=request.im_samples,
+            mc_simulations=request.mc_simulations,
+            seed=request.seed,
+            workers=request.workers,
+        )
+        frontiers: dict[str, Any] = {}
+        for algorithm in algorithms:
+            frontier = pareto_frontier(sweep, algorithm)
+            frontiers[algorithm] = {
+                "hypervolume": float(hypervolume(frontier)),
+                "points": [
+                    {
+                        "tau": point.tau,
+                        "utility": point.utility,
+                        "fairness": point.fairness,
+                    }
+                    for point in frontier
+                ],
+            }
+        return Response(
+            op="pareto", id=request.id, warm=warm,
+            result={"dataset": session.dataset.name, "frontiers": frontiers},
+            cache=session.stats(),
+        )
+
+    # -- coalescing --------------------------------------------------------
+    def _solve_coalesced(self, requests: list[Request]) -> list[Response]:
+        """One shared greedy run serving every request in the group.
+
+        All requests share (algorithm, dataset, seed, im_samples,
+        workers) by construction; only ``k`` (and the greedy-inert
+        ``tau``) differ. The shared CELF run at ``k_max`` yields every
+        smaller solve as a step prefix.
+        """
+        from repro.core.baselines import greedy_utility
+
+        head = requests[0]
+        session, reused = self._session_for(head)
+        probe = self._WarmProbe(session, reused, session.objective_cache)
+        objective = session.objective(
+            im_samples=head.im_samples, sample_seed=head.seed,
+            workers=head.workers,
+        )
+        # Mirror BSMProblem's budget validation per request: an
+        # over-budget member fails alone, exactly as its sequential
+        # solve would, without poisoning the shared run.
+        rejected: dict[int, Response] = {}
+        admitted: list[Request] = []
+        for request in requests:
+            if request.k > objective.num_items:
+                rejected[id(request)] = Response(
+                    op="solve", id=request.id, ok=False,
+                    error=(
+                        f"ValueError: k={request.k} exceeds the "
+                        f"ground-set size {objective.num_items}"
+                    ),
+                )
+            else:
+                admitted.append(request)
+        if not admitted:
+            return [rejected[id(request)] for request in requests]
+        k_max = max(request.k for request in admitted)
+        timer = Timer()
+        with timer:
+            shared = greedy_utility(objective, k_max)
+        responses: list[Response] = []
+        for request in requests:
+            if id(request) in rejected:
+                responses.append(rejected[id(request)])
+                continue
+            if request.k == k_max:
+                result = shared
+            else:
+                result = self._prefix_result(
+                    objective, shared, request.k
+                )
+            payload = self._result_payload(result)
+            payload["runtime"] = timer.elapsed
+            payload["extra"]["coalesced"] = True
+            payload["extra"]["coalesced_width"] = len(admitted)
+            if (
+                session.dataset.kind == "influence"
+                and request.mc_simulations > 0
+            ):
+                f_val, g_val = session.evaluate_mc(
+                    result.solution,
+                    mc_simulations=request.mc_simulations,
+                    mc_seed=request.seed,
+                    workers=request.workers,
+                )
+                payload["mc_utility"] = f_val
+                payload["mc_fairness"] = g_val
+            responses.append(
+                Response(
+                    op="solve", id=request.id, warm=probe.warm,
+                    result=payload, cache=session.stats(),
+                )
+            )
+        return responses
+
+    def _prefix_result(
+        self,
+        objective: Any,
+        shared: SolverResult,
+        k: int,
+    ) -> SolverResult:
+        """Reconstruct the budget-``k`` solve from the shared run's prefix.
+
+        Replaying the first ``k`` accepted items in selection order
+        re-applies the same incremental ``group_values`` additions the
+        smaller run would have performed, so the reconstructed state is
+        bitwise-identical to it.
+        """
+        prefix = shared.solution[:k]
+        state = objective.new_state()
+        for item in prefix:
+            objective.add(state, item)
+        return make_result(
+            shared.algorithm,
+            objective,
+            state,
+            runtime=shared.runtime,
+            oracle_calls=shared.oracle_calls,
+            steps=list(shared.steps[:k]),
+        )

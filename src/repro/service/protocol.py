@@ -1,0 +1,245 @@
+"""Typed request/response schema of the solver service (JSON lines).
+
+One request or response per line. A request is a JSON object; a JSON
+*array* of requests is a concurrent batch — the engine may coalesce
+compatible ``solve`` members into one shared run (see
+:meth:`repro.service.engine.ServiceEngine.handle_batch`).
+
+The schema is deliberately flat and total: every field has a default,
+unknown fields are rejected, and ``decode_request(encode_request(r))``
+round-trips exactly (property-tested with hypothesis in
+``tests/test_properties_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Optional
+
+SCHEMA_VERSION = 1
+
+#: Operations the engine understands. ``shutdown`` is handled by the
+#: daemon loop (the engine answers it with an ack so one-shot use works).
+OPS = (
+    "solve",
+    "sweep",
+    "evaluate",
+    "update",
+    "pareto",
+    "stats",
+    "shutdown",
+)
+
+#: Event actions accepted by the ``update`` op.
+UPDATE_ACTIONS = ("insert", "delete")
+
+
+class ProtocolError(ValueError):
+    """Malformed or type-invalid request/response payload."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One service request.
+
+    Only ``op`` is universally meaningful; the other fields matter per
+    op (``solve`` reads ``dataset``/``algorithm``/``k``/``tau``,
+    ``evaluate`` reads ``items``, ``update`` reads ``events``, the sweep
+    ops read ``parameter``/``values``/``algorithms``). Unused fields
+    keep their defaults and are ignored by the engine.
+    """
+
+    op: str
+    id: str = ""
+    dataset: str = ""
+    algorithm: str = "greedy"
+    k: int = 5
+    tau: float = 0.0
+    seed: int = 0
+    im_samples: int = 2_000
+    mc_simulations: int = 0
+    workers: Optional[int] = None
+    items: tuple[int, ...] = ()
+    events: tuple[tuple[str, int], ...] = ()
+    parameter: str = "tau"
+    values: tuple[float, ...] = ()
+    algorithms: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Response:
+    """One service response (paired to the request by ``id``)."""
+
+    op: str
+    id: str = ""
+    ok: bool = True
+    error: str = ""
+    warm: bool = False
+    result: dict[str, Any] = field(default_factory=dict)
+    cache: dict[str, Any] = field(default_factory=dict)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(message)
+
+
+def request_to_dict(request: Request) -> dict[str, Any]:
+    """JSON-safe dict form (tuples become lists on encode)."""
+    payload = asdict(request)
+    payload["items"] = list(request.items)
+    payload["events"] = [[action, item] for action, item in request.events]
+    payload["values"] = list(request.values)
+    payload["algorithms"] = list(request.algorithms)
+    return payload
+
+
+def request_from_dict(payload: Any) -> Request:
+    """Validate and normalise one request object."""
+    _require(isinstance(payload, dict), "request must be a JSON object")
+    known = {f.name for f in fields(Request)}
+    unknown = set(payload) - known
+    _require(not unknown, f"unknown request fields: {sorted(unknown)}")
+    _require("op" in payload, "request needs an 'op' field")
+    op = payload["op"]
+    _require(isinstance(op, str) and op in OPS,
+             f"op must be one of {OPS}, got {op!r}")
+    out: dict[str, Any] = {"op": op}
+    for name, kind in (("id", str), ("dataset", str), ("algorithm", str),
+                       ("parameter", str)):
+        if name in payload:
+            _require(isinstance(payload[name], kind),
+                     f"{name} must be a string")
+            out[name] = payload[name]
+    for name in ("k", "seed", "im_samples", "mc_simulations"):
+        if name in payload:
+            value = payload[name]
+            _require(
+                isinstance(value, int) and not isinstance(value, bool),
+                f"{name} must be an integer",
+            )
+            out[name] = value
+    if "tau" in payload:
+        tau = payload["tau"]
+        _require(
+            isinstance(tau, (int, float)) and not isinstance(tau, bool),
+            "tau must be a number",
+        )
+        out["tau"] = float(tau)
+    if "workers" in payload:
+        workers = payload["workers"]
+        _require(
+            workers is None
+            or (isinstance(workers, int) and not isinstance(workers, bool)),
+            "workers must be an integer or null",
+        )
+        out["workers"] = workers
+    if "items" in payload:
+        items = payload["items"]
+        _require(isinstance(items, list), "items must be a list")
+        _require(
+            all(isinstance(v, int) and not isinstance(v, bool)
+                for v in items),
+            "items must be integers",
+        )
+        out["items"] = tuple(items)
+    if "events" in payload:
+        events = payload["events"]
+        _require(isinstance(events, list), "events must be a list")
+        normalised = []
+        for event in events:
+            _require(
+                isinstance(event, (list, tuple)) and len(event) == 2,
+                "each event must be an [action, item] pair",
+            )
+            action, item = event
+            _require(
+                action in UPDATE_ACTIONS,
+                f"event action must be one of {UPDATE_ACTIONS}",
+            )
+            _require(
+                isinstance(item, int) and not isinstance(item, bool),
+                "event item must be an integer",
+            )
+            normalised.append((action, item))
+        out["events"] = tuple(normalised)
+    if "values" in payload:
+        values = payload["values"]
+        _require(isinstance(values, list), "values must be a list")
+        _require(
+            all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in values),
+            "values must be numbers",
+        )
+        out["values"] = tuple(float(v) for v in values)
+    if "algorithms" in payload:
+        algorithms = payload["algorithms"]
+        _require(isinstance(algorithms, list), "algorithms must be a list")
+        _require(
+            all(isinstance(a, str) for a in algorithms),
+            "algorithms must be strings",
+        )
+        out["algorithms"] = tuple(algorithms)
+    request = Request(**out)
+    _require(request.k > 0, "k must be positive")
+    _require(0.0 <= request.tau <= 1.0, "tau must be in [0, 1]")
+    _require(request.im_samples > 0, "im_samples must be positive")
+    _require(request.mc_simulations >= 0,
+             "mc_simulations must be non-negative")
+    _require(request.parameter in ("tau", "k"),
+             "parameter must be 'tau' or 'k'")
+    return request
+
+
+def response_to_dict(response: Response) -> dict[str, Any]:
+    return asdict(response)
+
+
+def response_from_dict(payload: Any) -> Response:
+    _require(isinstance(payload, dict), "response must be a JSON object")
+    known = {f.name for f in fields(Response)}
+    unknown = set(payload) - known
+    _require(not unknown, f"unknown response fields: {sorted(unknown)}")
+    _require("op" in payload, "response needs an 'op' field")
+    kwargs: dict[str, Any] = {}
+    for name, kind in (("op", str), ("id", str), ("error", str)):
+        if name in payload:
+            _require(isinstance(payload[name], kind),
+                     f"{name} must be a string")
+            kwargs[name] = payload[name]
+    for name in ("ok", "warm"):
+        if name in payload:
+            _require(isinstance(payload[name], bool),
+                     f"{name} must be a boolean")
+            kwargs[name] = payload[name]
+    for name in ("result", "cache"):
+        if name in payload:
+            _require(isinstance(payload[name], dict),
+                     f"{name} must be an object")
+            kwargs[name] = payload[name]
+    return Response(**kwargs)
+
+
+def encode_request(request: Request) -> str:
+    return json.dumps(request_to_dict(request), separators=(",", ":"))
+
+
+def decode_request(line: str) -> Request:
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from exc
+    return request_from_dict(payload)
+
+
+def encode_response(response: Response) -> str:
+    return json.dumps(response_to_dict(response), separators=(",", ":"))
+
+
+def decode_response(line: str) -> Response:
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from exc
+    return response_from_dict(payload)

@@ -1,0 +1,347 @@
+"""Warm per-dataset solver state shared by batch jobs and the service.
+
+A :class:`SolverSession` owns everything that is expensive to derive
+from a dataset and cheap to reuse: materialised grouped objectives
+(for influence datasets that means the sampled RR collection, its CSR
+inverted index and the packed arrays behind it), Monte-Carlo evaluation
+bundles, and live :class:`~repro.core.dynamic.DynamicMaximizer`
+instances. All of it sits behind byte-budgeted LRU caches
+(:mod:`repro.utils.caching`) so a long-lived process cannot leak, and
+every cache reports hit/miss statistics that the service surfaces in
+responses.
+
+The experiment harness (:mod:`repro.experiments.harness`) routes its
+per-sweep objective/evaluation reuse through the same sessions via
+:func:`shared_session`, so ``sweep_tau``/``sweep_k``/``run_figure`` and
+the ``repro serve`` daemon share one reuse path — a sweep warmed by a
+service request (or vice versa) pays for sampling exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.dynamic import DynamicMaximizer
+from repro.core.functions import GroupedObjective
+from repro.core.problem import BSMProblem
+from repro.core.result import SolverResult
+from repro.datasets.registry import Dataset
+from repro.utils.caching import BoundedCache, lru_bound
+
+#: Default byte budgets. Objectives dominate (a 30k-sample RR collection
+#: on a few thousand nodes is tens of MB); evaluation bundles are a few
+#: floats each, bounded anyway so a tau sweep over thousands of distinct
+#: solutions cannot grow without bound.
+DEFAULT_OBJECTIVE_BUDGET = 256 * 1024 * 1024
+DEFAULT_EVAL_BUDGET = 8 * 1024 * 1024
+#: Capacity of the module-level session registry (count, not bytes —
+#: sessions grow after creation, so their internal caches self-bound
+#: instead).
+MAX_SHARED_SESSIONS = 16
+#: Live dynamic maximizers kept per session (count-LRU: each pins an
+#: ObjectiveState sized by its objective, and a long-lived daemon must
+#: not accumulate one per distinct update configuration forever).
+MAX_DYNAMIC_INSTANCES = 8
+
+#: Dataset kinds whose objective ships ready-made with the dataset.
+_STATIC_KINDS = ("coverage", "facility", "recommendation", "summarization")
+
+
+def _decomposition_law(workers: Optional[int]) -> str:
+    """Cache-key component for the sampling RNG decomposition.
+
+    ``workers=None`` runs the legacy in-line stream; any worker count
+    runs the unit decomposition, and all counts produce bitwise-identical
+    results (the parallel backend's determinism contract) — so cached
+    entries are shared across worker counts but never across the two
+    laws, whose streams differ.
+    """
+    return "serial" if workers is None else "units"
+
+
+class SolverSession:
+    """Warm solver state for one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The loaded workload (see :mod:`repro.datasets.registry`).
+    workers:
+        Default process-pool width for sampling/evaluation calls that do
+        not override it (``None`` = legacy serial stream).
+    objective_budget, eval_budget:
+        Byte budgets of the objective and evaluation caches.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        workers: Optional[int] = None,
+        objective_budget: int = DEFAULT_OBJECTIVE_BUDGET,
+        eval_budget: int = DEFAULT_EVAL_BUDGET,
+    ) -> None:
+        self.dataset = dataset
+        self.workers = workers
+        self._objectives = BoundedCache(objective_budget)
+        self._evaluations = BoundedCache(eval_budget)
+        self._dynamic = BoundedCache(
+            MAX_DYNAMIC_INSTANCES, sizeof=lambda maximizer: 1
+        )
+        self.requests = 0
+
+    # -- keys -------------------------------------------------------------
+    def _graph_key(self) -> tuple:
+        graph = self.dataset.graph
+        return (self.dataset.name, id(graph), graph.version)
+
+    # -- warm accessors ----------------------------------------------------
+    def objective(
+        self,
+        *,
+        im_samples: int = 2_000,
+        sample_seed: int = 0,
+        workers: Optional[int] = ...,  # type: ignore[assignment]
+    ) -> GroupedObjective:
+        """The solvable objective, materialised at most once per config.
+
+        Static kinds return the dataset's ready objective. Influence
+        datasets sample an RR collection on first use and keep the
+        resulting :class:`~repro.problems.influence.InfluenceObjective`
+        — CSR incidence, inverted index and all — warm across requests,
+        keyed by graph identity *and* :attr:`Graph.version` so in-place
+        mutation invalidates the entry.
+        """
+        self.requests += 1
+        dataset = self.dataset
+        if dataset.kind in _STATIC_KINDS:
+            return dataset.objective
+        if dataset.kind != "influence":
+            raise ValueError(f"unknown dataset kind {dataset.kind!r}")
+        if workers is ...:
+            workers = self.workers
+        from repro.problems.influence import InfluenceObjective
+
+        key = self._graph_key() + (
+            int(im_samples), int(sample_seed), _decomposition_law(workers),
+        )
+
+        def build() -> InfluenceObjective:
+            return InfluenceObjective.from_graph(
+                dataset.graph, im_samples,
+                seed=sample_seed, workers=workers,
+            )
+
+        return self._objectives.get_or_create(
+            key, build, anchor=dataset.graph
+        )
+
+    def evaluate_mc(
+        self,
+        solution: tuple[int, ...],
+        *,
+        mc_simulations: int,
+        mc_seed: int,
+        workers: Optional[int] = ...,  # type: ignore[assignment]
+    ) -> tuple[float, float]:
+        """Monte-Carlo ``(f, g)`` of a seed set, one cascade bundle per
+        distinct ``(solution, budget, seed)``.
+
+        Within a sweep every row re-scoring the same solution (flat
+        baselines, or a tau-aware algorithm whose selection did not move
+        between sweep points) reuses the batched simulation instead of
+        re-running thousands of cascades.
+        """
+        self.requests += 1
+        if self.dataset.kind != "influence":
+            raise ValueError("evaluate_mc only applies to influence datasets")
+        if workers is ...:
+            workers = self.workers
+        dataset = self.dataset
+        key = self._graph_key() + (
+            tuple(sorted(solution)), int(mc_simulations), int(mc_seed),
+            _decomposition_law(workers),
+        )
+
+        def build() -> tuple[float, float]:
+            from repro.influence.ic_model import monte_carlo_group_spread
+
+            values = monte_carlo_group_spread(
+                dataset.graph, solution, mc_simulations,
+                seed=mc_seed, workers=workers,
+            )
+            weights = dataset.graph.group_sizes() / dataset.graph.num_nodes
+            return (float(weights @ values), float(values.min()))
+
+        return self._evaluations.get_or_create(
+            key, build, anchor=dataset.graph
+        )
+
+    def evaluate(
+        self,
+        items: tuple[int, ...],
+        *,
+        im_samples: int = 2_000,
+        sample_seed: int = 0,
+        mc_simulations: int = 0,
+        workers: Optional[int] = ...,  # type: ignore[assignment]
+    ) -> tuple[float, float]:
+        """``(f, g)`` of an arbitrary solution on the warm objective.
+
+        Influence datasets with ``mc_simulations > 0`` re-score by
+        Monte-Carlo simulation (the paper's reporting convention);
+        otherwise values come from the oracle estimates.
+        """
+        if self.dataset.kind == "influence" and mc_simulations > 0:
+            return self.evaluate_mc(
+                tuple(items), mc_simulations=mc_simulations,
+                mc_seed=sample_seed, workers=workers,
+            )
+        objective = self.objective(
+            im_samples=im_samples, sample_seed=sample_seed, workers=workers
+        )
+        values = objective.evaluate(items)
+        return (
+            float(objective.group_weights @ values), float(values.min())
+        )
+
+    def solve(
+        self,
+        algorithm: str,
+        k: int,
+        tau: float = 0.0,
+        *,
+        im_samples: int = 2_000,
+        sample_seed: int = 0,
+        workers: Optional[int] = ...,  # type: ignore[assignment]
+        **solver_kwargs: Any,
+    ) -> SolverResult:
+        """One solver run on the warm objective (via the solver registry)."""
+        objective = self.objective(
+            im_samples=im_samples, sample_seed=sample_seed, workers=workers
+        )
+        problem = BSMProblem(objective, k=k, tau=tau)
+        return problem.solve(algorithm, **solver_kwargs)
+
+    def dynamic(
+        self,
+        k: int,
+        *,
+        im_samples: int = 2_000,
+        sample_seed: int = 0,
+        rebuild_factor: float = 0.5,
+    ) -> DynamicMaximizer:
+        """The live dynamic maximizer for one update configuration.
+
+        Instances persist across requests (their live set and solution
+        are the whole point) inside a count-LRU of
+        :data:`MAX_DYNAMIC_INSTANCES` — the least-recently-used
+        configuration is dropped, losing its stream state, rather than
+        letting a long-lived daemon accumulate maximizers forever. For
+        influence datasets the key carries :attr:`Graph.version`, so an
+        in-place graph mutation retires maximizers built on the old
+        probabilities instead of serving stale solutions.
+        """
+        graph = self.dataset.graph
+        version = (
+            graph.version
+            if graph is not None and self.dataset.kind == "influence"
+            else 0
+        )
+        key = (int(k), int(im_samples), int(sample_seed),
+               float(rebuild_factor), version)
+
+        def build() -> DynamicMaximizer:
+            objective = self.objective(
+                im_samples=im_samples, sample_seed=sample_seed
+            )
+            return DynamicMaximizer(
+                objective, k, rebuild_factor=rebuild_factor
+            )
+
+        anchor = graph if graph is not None else self.dataset.objective
+        return self._dynamic.get_or_create(key, build, anchor=anchor)
+
+    # -- bookkeeping -------------------------------------------------------
+    @property
+    def objective_cache(self) -> BoundedCache:
+        return self._objectives
+
+    @property
+    def evaluation_cache(self) -> BoundedCache:
+        return self._evaluations
+
+    @property
+    def dynamic_cache(self) -> BoundedCache:
+        return self._dynamic
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-safe cache statistics (embedded in service responses)."""
+        return {
+            "dataset": self.dataset.name,
+            "kind": self.dataset.kind,
+            "requests": self.requests,
+            "objective": self._objectives.stats.as_dict(),
+            "evaluation": self._evaluations.stats.as_dict(),
+            "dynamic_instances": len(self._dynamic),
+            "dynamic": self._dynamic.stats.as_dict(),
+        }
+
+    def memory_bytes(self) -> int:
+        """Footprint hook for :func:`repro.utils.caching.estimate_nbytes`."""
+        return (
+            self._objectives.current_bytes + self._evaluations.current_bytes
+        )
+
+
+def _session_key(dataset: Dataset, *, workers: Optional[int] = None) -> tuple:
+    # Keyed by dataset identity plus the RNG decomposition law, mirroring
+    # the historical harness contract: cached samples are shared across
+    # positive worker counts (bitwise-identical streams) but never across
+    # the serial/units boundary, whose streams differ.
+    anchor = dataset.graph if dataset.graph is not None else dataset.objective
+    return (dataset.name, id(anchor), _decomposition_law(workers))
+
+
+def _session_valid(
+    session: SolverSession, dataset: Dataset, *, workers: Optional[int] = None
+) -> bool:
+    # Identity pin against id() recycling.
+    ours = session.dataset
+    return (
+        ours.graph is dataset.graph
+        if dataset.graph is not None
+        else ours.objective is dataset.objective
+    )
+
+
+@lru_bound(
+    MAX_SHARED_SESSIONS,
+    key=_session_key,
+    validate=_session_valid,
+    sizeof=lambda session: 1,  # registry bounds session *count*, not bytes
+)
+def shared_session(
+    dataset: Dataset, *, workers: Optional[int] = None
+) -> SolverSession:
+    """The module-level warm session for a loaded dataset.
+
+    Keyed by dataset identity (two ``load_dataset`` calls produce
+    independent instances, exactly like the old harness caches); the
+    registry holds at most :data:`MAX_SHARED_SESSIONS` sessions, LRU.
+    Batch jobs (the sweep harness) and one-shot CLI requests go through
+    here, so repeated runs against the same loaded dataset share warm
+    state.
+    """
+    return SolverSession(dataset, workers=workers)
+
+
+def reset_shared_sessions() -> None:
+    """Drop every shared session (tests and benchmarks)."""
+    shared_session.cache_clear()  # type: ignore[attr-defined]
+
+
+def shared_session_stats() -> list[dict[str, Any]]:
+    """Stats of every live shared session (the ``stats`` op reports it)."""
+    cache = shared_session.cache  # type: ignore[attr-defined]
+    return [cache.peek(key).stats() for key in cache.keys()]

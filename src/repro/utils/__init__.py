@@ -5,6 +5,12 @@ other subsystem — graphs, datasets, solvers — can import them without
 creating cycles.
 """
 
+from repro.utils.caching import (
+    BoundedCache,
+    CacheStats,
+    estimate_nbytes,
+    lru_bound,
+)
 from repro.utils.parallel import (
     SharedArrays,
     WorkerContext,
@@ -31,6 +37,8 @@ from repro.utils.validation import (
 
 __all__ = [
     "Aggregate",
+    "BoundedCache",
+    "CacheStats",
     "SharedArrays",
     "Timer",
     "WorkerContext",
@@ -41,7 +49,9 @@ __all__ = [
     "check_non_negative",
     "check_positive_int",
     "check_probability",
+    "estimate_nbytes",
     "fork_available",
+    "lru_bound",
     "paired_sign_test",
     "parallel_map",
     "replicate",

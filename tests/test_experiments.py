@@ -103,23 +103,27 @@ class TestInfluenceSweep:
         assert 0 <= row.fairness <= row.utility <= 1
 
     def test_collection_shared_across_tau_and_k_sweeps(self):
-        from repro.experiments import harness
+        from repro.service.session import reset_shared_sessions, shared_session
 
-        harness._RR_OBJECTIVE_CACHE.clear()
+        reset_shared_sessions()
         data = load_dataset("rand-im-c2", seed=1)
         kwargs = dict(algorithms=("Greedy",), im_samples=200,
                       mc_simulations=20, seed=3)
         sweep_tau(data, k=3, taus=(0.5,), **kwargs)
-        assert len(harness._RR_OBJECTIVE_CACHE) == 1
+        session = shared_session(data)
+        stats = session.objective_cache.stats
+        assert stats.entries == 1 and stats.misses == 1
         sweep_k(data, ks=(3,), tau=0.5, **kwargs)
-        assert len(harness._RR_OBJECTIVE_CACHE) == 1  # reused, not re-sampled
+        stats = session.objective_cache.stats
+        assert stats.entries == 1  # reused, not re-sampled
+        assert stats.misses == 1 and stats.hits >= 1
 
     def test_cache_distinguishes_same_shaped_graphs(self):
         # Regression: two graphs with identical name/dimensions but
         # different edge probabilities must not share a cached collection.
-        from repro.experiments import harness
+        from repro.service.session import reset_shared_sessions, shared_session
 
-        harness._RR_OBJECTIVE_CACHE.clear()
+        reset_shared_sessions()
         a = load_dataset("rand-im-c2", seed=1)
         b = load_dataset("rand-im-c2", seed=1)
         b.graph.set_edge_probabilities(0.9)
@@ -127,7 +131,11 @@ class TestInfluenceSweep:
                       mc_simulations=0, seed=3)
         low = sweep_tau(a, k=3, taus=(0.5,), **kwargs)
         high = sweep_tau(b, k=3, taus=(0.5,), **kwargs)
-        assert len(harness._RR_OBJECTIVE_CACHE) == 2
+        # Identity-keyed sessions: each loaded dataset owns its own
+        # sampled objective.
+        assert shared_session(a) is not shared_session(b)
+        assert shared_session(a).objective_cache.stats.entries == 1
+        assert shared_session(b).objective_cache.stats.entries == 1
         # p=0.9 spreads much further than the default p: a shared cache
         # entry would have made these rows identical.
         assert high.rows[0].utility > low.rows[0].utility
@@ -135,10 +143,10 @@ class TestInfluenceSweep:
     def test_cache_invalidated_by_in_place_mutation(self):
         # Regression: mutating the same graph object between sweeps must
         # not return the collection sampled under the old probabilities
-        # (Graph.version is part of the cache key).
-        from repro.experiments import harness
+        # (Graph.version is part of the session's cache key).
+        from repro.service.session import reset_shared_sessions
 
-        harness._RR_OBJECTIVE_CACHE.clear()
+        reset_shared_sessions()
         data = load_dataset("rand-im-c2", seed=1)
         kwargs = dict(algorithms=("Greedy",), im_samples=200,
                       mc_simulations=0, seed=3)
@@ -161,6 +169,7 @@ class TestFigures:
         with pytest.raises(ValueError):
             run_figure("fig3", scale="huge")
 
+    @pytest.mark.slow
     def test_fig3_smoke(self):
         results = run_figure(
             "fig3",

@@ -59,6 +59,7 @@ class TestGreedyCoverageFraction:
         assert frac == pytest.approx(1 / 3)
 
 
+@pytest.mark.slow
 class TestImmRRCollection:
     def _graph(self):
         g = stochastic_block_model([20, 20], 0.2, 0.05, seed=0)

@@ -173,6 +173,7 @@ def _identity_arrays(ctx: WorkerContext, task: int):
     return ctx.arrays[0]
 
 
+@pytest.mark.slow
 @pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
 class TestWorkerCountInvariance:
     """The tentpole contract: results never depend on the worker count."""
@@ -257,6 +258,7 @@ class TestWorkerCountInvariance:
         np.testing.assert_array_equal(a.set_indices, b.set_indices)
 
 
+@pytest.mark.slow
 @pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
 class TestHarnessWorkers:
     def test_sweep_rows_worker_invariant(self):

@@ -1,0 +1,193 @@
+"""Property-based tests for the service protocol and cache primitives.
+
+Hypothesis drives the JSON round-trip of the request/response schema
+(every valid request survives ``decode(encode(.))`` exactly) and the
+byte-budget invariant of :class:`repro.utils.caching.BoundedCache`
+under arbitrary operation sequences.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.protocol import (
+    OPS,
+    UPDATE_ACTIONS,
+    ProtocolError,
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    request_from_dict,
+)
+from repro.utils.caching import BoundedCache
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+_ids = st.text(
+    alphabet=st.characters(codec="ascii", exclude_characters="\n\r"),
+    max_size=12,
+)
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-0123456789", min_size=1, max_size=20
+)
+_floats = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def requests() -> st.SearchStrategy[Request]:
+    return st.builds(
+        Request,
+        op=st.sampled_from(OPS),
+        id=_ids,
+        dataset=_names,
+        algorithm=_names,
+        k=st.integers(min_value=1, max_value=10_000),
+        tau=_floats,
+        seed=st.integers(min_value=0, max_value=2**31),
+        im_samples=st.integers(min_value=1, max_value=10**6),
+        mc_simulations=st.integers(min_value=0, max_value=10**6),
+        workers=st.one_of(
+            st.none(), st.integers(min_value=-1, max_value=64)
+        ),
+        items=st.lists(
+            st.integers(min_value=0, max_value=10**6), max_size=8
+        ).map(tuple),
+        events=st.lists(
+            st.tuples(
+                st.sampled_from(UPDATE_ACTIONS),
+                st.integers(min_value=0, max_value=10**6),
+            ),
+            max_size=8,
+        ).map(tuple),
+        parameter=st.sampled_from(("tau", "k")),
+        values=st.lists(
+            st.floats(
+                min_value=0.0, max_value=100.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+            max_size=8,
+        ).map(tuple),
+        algorithms=st.lists(_names, max_size=4).map(tuple),
+    )
+
+
+def responses() -> st.SearchStrategy[Response]:
+    scalars = st.one_of(
+        st.booleans(),
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.floats(allow_nan=False, allow_infinity=False),
+        _names,
+    )
+    payloads = st.dictionaries(_names, scalars, max_size=6)
+    return st.builds(
+        Response,
+        op=st.sampled_from(OPS),
+        id=_ids,
+        ok=st.booleans(),
+        error=_ids,
+        warm=st.booleans(),
+        result=payloads,
+        cache=payloads,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------------
+@given(requests())
+@settings(max_examples=200)
+def test_request_round_trip(request: Request) -> None:
+    assert decode_request(encode_request(request)) == request
+
+
+@given(requests())
+def test_request_encoding_is_single_json_line(request: Request) -> None:
+    line = encode_request(request)
+    assert "\n" not in line
+    json.loads(line)  # valid JSON
+
+
+@given(responses())
+@settings(max_examples=200)
+def test_response_round_trip(response: Response) -> None:
+    assert decode_response(encode_response(response)) == response
+
+
+@given(requests())
+def test_round_trip_is_idempotent(request: Request) -> None:
+    once = encode_request(decode_request(encode_request(request)))
+    assert once == encode_request(request)
+
+
+# ---------------------------------------------------------------------------
+# Validation rejections
+# ---------------------------------------------------------------------------
+@given(st.text(max_size=30))
+def test_garbage_never_crashes_decoder(text: str) -> None:
+    try:
+        decoded = decode_request(text)
+    except ProtocolError:
+        return
+    assert isinstance(decoded, Request)
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {"op": "teleport"},
+        {"op": "solve", "k": 0},
+        {"op": "solve", "tau": 1.5},
+        {"op": "solve", "im_samples": 0},
+        {"op": "solve", "mc_simulations": -1},
+        {"op": "solve", "parameter": "epsilon"},
+        {"op": "solve", "bogus_field": 1},
+        {"op": "update", "events": [["explode", 3]]},
+        {"op": "update", "events": [["insert"]]},
+        {"op": "solve", "k": True},
+        {"op": "solve", "workers": "many"},
+        ["not", "an", "object"],
+    ],
+)
+def test_invalid_payloads_rejected(payload) -> None:
+    with pytest.raises(ProtocolError):
+        request_from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# BoundedCache invariants
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),  # key
+            st.integers(min_value=0, max_value=80),  # value size
+            st.booleans(),  # get vs put
+        ),
+        max_size=60,
+    ),
+    st.integers(min_value=1, max_value=120),  # budget
+)
+@settings(max_examples=200)
+def test_bounded_cache_never_exceeds_budget(ops, budget) -> None:
+    cache = BoundedCache(budget, sizeof=len)
+    for key, size, is_get in ops:
+        if is_get:
+            cache.get(key)
+        else:
+            cache.put(key, b"x" * size)
+        stats = cache.stats
+        assert stats.current_bytes <= budget
+        assert stats.entries == len(cache)
+        # Accounting matches reality exactly.
+        assert stats.current_bytes == sum(
+            len(cache.peek(k)) for k in cache.keys()
+        )

@@ -9,6 +9,8 @@ from repro.experiments.replication import (
     replicate_tau_sweep,
 )
 
+pytestmark = pytest.mark.slow  # replicated sweeps re-solve many instances
+
 ALGOS = ("Greedy", "BSM-TSGreedy", "BSM-Saturate")
 TAUS = (0.2, 0.8)
 
