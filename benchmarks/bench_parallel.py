@@ -186,18 +186,21 @@ def _measure() -> dict:
             "serial_wall_time_s": rr_serial_s,
             "parallel_wall_time_s": rr_pool_s,
             "speedup": rr_serial_s / rr_pool_s if rr_pool_s > 0 else float("inf"),
+            "faster_path": "pool" if rr_pool_s < rr_serial_s else "serial",
             "bitwise_identical": rr_identical,
         },
         "mc_evaluation": {
             "serial_wall_time_s": mc_serial_s,
             "parallel_wall_time_s": mc_pool_s,
             "speedup": mc_serial_s / mc_pool_s if mc_pool_s > 0 else float("inf"),
+            "faster_path": "pool" if mc_pool_s < mc_serial_s else "serial",
             "bitwise_identical": mc_identical,
         },
         "greedi": {
             "serial_wall_time_s": gd_serial_s,
             "parallel_wall_time_s": gd_pool_s,
             "speedup": gd_serial_s / gd_pool_s if gd_pool_s > 0 else float("inf"),
+            "faster_path": "pool" if gd_pool_s < gd_serial_s else "serial",
             "bitwise_identical": greedi_identical,
             "winner": serial_greedi.extra["winner"],
         },
@@ -225,11 +228,14 @@ def _check(payload: dict) -> list[str]:
     if payload["speedup_gate"]:
         for metric in GATED_METRICS:
             half = metric.split(".")[0]
-            speedup = payload[half]["speedup"]
-            if speedup < MIN_SPEEDUP:
+            stats = payload[half]
+            if stats["speedup"] < MIN_SPEEDUP:
                 failures.append(
-                    f"{half}: speedup {speedup:.2f}x below {MIN_SPEEDUP}x "
-                    f"at {payload['workers']} workers"
+                    f"{half}: speedup {stats['speedup']:.2f}x below "
+                    f"{MIN_SPEEDUP}x at {payload['workers']} workers "
+                    f"(the {stats['faster_path']} path won: "
+                    f"serial {stats['serial_wall_time_s']:.3f}s vs "
+                    f"pool {stats['parallel_wall_time_s']:.3f}s)"
                 )
     return failures
 
@@ -258,7 +264,8 @@ def _report(payload: dict) -> None:
             f"    serial:   {stats['serial_wall_time_s']:.3f}s",
             f"    parallel: {stats['parallel_wall_time_s']:.3f}s",
             f"    speedup:  {stats['speedup']:.2f}x  "
-            f"(bitwise identical: {stats['bitwise_identical']})",
+            f"({stats['faster_path']} path won, "
+            f"bitwise identical: {stats['bitwise_identical']})",
         ]
     lines.append(f"  [json written to {json_path}]")
     record("parallel", "\n".join(lines))

@@ -9,6 +9,10 @@ asserts:
 * the warm-hit ratio over warm-eligible requests clears
   :data:`MIN_WARM_RATIO` (the service actually reuses state);
 * the coalesced batch members report their shared run;
+* the update-heavy tail (graph-mutating ``edge_events``) keeps the
+  session warm: every mutating update after the first reports
+  ``warm: true`` and ``repaired: true`` — the sampled state is
+  delta-repaired in place, never evicted and rebuilt;
 * the daemon acknowledges ``shutdown`` and exits cleanly (status 0).
 
 Run in CI (see ``.github/workflows/ci.yml``) or locally::
@@ -63,6 +67,26 @@ def _script() -> tuple[list[str], int]:
          "items": [4, 7], "im_samples": IM_SAMPLES},
         solve("s14", "rand-fl-c2", 3),
         {"op": "stats", "id": "s15"},
+    ]
+    # Update-heavy tail: a live edge stream against the warm rand-im-c2
+    # session. u16 builds the dynamic maximizer (cold); u17/u18 mutate
+    # the graph and must land on warm, in-place-repaired sampled state.
+    from repro.datasets.registry import load_dataset
+
+    graph = load_dataset("rand-im-c2", seed=0).graph
+    u, v, p = next(graph.edges())
+    singles += [
+        {"op": "update", "id": "u16", "dataset": "rand-im-c2", "k": 3,
+         "im_samples": IM_SAMPLES,
+         "events": [["insert", 0], ["insert", 5]]},
+        {"op": "update", "id": "u17", "dataset": "rand-im-c2", "k": 3,
+         "im_samples": IM_SAMPLES,
+         "events": [["insert", 7]],
+         "edge_events": [["set_probability", u, v, min(1.0, 5 * p)]]},
+        {"op": "update", "id": "u18", "dataset": "rand-im-c2", "k": 3,
+         "im_samples": IM_SAMPLES,
+         "edge_events": [["add_edge", 0, graph.num_nodes - 1, p],
+                         ["set_probability", u, v, p]]},
     ]
     batch = [
         solve("b16", "rand-fl-c2", 2),
@@ -121,7 +145,7 @@ def main() -> int:
     # the warm flag honestly reports as cold).
     warm_eligible = [
         "s02", "s03", "s04", "s06", "s08", "s09", "s10", "s11",
-        "s12", "s13", "b16", "b17", "b18", "b19",
+        "s12", "s13", "u17", "u18", "b16", "b17", "b18", "b19",
     ]
     warm_hits = sum(
         1 for rid in warm_eligible if by_id.get(rid, {}).get("warm")
@@ -144,6 +168,20 @@ def main() -> int:
     stats = by_id.get("s15", {}).get("result", {})
     if stats.get("requests_served", 0) < 14:
         failures.append(f"stats under-report requests: {stats}")
+
+    # Sessions stay warm across graph-mutating updates: after u16 pays
+    # the cold build, every subsequent edge_events update must repair
+    # the warm sampled state in place rather than rebuild it.
+    for rid in ("u17", "u18"):
+        result = by_id.get(rid, {}).get("result", {})
+        if not (by_id.get(rid, {}).get("warm") and result.get("repaired")):
+            failures.append(
+                f"{rid}: edge-event update was not a warm in-place repair "
+                f"(warm={by_id.get(rid, {}).get('warm')}, "
+                f"result={result})"
+            )
+    if by_id.get("u18", {}).get("result", {}).get("edges_applied") != 2:
+        failures.append("u18 did not apply both edge events")
 
     if by_id.get("s20", {}).get("result") != {"stopping": True}:
         failures.append("shutdown was not acknowledged")

@@ -17,7 +17,11 @@ The CLI is a thin veneer over :class:`repro.core.problem.BSMProblem`,
 programmatically too. ``serve`` keeps solver sessions warm across
 requests (sampled RR collections, benefit matrices, evaluation bundles
 survive between lines), which is what makes repeated requests against
-one dataset cheap; ``request`` is the matching one-shot runner.
+one dataset cheap; ``request`` is the matching one-shot runner. The
+``update`` op additionally takes ``edge_events`` — arc-level graph
+mutations (``[["set_probability", u, v, p], ...]``) that warm influence
+sessions absorb by repairing their sampled state in place rather than
+resampling (see DESIGN.md §9).
 """
 
 from __future__ import annotations

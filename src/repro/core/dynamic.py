@@ -86,6 +86,10 @@ class DynamicMaximizer:
         self._max_singleton = 0.0
         self._dirty = 0
         self.rebuilds = 0
+        # Epoch of the objective's sampled state this maximizer's
+        # solution was computed against (influence objectives bump it on
+        # refresh(); static objectives never change, so 0 stays valid).
+        self._objective_epoch = getattr(objective, "repair_epoch", 0)
 
     # -- public API ---------------------------------------------------------
     @property
@@ -161,6 +165,47 @@ class DynamicMaximizer:
             "deleted": deleted,
             "rebuilds": self.rebuilds,
         }
+
+    @property
+    def objective(self) -> GroupedObjective:
+        return self._objective
+
+    @property
+    def stale(self) -> bool:
+        """Whether the backing objective repaired past this solution."""
+        return (
+            getattr(self._objective, "repair_epoch", 0)
+            != self._objective_epoch
+        )
+
+    def refresh(self, graph=None, *, workers=None):
+        """Repair the backing objective, then rebuild if anything moved.
+
+        The repair-then-rebuild path for dynamic graphs: the influence
+        objective splices regenerated RR sets for the changed arcs
+        (:meth:`repro.problems.influence.InfluenceObjective.refresh`),
+        and only when that actually altered the sampled state does the
+        maintained solution get recomputed — a cold rebuild becomes
+        amortized O(affected sets) + one threshold pass. Objectives
+        without a ``refresh`` hook (static kinds) are a no-op. Returns
+        the objective's repair result, or ``None`` for static objectives.
+        ``workers=None`` defers to the objective's bound sampling law.
+        """
+        repair = getattr(self._objective, "refresh", None)
+        result = None
+        if repair is not None:
+            kwargs = {} if workers is None else {"workers": workers}
+            result = repair(graph, **kwargs)
+        if self.stale:
+            # The sampled universe changed shape-compatibly (repair) or
+            # entirely (full resample); refresh the persistent empty
+            # probe state before recomputing the solution against it.
+            self._empty = self._objective.new_state()
+            self._rebuild()
+            self._objective_epoch = getattr(
+                self._objective, "repair_epoch", 0
+            )
+        return result
 
     def best(self) -> ObjectiveState:
         """A state whose solution contains only live items.

@@ -93,12 +93,16 @@ class SweepResult:
 # the 10,000-cascade evaluation dominate influence sweeps (DESIGN.md
 # section 6), and a tau/k sweep re-scores the same graph -- often the
 # same solution -- at every sweep point. `shared_session` keys sessions
-# by dataset identity (an in-place `set_edge_probabilities`/`add_edge`
-# bumps `Graph.version` and invalidates the session's internal entries),
-# and every cache is a byte-budgeted LRU (`repro.utils.caching`), so a
-# long-lived batch process cannot leak -- the unbounded module dicts
-# that used to live here are gone. The `repro serve` daemon runs through
-# the same sessions, so batch jobs and the service share one reuse path.
+# by dataset identity; an in-place `add_edge`/`set_arc_probability`
+# between sweeps bumps `Graph.version` and the session *repairs* its
+# warm objective against the mutation delta (DESIGN.md section 9) --
+# only RR sets touching changed arcs are regenerated -- while
+# whole-graph rewrites (`set_edge_probabilities`) fall back to a full
+# resample. Every cache is a byte-budgeted LRU (`repro.utils.caching`),
+# so a long-lived batch process cannot leak -- the unbounded module
+# dicts that used to live here are gone. The `repro serve` daemon runs
+# through the same sessions, so batch jobs and the service share one
+# reuse path.
 
 
 def _objective_for(

@@ -8,7 +8,7 @@ subsystem benefits from the compact CSR-style layout exposed by
 :meth:`Graph.out_adjacency`.
 """
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, GraphDelta
 from repro.graphs.generators import (
     erdos_renyi,
     gaussian_points,
@@ -27,6 +27,7 @@ from repro.graphs.metrics import (
 
 __all__ = [
     "Graph",
+    "GraphDelta",
     "GraphStatistics",
     "degree_sequence",
     "erdos_renyi",

@@ -8,6 +8,7 @@ arcs so that the influence and coverage code paths are identical for both.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
@@ -18,6 +19,33 @@ from repro.utils.validation import check_positive_int
 
 EdgeLike = Tuple[int, int]
 WeightedEdgeLike = Tuple[int, int, float]
+
+#: Arc records the mutation log keeps before it gives up. Dynamic
+#: workloads mutate a handful of arcs per event, so the log stays tiny;
+#: a whole-graph rewrite (``set_edge_probabilities``) would blow through
+#: any cap and is floored instead (see :meth:`Graph.mutations_since`).
+MUTATION_LOG_LIMIT = 65_536
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """Arc-level changes between two graph versions.
+
+    Parallel arrays, one entry per changed *stored arc* (an undirected
+    edge mutation contributes both directions): arc ``sources[i] ->
+    targets[i]`` moved from probability ``old_probabilities[i]`` to
+    ``new_probabilities[i]``. A freshly added arc records ``old = 0.0``
+    — absent and never-live are the same event under the IC model.
+    """
+
+    sources: np.ndarray
+    targets: np.ndarray
+    old_probabilities: np.ndarray
+    new_probabilities: np.ndarray
+
+    @property
+    def num_arcs(self) -> int:
+        return int(self.sources.size)
 
 
 class Graph:
@@ -57,6 +85,12 @@ class Graph:
             tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = None
         self._version = 0
+        # Arc-level mutation records ``(version, u, v, old_p, new_p)``.
+        # ``_log_floor`` is the oldest version the log can still replay
+        # from; whole-graph rewrites raise it past the current version so
+        # consumers fall back to a full rebuild (see mutations_since).
+        self._mutation_log: list[tuple[int, int, int, float, float]] = []
+        self._log_floor = 0
         for edge in edges:
             if len(edge) == 2:
                 u, v = edge  # type: ignore[misc]
@@ -85,6 +119,10 @@ class Graph:
         self._csr_cache = None
         self._transpose_cache = None
         self._version += 1
+        # A new arc is a probability move from 0 (never live) to p.
+        self._record_mutation(u, v, 0.0, probability)
+        if not self.directed and u != v:
+            self._record_mutation(v, u, 0.0, probability)
 
     def set_groups(self, groups: Sequence[int]) -> None:
         """Attach group labels; labels must be ``0..c-1`` with no empty group."""
@@ -116,6 +154,97 @@ class Graph:
         self._csr_cache = None
         self._transpose_cache = None
         self._version += 1
+        # A whole-graph rewrite touches every arc: logging it would make
+        # the "repair" as expensive as a rebuild, so floor the log instead
+        # and let mutations_since() report the delta as unreplayable.
+        self._mutation_log.clear()
+        self._log_floor = self._version
+
+    def set_arc_probability(self, u: int, v: int, probability: float) -> None:
+        """Update the probability of the existing arc ``u -> v``.
+
+        For undirected graphs the mirror arc ``v -> u`` is updated too.
+        Raises :class:`KeyError` if the arc is absent — use
+        :meth:`add_edge` to create new arcs. Parallel arcs (the graph
+        permits duplicates) are all updated.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if all(w != v for w in self._succ[u]):
+            raise KeyError(f"arc {u} -> {v} not present")
+        # Bump before recording so the log entries carry the version the
+        # mutation *creates* (matching add_edge, where consumers replay
+        # "everything after version X").
+        self._version += 1
+        self._set_one_arc(u, v, probability)
+        if not self.directed and u != v:
+            self._set_one_arc(v, u, probability)
+        self._csr_cache = None
+        self._transpose_cache = None
+
+    def _set_one_arc(self, u: int, v: int, probability: float) -> None:
+        hits = [i for i, w in enumerate(self._succ[u]) if w == v]
+        if not hits:
+            raise KeyError(f"arc {u} -> {v} not present")
+        for i in hits:
+            old = self._succ_p[u][i]
+            self._succ_p[u][i] = probability
+            self._record_mutation(u, v, old, probability)
+
+    def _record_mutation(self, u: int, v: int, old_p: float, new_p: float) -> None:
+        self._mutation_log.append((self._version, u, v, old_p, new_p))
+        if len(self._mutation_log) > MUTATION_LOG_LIMIT:
+            self._mutation_log.clear()
+            self._log_floor = self._version
+
+    def mutations_since(self, version: int) -> Optional[GraphDelta]:
+        """Arc deltas between ``version`` and the current version.
+
+        Returns ``None`` when the log cannot replay from ``version`` —
+        either the graph was rewritten wholesale
+        (:meth:`set_edge_probabilities`), the log overflowed
+        ``MUTATION_LOG_LIMIT``, or ``version`` predates this object —
+        in which case the caller must rebuild from scratch. Successive
+        mutations of the same arc are collapsed to one record carrying
+        the oldest ``old_p`` and the newest ``new_p``; arcs whose
+        probability ends where it started are dropped entirely.
+        """
+        if version > self._version:
+            raise ValueError(
+                f"version {version} is ahead of graph version {self._version}"
+            )
+        if version < self._log_floor:
+            return None
+        first: dict[tuple[int, int], float] = {}
+        last: dict[tuple[int, int], float] = {}
+        for ver, u, v, old_p, new_p in self._mutation_log:
+            if ver <= version:
+                continue
+            key = (u, v)
+            if key not in first:
+                first[key] = old_p
+            last[key] = new_p
+        changed = [
+            (u, v, first[u, v], last[u, v])
+            for (u, v) in first
+            if first[u, v] != last[u, v]
+        ]
+        if not changed:
+            return GraphDelta(
+                sources=np.empty(0, dtype=np.int64),
+                targets=np.empty(0, dtype=np.int64),
+                old_probabilities=np.empty(0, dtype=np.float64),
+                new_probabilities=np.empty(0, dtype=np.float64),
+            )
+        srcs, tgts, olds, news = zip(*changed)
+        return GraphDelta(
+            sources=np.asarray(srcs, dtype=np.int64),
+            targets=np.asarray(tgts, dtype=np.int64),
+            old_probabilities=np.asarray(olds, dtype=np.float64),
+            new_probabilities=np.asarray(news, dtype=np.float64),
+        )
 
     # ------------------------------------------------------------------
     # Queries

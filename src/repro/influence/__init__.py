@@ -14,7 +14,14 @@ from repro.influence.ic_model import (
     simulate_cascades_batch,
 )
 from repro.influence.lt_model import LTModel
-from repro.influence.ris import RRCollection, sample_rr_collection
+from repro.influence.ris import (
+    RepairResult,
+    RRCollection,
+    affected_rr_sets,
+    repair_rr_collection,
+    repair_seed_sequence,
+    sample_rr_collection,
+)
 from repro.influence.imm import imm_rr_collection, imm_sample_bound
 from repro.influence.triggering import (
     TriggeringModel,
@@ -25,14 +32,18 @@ from repro.influence.triggering import (
 
 __all__ = [
     "LTModel",
+    "RepairResult",
     "RRCollection",
     "TriggeringModel",
+    "affected_rr_sets",
     "ic_trigger_sampler",
     "imm_rr_collection",
     "imm_sample_bound",
     "lt_trigger_sampler",
     "monte_carlo_group_spread",
     "monte_carlo_spread",
+    "repair_rr_collection",
+    "repair_seed_sequence",
     "sample_rr_collection",
     "sample_rr_sets_batch",
     "simulate_cascade",

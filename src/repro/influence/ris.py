@@ -18,16 +18,21 @@ objective layer's inverted index are single NumPy passes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import GroupPartitionError
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, GraphDelta
 from repro.influence.engine import sample_rr_sets_batch
-from repro.utils.csr import build_csr
+from repro.utils.csr import build_csr, splice_packed
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
+
+#: Domain-separation tag for repair seed streams (see
+#: :func:`repair_seed_sequence`).
+REPAIR_STREAM_TAG = 0x5252_5345
 
 
 class RRCollection:
@@ -103,6 +108,18 @@ class RRCollection:
     @property
     def num_sets(self) -> int:
         return self.set_indptr.size - 1
+
+    @property
+    def roots(self) -> np.ndarray:
+        """Root node of every RR set.
+
+        The sampling engine stores each set root-first, so the roots are
+        the first entry of every packed slice (every set has at least its
+        root). Needed by the repair path, which resamples an affected set
+        from the *same* root so the per-group estimates keep their
+        stratification.
+        """
+        return self.set_indices[self.set_indptr[:-1]]
 
     @property
     def sets(self) -> list[np.ndarray]:
@@ -247,3 +264,116 @@ def sample_rr_collection(
     return RRCollection.from_packed(
         set_indptr, set_indices, root_groups, graph.num_nodes, c
     )
+
+
+# ----------------------------------------------------------------------
+# Incremental repair (delta-updates on graph mutation)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of one repair pass over a collection.
+
+    ``affected`` lists the RR-set ids that were resampled (empty when the
+    delta touched no sampled membership, or on a full resample, where the
+    notion of "the same set" no longer applies).
+    """
+
+    affected: np.ndarray
+    sets_total: int
+    full_resample: bool = False
+
+    @property
+    def sets_repaired(self) -> int:
+        if self.full_resample:
+            return self.sets_total
+        return int(self.affected.size)
+
+    @property
+    def repair_ratio(self) -> float:
+        if self.sets_total == 0:
+            return 0.0
+        return self.sets_repaired / self.sets_total
+
+
+def repair_seed_sequence(
+    entropy: int, from_version: int, to_version: int
+) -> np.random.SeedSequence:
+    """The seed-stream law for regenerated RR sets (DESIGN.md §9).
+
+    Repair streams are keyed on the objective's original sampling entropy
+    plus the ``(from, to)`` graph-version pair, under a fixed
+    domain-separation tag. Two consequences: (1) repairing the same
+    mutation twice is deterministic, so repaired objectives stay
+    reproducible and cacheable; (2) the stream never collides with the
+    original sampling stream or with the repair stream of any other
+    version step, so regenerated sets are statistically independent of
+    everything they splice into.
+    """
+    return np.random.SeedSequence(
+        [REPAIR_STREAM_TAG, int(entropy), int(from_version), int(to_version)]
+    )
+
+
+def affected_rr_sets(
+    collection: RRCollection, delta: GraphDelta
+) -> np.ndarray:
+    """RR-set ids whose sampled law changed under ``delta`` (sorted).
+
+    The affected-set rule: the reverse BFS examines arc ``(u, v)`` iff it
+    pops ``v`` — transpose out-arcs of ``v`` are original in-arcs of
+    ``v`` — so a set's sampled trajectory can involve a changed arc only
+    if the set contains that arc's *target*. This covers probability
+    increases too: a set could newly traverse ``(u, v)`` only at a pop of
+    ``v``, which requires ``v`` to already be a member (the "one-level
+    frontier probe" of a head node is therefore subsumed by the
+    membership gather). One boolean gather over the packed entries — no
+    per-set work.
+    """
+    if delta.num_arcs == 0:
+        return np.zeros(0, dtype=np.int64)
+    mask = np.zeros(collection.num_nodes, dtype=bool)
+    mask[delta.targets] = True
+    rows = collection.entry_rows()[mask[collection.set_indices]]
+    return np.unique(rows)
+
+
+def repair_rr_collection(
+    collection: RRCollection,
+    graph: Graph,
+    delta: GraphDelta,
+    seed: SeedLike = None,
+    *,
+    workers: Optional[int] = None,
+) -> RepairResult:
+    """Splice freshly resampled replacements for the affected RR sets.
+
+    Identifies the sets whose membership touches a changed arc's target
+    (:func:`affected_rr_sets`), regenerates *only those* from their
+    original roots on the mutated graph via the batched engine, and
+    splices the replacements into the packed arrays in place
+    (:func:`repro.utils.csr.splice_packed`). Roots, root groups and group
+    counts are unchanged, so every ``f_i`` estimator keeps its
+    stratification. A delta touching no sampled membership leaves the
+    collection bitwise identical and performs zero sampling.
+
+    The caller owns the seed-stream law — objectives derive ``seed`` via
+    :func:`repair_seed_sequence` so repairs are reproducible.
+    """
+    affected = affected_rr_sets(collection, delta)
+    total = collection.num_sets
+    if affected.size == 0:
+        return RepairResult(affected, total)
+    rng = as_generator(seed)
+    roots = collection.set_indices[collection.set_indptr[affected]]
+    sub_indptr, sub_indices = sample_rr_sets_batch(
+        graph.transpose_adjacency(), roots, rng, workers=workers
+    )
+    collection.set_indptr, collection.set_indices = splice_packed(
+        collection.set_indptr,
+        collection.set_indices,
+        affected,
+        sub_indptr,
+        sub_indices,
+    )
+    collection._row_ids = None
+    return RepairResult(affected, total)

@@ -18,8 +18,19 @@ import numpy as np
 from repro.core.functions import GroupedObjective
 from repro.graphs.graph import Graph
 from repro.influence.imm import imm_rr_collection
-from repro.influence.ris import RRCollection, sample_rr_collection
-from repro.utils.csr import batch_group_counts, invert_csr
+from repro.influence.ris import (
+    RepairResult,
+    RRCollection,
+    repair_rr_collection,
+    repair_seed_sequence,
+    sample_rr_collection,
+)
+from repro.utils.csr import (
+    batch_group_counts,
+    gather_csr_slices,
+    invert_csr,
+    merge_sorted_disjoint,
+)
 from repro.utils.rng import SeedLike
 
 
@@ -72,6 +83,41 @@ class InfluenceObjective(GroupedObjective):
         )
         self._root_groups = collection.root_groups
         self._group_counts = collection.group_counts.astype(float)
+        #: Bumped whenever :meth:`refresh` changes the sampled state —
+        #: consumers holding derived state (e.g. the dynamic maximizer)
+        #: compare it to decide whether to rebuild.
+        self.repair_epoch = 0
+        # Graph binding, set by from_graph: refresh() needs the source
+        # graph, its version at sampling time and the sampling config to
+        # repair or (on unreplayable deltas) resample.
+        self._graph: Optional[Graph] = None
+        self._graph_version: Optional[int] = None
+        self._sample_entropy = 0
+        self._num_samples = 0
+        self._stratified = True
+        self._workers: Optional[int] = None
+
+    def _bind_graph(
+        self,
+        graph: Graph,
+        seed: SeedLike,
+        num_samples: int,
+        stratified: bool,
+        workers: Optional[int],
+    ) -> None:
+        self._graph = graph
+        self._graph_version = graph.version
+        # Entropy for the repair seed-stream law. Integer seeds carry
+        # over; live generators and None collapse to 0 — the law only
+        # needs determinism per objective, and it must never consume
+        # draws from a caller's generator (the original sampling stream
+        # is pinned bitwise by tests).
+        self._sample_entropy = (
+            int(seed) if isinstance(seed, (int, np.integer)) else 0
+        )
+        self._num_samples = int(num_samples)
+        self._stratified = bool(stratified)
+        self._workers = workers
 
     @classmethod
     def from_collection(
@@ -101,7 +147,9 @@ class InfluenceObjective(GroupedObjective):
             graph, num_samples, seed=seed, stratified=stratified,
             workers=workers,
         )
-        return cls.from_collection(collection, graph.group_sizes())
+        objective = cls.from_collection(collection, graph.group_sizes())
+        objective._bind_graph(graph, seed, num_samples, stratified, workers)
+        return objective
 
     @classmethod
     def from_graph_imm(
@@ -133,6 +181,15 @@ class InfluenceObjective(GroupedObjective):
     def collection(self) -> RRCollection:
         return self._collection
 
+    @property
+    def graph_version(self) -> Optional[int]:
+        """Graph version the sampled state reflects (None when unbound).
+
+        Unbound objectives (:meth:`from_collection` /
+        :meth:`from_graph_imm`) report ``None`` and cannot refresh.
+        """
+        return self._graph_version
+
     def memory_bytes(self) -> int:
         """Approximate resident size of the sampled state.
 
@@ -150,6 +207,124 @@ class InfluenceObjective(GroupedObjective):
             + self._mem_indices.nbytes
             + self._group_counts.nbytes
             + self._group_sizes.nbytes
+        )
+
+    # -- incremental repair ----------------------------------------------
+    def refresh(
+        self,
+        graph: Optional[Graph] = None,
+        *,
+        workers: Optional[int] = ...,  # type: ignore[assignment]
+    ) -> RepairResult:
+        """Bring the sampled state up to date with the bound graph.
+
+        Reads the graph's mutation log since the version this objective
+        was sampled at. When the delta is replayable, only the affected
+        RR sets are regenerated and spliced in
+        (:func:`repro.influence.ris.repair_rr_collection`) and the CSR
+        inverted index is patched in place; when it is not (whole-graph
+        rewrite, log overflow), the collection is resampled from scratch
+        under the same configuration. Either way the objective ends
+        consistent with the current graph and :attr:`repair_epoch` is
+        bumped iff the sampled state changed.
+
+        Only objectives built by :meth:`from_graph` can refresh —
+        :meth:`from_collection` / :meth:`from_graph_imm` objectives have
+        no graph binding and raise ``ValueError``.
+        """
+        bound = self._graph
+        if bound is None or self._graph_version is None:
+            raise ValueError(
+                "refresh() requires an objective built by from_graph "
+                "(from_collection/from_graph_imm objectives carry no "
+                "graph binding)"
+            )
+        if graph is not None and graph is not bound:
+            raise ValueError(
+                "refresh() must receive the graph this objective was "
+                "sampled from"
+            )
+        graph = bound
+        if workers is ...:
+            workers = self._workers
+        from_version = self._graph_version
+        to_version = graph.version
+        if to_version == from_version:
+            return RepairResult(
+                np.zeros(0, dtype=np.int64), self._collection.num_sets
+            )
+        delta = graph.mutations_since(from_version)
+        seed = repair_seed_sequence(
+            self._sample_entropy, from_version, to_version
+        )
+        if delta is None:
+            # Unreplayable delta: resample the whole collection under
+            # the original configuration (fresh stream — the repair law
+            # keyed on the version step keeps it deterministic).
+            collection = sample_rr_collection(
+                graph,
+                self._num_samples,
+                seed=seed,
+                stratified=self._stratified,
+                workers=workers,
+            )
+            self._collection = collection
+            self._mem_indptr, self._mem_indices, _ = invert_csr(
+                collection.set_indptr,
+                collection.set_indices,
+                collection.num_nodes,
+            )
+            self._root_groups = collection.root_groups
+            self._group_counts = collection.group_counts.astype(float)
+            result = RepairResult(
+                np.zeros(0, dtype=np.int64),
+                collection.num_sets,
+                full_resample=True,
+            )
+        else:
+            result = repair_rr_collection(
+                self._collection, graph, delta, seed, workers=workers
+            )
+            if result.affected.size:
+                self._repair_inverted_index(result.affected)
+        self._graph_version = to_version
+        if result.sets_repaired:
+            self.repair_epoch += 1
+        return result
+
+    def _repair_inverted_index(self, affected: np.ndarray) -> None:
+        """Patch the node -> RR-set-ids CSR after a splice.
+
+        Entries are identified by flat ``node * num_sets + set_id`` keys,
+        which the index stores in globally increasing order (nodes
+        ascending, set ids ascending within a node). Surviving keys
+        (set id not affected) and replacement keys (set id affected, read
+        from the spliced collection) are disjoint by construction, so one
+        :func:`repro.utils.csr.merge_sorted_disjoint` pass rebuilds the
+        packed entries without the stable argsort a full
+        :func:`invert_csr` would pay.
+        """
+        collection = self._collection
+        num_sets = collection.num_sets
+        n = collection.num_nodes
+        affected_mask = np.zeros(num_sets, dtype=bool)
+        affected_mask[affected] = True
+        entry_nodes = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self._mem_indptr)
+        )
+        keep = ~affected_mask[self._mem_indices]
+        kept_keys = entry_nodes[keep] * num_sets + self._mem_indices[keep]
+        positions, owners = gather_csr_slices(collection.set_indptr, affected)
+        new_keys = (
+            collection.set_indices[positions] * num_sets + affected[owners]
+        )
+        new_keys.sort()
+        merged = merge_sorted_disjoint(kept_keys, new_keys)
+        self._mem_indices = merged % num_sets
+        self._mem_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(merged // num_sets, minlength=n),
+            out=self._mem_indptr[1:],
         )
 
     # -- GroupedObjective hooks ------------------------------------------

@@ -282,6 +282,11 @@ class ServiceEngine:
 
     def _op_update(self, request: Request) -> Response:
         session, reused = self._session_for(request)
+        # Graph mutations land before the maximizer is fetched, so the
+        # fetch repairs the warm objective against the batch's collapsed
+        # delta in one pass.
+        edges_applied = session.apply_edge_events(request.edge_events)
+        repairs_before = session.repairs
         # A warm update is one whose live maximizer already existed.
         hits_before = session.dynamic_cache.stats.hits
         maximizer = session.dynamic(
@@ -290,6 +295,16 @@ class ServiceEngine:
             sample_seed=request.seed,
         )
         warm = reused and session.dynamic_cache.stats.hits > hits_before
+        # `repaired` reports whether this update landed on warm sampled
+        # state (delta-repaired in place). False means the session (or
+        # its maximizer) was cold or evicted mid-request and the update
+        # paid a fresh build instead — callers budgeting a live edge
+        # stream need to see the difference, not a blanket success.
+        repaired = warm and (
+            session.dataset.kind != "influence"
+            or edges_applied == 0
+            or session.repairs > repairs_before
+        )
         counts = maximizer.process_events(request.events)
         state = maximizer.best()
         return Response(
@@ -298,6 +313,8 @@ class ServiceEngine:
                 "solution": [int(v) for v in state.solution],
                 "value": maximizer.value(),
                 "live_items": len(maximizer.live_items),
+                "edges_applied": edges_applied,
+                "repaired": repaired,
                 **counts,
             },
             cache=session.stats(),

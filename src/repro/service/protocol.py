@@ -34,6 +34,11 @@ OPS = (
 #: Event actions accepted by the ``update`` op.
 UPDATE_ACTIONS = ("insert", "delete")
 
+#: Graph-mutation actions accepted by the ``update`` op's
+#: ``edge_events`` field (influence datasets; warm sessions repair in
+#: place instead of resampling).
+EDGE_ACTIONS = ("add_edge", "set_probability")
+
 
 class ProtocolError(ValueError):
     """Malformed or type-invalid request/response payload."""
@@ -62,6 +67,7 @@ class Request:
     workers: Optional[int] = None
     items: tuple[int, ...] = ()
     events: tuple[tuple[str, int], ...] = ()
+    edge_events: tuple[tuple[str, int, int, float], ...] = ()
     parameter: str = "tau"
     values: tuple[float, ...] = ()
     algorithms: tuple[str, ...] = ()
@@ -90,6 +96,10 @@ def request_to_dict(request: Request) -> dict[str, Any]:
     payload = asdict(request)
     payload["items"] = list(request.items)
     payload["events"] = [[action, item] for action, item in request.events]
+    payload["edge_events"] = [
+        [action, u, v, probability]
+        for action, u, v, probability in request.edge_events
+    ]
     payload["values"] = list(request.values)
     payload["algorithms"] = list(request.algorithms)
     return payload
@@ -164,6 +174,37 @@ def request_from_dict(payload: Any) -> Request:
             )
             normalised.append((action, item))
         out["events"] = tuple(normalised)
+    if "edge_events" in payload:
+        edge_events = payload["edge_events"]
+        _require(isinstance(edge_events, list), "edge_events must be a list")
+        edge_normalised = []
+        for event in edge_events:
+            _require(
+                isinstance(event, (list, tuple)) and len(event) == 4,
+                "each edge event must be an [action, u, v, probability] "
+                "quadruple",
+            )
+            action, u, v, probability = event
+            _require(
+                action in EDGE_ACTIONS,
+                f"edge event action must be one of {EDGE_ACTIONS}",
+            )
+            for node in (u, v):
+                _require(
+                    isinstance(node, int) and not isinstance(node, bool),
+                    "edge event endpoints must be integers",
+                )
+            _require(
+                isinstance(probability, (int, float))
+                and not isinstance(probability, bool),
+                "edge event probability must be a number",
+            )
+            _require(
+                0.0 <= float(probability) <= 1.0,
+                "edge event probability must be in [0, 1]",
+            )
+            edge_normalised.append((action, u, v, float(probability)))
+        out["edge_events"] = tuple(edge_normalised)
     if "values" in payload:
         values = payload["values"]
         _require(isinstance(values, list), "values must be a list")

@@ -19,7 +19,7 @@ service request (or vice versa) pays for sampling exactly once.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.core.dynamic import DynamicMaximizer
 from repro.core.functions import GroupedObjective
@@ -89,11 +89,36 @@ class SolverSession:
             MAX_DYNAMIC_INSTANCES, sizeof=lambda maximizer: 1
         )
         self.requests = 0
+        # Warm-repair counters (cumulative over the session's lifetime;
+        # the service `stats` op surfaces them).
+        self.repairs = 0
+        self.full_resamples = 0
+        self.sets_repaired = 0
+        self.sets_total = 0
 
     # -- keys -------------------------------------------------------------
     def _graph_key(self) -> tuple:
         graph = self.dataset.graph
         return (self.dataset.name, id(graph), graph.version)
+
+    def _objective_key(
+        self, im_samples: int, sample_seed: int, workers: Optional[int]
+    ) -> tuple:
+        # Deliberately *not* version-keyed: a graph mutation repairs the
+        # cached objective in place (see objective()) instead of
+        # stranding the old entry and resampling from scratch.
+        return (
+            self.dataset.name, id(self.dataset.graph),
+            int(im_samples), int(sample_seed), _decomposition_law(workers),
+        )
+
+    def _record_repair(self, result) -> None:
+        """Accumulate one refresh outcome into the session counters."""
+        self.repairs += 1
+        if result.full_resample:
+            self.full_resamples += 1
+        self.sets_repaired += result.sets_repaired
+        self.sets_total += result.sets_total
 
     # -- warm accessors ----------------------------------------------------
     def objective(
@@ -109,8 +134,12 @@ class SolverSession:
         datasets sample an RR collection on first use and keep the
         resulting :class:`~repro.problems.influence.InfluenceObjective`
         — CSR incidence, inverted index and all — warm across requests,
-        keyed by graph identity *and* :attr:`Graph.version` so in-place
-        mutation invalidates the entry.
+        keyed by graph identity. In-place graph mutation does *not*
+        evict the entry: a version-stale hit is brought up to date by
+        the objective's incremental repair
+        (:meth:`~repro.problems.influence.InfluenceObjective.refresh` —
+        only the RR sets touching changed arcs are regenerated), and the
+        cache's byte accounting is refreshed alongside.
         """
         self.requests += 1
         dataset = self.dataset
@@ -122,9 +151,7 @@ class SolverSession:
             workers = self.workers
         from repro.problems.influence import InfluenceObjective
 
-        key = self._graph_key() + (
-            int(im_samples), int(sample_seed), _decomposition_law(workers),
-        )
+        key = self._objective_key(im_samples, sample_seed, workers)
 
         def build() -> InfluenceObjective:
             return InfluenceObjective.from_graph(
@@ -132,9 +159,14 @@ class SolverSession:
                 seed=sample_seed, workers=workers,
             )
 
-        return self._objectives.get_or_create(
+        objective = self._objectives.get_or_create(
             key, build, anchor=dataset.graph
         )
+        version = getattr(objective, "graph_version", None)
+        if version is not None and version != dataset.graph.version:
+            self._record_repair(objective.refresh(workers=workers))
+            self._objectives.reaccount(key)
+        return objective
 
     def evaluate_mc(
         self,
@@ -238,18 +270,15 @@ class SolverSession:
         :data:`MAX_DYNAMIC_INSTANCES` — the least-recently-used
         configuration is dropped, losing its stream state, rather than
         letting a long-lived daemon accumulate maximizers forever. For
-        influence datasets the key carries :attr:`Graph.version`, so an
-        in-place graph mutation retires maximizers built on the old
-        probabilities instead of serving stale solutions.
+        influence datasets an in-place graph mutation no longer retires
+        the maximizer: its backing objective is delta-repaired and the
+        maintained solution rebuilt over the *same* live set
+        (:meth:`~repro.core.dynamic.DynamicMaximizer.refresh`), keeping
+        the session warm across a stream of edge updates.
         """
         graph = self.dataset.graph
-        version = (
-            graph.version
-            if graph is not None and self.dataset.kind == "influence"
-            else 0
-        )
         key = (int(k), int(im_samples), int(sample_seed),
-               float(rebuild_factor), version)
+               float(rebuild_factor))
 
         def build() -> DynamicMaximizer:
             objective = self.objective(
@@ -260,7 +289,73 @@ class SolverSession:
             )
 
         anchor = graph if graph is not None else self.dataset.objective
-        return self._dynamic.get_or_create(key, build, anchor=anchor)
+        maximizer = self._dynamic.get_or_create(key, build, anchor=anchor)
+        if graph is not None and self.dataset.kind == "influence":
+            objective = maximizer.objective
+            version = getattr(objective, "graph_version", None)
+            if version is not None and version != graph.version:
+                # Repair the maximizer's own objective (it may have been
+                # evicted from the objective cache — the maximizer keeps
+                # it alive) and rebuild the maintained solution.
+                result = maximizer.refresh()
+                if result is not None:
+                    self._record_repair(result)
+                    self._objectives.reaccount(
+                        self._objective_key(
+                            im_samples, sample_seed, self.workers
+                        )
+                    )
+        return maximizer
+
+    def apply_edge_events(
+        self, edge_events: Sequence[tuple[str, int, int, float]]
+    ) -> int:
+        """Apply arc-level graph mutations (the service ``update`` op).
+
+        Each event is ``(action, u, v, probability)`` with ``action``
+        one of ``"add_edge"`` / ``"set_probability"``. Mirrors the
+        all-or-nothing contract of
+        :meth:`~repro.core.dynamic.DynamicMaximizer.process_events`: the
+        whole batch is validated against the *current* graph before
+        anything is applied, so a bad event rejects the batch without
+        mutating it. Returns the number of events applied. Warm
+        objectives are not touched here — they repair lazily on their
+        next access, against the collapsed delta of the whole batch.
+        """
+        if not edge_events:
+            return 0
+        graph = self.dataset.graph
+        if graph is None or self.dataset.kind != "influence":
+            raise ValueError(
+                "edge_events require an influence dataset with a graph"
+            )
+        validated: list[tuple[str, int, int, float]] = []
+        for action, u, v, probability in edge_events:
+            if action not in ("add_edge", "set_probability"):
+                raise ValueError(
+                    f"unknown edge event action {action!r} "
+                    "(expected 'add_edge' or 'set_probability')"
+                )
+            u, v, probability = int(u), int(v), float(probability)
+            for node in (u, v):
+                if not 0 <= node < graph.num_nodes:
+                    raise IndexError(
+                        f"edge event node {node} out of range "
+                        f"[0, {graph.num_nodes})"
+                    )
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"edge probability must be in [0, 1], got {probability}"
+                )
+            if action == "set_probability" and v not in graph.out_neighbors(u):
+                raise KeyError(f"arc {u} -> {v} not present")
+            validated.append((action, u, v, probability))
+        for action, u, v, probability in validated:
+            if action == "add_edge":
+                graph.add_edge(u, v, probability=probability)
+            else:
+                graph.set_arc_probability(u, v, probability)
+        return len(validated)
 
     # -- bookkeeping -------------------------------------------------------
     @property
@@ -285,6 +380,16 @@ class SolverSession:
             "evaluation": self._evaluations.stats.as_dict(),
             "dynamic_instances": len(self._dynamic),
             "dynamic": self._dynamic.stats.as_dict(),
+            "repair": {
+                "repairs": self.repairs,
+                "full_resamples": self.full_resamples,
+                "sets_repaired": self.sets_repaired,
+                "sets_total": self.sets_total,
+                "repair_ratio": (
+                    round(self.sets_repaired / self.sets_total, 6)
+                    if self.sets_total else 0.0
+                ),
+            },
         }
 
     def memory_bytes(self) -> int:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import sys
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import wraps
 from typing import Any, Callable, Hashable, Iterator, Optional
 
@@ -233,6 +233,41 @@ class BoundedCache:
         value = factory()
         self.put(key, value, anchor=anchor)
         return value
+
+    def reaccount(self, key: Hashable) -> bool:
+        """Re-estimate ``key``'s byte footprint after in-place mutation.
+
+        Repairing a cached value (e.g. an influence objective whose RR
+        collection was spliced) changes its resident size without going
+        through :meth:`put`, which would silently corrupt the byte
+        accounting. This re-runs the size estimator, adjusts the total,
+        and restores the budget invariant: other entries are evicted LRU
+        while over budget, and if the entry alone now exceeds the whole
+        budget it is dropped (counted in ``stats.rejected``, mirroring
+        :meth:`put`). Returns ``True`` iff the entry is still cached.
+        Unknown keys return ``False`` without touching the stats.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        nbytes = int(self._sizeof(entry.value))
+        self.stats.current_bytes += nbytes - entry.nbytes
+        entry.nbytes = nbytes
+        if nbytes > self._budget:
+            self._entries.pop(key)
+            self.stats.current_bytes -= nbytes
+            self.stats.rejected += 1
+            self.stats.entries = len(self._entries)
+            return False
+        while self.stats.current_bytes > self._budget:
+            victim_key = next(
+                k for k in self._entries if k != key
+            )
+            victim = self._entries.pop(victim_key)
+            self.stats.current_bytes -= victim.nbytes
+            self.stats.evictions += 1
+        self.stats.entries = len(self._entries)
+        return True
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Read without touching recency or hit/miss counters."""

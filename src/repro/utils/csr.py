@@ -91,6 +91,62 @@ def concat_packed(
     return merged_ptr, np.concatenate(indices)
 
 
+def splice_packed(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rows: np.ndarray,
+    sub_indptr: np.ndarray,
+    sub_indices: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Replace the slices of ``rows`` with the rows of a packed sub-CSR.
+
+    Row ``rows[i]`` of ``(indptr, indices)`` is replaced by row ``i`` of
+    ``(sub_indptr, sub_indices)``; all other rows keep their entries and
+    order. Returns a fresh ``(indptr, indices)`` pair — row count is
+    unchanged, total size shifts by the length difference of the
+    replaced slices. ``rows`` must be duplicate-free.
+    """
+    num_rows = indptr.size - 1
+    if sub_indptr.size - 1 != rows.size:
+        raise ValueError(
+            f"sub CSR has {sub_indptr.size - 1} rows, expected {rows.size}"
+        )
+    new_lengths = np.diff(indptr).copy()
+    new_lengths[rows] = np.diff(sub_indptr)
+    out_indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(new_lengths, out=out_indptr[1:])
+    out_indices = np.empty(int(out_indptr[-1]), dtype=indices.dtype)
+    # Kept rows: one flat gather from the old arrays.
+    keep_mask = np.ones(num_rows, dtype=bool)
+    keep_mask[rows] = False
+    kept = np.flatnonzero(keep_mask)
+    src_pos, _ = gather_csr_slices(indptr, kept)
+    dst_pos, _ = gather_csr_slices(out_indptr, kept)
+    out_indices[dst_pos] = indices[src_pos]
+    # Replaced rows: scatter the sub-CSR into the new slots.
+    sub_pos, _ = gather_csr_slices(out_indptr, rows)
+    out_indices[sub_pos] = sub_indices
+    return out_indptr, out_indices
+
+
+def merge_sorted_disjoint(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two sorted arrays with no common elements into one sorted array.
+
+    Linear-ish (`searchsorted` + scatter) alternative to re-sorting the
+    concatenation: used by the incremental inverted-index repair, where
+    the surviving entry keys and the freshly resampled entry keys are
+    disjoint by construction (they belong to different RR-set ids).
+    """
+    out = np.empty(a.size + b.size, dtype=np.result_type(a, b))
+    pos_b = np.searchsorted(a, b, side="left")
+    idx_b = pos_b + np.arange(b.size, dtype=np.int64)
+    mask = np.ones(out.size, dtype=bool)
+    mask[idx_b] = False
+    out[idx_b] = b
+    out[mask] = a
+    return out
+
+
 def batch_group_counts(
     indptr: np.ndarray,
     indices: np.ndarray,

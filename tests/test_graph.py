@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 
 from repro.errors import GroupPartitionError
-from repro.graphs.graph import Graph
+from repro.graphs import graph as graph_module
+from repro.graphs.graph import Graph, GraphDelta
 
 
 class TestConstruction:
@@ -140,3 +141,162 @@ class TestTranspose:
         assert sorted((u, v) for u, v, _ in t.edges()) == sorted(
             (u, v) for u, v, _ in g.edges()
         )
+
+
+class TestCsrCacheInvalidation:
+    """Every mutator must drop BOTH cached CSR views (PR 6 audit)."""
+
+    @staticmethod
+    def _arc_probability(adjacency, u, v):
+        indptr, indices, probs = adjacency
+        for i in range(int(indptr[u]), int(indptr[u + 1])):
+            if int(indices[i]) == v:
+                return float(probs[i])
+        return None
+
+    def test_add_edge_invalidates_both_caches(self):
+        g = Graph(3, [(0, 1)], directed=True)
+        g.out_adjacency()
+        g.transpose_adjacency()
+        g.add_edge(1, 2, probability=0.5)
+        assert self._arc_probability(g.out_adjacency(), 1, 2) == 0.5
+        # Transpose holds the reversed arc 2 -> 1.
+        assert self._arc_probability(g.transpose_adjacency(), 2, 1) == 0.5
+
+    def test_set_arc_probability_invalidates_both_caches(self):
+        g = Graph(3, [(0, 1, 0.9)], directed=True)
+        g.out_adjacency()
+        g.transpose_adjacency()
+        g.set_arc_probability(0, 1, 0.25)
+        assert self._arc_probability(g.out_adjacency(), 0, 1) == 0.25
+        assert self._arc_probability(g.transpose_adjacency(), 1, 0) == 0.25
+
+    def test_set_edge_probabilities_invalidates_both_caches(self):
+        g = Graph(3, [(0, 1), (1, 2)], directed=True)
+        g.out_adjacency()
+        g.transpose_adjacency()
+        g.set_edge_probabilities(0.125)
+        assert self._arc_probability(g.out_adjacency(), 0, 1) == 0.125
+        assert self._arc_probability(g.transpose_adjacency(), 2, 1) == 0.125
+
+    def test_cache_rebuild_does_not_touch_mutation_log(self):
+        g = Graph(3, [(0, 1, 0.9)], directed=True)
+        v0 = g.version
+        g.set_arc_probability(0, 1, 0.3)
+        # Rebuilding both CSR caches must not lose or duplicate the log.
+        g.out_adjacency()
+        g.transpose_adjacency()
+        g.out_adjacency()
+        delta = g.mutations_since(v0)
+        assert delta is not None and delta.num_arcs == 1
+        assert delta.sources.tolist() == [0]
+        assert delta.targets.tolist() == [1]
+        assert delta.old_probabilities.tolist() == [0.9]
+        assert delta.new_probabilities.tolist() == [0.3]
+
+
+class TestMutationLog:
+    def test_add_edge_records_move_from_zero(self):
+        g = Graph(3, directed=True)
+        v0 = g.version
+        g.add_edge(0, 2, probability=0.7)
+        delta = g.mutations_since(v0)
+        assert delta.num_arcs == 1
+        assert delta.old_probabilities.tolist() == [0.0]
+        assert delta.new_probabilities.tolist() == [0.7]
+
+    def test_undirected_mutations_record_both_directions(self):
+        g = Graph(3, [(0, 1, 0.4)])
+        v0 = g.version
+        g.set_arc_probability(0, 1, 0.8)
+        delta = g.mutations_since(v0)
+        assert delta.num_arcs == 2
+        arcs = sorted(zip(delta.sources.tolist(), delta.targets.tolist()))
+        assert arcs == [(0, 1), (1, 0)]
+        assert delta.new_probabilities.tolist() == [0.8, 0.8]
+
+    def test_successive_changes_collapse_to_one_record(self):
+        g = Graph(2, [(0, 1, 0.9)], directed=True)
+        v0 = g.version
+        g.set_arc_probability(0, 1, 0.5)
+        g.set_arc_probability(0, 1, 0.2)
+        delta = g.mutations_since(v0)
+        assert delta.num_arcs == 1
+        assert delta.old_probabilities.tolist() == [0.9]
+        assert delta.new_probabilities.tolist() == [0.2]
+
+    def test_round_trip_change_drops_out_of_delta(self):
+        g = Graph(2, [(0, 1, 0.9)], directed=True)
+        v0 = g.version
+        g.set_arc_probability(0, 1, 0.5)
+        g.set_arc_probability(0, 1, 0.9)
+        delta = g.mutations_since(v0)
+        assert isinstance(delta, GraphDelta)
+        assert delta.num_arcs == 0
+
+    def test_intermediate_version_sees_only_later_changes(self):
+        g = Graph(3, [(0, 1, 0.9), (1, 2, 0.9)], directed=True)
+        g.set_arc_probability(0, 1, 0.5)
+        mid = g.version
+        g.set_arc_probability(1, 2, 0.4)
+        delta = g.mutations_since(mid)
+        assert delta.num_arcs == 1
+        assert (delta.sources[0], delta.targets[0]) == (1, 2)
+
+    def test_future_version_raises(self):
+        g = Graph(2, [(0, 1)], directed=True)
+        with pytest.raises(ValueError):
+            g.mutations_since(g.version + 1)
+
+    def test_wholesale_rewrite_floors_log(self):
+        g = Graph(3, [(0, 1), (1, 2)], directed=True)
+        v0 = g.version
+        g.set_edge_probabilities(0.3)
+        assert g.mutations_since(v0) is None
+        # From the rewrite onward the log replays again.
+        v1 = g.version
+        g.set_arc_probability(0, 1, 0.6)
+        delta = g.mutations_since(v1)
+        assert delta is not None and delta.num_arcs == 1
+
+    def test_log_overflow_floors(self, monkeypatch):
+        monkeypatch.setattr(graph_module, "MUTATION_LOG_LIMIT", 4)
+        g = Graph(2, [(0, 1, 0.5)], directed=True)
+        v0 = g.version
+        for i in range(6):
+            g.set_arc_probability(0, 1, 0.1 + 0.1 * i)
+        assert g.mutations_since(v0) is None
+        # Post-overflow mutations replay from the new floor.
+        v1 = g.version
+        g.set_arc_probability(0, 1, 0.9)
+        delta = g.mutations_since(v1)
+        assert delta is not None and delta.num_arcs == 1
+
+    def test_set_arc_probability_missing_arc_raises(self):
+        g = Graph(3, [(0, 1)], directed=True)
+        v0 = g.version
+        with pytest.raises(KeyError):
+            g.set_arc_probability(1, 0, 0.5)
+        # A failed mutation leaves version and log untouched.
+        assert g.version == v0
+        assert g.mutations_since(v0).num_arcs == 0
+
+    def test_set_arc_probability_validates(self):
+        g = Graph(2, [(0, 1)], directed=True)
+        with pytest.raises(ValueError):
+            g.set_arc_probability(0, 1, 1.5)
+        with pytest.raises(IndexError):
+            g.set_arc_probability(0, 5, 0.5)
+
+    def test_parallel_arcs_all_updated(self):
+        g = Graph(2, [(0, 1, 0.3), (0, 1, 0.6)], directed=True)
+        g.set_arc_probability(0, 1, 0.9)
+        probs = [p for u, v, p in g.edges() if (u, v) == (0, 1)]
+        assert probs == [0.9, 0.9]
+
+    def test_empty_delta_arrays_are_typed(self):
+        g = Graph(2, [(0, 1)], directed=True)
+        delta = g.mutations_since(g.version)
+        assert delta.sources.dtype == np.int64
+        assert delta.old_probabilities.dtype == np.float64
+        assert delta.num_arcs == 0

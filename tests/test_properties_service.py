@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.service.protocol import (
+    EDGE_ACTIONS,
     OPS,
     UPDATE_ACTIONS,
     ProtocolError,
@@ -65,6 +66,15 @@ def requests() -> st.SearchStrategy[Request]:
             st.tuples(
                 st.sampled_from(UPDATE_ACTIONS),
                 st.integers(min_value=0, max_value=10**6),
+            ),
+            max_size=8,
+        ).map(tuple),
+        edge_events=st.lists(
+            st.tuples(
+                st.sampled_from(EDGE_ACTIONS),
+                st.integers(min_value=0, max_value=10**6),
+                st.integers(min_value=0, max_value=10**6),
+                _floats,
             ),
             max_size=8,
         ).map(tuple),
@@ -152,6 +162,10 @@ def test_garbage_never_crashes_decoder(text: str) -> None:
         {"op": "solve", "bogus_field": 1},
         {"op": "update", "events": [["explode", 3]]},
         {"op": "update", "events": [["insert"]]},
+        {"op": "update", "edge_events": [["melt", 0, 1, 0.5]]},
+        {"op": "update", "edge_events": [["add_edge", 0, 1]]},
+        {"op": "update", "edge_events": [["add_edge", 0, 1, 1.5]]},
+        {"op": "update", "edge_events": [["add_edge", 0.5, 1, 0.5]]},
         {"op": "solve", "k": True},
         {"op": "solve", "workers": "many"},
         ["not", "an", "object"],

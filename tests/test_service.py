@@ -213,13 +213,37 @@ class TestSolverSession:
         assert obj1 is not obj2
         assert session.objective_cache.stats.entries == 2
 
-    def test_graph_version_invalidates(self):
+    def test_graph_mutation_refreshes_in_place(self):
+        # A graph mutation no longer strands the warm entry: the same
+        # objective instance is served, brought up to date by refresh()
+        # (here via the full-resample fallback — set_edge_probabilities
+        # rewrites every arc, which the mutation log does not replay).
         data = load_dataset("rand-im-c2", seed=0, num_nodes=40)
         session = SolverSession(data)
         obj1 = session.objective(im_samples=IM_SAMPLES, sample_seed=7)
+        old_version = obj1.graph_version
         data.graph.set_edge_probabilities(0.5)  # bumps Graph.version
         obj2 = session.objective(im_samples=IM_SAMPLES, sample_seed=7)
-        assert obj2 is not obj1
+        assert obj2 is obj1  # warm entry kept, not evicted
+        assert obj2.graph_version == data.graph.version != old_version
+        assert session.full_resamples == 1
+        assert session.sets_total > 0
+
+    def test_arc_mutation_repairs_incrementally(self):
+        # A single-arc mutation repairs only the affected RR sets — no
+        # full resample, same instance, accounting updated.
+        data = load_dataset("rand-im-c2", seed=0, num_nodes=40)
+        session = SolverSession(data)
+        obj1 = session.objective(im_samples=IM_SAMPLES, sample_seed=7)
+        u, v, _ = next(data.graph.edges())
+        data.graph.set_arc_probability(u, v, 0.9)
+        obj2 = session.objective(im_samples=IM_SAMPLES, sample_seed=7)
+        assert obj2 is obj1
+        assert session.full_resamples == 0 and session.repairs == 1
+        assert 0 <= session.sets_repaired < session.sets_total
+        stats = session.stats()["repair"]
+        assert stats["repairs"] == 1
+        assert 0.0 <= stats["repair_ratio"] < 1.0
 
     def test_lru_eviction_within_budget(self):
         data = load_dataset("rand-im-c2", seed=0, num_nodes=40)
@@ -270,13 +294,22 @@ class TestSolverSession:
         assert len(session.dynamic_cache) == MAX_DYNAMIC_INSTANCES
         assert session.dynamic_cache.stats.evictions == 4
 
-    def test_dynamic_retired_by_graph_version(self):
+    def test_dynamic_repaired_across_graph_version(self):
+        # The live maximizer survives a graph mutation: its backing
+        # objective is repaired (or resampled, for wholesale rewrites)
+        # and the maintained solution rebuilt — live set intact.
         data = load_dataset("rand-im-c2", seed=0, num_nodes=40)
         session = SolverSession(data)
         dyn1 = session.dynamic(3, im_samples=IM_SAMPLES)
+        dyn1.insert(0)
+        dyn1.insert(5)
         data.graph.set_edge_probabilities(0.5)  # bumps Graph.version
         dyn2 = session.dynamic(3, im_samples=IM_SAMPLES)
-        assert dyn2 is not dyn1  # old-probability maximizer retired
+        assert dyn2 is dyn1  # warm instance kept
+        assert dyn2.live_items == frozenset({0, 5})  # stream state intact
+        assert not dyn2.stale  # rebuilt against the refreshed objective
+        assert dyn2.objective.graph_version == data.graph.version
+        assert session.repairs == 1
 
     def test_stats_shape(self):
         data = load_dataset("rand-mc-c2", seed=0, num_nodes=60)
@@ -461,6 +494,87 @@ class TestEngineOps:
         ))
         assert first.ok and second.ok
         assert second.result["live_items"] == 3  # earlier inserts persist
+
+    def test_update_edge_events_repair_warm_session(self):
+        engine = ServiceEngine()
+        first = engine.handle(Request(
+            op="update", dataset="rand-im-c2", k=3, im_samples=IM_SAMPLES,
+            events=(("insert", 0), ("insert", 5)),
+        ))
+        # The maximizer was built cold, so nothing was repaired in place.
+        assert first.ok and not first.warm
+        assert first.result["repaired"] is False
+        assert first.result["edges_applied"] == 0
+        # Mutate an arc that provably exists (same dataset seed as the
+        # engine's session) and update again: the warm maximizer must
+        # repair its sampled state instead of rebuilding.
+        graph = load_dataset("rand-im-c2", seed=0).graph
+        u, v, _ = next(graph.edges())
+        second = engine.handle(Request(
+            op="update", dataset="rand-im-c2", k=3, im_samples=IM_SAMPLES,
+            events=(("insert", 7),),
+            edge_events=(("set_probability", u, v, 0.9),),
+        ))
+        assert second.ok and second.warm
+        assert second.result["repaired"] is True
+        assert second.result["edges_applied"] == 1
+        assert second.result["live_items"] == 3
+        repair = second.cache["repair"]
+        assert repair["repairs"] >= 1
+        assert repair["full_resamples"] == 0
+        assert repair["sets_total"] >= IM_SAMPLES
+
+    def test_update_edge_events_cold_session_reports_unrepaired(self):
+        engine = ServiceEngine()
+        graph = load_dataset("rand-im-c2", seed=0).graph
+        u, v, _ = next(graph.edges())
+        response = engine.handle(Request(
+            op="update", dataset="rand-im-c2", k=3, im_samples=IM_SAMPLES,
+            events=(("insert", 2),),
+            edge_events=(("set_probability", u, v, 0.5),),
+        ))
+        # The update succeeded and applied the mutation, but there was
+        # no warm sampled state to repair — the build was paid cold and
+        # `repaired` must say so.
+        assert response.ok and not response.warm
+        assert response.result["edges_applied"] == 1
+        assert response.result["repaired"] is False
+        assert response.result["live_items"] == 1
+
+    def test_update_edge_events_all_or_nothing(self):
+        engine = ServiceEngine()
+        before = engine.handle(Request(
+            op="update", dataset="rand-im-c2", k=3, im_samples=IM_SAMPLES,
+        ))
+        assert before.ok
+        graph = load_dataset("rand-im-c2", seed=0).graph
+        missing = next(
+            v for v in range(graph.num_nodes)
+            if v != 0 and v not in graph.out_neighbors(0)
+        )
+        bad = engine.handle(Request(
+            op="update", dataset="rand-im-c2", k=3, im_samples=IM_SAMPLES,
+            edge_events=(
+                ("add_edge", 0, 1, 0.5),
+                ("set_probability", 0, missing, 0.5),  # arc absent
+            ),
+        ))
+        assert not bad.ok and "not present" in bad.error
+        # The valid prefix must not have mutated the graph.
+        after = engine.handle(Request(
+            op="update", dataset="rand-im-c2", k=3, im_samples=IM_SAMPLES,
+        ))
+        assert after.ok and after.result["repaired"] is True
+        assert after.cache["repair"]["repairs"] == 0
+
+    def test_update_edge_events_rejected_on_static_dataset(self):
+        engine = ServiceEngine()
+        response = engine.handle(Request(
+            op="update", dataset="rand-mc-c2", k=3,
+            edge_events=(("add_edge", 0, 1, 0.5),),
+        ))
+        assert not response.ok
+        assert "influence" in response.error
 
     def test_sweep_matches_direct_harness(self):
         engine = ServiceEngine()
