@@ -14,6 +14,8 @@ sizes (slower; see DESIGN.md §6 for the Pokec scaling note).
 from __future__ import annotations
 
 import os
+import resource
+import sys
 from pathlib import Path
 from typing import Any, Callable
 
@@ -34,6 +36,20 @@ def bench_scale() -> str:
             f"REPRO_BENCH_SCALE must be 'small' or 'paper', got {scale!r}"
         )
     return scale
+
+
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalising
+    here keeps the memory-gated benches portable. The value is a
+    process-lifetime high-water mark — measure budgeted phases in a
+    child process, not after untracked warm-up work.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
 
 
 def record(name: str, text: str) -> None:

@@ -13,6 +13,10 @@ asserts:
   session warm: every mutating update after the first reports
   ``warm: true`` and ``repaired: true`` — the sampled state is
   delta-repaired in place, never evicted and rebuilt;
+* the ``stats`` op reports each session's storage tier — the
+  mmap-tier solve lands in a session whose RR segments sit on disk
+  with near-zero resident bytes, while ram sessions hold nothing on
+  disk;
 * the daemon acknowledges ``shutdown`` and exits cleanly (status 0).
 
 Run in CI (see ``.github/workflows/ci.yml``) or locally::
@@ -66,6 +70,8 @@ def _script() -> tuple[list[str], int]:
         {"op": "evaluate", "id": "s13", "dataset": "rand-im-c2",
          "items": [4, 7], "im_samples": IM_SAMPLES},
         solve("s14", "rand-fl-c2", 3),
+        solve("m15", "rand-im-c2", 3, store="mmap",
+              memory_budget=32 * 1024 * 1024),       # out-of-core tier
         {"op": "stats", "id": "s15"},
     ]
     # Update-heavy tail: a live edge stream against the warm rand-im-c2
@@ -168,6 +174,46 @@ def main() -> int:
     stats = by_id.get("s15", {}).get("result", {})
     if stats.get("requests_served", 0) < 14:
         failures.append(f"stats under-report requests: {stats}")
+
+    # Storage-tier telemetry: every session reports its tier, and the
+    # mmap-tier solve (m15) produced a session whose RR sets live in
+    # on-disk segments, not resident memory.
+    storage_fields = (
+        "store_kind", "objectives", "segments", "resident_bytes",
+        "on_disk_bytes",
+    )
+    session_storage = [s.get("storage", {}) for s in stats.get("sessions", [])]
+    missing = [
+        s for s in session_storage
+        if any(field not in s for field in storage_fields)
+    ]
+    if not session_storage or missing:
+        failures.append(
+            f"sessions missing storage telemetry: {session_storage}"
+        )
+    mmap_sessions = [
+        s for s in session_storage if s.get("store_kind") == "mmap"
+    ]
+    if not mmap_sessions:
+        failures.append("no mmap-tier session in stats")
+    elif not any(
+        s["segments"] >= 1
+        and s["on_disk_bytes"] > 0
+        and s["resident_bytes"] < s["on_disk_bytes"]
+        for s in mmap_sessions
+    ):
+        failures.append(
+            f"mmap session storage telemetry implausible: {mmap_sessions}"
+        )
+    ram_sessions = [
+        s for s in session_storage if s.get("store_kind") == "ram"
+    ]
+    if not ram_sessions or any(
+        s["on_disk_bytes"] != 0 for s in ram_sessions
+    ):
+        failures.append(
+            f"ram sessions should hold nothing on disk: {ram_sessions}"
+        )
 
     # Sessions stay warm across graph-mutating updates: after u16 pays
     # the cold build, every subsequent edge_events update must repair

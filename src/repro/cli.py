@@ -49,6 +49,28 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        choices=["ram", "mmap"],
+        default="ram",
+        help=(
+            "storage tier for sampled RR sets: 'ram' keeps flat "
+            "in-memory arrays, 'mmap' streams them into memory-mapped "
+            "segments so graphs far larger than RAM stay solvable"
+        ),
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=0,
+        help=(
+            "resident-byte budget for --store mmap (sets the segment "
+            "size; 0 = default 32 MiB segments)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -74,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="RR samples for influence datasets",
     )
     _add_workers_flag(solve)
+    _add_store_flags(solve)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("figure_id", choices=sorted(FIGURES))
@@ -131,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="warm dataset sessions kept live (LRU beyond this)",
     )
     _add_workers_flag(serve)
+    _add_store_flags(serve)
 
     request = sub.add_parser(
         "request",
@@ -152,8 +176,12 @@ def cmd_solve(args: argparse.Namespace) -> int:
     if data.kind == "influence":
         from repro.problems.influence import InfluenceObjective
 
+        store = getattr(args, "store", "ram")
+        budget = getattr(args, "memory_budget", 0) or None
         objective = InfluenceObjective.from_graph(
-            data.graph, args.im_samples, seed=args.seed, workers=args.workers
+            data.graph, args.im_samples, seed=args.seed,
+            workers=None if store == "mmap" else args.workers,
+            store=store, memory_budget=budget,
         )
     else:
         objective = data.objective
@@ -223,7 +251,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceEngine, serve_forever
 
     engine = ServiceEngine(
-        workers=args.workers, max_sessions=args.max_sessions
+        workers=args.workers, max_sessions=args.max_sessions,
+        store=args.store, memory_budget=args.memory_budget or None,
     )
     return serve_forever(sys.stdin, sys.stdout, engine=engine)
 

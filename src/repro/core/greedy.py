@@ -103,12 +103,15 @@ def _candidate_list(
     objective: GroupedObjective,
     candidates: Optional[Iterable[int]],
     state: ObjectiveState,
-) -> list[int]:
+) -> "np.ndarray | list[int]":
     if candidates is None:
-        pool = range(objective.num_items)
-    else:
-        pool = candidates  # type: ignore[assignment]
-    return [int(v) for v in pool if not state.in_solution[int(v)]]
+        # Whole ground set: stay vectorized — at a million items a
+        # Python int list costs tens of MB and the loops below never
+        # need one (same values, same ascending order).
+        return np.flatnonzero(~state.in_solution).astype(np.int64)
+    return [
+        int(v) for v in candidates if not state.in_solution[int(v)]
+    ]
 
 
 def _pool_gains(
@@ -123,20 +126,52 @@ def _pool_gains(
     return scalarizer.gain_batch(state.group_values, gains_matrix, weights)
 
 
+#: Vectorized record-chain jumps before _scan_best falls back to the
+#: per-entry loop. Random-order gains need ~ln(n) jumps, so the cap only
+#: triggers on adversarially sorted pools.
+_SCAN_MAX_JUMPS = 64
+
+
 def _scan_best(items: Sequence[int], gains: np.ndarray) -> tuple[int, float]:
     """Best (item, gain) under the per-item loops' selection rule.
 
     Replays the sequential ``gain > best + GAIN_EPS`` scan over the
     batched gains so ties (and near-ties inside the epsilon band) break
-    toward the earliest item exactly as the per-item loops did. Items with
-    gain <= GAIN_EPS can never win, so the scan only visits positive rows.
+    toward the earliest item exactly as the per-item loops did.
+
+    The replay is a vectorized *record chain*: the sequential scan only
+    changes state at indices where the gain beats the current record by
+    more than ``GAIN_EPS``, and the next such index is by definition the
+    first position after the current record with
+    ``gain > best + GAIN_EPS`` — one ``argmax`` over the tail per jump.
+    A uniformly shuffled pool sets ``O(log n)`` records, so the expected
+    cost is ``O(n log n)`` flat NumPy passes instead of ``n`` Python
+    iterations; a pathologically ascending pool falls back to the exact
+    per-entry loop after :data:`_SCAN_MAX_JUMPS` jumps.
     """
-    best_item, best_gain = -1, 0.0
-    for idx in np.nonzero(gains > GAIN_EPS)[0]:
-        gain = float(gains[idx])
-        if gain > best_gain + GAIN_EPS:
-            best_item, best_gain = int(items[idx]), gain
-    return best_item, best_gain
+    gains = np.asarray(gains)
+    best_idx, best_gain = -1, 0.0
+    pos = 0
+    for _ in range(_SCAN_MAX_JUMPS):
+        if pos >= gains.size:
+            break
+        rel = int(np.argmax(gains[pos:] > best_gain + GAIN_EPS))
+        if not gains[pos + rel] > best_gain + GAIN_EPS:
+            pos = gains.size
+            break
+        best_idx = pos + rel
+        best_gain = float(gains[best_idx])
+        pos = best_idx + 1
+    else:
+        # Jump cap hit: finish the remaining tail sequentially (exact
+        # same rule, bounded Python work).
+        for idx in np.nonzero(gains[pos:] > best_gain + GAIN_EPS)[0] + pos:
+            gain = float(gains[idx])
+            if gain > best_gain + GAIN_EPS:
+                best_idx, best_gain = int(idx), gain
+    if best_idx < 0:
+        return -1, 0.0
+    return int(items[best_idx]), best_gain
 
 
 def _plain_loop(
@@ -144,7 +179,7 @@ def _plain_loop(
     scalarizer: Scalarizer,
     budget: int,
     state: ObjectiveState,
-    cand: list[int],
+    cand: "np.ndarray | list[int]",
     stop_value: Optional[float],
     steps: list[GreedyStep],
     tolerance: float,
@@ -152,16 +187,18 @@ def _plain_loop(
     weights = objective.group_weights
     # Sorted candidate order makes ties break toward the lowest item id,
     # the same order the lazy heap uses — keeps the variants comparable.
-    remaining = sorted(set(cand))
+    # (np.unique == sorted(set(...)) — kept as an array so a million-item
+    # pool costs one int64 vector per round, not a Python set.)
+    remaining = np.unique(np.asarray(cand, dtype=np.int64))
     for _ in range(budget):
-        if not remaining:
+        if remaining.size == 0:
             break
         gains = _pool_gains(objective, scalarizer, state, remaining, weights)
         best_item, best_gain = _scan_best(remaining, gains)
         if best_item < 0:
             break  # no item improves the objective: greedy is saturated
         objective.add(state, best_item)
-        remaining.remove(best_item)
+        remaining = remaining[remaining != best_item]
         value = scalarizer.value(state.group_values, weights)
         steps.append(GreedyStep(best_item, best_gain, value))
         if stop_value is not None and value >= stop_value - tolerance:
@@ -218,13 +255,13 @@ def _lazy_loop(
     scalarizer: Scalarizer,
     budget: int,
     state: ObjectiveState,
-    cand: list[int],
+    cand: "np.ndarray | list[int]",
     stop_value: Optional[float],
     steps: list[GreedyStep],
     tolerance: float,
 ) -> None:
     weights = objective.group_weights
-    if not cand:
+    if len(cand) == 0:
         return
     # Heap of (-upper_bound, item). CELF must evaluate every item at least
     # once against the starting solution anyway, so the re-seeding pass
@@ -233,10 +270,12 @@ def _lazy_loop(
     # pays n Python round-trips to reach the same heap).
     seed_gains = _pool_gains(objective, scalarizer, state, cand, weights)
     heap: list[tuple[float, int]] = [
-        (-float(gain), item) for item, gain in zip(cand, seed_gains)
+        (-float(gain), int(item)) for item, gain in zip(cand, seed_gains)
     ]
     heapq.heapify(heap)
-    fresh: dict[int, int] = {item: 0 for item in cand}  # round of last eval
+    fresh: dict[int, int] = {
+        int(item): 0 for item in cand
+    }  # round of last eval
     round_no = 0
     while round_no < budget and heap:
         while heap:

@@ -31,3 +31,12 @@ class SolverError(ReproError):
 
 class GroupPartitionError(ReproError):
     """The user-group partition is invalid (empty group, bad labels, ...)."""
+
+
+class StorageError(ReproError):
+    """The out-of-core storage tier hit an invalid state.
+
+    Raised for corrupt or truncated on-disk CSR headers, attempts to
+    mutate an immutable memory-mapped graph, and segment bookkeeping
+    violations in the segmented RR-set store.
+    """

@@ -13,7 +13,7 @@ from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import GroupPartitionError
+from repro.errors import GroupPartitionError, StorageError
 from repro.utils.csr import invert_csr
 from repro.utils.validation import check_positive_int
 
@@ -369,3 +369,132 @@ class Graph:
     def _check_node(self, u: int) -> None:
         if not 0 <= u < self.num_nodes:
             raise IndexError(f"node {u} out of range [0, {self.num_nodes})")
+
+
+class CSRGraph(Graph):
+    """Immutable graph backed directly by CSR arrays.
+
+    The out-of-core representation: both the forward and the transposed
+    adjacency arrive pre-built (typically as read-only ``np.memmap``
+    views from :func:`repro.graphs.io.read_csr_graph`) and are served
+    as-is — no per-node Python adjacency lists are ever materialised, so
+    a million-node graph costs O(1) heap beyond the (possibly
+    memory-mapped) arrays themselves.
+
+    Mutation is rejected with :class:`repro.errors.StorageError`: the
+    arrays may be shared, file-backed pages. ``version`` is permanently
+    0 and :meth:`Graph.mutations_since` reports an empty delta, so warm
+    sessions never try to repair sampled state for these graphs.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        forward: tuple[np.ndarray, np.ndarray, np.ndarray],
+        transpose: tuple[np.ndarray, np.ndarray, np.ndarray],
+        *,
+        directed: bool = True,
+        groups: Optional[Sequence[int]] = None,
+        num_input_edges: Optional[int] = None,
+        store_kind: str = "ram",
+    ) -> None:
+        self.num_nodes = check_positive_int(num_nodes, "num_nodes")
+        self.directed = bool(directed)
+        self.store_kind = str(store_kind)
+        # No Python adjacency: every query goes through the CSR caches.
+        self._succ = None  # type: ignore[assignment]
+        self._succ_p = None  # type: ignore[assignment]
+        self._groups = None
+        self._num_groups = 0
+        fwd_indptr, fwd_indices, fwd_probs = forward
+        t_indptr, t_indices, t_probs = transpose
+        if fwd_indptr.size != self.num_nodes + 1:
+            raise StorageError(
+                f"forward indptr has {fwd_indptr.size} entries, "
+                f"expected {self.num_nodes + 1}"
+            )
+        if t_indptr.size != self.num_nodes + 1:
+            raise StorageError(
+                f"transpose indptr has {t_indptr.size} entries, "
+                f"expected {self.num_nodes + 1}"
+            )
+        if int(fwd_indptr[-1]) != int(t_indptr[-1]):
+            raise StorageError(
+                "forward and transpose CSR disagree on arc count: "
+                f"{int(fwd_indptr[-1])} vs {int(t_indptr[-1])}"
+            )
+        self._csr_cache = (fwd_indptr, fwd_indices, fwd_probs)
+        self._transpose_cache = (t_indptr, t_indices, t_probs)
+        arcs = int(fwd_indptr[-1])
+        if num_input_edges is None:
+            num_input_edges = arcs if self.directed else arcs // 2
+        self._num_input_edges = int(num_input_edges)
+        self._version = 0
+        self._mutation_log = []
+        self._log_floor = 0
+        if groups is not None:
+            self.set_groups(groups)
+
+    # -- immutability ----------------------------------------------------
+    def _immutable(self) -> StorageError:
+        return StorageError(
+            "CSR-backed graphs are immutable; rebuild the graph (or load "
+            "with the text format) to mutate edges"
+        )
+
+    def add_edge(self, u: int, v: int, *, probability: float = 1.0) -> None:
+        raise self._immutable()
+
+    def set_edge_probabilities(self, probability: float) -> None:
+        raise self._immutable()
+
+    def set_arc_probability(self, u: int, v: int, probability: float) -> None:
+        raise self._immutable()
+
+    # -- queries served from the CSR arrays ------------------------------
+    @property
+    def num_arcs(self) -> int:
+        return int(self._csr_cache[0][-1])
+
+    def out_neighbors(self, u: int) -> list[int]:
+        self._check_node(u)
+        indptr, indices, _ = self._csr_cache
+        return indices[indptr[u]:indptr[u + 1]].tolist()
+
+    def out_degree(self, u: int) -> int:
+        self._check_node(u)
+        indptr = self._csr_cache[0]
+        return int(indptr[u + 1] - indptr[u])
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        indptr, indices, probs = self._csr_cache
+        for u in range(self.num_nodes):
+            for pos in range(int(indptr[u]), int(indptr[u + 1])):
+                yield u, int(indices[pos]), float(probs[pos])
+
+    def transpose(self) -> "CSRGraph":
+        g = CSRGraph(
+            self.num_nodes,
+            self._transpose_cache,
+            self._csr_cache,
+            directed=True,
+            num_input_edges=self._num_input_edges,
+            store_kind=self.store_kind,
+        )
+        if self._groups is not None:
+            g.set_groups(self._groups)
+        return g
+
+    def release(self) -> None:
+        """Drop resident pages of all memory-mapped arrays (best effort)."""
+        from repro.storage.backend import release_array
+
+        for arr in (*self._csr_cache, *self._transpose_cache):
+            release_array(arr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grp = f", groups={self._num_groups}" if self._groups is not None else ""
+        return (
+            f"CSRGraph(store={self.store_kind}, n={self.num_nodes}, "
+            f"arcs={self.num_arcs}{grp})"
+        )

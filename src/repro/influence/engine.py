@@ -39,7 +39,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.utils.csr import concat_packed, gather_csr_slices
+from repro.utils.csr import (
+    concat_packed,
+    gather_csr_slices,
+    merge_sorted_disjoint,
+)
 from repro.utils.parallel import (
     WorkerContext,
     parallel_map,
@@ -54,6 +58,12 @@ Adjacency = tuple[np.ndarray, np.ndarray, np.ndarray]
 #: chunk — 32M keys = 32 MB, small enough to live in cache-friendly
 #: territory while keeping chunks large enough to amortize level setup.
 MAX_FLAT_KEYS = 1 << 25
+
+#: How many sorted per-level key arrays the sparse reachability chunk
+#: accumulates before merging them into its base visited array. Bounds
+#: the per-arrival membership probes (one ``searchsorted`` per pending
+#: level) while amortizing the O(reached) merge over many levels.
+_SPARSE_MERGE_EVERY = 16
 
 
 def _reachability_chunk(
@@ -94,6 +104,81 @@ def _reachability_chunk(
     return np.concatenate(reached) if len(reached) > 1 else reached[0]
 
 
+def _member_sorted(table: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``keys`` in the sorted array ``table``."""
+    if table.size == 0:
+        return np.zeros(keys.size, dtype=bool)
+    idx = np.searchsorted(table, keys)
+    valid = idx < table.size
+    out = np.zeros(keys.size, dtype=bool)
+    out[valid] = table[idx[valid]] == keys[valid]
+    return out
+
+
+def _reachability_chunk_sparse(
+    adjacency: Adjacency,
+    start_keys: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """:func:`_reachability_chunk` without the dense visited buffer.
+
+    The dense chunk allocates ``num_instances * n`` bools, which caps the
+    instances per chunk at ``max_keys // n`` — at a million nodes that is
+    a few dozen instances and the per-level Python overhead dominates.
+    This variant tracks visited keys as sorted arrays (a merged base plus
+    up to :data:`_SPARSE_MERGE_EVERY` pending level arrays, probed with
+    ``searchsorted``), so memory is O(reached keys) and the instance
+    count per chunk is free. The frontier sequence — and therefore every
+    ``rng`` draw — is bit-for-bit identical to the dense chunk on the
+    same inputs: both filter arrivals against exactly the keys reached on
+    earlier levels before the ``np.unique`` dedup.
+    """
+    indptr, indices, probs = adjacency
+    n = indptr.size - 1
+    start_keys = np.unique(start_keys)
+    reached = [start_keys]
+    base = start_keys
+    pending: list[np.ndarray] = []
+    frontier = start_keys
+    while frontier.size:
+        positions, owners = gather_csr_slices(indptr, frontier % n)
+        if positions.size == 0:
+            break
+        live = rng.random(positions.size) < probs[positions]
+        keys = (frontier // n)[owners[live]] * n + indices[positions[live]]
+        if keys.size == 0:
+            break
+        seen = _member_sorted(base, keys)
+        for level in pending:
+            seen |= _member_sorted(level, keys)
+        keys = keys[~seen]
+        if keys.size == 0:
+            break
+        keys = np.unique(keys)
+        reached.append(keys)
+        pending.append(keys)
+        frontier = keys
+        if len(pending) >= _SPARSE_MERGE_EVERY:
+            merged = pending[0]
+            for level in pending[1:]:
+                merged = merge_sorted_disjoint(merged, level)
+            base = merge_sorted_disjoint(base, merged)
+            pending = []
+    return np.concatenate(reached) if len(reached) > 1 else reached[0]
+
+
+def _pack_chunk_keys(
+    keys: np.ndarray, num_instances: int, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pack one chunk's reached keys into a ``(set_indptr, set_indices)``."""
+    sample_ids, nodes = keys // n, keys % n
+    order = np.argsort(sample_ids, kind="stable")
+    counts = np.bincount(sample_ids, minlength=num_instances)
+    set_indptr = np.zeros(num_instances + 1, dtype=np.int64)
+    np.cumsum(counts, out=set_indptr[1:])
+    return set_indptr, nodes[order]
+
+
 def _instance_units(
     num_instances: int, n: int, max_keys: int
 ) -> list[tuple[int, int]]:
@@ -128,12 +213,7 @@ def _rr_pack_unit(
         roots.size,
         np.random.default_rng(seed),
     )
-    sample_ids, nodes = keys // n, keys % n
-    order = np.argsort(sample_ids, kind="stable")
-    counts = np.bincount(sample_ids, minlength=roots.size)
-    set_indptr = np.zeros(roots.size + 1, dtype=np.int64)
-    np.cumsum(counts, out=set_indptr[1:])
-    return set_indptr, nodes[order]
+    return _pack_chunk_keys(keys, roots.size, n)
 
 
 def _cascade_count_unit(ctx: WorkerContext, task: tuple) -> np.ndarray:
@@ -267,6 +347,63 @@ def sample_rr_sets_batch(
     set_indptr = np.zeros(roots.size + 1, dtype=np.int64)
     np.cumsum(counts, out=set_indptr[1:])
     return set_indptr, nodes[order]
+
+
+def sample_rr_sets_stream(
+    transpose_adjacency: Adjacency,
+    roots: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    max_keys: int = MAX_FLAT_KEYS,
+    chunk_instances: Optional[int] = None,
+):
+    """Yield packed ``(set_indptr, set_indices)`` pairs chunk by chunk.
+
+    The streaming twin of the serial :func:`sample_rr_sets_batch`: the
+    out-of-core path flushes each yielded chunk into a byte-budgeted
+    segment instead of concatenating everything into one flat pair, so
+    peak memory is one chunk, not the whole collection.
+
+    With ``chunk_instances=None`` the chunk law is the flat serial law
+    (``max_keys // n`` instances per chunk, dense visited buffer) and
+    ``concat_packed`` over the yielded pairs is bitwise-identical to
+    ``sample_rr_sets_batch(..., workers=None)`` — per-chunk stable
+    argsorts concatenate to the global stable argsort because instance
+    ids are grouped by chunk. An explicit ``chunk_instances`` switches to
+    the sparse visited structure (:func:`_reachability_chunk_sparse`),
+    whose memory is O(reached keys) instead of O(instances · n): the
+    draws still match the flat law whenever both paths process the roots
+    in a single chunk (``roots.size <= min(chunk_instances,
+    max_keys // n)``), which covers the bitwise-pinned small datasets;
+    large graphs get a deterministic law of their own.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    n = transpose_adjacency[0].size - 1
+    if roots.size and (roots.min() < 0 or roots.max() >= n):
+        bad = roots[(roots < 0) | (roots >= n)][0]
+        raise IndexError(f"root {bad} out of range [0, {n})")
+    if roots.size == 0:
+        return
+    if chunk_instances is None:
+        chunk = max(int(max_keys) // max(n, 1), 1)
+        sparse = False
+    else:
+        chunk = max(int(chunk_instances), 1)
+        sparse = True
+    for lo in range(0, roots.size, chunk):
+        hi = min(lo + chunk, roots.size)
+        start_keys = (
+            np.arange(hi - lo, dtype=np.int64) * n + roots[lo:hi]
+        )
+        if sparse:
+            keys = _reachability_chunk_sparse(
+                transpose_adjacency, start_keys, rng
+            )
+        else:
+            keys = _reachability_chunk(
+                transpose_adjacency, start_keys, hi - lo, rng
+            )
+        yield _pack_chunk_keys(keys, hi - lo, n)
 
 
 def cascade_activation_counts(

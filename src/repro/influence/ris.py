@@ -23,9 +23,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import GroupPartitionError
+from repro.errors import GroupPartitionError, StorageError
 from repro.graphs.graph import Graph, GraphDelta
-from repro.influence.engine import sample_rr_sets_batch
+from repro.influence.engine import (
+    sample_rr_sets_batch,
+    sample_rr_sets_stream,
+)
+from repro.storage.backend import ArrayBackend, resolve_backend
+from repro.storage.segments import DEFAULT_SEGMENT_BYTES, SegmentedRRStore
 from repro.utils.csr import build_csr, splice_packed
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
@@ -33,6 +38,35 @@ from repro.utils.validation import check_positive_int
 #: Domain-separation tag for repair seed streams (see
 #: :func:`repair_seed_sequence`).
 REPAIR_STREAM_TAG = 0x5252_5345
+
+#: Instances per sampling chunk on the segmented path. The sparse
+#: reachability chunk has no dense visited buffer, so the chunk size is
+#: a plain batching knob: it must only be large enough that the pinned
+#: small datasets sample in a single chunk (where the draw law provably
+#: coincides with the flat serial path) and small enough that one
+#: chunk's packed arrays stay well under any realistic memory budget.
+SEGMENT_CHUNK_INSTANCES = 8_192
+
+
+def segment_bytes_for(memory_budget: Optional[int]) -> int:
+    """Segment byte target under ``memory_budget`` total resident bytes.
+
+    The backend selection rule (DESIGN.md §10): a sixteenth of the
+    budget per segment, clamped to [1 MB, 256 MB]; without a budget,
+    :data:`repro.storage.segments.DEFAULT_SEGMENT_BYTES`. A full pass
+    holds one segment's pages plus its per-pass temporaries — the gains
+    gather and the flush-time inversion both allocate ~6 int64 arrays
+    over the segment's entries, i.e. ~3x the segment's bytes — so a
+    sixteenth leaves the rest of the budget for those temporaries, the
+    collection-wide bookkeeping (roots, labels, coverage flags) and the
+    graph pages touched while sampling.
+    """
+    if memory_budget is None:
+        return DEFAULT_SEGMENT_BYTES
+    budget = int(memory_budget)
+    if budget <= 0:
+        raise ValueError(f"memory_budget must be positive, got {budget}")
+    return min(max(budget // 16, 1 << 20), 1 << 28)
 
 
 class RRCollection:
@@ -154,6 +188,64 @@ class RRCollection:
         return covered / self.group_counts
 
 
+class SegmentedRRCollection:
+    """RR sets held in a :class:`SegmentedRRStore` instead of flat arrays.
+
+    The out-of-core twin of :class:`RRCollection`: same group bookkeeping
+    (``root_groups``/``group_counts`` stay heap-resident — they are
+    O(num sets), needed by every gains fold), but the packed sets and
+    the inverted index live in byte-budgeted backend segments. Coverage
+    queries walk segment by segment and release pages as they go.
+    """
+
+    def __init__(
+        self,
+        store: SegmentedRRStore,
+        root_groups: np.ndarray,
+        num_nodes: int,
+        num_groups: int,
+    ) -> None:
+        self.store = store
+        self.num_nodes = num_nodes
+        self.num_groups = num_groups
+        self.root_groups = np.asarray(root_groups, dtype=np.int64)
+        if store.num_sets != self.root_groups.size:
+            raise StorageError(
+                f"store holds {store.num_sets} sets but root_groups has "
+                f"{self.root_groups.size} entries"
+            )
+        counts = np.bincount(self.root_groups, minlength=self.num_groups)
+        if np.any(counts == 0):
+            raise GroupPartitionError(
+                "every group needs at least one RR set for its f_i estimate"
+            )
+        self.group_counts = counts
+
+    @property
+    def num_sets(self) -> int:
+        return self.store.num_sets
+
+    @property
+    def roots(self) -> np.ndarray:
+        """Root node of every RR set (one heap-resident pass)."""
+        return self.store.roots()
+
+    def coverage(self, seeds: np.ndarray | list[int]) -> np.ndarray:
+        """Per-group fraction of RR sets hit by ``seeds``, segment by segment.
+
+        Same integer hit counts as the flat
+        :meth:`RRCollection.coverage`, folded per segment, so the float
+        fractions are bitwise-identical.
+        """
+        seed_mask = np.zeros(self.num_nodes, dtype=bool)
+        seed_mask[np.asarray(list(seeds), dtype=np.int64)] = True
+        hit = self.store.hit_rows(seed_mask)
+        covered = np.bincount(
+            self.root_groups[hit], minlength=self.num_groups
+        ).astype(float)
+        return covered / self.group_counts
+
+
 def sample_rr_set(
     transpose_adjacency: tuple[np.ndarray, np.ndarray, np.ndarray],
     root: int,
@@ -198,6 +290,45 @@ def sample_rr_set(
     return np.asarray(out, dtype=np.int64)
 
 
+def _draw_roots(
+    graph: Graph,
+    num_samples: int,
+    rng: np.random.Generator,
+    stratified: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw RR roots and their group labels (the shared root law).
+
+    Factored out of :func:`sample_rr_collection` so the flat and the
+    segmented paths consume *exactly* the same root draws — the first
+    precondition of their bitwise-identity contract.
+    """
+    labels = graph.groups
+    c = graph.num_groups
+    if stratified:
+        total = max(num_samples, c)
+        base, rem = divmod(total, c)
+        root_parts: list[np.ndarray] = []
+        group_parts: list[np.ndarray] = []
+        for i in range(c):
+            quota = base + (1 if i < rem else 0)
+            members = np.flatnonzero(labels == i)
+            root_parts.append(members[rng.integers(0, members.size, size=quota)])
+            group_parts.append(np.full(quota, i, dtype=np.int64))
+        return np.concatenate(root_parts), np.concatenate(group_parts)
+    roots = rng.integers(0, graph.num_nodes, size=num_samples)
+    root_groups = labels[roots]
+    # Guarantee at least one RR set per group (collections require it).
+    present = np.bincount(root_groups, minlength=c)
+    extra_roots = [
+        graph.group_members(i)[rng.integers(0, graph.group_sizes()[i])]
+        for i in np.flatnonzero(present == 0)
+    ]
+    if extra_roots:
+        roots = np.concatenate([roots, np.asarray(extra_roots)])
+        root_groups = labels[roots]
+    return roots, root_groups
+
+
 def sample_rr_collection(
     graph: Graph,
     num_samples: int,
@@ -205,7 +336,10 @@ def sample_rr_collection(
     seed: SeedLike = None,
     stratified: bool = True,
     workers: Optional[int] = None,
-) -> RRCollection:
+    store: str = "ram",
+    memory_budget: Optional[int] = None,
+    backend: Optional[ArrayBackend] = None,
+) -> RRCollection | SegmentedRRCollection:
     """Sample an :class:`RRCollection` from a grouped graph.
 
     Parameters
@@ -228,41 +362,56 @@ def sample_rr_collection(
         (:mod:`repro.utils.parallel`). ``None`` keeps the serial in-line
         stream; any integer switches to the worker-count-invariant unit
         decomposition (bitwise-identical collections for all counts).
+        Only the flat store supports workers.
+    store:
+        ``"ram"`` (default) builds the flat in-memory
+        :class:`RRCollection`; ``"mmap"`` streams completed sampling
+        chunks into byte-budgeted memory-mapped segments and returns a
+        :class:`SegmentedRRCollection`.
+    memory_budget:
+        Target resident bytes for the segmented path; sets the segment
+        byte budget via :func:`segment_bytes_for`. Ignored by the flat
+        store.
+    backend:
+        Explicit :class:`repro.storage.backend.ArrayBackend` for the
+        segments (tests inject scratch directories); defaults to a fresh
+        backend of the ``store`` kind.
     """
     check_positive_int(num_samples, "num_samples")
+    if store not in ("ram", "mmap"):
+        raise StorageError(
+            f"unknown store kind {store!r}, expected 'ram' or 'mmap'"
+        )
     rng = as_generator(seed)
-    labels = graph.groups
     c = graph.num_groups
     transpose = graph.transpose_adjacency()
-    if stratified:
-        total = max(num_samples, c)
-        base, rem = divmod(total, c)
-        root_parts: list[np.ndarray] = []
-        group_parts: list[np.ndarray] = []
-        for i in range(c):
-            quota = base + (1 if i < rem else 0)
-            members = np.flatnonzero(labels == i)
-            root_parts.append(members[rng.integers(0, members.size, size=quota)])
-            group_parts.append(np.full(quota, i, dtype=np.int64))
-        roots = np.concatenate(root_parts)
-        root_groups = np.concatenate(group_parts)
-    else:
-        roots = rng.integers(0, graph.num_nodes, size=num_samples)
-        root_groups = labels[roots]
-        # Guarantee at least one RR set per group (RRCollection requires it).
-        present = np.bincount(root_groups, minlength=c)
-        extra_roots = [
-            graph.group_members(i)[rng.integers(0, graph.group_sizes()[i])]
-            for i in np.flatnonzero(present == 0)
-        ]
-        if extra_roots:
-            roots = np.concatenate([roots, np.asarray(extra_roots)])
-            root_groups = labels[roots]
-    set_indptr, set_indices = sample_rr_sets_batch(
-        transpose, roots, rng, workers=workers
+    roots, root_groups = _draw_roots(graph, num_samples, rng, stratified)
+    if store == "ram" and backend is None:
+        set_indptr, set_indices = sample_rr_sets_batch(
+            transpose, roots, rng, workers=workers
+        )
+        return RRCollection.from_packed(
+            set_indptr, set_indices, root_groups, graph.num_nodes, c
+        )
+    if workers is not None:
+        raise ValueError(
+            "the segmented store samples through the serial stream; "
+            "workers must be None when store != 'ram'"
+        )
+    if backend is None:
+        backend = resolve_backend(store)
+    seg_store = SegmentedRRStore(
+        graph.num_nodes,
+        backend,
+        segment_bytes=segment_bytes_for(memory_budget),
     )
-    return RRCollection.from_packed(
-        set_indptr, set_indices, root_groups, graph.num_nodes, c
+    for chunk_indptr, chunk_indices in sample_rr_sets_stream(
+        transpose, roots, rng, chunk_instances=SEGMENT_CHUNK_INSTANCES
+    ):
+        seg_store.append_chunk(chunk_indptr, chunk_indices)
+    seg_store.finalize()
+    return SegmentedRRCollection(
+        seg_store, root_groups, graph.num_nodes, c
     )
 
 
@@ -315,7 +464,7 @@ def repair_seed_sequence(
 
 
 def affected_rr_sets(
-    collection: RRCollection, delta: GraphDelta
+    collection: "RRCollection | SegmentedRRCollection", delta: GraphDelta
 ) -> np.ndarray:
     """RR-set ids whose sampled law changed under ``delta`` (sorted).
 
@@ -333,12 +482,14 @@ def affected_rr_sets(
         return np.zeros(0, dtype=np.int64)
     mask = np.zeros(collection.num_nodes, dtype=bool)
     mask[delta.targets] = True
+    if isinstance(collection, SegmentedRRCollection):
+        return np.flatnonzero(collection.store.hit_rows(mask))
     rows = collection.entry_rows()[mask[collection.set_indices]]
     return np.unique(rows)
 
 
 def repair_rr_collection(
-    collection: RRCollection,
+    collection: "RRCollection | SegmentedRRCollection",
     graph: Graph,
     delta: GraphDelta,
     seed: SeedLike = None,
@@ -364,6 +515,17 @@ def repair_rr_collection(
     if affected.size == 0:
         return RepairResult(affected, total)
     rng = as_generator(seed)
+    if isinstance(collection, SegmentedRRCollection):
+        # Same root order and draw law as the flat splice (affected ids
+        # ascending, one batched resample), then rewrite only the owning
+        # segments — replacement contents are bitwise those of the flat
+        # path.
+        roots = collection.store.roots_of(affected)
+        sub_indptr, sub_indices = sample_rr_sets_batch(
+            graph.transpose_adjacency(), roots, rng, workers=workers
+        )
+        collection.store.replace_sets(affected, sub_indptr, sub_indices)
+        return RepairResult(affected, total)
     roots = collection.set_indices[collection.set_indptr[affected]]
     sub_indptr, sub_indices = sample_rr_sets_batch(
         graph.transpose_adjacency(), roots, rng, workers=workers

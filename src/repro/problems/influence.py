@@ -21,10 +21,12 @@ from repro.influence.imm import imm_rr_collection
 from repro.influence.ris import (
     RepairResult,
     RRCollection,
+    SegmentedRRCollection,
     repair_rr_collection,
     repair_seed_sequence,
     sample_rr_collection,
 )
+from repro.storage.backend import ArrayBackend, resident_nbytes
 from repro.utils.csr import (
     batch_group_counts,
     gather_csr_slices,
@@ -57,15 +59,21 @@ class InfluenceObjective(GroupedObjective):
 
     def __init__(
         self,
-        collection: RRCollection,
+        collection: RRCollection | SegmentedRRCollection,
         population_sizes: Sequence[int],
     ) -> None:
-        """Wrap an RR collection.
+        """Wrap an RR collection (flat or segmented).
 
         ``population_sizes`` are the true group sizes ``m_i``: the weights
         in ``f = sum_i (m_i/m) f_i`` must reflect the user population, while
         each *estimate* ``f_i`` divides by the collection's per-group RR-set
         counts (which differ under stratified sampling).
+
+        A :class:`SegmentedRRCollection` keeps its inverted index inside
+        its per-segment store; the flat inverted CSR is only built for
+        flat collections. Every oracle hook folds segment results into
+        the same integers the flat arrays would produce, so solvers see
+        bitwise-identical gains either way.
         """
         if len(population_sizes) != collection.num_groups:
             raise ValueError(
@@ -73,14 +81,20 @@ class InfluenceObjective(GroupedObjective):
             )
         super().__init__(collection.num_nodes, population_sizes)
         self._collection = collection
-        # Inverted CSR index (node v's RR-set ids occupy the slice
-        # [_mem_indptr[v], _mem_indptr[v+1]) of _mem_indices), built
-        # directly from the collection's packed arrays: the stable
-        # inversion keeps each node's RR-set ids in increasing order,
-        # exactly as the per-set append loop did.
-        self._mem_indptr, self._mem_indices, _ = invert_csr(
-            collection.set_indptr, collection.set_indices, collection.num_nodes
-        )
+        self._segmented = isinstance(collection, SegmentedRRCollection)
+        if self._segmented:
+            self._mem_indptr = None
+            self._mem_indices = None
+        else:
+            # Inverted CSR index (node v's RR-set ids occupy the slice
+            # [_mem_indptr[v], _mem_indptr[v+1]) of _mem_indices), built
+            # directly from the collection's packed arrays: the stable
+            # inversion keeps each node's RR-set ids in increasing order,
+            # exactly as the per-set append loop did.
+            self._mem_indptr, self._mem_indices, _ = invert_csr(
+                collection.set_indptr, collection.set_indices,
+                collection.num_nodes,
+            )
         self._root_groups = collection.root_groups
         self._group_counts = collection.group_counts.astype(float)
         #: Bumped whenever :meth:`refresh` changes the sampled state —
@@ -96,6 +110,11 @@ class InfluenceObjective(GroupedObjective):
         self._num_samples = 0
         self._stratified = True
         self._workers: Optional[int] = None
+        self._store = "mmap" if self._segmented else "ram"
+        self._memory_budget: Optional[int] = None
+        self._backend: Optional[ArrayBackend] = (
+            collection.store.backend if self._segmented else None
+        )
 
     def _bind_graph(
         self,
@@ -104,6 +123,8 @@ class InfluenceObjective(GroupedObjective):
         num_samples: int,
         stratified: bool,
         workers: Optional[int],
+        store: str = "ram",
+        memory_budget: Optional[int] = None,
     ) -> None:
         self._graph = graph
         self._graph_version = graph.version
@@ -118,6 +139,8 @@ class InfluenceObjective(GroupedObjective):
         self._num_samples = int(num_samples)
         self._stratified = bool(stratified)
         self._workers = workers
+        self._store = store
+        self._memory_budget = memory_budget
 
     @classmethod
     def from_collection(
@@ -137,18 +160,28 @@ class InfluenceObjective(GroupedObjective):
         seed: SeedLike = None,
         stratified: bool = True,
         workers: Optional[int] = None,
+        store: str = "ram",
+        memory_budget: Optional[int] = None,
+        backend: Optional[ArrayBackend] = None,
     ) -> "InfluenceObjective":
         """Sample ``num_samples`` RR sets from ``graph`` and wrap them.
 
         ``workers`` selects the process-pool sampling backend (see
-        :func:`repro.influence.ris.sample_rr_collection`).
+        :func:`repro.influence.ris.sample_rr_collection`); ``store`` /
+        ``memory_budget`` select the storage tier — ``store="mmap"``
+        streams the collection into byte-budgeted memory-mapped segments
+        whose gains fold to bitwise the flat results.
         """
         collection = sample_rr_collection(
             graph, num_samples, seed=seed, stratified=stratified,
-            workers=workers,
+            workers=workers, store=store, memory_budget=memory_budget,
+            backend=backend,
         )
         objective = cls.from_collection(collection, graph.group_sizes())
-        objective._bind_graph(graph, seed, num_samples, stratified, workers)
+        objective._bind_graph(
+            graph, seed, num_samples, stratified, workers,
+            store=store, memory_budget=memory_budget,
+        )
         return objective
 
     @classmethod
@@ -191,23 +224,48 @@ class InfluenceObjective(GroupedObjective):
         return self._graph_version
 
     def memory_bytes(self) -> int:
-        """Approximate resident size of the sampled state.
+        """Approximate *resident* size of the sampled state.
 
         Counts the packed collection plus the inverted index — the
         arrays that dominate a warm influence objective. Used by the
         byte-budgeted caches (:mod:`repro.utils.caching`) to account
-        entries.
+        entries. For a segmented collection only heap-resident bytes
+        count: the segment arrays are file-backed and reclaimable, which
+        is what lets one warm session serve collections far larger than
+        its cache budget.
         """
         collection = self._collection
+        if self._segmented:
+            return int(
+                collection.store.resident_bytes()
+                + collection.root_groups.nbytes
+                + collection.group_counts.nbytes
+                + self._group_counts.nbytes
+                + self._group_sizes.nbytes
+            )
         return int(
-            collection.set_indptr.nbytes
-            + collection.set_indices.nbytes
+            resident_nbytes(collection.set_indptr)
+            + resident_nbytes(collection.set_indices)
             + collection.root_groups.nbytes
             + self._mem_indptr.nbytes
             + self._mem_indices.nbytes
             + self._group_counts.nbytes
             + self._group_sizes.nbytes
         )
+
+    def storage_info(self) -> dict[str, int | str]:
+        """Storage-tier summary (the service ``stats`` op embeds this)."""
+        if self._segmented:
+            info = dict(self._collection.store.storage_info())
+            info["resident_bytes"] = self.memory_bytes()
+            return info
+        return {
+            "store_kind": "ram",
+            "segments": 0,
+            "num_sets": self._collection.num_sets,
+            "resident_bytes": self.memory_bytes(),
+            "on_disk_bytes": 0,
+        }
 
     # -- incremental repair ----------------------------------------------
     def refresh(
@@ -260,20 +318,30 @@ class InfluenceObjective(GroupedObjective):
         if delta is None:
             # Unreplayable delta: resample the whole collection under
             # the original configuration (fresh stream — the repair law
-            # keyed on the version step keeps it deterministic).
+            # keyed on the version step keeps it deterministic). The
+            # storage tier carries over: a segmented objective resamples
+            # into fresh segments on the same backend.
             collection = sample_rr_collection(
                 graph,
                 self._num_samples,
                 seed=seed,
                 stratified=self._stratified,
                 workers=workers,
+                store=self._store,
+                memory_budget=self._memory_budget,
+                backend=self._backend,
             )
             self._collection = collection
-            self._mem_indptr, self._mem_indices, _ = invert_csr(
-                collection.set_indptr,
-                collection.set_indices,
-                collection.num_nodes,
-            )
+            self._segmented = isinstance(collection, SegmentedRRCollection)
+            if self._segmented:
+                self._mem_indptr = None
+                self._mem_indices = None
+            else:
+                self._mem_indptr, self._mem_indices, _ = invert_csr(
+                    collection.set_indptr,
+                    collection.set_indices,
+                    collection.num_nodes,
+                )
             self._root_groups = collection.root_groups
             self._group_counts = collection.group_counts.astype(float)
             result = RepairResult(
@@ -285,7 +353,9 @@ class InfluenceObjective(GroupedObjective):
             result = repair_rr_collection(
                 self._collection, graph, delta, seed, workers=workers
             )
-            if result.affected.size:
+            # The segmented store re-inverts the rewritten segments
+            # inside replace_sets; only the flat index needs patching.
+            if result.affected.size and not self._segmented:
                 self._repair_inverted_index(result.affected)
         self._graph_version = to_version
         if result.sets_repaired:
@@ -335,7 +405,15 @@ class InfluenceObjective(GroupedObjective):
         return payload.copy()
 
     def _member_ids(self, item: int) -> np.ndarray:
-        """RR-set ids containing ``item`` (a view into the inverted CSR)."""
+        """RR-set ids containing ``item``, sorted ascending.
+
+        Flat: a view into the inverted CSR. Segmented: the concatenation
+        of the per-segment inverted slices — the same ids in the same
+        order (segment starts increase and per-segment slices are
+        sorted).
+        """
+        if self._segmented:
+            return self._collection.store.member_ids(item)
         return self._mem_indices[
             self._mem_indptr[item]:self._mem_indptr[item + 1]
         ]
@@ -351,6 +429,18 @@ class InfluenceObjective(GroupedObjective):
     def _gains_batch(
         self, payload: _InfluencePayload, items: np.ndarray
     ) -> np.ndarray:
+        if self._segmented:
+            # Fold integer fresh-coverage counts segment by segment
+            # (pages released after each segment): int64 sums are exact,
+            # so the resulting gain matrix — and every downstream greedy
+            # selection — is bitwise the flat path's.
+            counts = self._collection.store.fold_group_counts(
+                items,
+                payload.covered,
+                self._root_groups,
+                self.num_groups,
+            )
+            return counts / self._group_counts
         counts = batch_group_counts(
             self._mem_indptr,
             self._mem_indices,

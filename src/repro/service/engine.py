@@ -55,11 +55,17 @@ class ServiceEngine:
         self,
         *,
         workers: Optional[int] = None,
+        store: str = "ram",
+        memory_budget: Optional[int] = None,
         max_sessions: int = MAX_SESSIONS,
         objective_budget: Optional[int] = None,
         eval_budget: Optional[int] = None,
     ) -> None:
+        if store not in ("ram", "mmap"):
+            raise ValueError(f"store must be 'ram' or 'mmap', got {store!r}")
         self.workers = workers
+        self.store = store
+        self.memory_budget = memory_budget
         self._objective_budget = objective_budget
         self._eval_budget = eval_budget
         self._sessions = BoundedCache(max_sessions, sizeof=lambda s: 1)
@@ -68,18 +74,36 @@ class ServiceEngine:
         self.coalesced_runs = 0
 
     # -- sessions ---------------------------------------------------------
-    def session(self, dataset_name: str, seed: int = 0) -> SolverSession:
-        """The warm session for ``(dataset_name, seed)`` (loads once)."""
+    def session(
+        self,
+        dataset_name: str,
+        seed: int = 0,
+        *,
+        store: str = "",
+        memory_budget: int = 0,
+    ) -> SolverSession:
+        """The warm session for ``(dataset_name, seed, storage tier)``.
+
+        ``store=""`` / ``memory_budget=0`` defer to the engine defaults;
+        a request that pins its own tier gets a distinct session (a
+        segmented objective and a flat one are never interchangeable).
+        """
         if dataset_name not in DATASETS:
             raise KeyError(
                 f"unknown dataset {dataset_name!r}; "
                 f"available: {sorted(DATASETS)}"
             )
-        key = (dataset_name, int(seed))
+        store = store or self.store
+        budget = memory_budget or self.memory_budget
+        key = (dataset_name, int(seed), store, budget)
 
         def build() -> SolverSession:
             dataset = load_dataset(dataset_name, seed=seed)
-            kwargs: dict[str, Any] = {"workers": self.workers}
+            kwargs: dict[str, Any] = {
+                "workers": self.workers,
+                "store": store,
+                "memory_budget": budget,
+            }
             if self._objective_budget is not None:
                 kwargs["objective_budget"] = self._objective_budget
             if self._eval_budget is not None:
@@ -128,6 +152,7 @@ class ServiceEngine:
                     request.algorithm, request.dataset, request.seed,
                     request.im_samples, request.workers,
                     request.mc_simulations,
+                    request.store, request.memory_budget,
                 )
                 groups.setdefault(key, []).append(pos)
         for positions in groups.values():
@@ -180,7 +205,10 @@ class ServiceEngine:
     ) -> tuple[SolverSession, bool]:
         """Resolve the request's session plus whether it already existed."""
         hits_before = self._sessions.stats.hits
-        session = self.session(request.dataset, request.seed)
+        session = self.session(
+            request.dataset, request.seed,
+            store=request.store, memory_budget=request.memory_budget,
+        )
         return session, self._sessions.stats.hits > hits_before
 
     class _WarmProbe:

@@ -71,6 +71,12 @@ class Request:
     parameter: str = "tau"
     values: tuple[float, ...] = ()
     algorithms: tuple[str, ...] = ()
+    #: Storage tier of the warm objective: ``""`` defers to the engine
+    #: default, ``"ram"`` forces flat in-memory arrays, ``"mmap"`` the
+    #: segmented out-of-core store.
+    store: str = ""
+    #: Resident-byte budget for ``store="mmap"`` (0 = engine default).
+    memory_budget: int = 0
 
 
 @dataclass(frozen=True)
@@ -117,12 +123,13 @@ def request_from_dict(payload: Any) -> Request:
              f"op must be one of {OPS}, got {op!r}")
     out: dict[str, Any] = {"op": op}
     for name, kind in (("id", str), ("dataset", str), ("algorithm", str),
-                       ("parameter", str)):
+                       ("parameter", str), ("store", str)):
         if name in payload:
             _require(isinstance(payload[name], kind),
                      f"{name} must be a string")
             out[name] = payload[name]
-    for name in ("k", "seed", "im_samples", "mc_simulations"):
+    for name in ("k", "seed", "im_samples", "mc_simulations",
+                 "memory_budget"):
         if name in payload:
             value = payload[name]
             _require(
@@ -230,6 +237,10 @@ def request_from_dict(payload: Any) -> Request:
              "mc_simulations must be non-negative")
     _require(request.parameter in ("tau", "k"),
              "parameter must be 'tau' or 'k'")
+    _require(request.store in ("", "ram", "mmap"),
+             "store must be '', 'ram' or 'mmap'")
+    _require(request.memory_budget >= 0,
+             "memory_budget must be non-negative")
     return request
 
 

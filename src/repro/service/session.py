@@ -69,6 +69,13 @@ class SolverSession:
     workers:
         Default process-pool width for sampling/evaluation calls that do
         not override it (``None`` = legacy serial stream).
+    store:
+        Storage tier of influence objectives: ``"ram"`` keeps the flat
+        in-memory RR arrays, ``"mmap"`` samples into the segmented
+        out-of-core store (:mod:`repro.storage`).
+    memory_budget:
+        Resident-byte budget for ``store="mmap"`` (sets the segment
+        size; ``None`` = default segments).
     objective_budget, eval_budget:
         Byte budgets of the objective and evaluation caches.
     """
@@ -78,11 +85,17 @@ class SolverSession:
         dataset: Dataset,
         *,
         workers: Optional[int] = None,
+        store: str = "ram",
+        memory_budget: Optional[int] = None,
         objective_budget: int = DEFAULT_OBJECTIVE_BUDGET,
         eval_budget: int = DEFAULT_EVAL_BUDGET,
     ) -> None:
+        if store not in ("ram", "mmap"):
+            raise ValueError(f"store must be 'ram' or 'mmap', got {store!r}")
         self.dataset = dataset
         self.workers = workers
+        self.store = store
+        self.memory_budget = memory_budget
         self._objectives = BoundedCache(objective_budget)
         self._evaluations = BoundedCache(eval_budget)
         self._dynamic = BoundedCache(
@@ -106,10 +119,13 @@ class SolverSession:
     ) -> tuple:
         # Deliberately *not* version-keyed: a graph mutation repairs the
         # cached objective in place (see objective()) instead of
-        # stranding the old entry and resampling from scratch.
+        # stranding the old entry and resampling from scratch. The
+        # storage tier is part of the key — a segmented objective and a
+        # flat one are never interchangeable cache hits.
         return (
             self.dataset.name, id(self.dataset.graph),
             int(im_samples), int(sample_seed), _decomposition_law(workers),
+            self.store, self.memory_budget,
         )
 
     def _record_repair(self, result) -> None:
@@ -149,6 +165,10 @@ class SolverSession:
             raise ValueError(f"unknown dataset kind {dataset.kind!r}")
         if workers is ...:
             workers = self.workers
+        if self.store == "mmap":
+            # The segmented sampler is a serial stream; worker counts
+            # would change the draw law, so the mmap tier pins them off.
+            workers = None
         from repro.problems.influence import InfluenceObjective
 
         key = self._objective_key(im_samples, sample_seed, workers)
@@ -157,6 +177,7 @@ class SolverSession:
             return InfluenceObjective.from_graph(
                 dataset.graph, im_samples,
                 seed=sample_seed, workers=workers,
+                store=self.store, memory_budget=self.memory_budget,
             )
 
         objective = self._objectives.get_or_create(
@@ -370,12 +391,40 @@ class SolverSession:
     def dynamic_cache(self) -> BoundedCache:
         return self._dynamic
 
+    def _storage_stats(self) -> dict[str, Any]:
+        """Aggregate storage-tier telemetry over the warm objectives.
+
+        ``resident_bytes`` counts only RAM-resident arrays (memory-mapped
+        segments report their on-disk footprint separately), so a client
+        can see that an mmap-tier session holds gigabytes of RR sets in
+        a few MB of resident memory.
+        """
+        info: dict[str, Any] = {
+            "store_kind": self.store,
+            "objectives": 0,
+            "segments": 0,
+            "resident_bytes": 0,
+            "on_disk_bytes": 0,
+        }
+        for key in self._objectives.keys():
+            objective = self._objectives.peek(key)
+            storage_info = getattr(objective, "storage_info", None)
+            if storage_info is None:
+                continue
+            data = storage_info()
+            info["objectives"] += 1
+            info["segments"] += int(data.get("segments", 0))
+            info["resident_bytes"] += int(data.get("resident_bytes", 0))
+            info["on_disk_bytes"] += int(data.get("on_disk_bytes", 0))
+        return info
+
     def stats(self) -> dict[str, Any]:
         """JSON-safe cache statistics (embedded in service responses)."""
         return {
             "dataset": self.dataset.name,
             "kind": self.dataset.kind,
             "requests": self.requests,
+            "storage": self._storage_stats(),
             "objective": self._objectives.stats.as_dict(),
             "evaluation": self._evaluations.stats.as_dict(),
             "dynamic_instances": len(self._dynamic),

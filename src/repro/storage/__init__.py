@@ -1,0 +1,26 @@
+"""Out-of-core storage tier: array backends and segmented RR stores.
+
+The storage tier decouples *where CSR arrays live* (RAM vs memory-mapped
+files) from the solver layers that consume them. See DESIGN.md §10.
+"""
+
+from repro.storage.backend import (
+    ArrayBackend,
+    MmapBackend,
+    RamBackend,
+    release_array,
+    resident_nbytes,
+    resolve_backend,
+)
+from repro.storage.segments import RRSegment, SegmentedRRStore
+
+__all__ = [
+    "ArrayBackend",
+    "MmapBackend",
+    "RamBackend",
+    "RRSegment",
+    "SegmentedRRStore",
+    "release_array",
+    "resident_nbytes",
+    "resolve_backend",
+]

@@ -1,0 +1,196 @@
+"""Array backends: the ``ram`` | ``mmap`` split behind every CSR consumer.
+
+An :class:`ArrayBackend` answers one question — *where does a finished
+numpy array live?* — with two implementations:
+
+* :class:`RamBackend` keeps the array as-is (the historical behaviour);
+* :class:`MmapBackend` writes the bytes to a scratch file and hands back
+  a read-only ``np.memmap`` view, so the data costs file-system pages
+  (reclaimable, resident-zero for budget accounting) instead of heap.
+
+Consumers never branch on the kind: they call :meth:`ArrayBackend.store`
+on arrays they want to keep, :func:`release_array` on arrays they are
+done scanning for now, and :func:`resident_nbytes` when accounting.
+The scratch directory of an :class:`MmapBackend` is private to the
+backend instance and removed when it is closed or garbage-collected.
+"""
+
+from __future__ import annotations
+
+import abc
+import mmap
+import os
+import shutil
+import tempfile
+import weakref
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = [
+    "ArrayBackend",
+    "MmapBackend",
+    "RamBackend",
+    "release_array",
+    "resident_nbytes",
+    "resolve_backend",
+]
+
+#: Backend kinds accepted by :func:`resolve_backend` and the CLI/service
+#: ``--store`` flag.
+STORE_KINDS = ("ram", "mmap")
+
+
+def resident_nbytes(array: Optional[np.ndarray]) -> int:
+    """Heap bytes ``array`` pins: 0 for memmap-backed arrays and views."""
+    if array is None:
+        return 0
+    if isinstance(array, np.memmap):
+        return 0
+    if array.base is not None and isinstance(array.base, np.memmap):
+        return 0
+    return int(array.nbytes)
+
+
+def release_array(array: Optional[np.ndarray]) -> None:
+    """Advise the kernel to drop ``array``'s resident pages (memmap only).
+
+    A no-op for plain arrays: heap memory cannot be dropped without
+    losing the data. For ``np.memmap`` arrays this issues
+    ``MADV_DONTNEED`` on the underlying mapping, returning the pages to
+    the kernel — the data stays intact on disk and refaults on the next
+    access. This is what keeps segment-by-segment scans bounded: each
+    segment is released as soon as its pass completes.
+    """
+    if array is None or not isinstance(array, np.memmap):
+        return
+    raw = getattr(array, "_mmap", None)
+    if raw is None:
+        return
+    try:
+        raw.madvise(mmap.MADV_DONTNEED)
+    except (AttributeError, OSError, ValueError):  # pragma: no cover
+        pass  # platform without madvise: correctness is unaffected
+
+
+class ArrayBackend(abc.ABC):
+    """Placement policy for finished CSR arrays."""
+
+    kind: str = ""
+
+    @abc.abstractmethod
+    def store(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Persist ``array`` under ``name`` and return the canonical view.
+
+        The returned array is read-only for the ``mmap`` backend; callers
+        must treat it as immutable under either backend. Re-storing an
+        existing ``name`` replaces the previous contents.
+        """
+
+    @abc.abstractmethod
+    def delete(self, name: str) -> None:
+        """Forget (and unlink, for ``mmap``) the array stored as ``name``."""
+
+    def close(self) -> None:
+        """Release backend-owned resources (scratch directory)."""
+
+    def __enter__(self) -> "ArrayBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class RamBackend(ArrayBackend):
+    """Keep arrays on the heap — the flat, historical placement."""
+
+    kind = "ram"
+
+    def store(self, name: str, array: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(array)
+
+    def delete(self, name: str) -> None:
+        pass
+
+
+class MmapBackend(ArrayBackend):
+    """Write arrays to scratch files; hand back read-only memmap views."""
+
+    kind = "mmap"
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-oocore-")
+            self._owns_directory = True
+        else:
+            os.makedirs(directory, exist_ok=True)
+            self._owns_directory = False
+        self.directory = directory
+        self._paths: dict[str, str] = {}
+        self._revision = 0
+        self._finalizer = weakref.finalize(
+            self, MmapBackend._cleanup, directory, self._owns_directory
+        )
+
+    @staticmethod
+    def _cleanup(directory: str, owned: bool) -> None:
+        if owned:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    def close(self) -> None:
+        self._paths.clear()
+        self._finalizer()
+
+    def store(self, name: str, array: np.ndarray) -> np.ndarray:
+        if os.sep in name or name in ("", ".", ".."):
+            raise StorageError(f"invalid backend array name {name!r}")
+        array = np.ascontiguousarray(array)
+        # A fresh revision per store: replacing an array (segment rewrite
+        # during repair) must not invalidate live memmap views of the old
+        # bytes mid-scan, so the old file is unlinked, not overwritten.
+        self._revision += 1
+        path = os.path.join(self.directory, f"{name}.{self._revision}.bin")
+        with open(path, "wb") as handle:
+            handle.write(memoryview(array).cast("B"))
+        previous = self._paths.pop(name, None)
+        if previous is not None:
+            try:
+                os.unlink(previous)
+            except OSError:  # pragma: no cover
+                pass
+        self._paths[name] = path
+        if array.size == 0:
+            # np.memmap rejects zero-length mappings; an empty array has
+            # no pages to keep out of RAM anyway.
+            return np.zeros(array.shape, dtype=array.dtype)
+        view = np.memmap(path, dtype=array.dtype, mode="r", shape=array.shape)
+        return view
+
+    def delete(self, name: str) -> None:
+        path = self._paths.pop(name, None)
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover
+                pass
+
+    def on_disk_nbytes(self) -> int:
+        """Total bytes of all live scratch files of this backend."""
+        total = 0
+        for path in self._paths.values():
+            try:
+                total += os.path.getsize(path)
+            except OSError:  # pragma: no cover
+                pass
+        return total
+
+
+def resolve_backend(kind: str, *, directory: Optional[str] = None) -> ArrayBackend:
+    """Build the backend for ``kind`` (``"ram"`` or ``"mmap"``)."""
+    if kind == "ram":
+        return RamBackend()
+    if kind == "mmap":
+        return MmapBackend(directory)
+    raise StorageError(f"unknown store kind {kind!r}, expected one of {STORE_KINDS}")

@@ -56,7 +56,15 @@ def estimate_nbytes(value: Any, _seen: Optional[set[int]] = None) -> int:
     if obj_id in _seen:
         return 0
     _seen.add(obj_id)
+    if isinstance(value, np.memmap):
+        # Memory-mapped arrays are backed by the file system, not the
+        # process heap: the pages are reclaimable at any time, so for
+        # budget accounting they cost nothing while cold. Charging the
+        # full file size would make any memmap instantly evict a cache.
+        return 0
     if isinstance(value, np.ndarray):
+        if value.base is not None and isinstance(value.base, np.memmap):
+            return 0
         return int(value.nbytes)
     memory_bytes = getattr(value, "memory_bytes", None)
     if callable(memory_bytes):

@@ -147,6 +147,52 @@ def merge_sorted_disjoint(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
+def segment_spans(
+    indptr: np.ndarray, max_entries: int
+) -> list[tuple[int, int]]:
+    """Cut a packed CSR into row spans of at most ``max_entries`` entries.
+
+    Returns ``[(row_lo, row_hi), ...]`` covering all rows in order. Every
+    span holds at least one row, so a single row larger than
+    ``max_entries`` gets a span of its own rather than failing — segment
+    byte budgets are targets, not hard guarantees, for pathological rows.
+    """
+    num_rows = indptr.size - 1
+    if num_rows <= 0:
+        return []
+    max_entries = max(int(max_entries), 1)
+    spans: list[tuple[int, int]] = []
+    lo = 0
+    while lo < num_rows:
+        # Largest hi with indptr[hi] - indptr[lo] <= max_entries …
+        hi = int(
+            np.searchsorted(indptr, indptr[lo] + max_entries, side="right")
+        ) - 1
+        hi = min(max(hi, lo + 1), num_rows)  # … but always take ≥ 1 row.
+        spans.append((lo, hi))
+        lo = hi
+    return spans
+
+
+def invert_csr_segment(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    num_cols: int,
+    row_offset: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Segment-aware :func:`invert_csr`: rows are reported as global ids.
+
+    The segmented RR store keeps one inverted index per segment whose
+    entries are *global* RR-set ids (``local row + row_offset``), so that
+    per-segment results concatenate into exactly the flat inverted index:
+    segment starts increase, hence each column's ids stay sorted across
+    the concatenation. The ``order`` permutation of :func:`invert_csr` is
+    dropped — segments carry no per-entry payloads.
+    """
+    inv_indptr, inv_rows, _ = invert_csr(indptr, indices, num_cols)
+    return inv_indptr, inv_rows + np.int64(row_offset)
+
+
 def batch_group_counts(
     indptr: np.ndarray,
     indices: np.ndarray,

@@ -78,6 +78,8 @@ def requests() -> st.SearchStrategy[Request]:
             ),
             max_size=8,
         ).map(tuple),
+        store=st.sampled_from(("", "ram", "mmap")),
+        memory_budget=st.integers(min_value=0, max_value=2**40),
         parameter=st.sampled_from(("tau", "k")),
         values=st.lists(
             st.floats(
