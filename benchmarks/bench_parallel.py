@@ -1,20 +1,25 @@
-"""Micro-bench — the shared-memory process-pool execution backend.
+"""Micro-bench — worker pools, execution backends and sampling kernels.
 
-Times the three paths the backend parallelises, serial (``workers=1``)
-vs a 4-worker pool, on one n >= 4096 SBM graph:
+Four measurement groups on one n >= 4096 SBM graph:
 
-* RR-set generation (``sample_rr_sets_batch``);
-* Monte-Carlo cascade evaluation (``simulate_cascades_batch``);
-* GreeDi shard solves (``greedi`` over the influence objective built
-  from the sampled collection).
-
-Both worker counts run the *same* unit decomposition with the same
-spawned RNG streams, so outputs must be bitwise-identical — asserted
-here, not just benchmarked. The >= 2x speedup gate only makes sense on
-a machine with cores to spare: it is enforced when ``os.cpu_count() >=
-4`` and otherwise recorded as unenforced (``speedup_gate: false`` in the
-JSON, which also tells ``check_regression.py`` to skip the speedup
-comparison for this file).
+* ``kernel_serial`` — the tightened kernel set vs the PR 3 "baseline"
+  kernels, both at ``workers=1``. This is a pure single-thread
+  algorithmic win, so its >= 1.3x floor is **armed on every machine**
+  (``always_gated_metrics`` in the JSON; ``check_regression.py`` honours
+  it even when the multicore gate is off).
+* ``backend_matrix`` — every (backend, kernel, workers) combination must
+  reproduce the serial/baseline reference stream bit for bit. Identity
+  is the contract; wall times are recorded for information only.
+* ``rr_sampling`` / ``mc_evaluation`` / ``greedi`` — serial
+  (``workers=1``) vs a pool of :data:`WORKERS`, as in PR 4. The >= 2x
+  scaling gate only makes sense with cores to spare: it is enforced when
+  at least :data:`MIN_CPUS_FOR_GATE` CPUs are *available* (affinity
+  mask, not machine core count) and otherwise recorded as unenforced
+  (``speedup_gate: false``).
+* ``pool_reuse`` — warm dispatch on the persistent pool vs a cold
+  spawn-then-dispatch (the pool-per-call cost PR 8 removed). Warm must
+  be >= :data:`MIN_POOL_REUSE`x cheaper; armed everywhere (spawn cost is
+  a property of the OS, not of core count).
 
 Emits ``benchmarks/results/BENCH_parallel.json``. Run standalone
 (``PYTHONPATH=src python benchmarks/bench_parallel.py``) or through
@@ -39,7 +44,16 @@ from repro.core.distributed import greedi
 from repro.graphs.generators import stochastic_block_model
 from repro.influence.engine import sample_rr_sets_batch
 from repro.influence.ic_model import simulate_cascades_batch
+from repro.kernels import available_kernels, default_kernel_name
 from repro.problems.influence import InfluenceObjective
+from repro.utils.parallel import (
+    WorkerContext,
+    available_cpus,
+    fork_available,
+    parallel_map,
+    resolve_backend,
+    shutdown_pools,
+)
 
 #: Instance size (the acceptance bar is n >= 4096 nodes). The edge
 #: probability keeps cascades sub-critical (branching factor ~ 1.1 at
@@ -50,6 +64,9 @@ P_INTRA = 0.01
 P_INTER = 0.002
 EDGE_PROB = 0.045
 NUM_RR_SAMPLES = 30_000
+#: Sample count for the bitwise (backend, kernel, workers) matrix —
+#: identity does not need the full timing workload.
+NUM_MATRIX_SAMPLES = 8_000
 NUM_CASCADES = 12_000
 NUM_SEEDS = 10
 GREEDI_K = 40
@@ -64,13 +81,19 @@ GREEDI_LAZY = False
 #: Pool width under test and the wall-clock bar it must clear.
 WORKERS = 4
 MIN_SPEEDUP = 2.0
-#: Cores needed for the speedup gate to be meaningful.
+#: Cores needed for the multicore speedup gate to be meaningful.
 MIN_CPUS_FOR_GATE = 4
+#: Single-thread kernel floor — armed on every machine.
+MIN_KERNEL_SPEEDUP = 1.3
+#: Warm-dispatch floor over cold spawn+dispatch — armed everywhere.
+MIN_POOL_REUSE = 5.0
 #: Metrics held to MIN_SPEEDUP (the acceptance bar names RR sampling and
 #: GreeDi; MC evaluation is memory-bound bincount work and is reported
 #: but not gated). check_regression.py reads this list when it falls
 #: back to the absolute floor.
 GATED_METRICS = ("rr_sampling.speedup", "greedi.speedup")
+#: Metrics compared even when the multicore gate is off.
+ALWAYS_GATED_METRICS = ("kernel_serial.speedup",)
 
 
 def _instance():
@@ -85,6 +108,116 @@ def _timed(fn, *args, **kwargs):
     return out, time.perf_counter() - start
 
 
+def _sample(transpose, roots, *, workers, exec_backend=None, kernel=None):
+    return sample_rr_sets_batch(
+        transpose,
+        roots,
+        np.random.default_rng(SEED + 1),
+        workers=workers,
+        exec_backend=exec_backend,
+        kernel=kernel,
+    )
+
+
+def _kernel_serial(transpose, roots) -> dict:
+    """Single-thread kernel win: baseline vs the active kernel set."""
+    active = default_kernel_name()
+    # Warm both paths once (allocator, page faults) before timing, then
+    # take the best of three runs per path — the ratio is gated hard, so
+    # a stray scheduler hiccup must not fail the bench.
+    _sample(transpose, roots[:2_000], workers=1, kernel=active)
+    base_pack, base_s = _timed(
+        _sample, transpose, roots, workers=1, kernel="baseline"
+    )
+    kern_pack, kern_s = _timed(
+        _sample, transpose, roots, workers=1, kernel=active
+    )
+    for _ in range(2):
+        base_s = min(
+            base_s,
+            _timed(_sample, transpose, roots, workers=1, kernel="baseline")[1],
+        )
+        kern_s = min(
+            kern_s,
+            _timed(_sample, transpose, roots, workers=1, kernel=active)[1],
+        )
+    identical = bool(
+        np.array_equal(base_pack[0], kern_pack[0])
+        and np.array_equal(base_pack[1], kern_pack[1])
+    )
+    return {
+        "kernel": active,
+        "baseline_wall_time_s": base_s,
+        "kernel_wall_time_s": kern_s,
+        "speedup": base_s / kern_s if kern_s > 0 else float("inf"),
+        "bitwise_identical": identical,
+    }
+
+
+def _backend_matrix(transpose, roots) -> list[dict]:
+    """Bitwise identity of every (backend, kernel, workers) combination."""
+    reference = _sample(
+        transpose, roots, workers=1, exec_backend="serial", kernel="baseline"
+    )
+    backends = ["serial", "thread"] + (["process"] if fork_available() else [])
+    kernels = [k for k in available_kernels()]
+    rows = []
+    for exec_backend in backends:
+        for kernel in kernels:
+            for workers in (1, WORKERS):
+                pack, wall = _timed(
+                    _sample, transpose, roots,
+                    workers=workers, exec_backend=exec_backend, kernel=kernel,
+                )
+                rows.append(
+                    {
+                        "backend": exec_backend,
+                        "kernel": kernel,
+                        "workers": workers,
+                        "wall_time_s": wall,
+                        "bitwise_identical": bool(
+                            np.array_equal(reference[0], pack[0])
+                            and np.array_equal(reference[1], pack[1])
+                        ),
+                    }
+                )
+    return rows
+
+
+def _reuse_task(ctx: WorkerContext, task):
+    lo, hi = task
+    return float(ctx.arrays[0][lo:hi].sum())
+
+
+def _pool_reuse() -> dict:
+    """Cold spawn+dispatch vs warm dispatch on the persistent pool."""
+    backend = "process" if fork_available() else "thread"
+    data = np.arange(10_000, dtype=np.float64)
+    tasks = [(i * 1_250, (i + 1) * 1_250) for i in range(8)]
+
+    def dispatch():
+        return parallel_map(
+            _reuse_task, tasks, workers=WORKERS, backend=backend,
+            shared=(data,),
+        )
+
+    shutdown_pools()
+    expected, cold_s = _timed(dispatch)
+    warm_s = min(_timed(dispatch)[1] for _ in range(5))
+    shutdown_pools()
+    ratio = cold_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "backend": backend,
+        "workers": WORKERS,
+        "cold_ms": cold_s * 1e3,
+        "warm_ms": warm_s * 1e3,
+        "cold_over_warm": ratio,
+        "min_ratio": MIN_POOL_REUSE,
+        "meets_floor": bool(ratio >= MIN_POOL_REUSE),
+        "results_consistent": dispatch() == expected,
+    }
+
+
 def _measure() -> dict:
     graph = _instance()
     transpose = graph.transpose_adjacency()
@@ -92,20 +225,16 @@ def _measure() -> dict:
         0, graph.num_nodes, size=NUM_RR_SAMPLES
     )
 
-    # -- RR-set generation -------------------------------------------------
+    # -- single-thread kernel win + identity matrix ------------------------
+    kernel_serial = _kernel_serial(transpose, roots)
+    matrix = _backend_matrix(transpose, roots[:NUM_MATRIX_SAMPLES])
+
+    # -- RR-set generation (multicore scaling, default backend/kernel) ----
     serial_pack, rr_serial_s = _timed(
-        sample_rr_sets_batch,
-        transpose,
-        roots,
-        np.random.default_rng(SEED + 1),
-        workers=1,
+        _sample, transpose, roots, workers=1
     )
     pool_pack, rr_pool_s = _timed(
-        sample_rr_sets_batch,
-        transpose,
-        roots,
-        np.random.default_rng(SEED + 1),
-        workers=WORKERS,
+        _sample, transpose, roots, workers=WORKERS
     )
     rr_identical = bool(
         np.array_equal(serial_pack[0], pool_pack[0])
@@ -162,26 +291,37 @@ def _measure() -> dict:
         and serial_greedi.extra["machine_calls"] == pool_greedi.extra["machine_calls"]
     )
 
-    cpu_count = os.cpu_count() or 1
+    # -- pool spawn amortisation -------------------------------------------
+    pool_reuse = _pool_reuse()
+
+    cpus = available_cpus()
     return {
         "bench": "parallel",
         "seed": SEED,
-        "cpu_count": cpu_count,
-        "speedup_gate": cpu_count >= MIN_CPUS_FOR_GATE,
+        "cpu_count": os.cpu_count() or 1,
+        "available_cpus": cpus,
+        "speedup_gate": cpus >= MIN_CPUS_FOR_GATE,
         "min_speedup": MIN_SPEEDUP,
         "gated_metrics": list(GATED_METRICS),
+        "always_gated_metrics": list(ALWAYS_GATED_METRICS),
+        "always_gated_floor": MIN_KERNEL_SPEEDUP,
         "workers": WORKERS,
+        "backend": resolve_backend(None),
+        "kernel": default_kernel_name(),
         "instance": {
             "problem": "parallel-backend",
             "num_nodes": graph.num_nodes,
             "num_arcs": graph.num_arcs,
             "edge_probability": EDGE_PROB,
             "num_rr_samples": NUM_RR_SAMPLES,
+            "num_matrix_samples": NUM_MATRIX_SAMPLES,
             "num_cascades": NUM_CASCADES,
             "num_seeds": NUM_SEEDS,
             "greedi_k": GREEDI_K,
             "greedi_machines": GREEDI_MACHINES,
         },
+        "kernel_serial": kernel_serial,
+        "backend_matrix": matrix,
         "rr_sampling": {
             "serial_wall_time_s": rr_serial_s,
             "parallel_wall_time_s": rr_pool_s,
@@ -204,6 +344,7 @@ def _measure() -> dict:
             "bitwise_identical": greedi_identical,
             "winner": serial_greedi.extra["winner"],
         },
+        "pool_reuse": pool_reuse,
     }
 
 
@@ -220,11 +361,36 @@ def _collection_from_pack(graph, pack, roots):
 
 
 def _check(payload: dict) -> list[str]:
-    """Hard failures: divergence always, speedups only when gated."""
+    """Hard failures: divergence always, scaling speedups only when gated."""
     failures = []
     for half in ("rr_sampling", "mc_evaluation", "greedi"):
         if not payload[half]["bitwise_identical"]:
             failures.append(f"{half}: serial and parallel outputs diverged")
+    for row in payload["backend_matrix"]:
+        if not row["bitwise_identical"]:
+            failures.append(
+                f"backend_matrix: ({row['backend']}, {row['kernel']}, "
+                f"workers={row['workers']}) diverged from the "
+                "serial/baseline reference"
+            )
+    kernel_serial = payload["kernel_serial"]
+    if not kernel_serial["bitwise_identical"]:
+        failures.append("kernel_serial: optimized kernel diverged")
+    if kernel_serial["speedup"] < MIN_KERNEL_SPEEDUP:
+        failures.append(
+            f"kernel_serial: {kernel_serial['kernel']} at "
+            f"{kernel_serial['speedup']:.2f}x below the "
+            f"{MIN_KERNEL_SPEEDUP}x single-thread floor"
+        )
+    reuse = payload["pool_reuse"]
+    if not reuse["results_consistent"]:
+        failures.append("pool_reuse: warm dispatch returned different results")
+    if reuse["cold_over_warm"] < MIN_POOL_REUSE:
+        failures.append(
+            f"pool_reuse: warm dispatch only {reuse['cold_over_warm']:.1f}x "
+            f"cheaper than cold spawn (floor {MIN_POOL_REUSE}x, "
+            f"{reuse['backend']} backend)"
+        )
     if payload["speedup_gate"]:
         for metric in GATED_METRICS:
             half = metric.split(".")[0]
@@ -246,12 +412,23 @@ def _report(payload: dict) -> None:
     json_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     inst = payload["instance"]
     greedi_label = f"GreeDi (k={inst['greedi_k']}, {inst['greedi_machines']} machines)"
+    kernel_serial = payload["kernel_serial"]
+    reuse = payload["pool_reuse"]
+    matrix_ok = all(row["bitwise_identical"] for row in payload["backend_matrix"])
     lines = [
-        "Process-pool backend: serial vs "
-        f"{payload['workers']} workers "
+        f"Worker pools ({payload['backend']} default) vs serial, "
+        f"kernel set '{payload['kernel']}' "
         f"(SBM n={inst['num_nodes']}, arcs={inst['num_arcs']}, "
-        f"cpus={payload['cpu_count']}, "
-        f"gate {'ON' if payload['speedup_gate'] else 'OFF'})",
+        f"cpus={payload['available_cpus']}, "
+        f"multicore gate {'ON' if payload['speedup_gate'] else 'OFF'})",
+        f"  kernel_serial ({kernel_serial['kernel']} vs baseline, workers=1):",
+        f"    baseline: {kernel_serial['baseline_wall_time_s']:.3f}s",
+        f"    kernel:   {kernel_serial['kernel_wall_time_s']:.3f}s",
+        f"    speedup:  {kernel_serial['speedup']:.2f}x  "
+        f"(floor {MIN_KERNEL_SPEEDUP}x, armed everywhere; bitwise "
+        f"identical: {kernel_serial['bitwise_identical']})",
+        f"  backend matrix: {len(payload['backend_matrix'])} combinations, "
+        f"all bitwise identical: {matrix_ok}",
     ]
     for half, label in (
         ("rr_sampling", f"RR sets ({inst['num_rr_samples']} samples)"),
@@ -267,7 +444,14 @@ def _report(payload: dict) -> None:
             f"({stats['faster_path']} path won, "
             f"bitwise identical: {stats['bitwise_identical']})",
         ]
-    lines.append(f"  [json written to {json_path}]")
+    lines += [
+        f"  pool reuse ({reuse['backend']} backend, {reuse['workers']} workers):",
+        f"    cold spawn+dispatch: {reuse['cold_ms']:.2f}ms",
+        f"    warm dispatch:       {reuse['warm_ms']:.2f}ms",
+        f"    ratio:               {reuse['cold_over_warm']:.1f}x "
+        f"(floor {MIN_POOL_REUSE}x)",
+        f"  [json written to {json_path}]",
+    ]
     record("parallel", "\n".join(lines))
 
 

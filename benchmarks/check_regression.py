@@ -20,6 +20,13 @@ machines until a multi-core baseline is committed. A missing fresh
 result for a committed baseline is always a failure — it means a bench
 silently stopped running.
 
+Metrics listed in a payload's ``"always_gated_metrics"`` are exempt
+from the ``speedup_gate`` opt-out: they measure single-thread
+properties (e.g. the parallel bench's ``kernel_serial.speedup``) that
+hold on any machine, so they are compared — against the baseline where
+available, and never below the payload's ``"always_gated_floor"`` —
+even when the multicore gate is off.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
@@ -70,8 +77,36 @@ def compare_file(
         return lines, failures
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+    always = list(fresh.get("always_gated_metrics") or [])
+    always_floor = float(fresh.get("always_gated_floor", 1.0))
     if fresh.get("speedup_gate") is False:
-        lines.append(f"  {name}: SKIP (speedup gate disabled on this machine)")
+        # Multicore scaling ratios are noise on this machine, but the
+        # always-gated (single-thread) metrics still hold.
+        base_values = dict(iter_speedups(baseline))
+        fresh_values = dict(iter_speedups(fresh))
+        for path in always:
+            fresh_value = fresh_values.get(path)
+            if fresh_value is None:
+                failures.append(f"{name}: metric {path} missing from fresh run")
+                continue
+            base_value = base_values.get(path)
+            floor = always_floor
+            if base_value is not None:
+                floor = max(floor, base_value * (1.0 - tolerance))
+            status = "ok" if fresh_value >= floor else "REGRESSION"
+            lines.append(
+                f"  {name}: {path} = {fresh_value:.2f} "
+                f"(always-gated, floor {floor:.2f}) {status}"
+            )
+            if fresh_value < floor:
+                failures.append(
+                    f"{name}: always-gated {path} at {fresh_value:.2f} "
+                    f"below its floor {floor:.2f}"
+                )
+        lines.append(
+            f"  {name}: multicore metrics SKIP "
+            "(speedup gate disabled on this machine)"
+        )
         return lines, failures
     if baseline.get("speedup_gate") is False:
         # The committed baseline was measured on a machine that could not
@@ -83,19 +118,24 @@ def compare_file(
         floor = float(fresh.get("min_speedup", 1.0))
         gated = fresh.get("gated_metrics")
         for path, fresh_value in iter_speedups(fresh):
-            if gated is not None and path not in gated:
+            if path in always:
+                path_floor = always_floor
+            elif gated is not None and path not in gated:
                 continue
-            status = "ok" if fresh_value >= floor else "REGRESSION"
+            else:
+                path_floor = floor
+            status = "ok" if fresh_value >= path_floor else "REGRESSION"
             lines.append(
                 f"  {name}: {path} = {fresh_value:.2f} "
-                f"(baseline unusable, absolute floor {floor:.2f}) {status}"
+                f"(baseline unusable, absolute floor {path_floor:.2f}) "
+                f"{status}"
             )
-            if fresh_value < floor:
+            if fresh_value < path_floor:
                 failures.append(
                     f"{name}: {path} at {fresh_value:.2f} below the "
-                    f"absolute floor {floor:.2f} (baseline was recorded "
-                    "on a machine without enough cores — regenerate it "
-                    "on this one)"
+                    f"absolute floor {path_floor:.2f} (baseline was "
+                    "recorded on a machine without enough cores — "
+                    "regenerate it on this one)"
                 )
         return lines, failures
     fresh_values = dict(iter_speedups(fresh))
@@ -105,6 +145,8 @@ def compare_file(
             failures.append(f"{name}: metric {path} missing from fresh run")
             continue
         floor = base_value * (1.0 - tolerance)
+        if path in always:
+            floor = max(floor, always_floor)
         status = "ok" if fresh_value >= floor else "REGRESSION"
         lines.append(
             f"  {name}: {path} = {fresh_value:.2f} "

@@ -17,6 +17,11 @@ asserts:
   mmap-tier solve lands in a session whose RR segments sit on disk
   with near-zero resident bytes, while ram sessions hold nothing on
   disk;
+* the ``stats`` op aggregates per-op latency (cumulative ``count``
+  plus windowed ``mean``/``p99`` seconds for solve / evaluate /
+  update / sweep) and worker-pool telemetry (``pool_spawns``,
+  ``serial_dispatches``, ``active_pools``) alongside the daemon's
+  resolved ``exec_backend``;
 * the daemon acknowledges ``shutdown`` and exits cleanly (status 0).
 
 Run in CI (see ``.github/workflows/ci.yml``) or locally::
@@ -214,6 +219,36 @@ def main() -> int:
         failures.append(
             f"ram sessions should hold nothing on disk: {ram_sessions}"
         )
+
+    # Per-op latency aggregation: by the stats request the daemon has
+    # served solves, evaluates, updates and a sweep — each op must
+    # report a cumulative count plus window mean/p99 in seconds.
+    op_latency = stats.get("op_latency", {})
+    for op in ("solve", "evaluate", "update", "sweep"):
+        entry = op_latency.get(op)
+        if not entry:
+            failures.append(f"stats op_latency missing {op!r}: {op_latency}")
+            continue
+        if not (
+            entry.get("count", 0) >= 1
+            and entry.get("mean", -1.0) >= 0.0
+            and entry.get("p99", -1.0) >= 0.0
+        ):
+            failures.append(f"stats op_latency[{op!r}] implausible: {entry}")
+    if op_latency.get("solve", {}).get("count", 0) < 8:
+        failures.append(
+            f"op_latency under-counts solves: {op_latency.get('solve')}"
+        )
+
+    # Worker-pool telemetry rides along in the same stats payload.
+    pools = stats.get("pools")
+    if not isinstance(pools, dict) or any(
+        field not in pools
+        for field in ("pool_spawns", "serial_dispatches", "active_pools")
+    ):
+        failures.append(f"stats missing pool telemetry: {pools}")
+    if "exec_backend" not in stats:
+        failures.append("stats missing exec_backend")
 
     # Sessions stay warm across graph-mutating updates: after u16 pays
     # the cold build, every subsequent edge_events update must repair

@@ -13,15 +13,16 @@ For monotone submodular objectives the result is
 ``(1 - 1/e)^2 / min(sqrt(k), num_machines)``-approximate in the
 adversarial-partition worst case and near-greedy in practice with random
 partitions. Shard solves run as genuinely independent workers when
-``workers > 1``: each machine's greedy executes in its own OS process
-(:func:`repro.utils.parallel.parallel_map`, the scheme's actual
-independent-worker model), falling back to an in-process loop for
-``workers <= 1`` or platforms without ``fork``. Shard greedy is
+``workers > 1``: each machine's greedy executes against its own copy of
+the objective on the persistent worker pool
+(:func:`repro.utils.parallel.parallel_map`; ``exec_backend`` picks
+thread/process/serial), falling back to an in-process loop whenever
+:func:`repro.utils.parallel.pool_width` resolves to 1. Shard greedy is
 deterministic, so serial and parallel execution return bitwise-identical
 solutions, and oracle-call counts faithfully reflect per-machine work
 via ``extra['machine_calls']`` either way (worker call deltas are folded
 back into the parent's counters). ``extra['workers_used']`` records how
-many processes actually ran.
+many pool workers actually ran.
 
 BSM hook: :func:`distributed_tsgreedy_stage2` lets BSM-TSGreedy swap its
 offline utility-greedy subroutine for a distributed one, which is the
@@ -103,6 +104,7 @@ def greedi(
     seed: SeedLike = None,
     lazy: bool = True,
     workers: Optional[int] = None,
+    exec_backend: Optional[str] = None,
 ) -> SolverResult:
     """Run the two-round GreeDi scheme on a grouped objective.
 
@@ -117,10 +119,14 @@ def greedi(
         Scalar view to maximise (defaults to the utility objective
         ``f``; pass a truncated surrogate to distribute a cover stage).
     workers:
-        OS processes to spread the shard solves over (capped at the
+        Pool workers to spread the shard solves over (capped at the
         shard count). ``None``/``0``/``1`` solve shards in-process;
         solutions are bitwise-identical either way because shard greedy
         is deterministic.
+    exec_backend:
+        Pool flavour for the shard solves — ``"thread"`` (default),
+        ``"process"``, or ``"serial"``; see
+        :mod:`repro.utils.parallel`.
 
     Returns
     -------
@@ -145,7 +151,7 @@ def greedi(
     # fold-back below must know whether the shards ran on copies (pool)
     # or on this very objective (in-process loop, which advances the
     # counters itself).
-    workers_used = pool_width(workers, len(parts))
+    workers_used = pool_width(workers, len(parts), backend=exec_backend)
     timer = Timer()
     start_calls = objective.oracle_calls
     with timer:
@@ -160,6 +166,7 @@ def greedi(
             parts,
             workers=workers_used,
             payload=(objective, scal, k, lazy),
+            backend=exec_backend,
         )
         machine_states: list[ObjectiveState] = []
         machine_calls: list[int] = []
@@ -216,6 +223,7 @@ def distributed_tsgreedy_stage2(
     num_machines: int = 4,
     seed: SeedLike = None,
     workers: Optional[int] = None,
+    exec_backend: Optional[str] = None,
 ) -> ObjectiveState:
     """Fill a partial BSM-TSGreedy solution using GreeDi item order.
 
@@ -230,7 +238,12 @@ def distributed_tsgreedy_stage2(
     if remaining <= 0:
         return stage1_state
     flat = greedi(
-        objective, k, num_machines=num_machines, seed=seed, workers=workers
+        objective,
+        k,
+        num_machines=num_machines,
+        seed=seed,
+        workers=workers,
+        exec_backend=exec_backend,
     )
     state = objective.copy_state(stage1_state)
     for item in flat.solution:

@@ -26,11 +26,18 @@ decomposition*: instances are split into fixed work units (sized by the
 visited-buffer cap and :data:`repro.utils.parallel.DEFAULT_UNITS`, never
 by the worker count), each unit draws from its own
 ``SeedSequence.spawn`` child stream, and units are dispatched over a
-shared-memory process pool (:func:`repro.utils.parallel.parallel_map`;
-the CSR triple travels through ``multiprocessing.shared_memory``, not
-pickle). Because the decomposition and the streams depend only on the
-inputs, results are bitwise-identical for every worker count — including
-``workers=1``, which runs the same units serially in-process.
+persistent worker pool (:func:`repro.utils.parallel.parallel_map`).
+``exec_backend`` picks the pool flavour — ``"thread"`` (default) shares
+the CSR triple zero-copy and releases the GIL inside the kernels,
+``"process"`` ships it through ``multiprocessing.shared_memory``,
+``"serial"`` runs the units in-process. Because the decomposition and
+the streams depend only on the inputs, results are bitwise-identical
+for every worker count and every backend — including ``workers=1``,
+which runs the same units serially in-process.
+
+The chunk BFS itself dispatches through :mod:`repro.kernels`: ``kernel``
+selects the implementation set (baseline / tightened numpy / compiled
+numba), all bitwise-equal by contract.
 """
 
 from __future__ import annotations
@@ -39,13 +46,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.utils.csr import (
-    concat_packed,
-    gather_csr_slices,
-    merge_sorted_disjoint,
-)
+from repro.kernels import get_kernel
+from repro.utils.csr import concat_packed
 from repro.utils.parallel import (
     WorkerContext,
+    parallel_imap,
     parallel_map,
     spawn_seed_sequences,
     split_ranges,
@@ -59,124 +64,55 @@ Adjacency = tuple[np.ndarray, np.ndarray, np.ndarray]
 #: territory while keeping chunks large enough to amortize level setup.
 MAX_FLAT_KEYS = 1 << 25
 
-#: How many sorted per-level key arrays the sparse reachability chunk
-#: accumulates before merging them into its base visited array. Bounds
-#: the per-arrival membership probes (one ``searchsorted`` per pending
-#: level) while amortizing the O(reached) merge over many levels.
-_SPARSE_MERGE_EVERY = 16
-
 
 def _reachability_chunk(
     adjacency: Adjacency,
     start_keys: np.ndarray,
     num_instances: int,
     rng: np.random.Generator,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """All ``instance * n + node`` keys reachable from ``start_keys``.
 
-    One level-synchronous BFS over every instance at once. Every frontier
-    edge draws its coin from a single ``rng.random`` call per level (the
-    scalar BFS draws per frontier *node*; per level is the batched
-    equivalent — the marginal law of each edge coin is identical).
+    One level-synchronous BFS over every instance at once, dispatched to
+    the active kernel set (see :mod:`repro.kernels`; the reference
+    semantics live in :func:`repro.kernels.baseline.reachability_chunk`).
     """
-    indptr, indices, probs = adjacency
-    n = indptr.size - 1
-    visited = np.zeros(num_instances * n, dtype=bool)
-    start_keys = np.unique(start_keys)
-    visited[start_keys] = True
-    reached = [start_keys]
-    frontier = start_keys
-    while frontier.size:
-        positions, owners = gather_csr_slices(indptr, frontier % n)
-        if positions.size == 0:
-            break
-        live = rng.random(positions.size) < probs[positions]
-        keys = (frontier // n)[owners[live]] * n + indices[positions[live]]
-        keys = keys[~visited[keys]]
-        if keys.size == 0:
-            break
-        # np.unique both dedups same-level arrivals and sorts the new
-        # frontier by (instance, node), keeping expansion order canonical.
-        keys = np.unique(keys)
-        visited[keys] = True
-        reached.append(keys)
-        frontier = keys
-    return np.concatenate(reached) if len(reached) > 1 else reached[0]
-
-
-def _member_sorted(table: np.ndarray, keys: np.ndarray) -> np.ndarray:
-    """Boolean membership of ``keys`` in the sorted array ``table``."""
-    if table.size == 0:
-        return np.zeros(keys.size, dtype=bool)
-    idx = np.searchsorted(table, keys)
-    valid = idx < table.size
-    out = np.zeros(keys.size, dtype=bool)
-    out[valid] = table[idx[valid]] == keys[valid]
-    return out
+    return get_kernel(kernel).reachability_chunk(
+        adjacency, start_keys, num_instances, rng
+    )
 
 
 def _reachability_chunk_sparse(
     adjacency: Adjacency,
     start_keys: np.ndarray,
     rng: np.random.Generator,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """:func:`_reachability_chunk` without the dense visited buffer.
 
-    The dense chunk allocates ``num_instances * n`` bools, which caps the
-    instances per chunk at ``max_keys // n`` — at a million nodes that is
-    a few dozen instances and the per-level Python overhead dominates.
-    This variant tracks visited keys as sorted arrays (a merged base plus
-    up to :data:`_SPARSE_MERGE_EVERY` pending level arrays, probed with
-    ``searchsorted``), so memory is O(reached keys) and the instance
-    count per chunk is free. The frontier sequence — and therefore every
-    ``rng`` draw — is bit-for-bit identical to the dense chunk on the
-    same inputs: both filter arrivals against exactly the keys reached on
-    earlier levels before the ``np.unique`` dedup.
+    Memory is O(reached keys) — the out-of-core tier's sampler. Same
+    draw law as the dense chunk (see
+    :func:`repro.kernels.baseline.reachability_chunk_sparse`).
     """
-    indptr, indices, probs = adjacency
-    n = indptr.size - 1
-    start_keys = np.unique(start_keys)
-    reached = [start_keys]
-    base = start_keys
-    pending: list[np.ndarray] = []
-    frontier = start_keys
-    while frontier.size:
-        positions, owners = gather_csr_slices(indptr, frontier % n)
-        if positions.size == 0:
-            break
-        live = rng.random(positions.size) < probs[positions]
-        keys = (frontier // n)[owners[live]] * n + indices[positions[live]]
-        if keys.size == 0:
-            break
-        seen = _member_sorted(base, keys)
-        for level in pending:
-            seen |= _member_sorted(level, keys)
-        keys = keys[~seen]
-        if keys.size == 0:
-            break
-        keys = np.unique(keys)
-        reached.append(keys)
-        pending.append(keys)
-        frontier = keys
-        if len(pending) >= _SPARSE_MERGE_EVERY:
-            merged = pending[0]
-            for level in pending[1:]:
-                merged = merge_sorted_disjoint(merged, level)
-            base = merge_sorted_disjoint(base, merged)
-            pending = []
-    return np.concatenate(reached) if len(reached) > 1 else reached[0]
+    return get_kernel(kernel).reachability_chunk_sparse(
+        adjacency, start_keys, rng
+    )
 
 
 def _pack_chunk_keys(
-    keys: np.ndarray, num_instances: int, n: int
+    keys: np.ndarray,
+    num_instances: int,
+    n: int,
+    kernel: Optional[str] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Pack one chunk's reached keys into a ``(set_indptr, set_indices)``."""
-    sample_ids, nodes = keys // n, keys % n
-    order = np.argsort(sample_ids, kind="stable")
-    counts = np.bincount(sample_ids, minlength=num_instances)
-    set_indptr = np.zeros(num_instances + 1, dtype=np.int64)
-    np.cumsum(counts, out=set_indptr[1:])
-    return set_indptr, nodes[order]
+    """Pack one chunk's reached keys into a ``(set_indptr, set_indices)``.
+
+    Dispatches to the active kernel set — the optimized sets run the
+    divmod and the stable argsort on narrow dtypes when the flat key
+    space allows; outputs are bitwise those of the baseline pack.
+    """
+    return get_kernel(kernel).pack_chunk_keys(keys, num_instances, n)
 
 
 def _instance_units(
@@ -196,7 +132,11 @@ def _reachability_unit(ctx: WorkerContext, task: tuple) -> np.ndarray:
     """Worker: one reachability unit on the shared CSR triple."""
     start_keys, num_instances, seed = task
     return _reachability_chunk(
-        ctx.arrays, start_keys, num_instances, np.random.default_rng(seed)
+        ctx.arrays,
+        start_keys,
+        num_instances,
+        np.random.default_rng(seed),
+        kernel=ctx.payload,
     )
 
 
@@ -212,8 +152,9 @@ def _rr_pack_unit(
         np.arange(roots.size, dtype=np.int64) * n + roots,
         roots.size,
         np.random.default_rng(seed),
+        kernel=ctx.payload,
     )
-    return _pack_chunk_keys(keys, roots.size, n)
+    return _pack_chunk_keys(keys, roots.size, n, kernel=ctx.payload)
 
 
 def _cascade_count_unit(ctx: WorkerContext, task: tuple) -> np.ndarray:
@@ -227,6 +168,7 @@ def _cascade_count_unit(ctx: WorkerContext, task: tuple) -> np.ndarray:
         + np.tile(seeds, num_cascades),
         num_cascades,
         np.random.default_rng(seed),
+        kernel=ctx.payload,
     )
     return np.bincount(keys % n, minlength=n)
 
@@ -240,6 +182,8 @@ def batched_reachability(
     *,
     max_keys: int = MAX_FLAT_KEYS,
     workers: Optional[int] = None,
+    exec_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Randomized multi-instance reachability; returns ``(ids, nodes)``.
 
@@ -249,8 +193,9 @@ def batched_reachability(
     included, each pair exactly once. Instances are processed in chunks
     of ``max_keys // n`` so the visited buffer never exceeds ``max_keys``
     bools. With ``workers`` set, the chunks become per-unit tasks with
-    spawned RNG streams, dispatched over the shared-memory pool (see the
-    module docstring for the determinism contract).
+    spawned RNG streams, dispatched over the persistent worker pool of
+    the chosen ``exec_backend`` (see the module docstring for the
+    determinism contract).
     """
     indptr = adjacency[0]
     n = indptr.size - 1
@@ -273,7 +218,12 @@ def batched_reachability(
                 )
             )
         parts = parallel_map(
-            _reachability_unit, tasks, workers=workers, shared=adjacency
+            _reachability_unit,
+            tasks,
+            workers=workers,
+            shared=adjacency,
+            payload=kernel,
+            backend=exec_backend,
         )
         ids_parts = [keys // n + lo for (lo, _), keys in zip(units, parts)]
         node_parts = [keys % n for keys in parts]
@@ -281,7 +231,11 @@ def batched_reachability(
     chunk = max(int(max_keys) // max(n, 1), 1)
     if num_instances <= chunk:
         keys = _reachability_chunk(
-            adjacency, start_ids * n + start_nodes, num_instances, rng
+            adjacency,
+            start_ids * n + start_nodes,
+            num_instances,
+            rng,
+            kernel=kernel,
         )
         return keys // n, keys % n
     ids_parts: list[np.ndarray] = []
@@ -294,6 +248,7 @@ def batched_reachability(
             (start_ids[in_chunk] - lo) * n + start_nodes[in_chunk],
             hi - lo,
             rng,
+            kernel=kernel,
         )
         ids_parts.append(keys // n + lo)
         node_parts.append(keys % n)
@@ -307,6 +262,8 @@ def sample_rr_sets_batch(
     *,
     max_keys: int = MAX_FLAT_KEYS,
     workers: Optional[int] = None,
+    exec_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sample one RR set per root, all through one batched reverse BFS.
 
@@ -331,7 +288,12 @@ def sample_rr_sets_batch(
             (roots[lo:hi], seq) for (lo, hi), seq in zip(units, seeds)
         ]
         parts = parallel_map(
-            _rr_pack_unit, tasks, workers=workers, shared=transpose_adjacency
+            _rr_pack_unit,
+            tasks,
+            workers=workers,
+            shared=transpose_adjacency,
+            payload=kernel,
+            backend=exec_backend,
         )
         return concat_packed(parts)
     sample_ids, nodes = batched_reachability(
@@ -341,12 +303,57 @@ def sample_rr_sets_batch(
         roots.size,
         rng,
         max_keys=max_keys,
+        kernel=kernel,
     )
     order = np.argsort(sample_ids, kind="stable")
     counts = np.bincount(sample_ids, minlength=roots.size)
     set_indptr = np.zeros(roots.size + 1, dtype=np.int64)
     np.cumsum(counts, out=set_indptr[1:])
     return set_indptr, nodes[order]
+
+
+def sample_rr_sets_packed_units(
+    transpose_adjacency: Adjacency,
+    roots: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    max_keys: int = MAX_FLAT_KEYS,
+    workers: int = 1,
+    exec_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
+    window: Optional[int] = None,
+):
+    """Yield packed ``(set_indptr, set_indices)`` pairs, one per work unit.
+
+    The streaming twin of the ``workers`` path of
+    :func:`sample_rr_sets_batch`: the *same* unit decomposition and
+    spawned seed streams, dispatched through
+    :func:`repro.utils.parallel.parallel_imap` with a bounded in-flight
+    window, yielding each unit's locally packed pair in unit order.
+    Concatenating the yielded pairs reproduces
+    ``sample_rr_sets_batch(..., workers=w)`` bit for bit — which is how
+    the out-of-core tier appends worker-sampled chunks into segments
+    without ever materializing the flat collection.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    n = transpose_adjacency[0].size - 1
+    if roots.size and (roots.min() < 0 or roots.max() >= n):
+        bad = roots[(roots < 0) | (roots >= n)][0]
+        raise IndexError(f"root {bad} out of range [0, {n})")
+    if roots.size == 0:
+        return
+    units = _instance_units(roots.size, n, max_keys)
+    seeds = spawn_seed_sequences(rng, len(units))
+    tasks = [(roots[lo:hi], seq) for (lo, hi), seq in zip(units, seeds)]
+    yield from parallel_imap(
+        _rr_pack_unit,
+        tasks,
+        workers=workers,
+        shared=transpose_adjacency,
+        payload=kernel,
+        backend=exec_backend,
+        window=window,
+    )
 
 
 def sample_rr_sets_stream(
@@ -356,6 +363,7 @@ def sample_rr_sets_stream(
     *,
     max_keys: int = MAX_FLAT_KEYS,
     chunk_instances: Optional[int] = None,
+    kernel: Optional[str] = None,
 ):
     """Yield packed ``(set_indptr, set_indices)`` pairs chunk by chunk.
 
@@ -397,13 +405,13 @@ def sample_rr_sets_stream(
         )
         if sparse:
             keys = _reachability_chunk_sparse(
-                transpose_adjacency, start_keys, rng
+                transpose_adjacency, start_keys, rng, kernel=kernel
             )
         else:
             keys = _reachability_chunk(
-                transpose_adjacency, start_keys, hi - lo, rng
+                transpose_adjacency, start_keys, hi - lo, rng, kernel=kernel
             )
-        yield _pack_chunk_keys(keys, hi - lo, n)
+        yield _pack_chunk_keys(keys, hi - lo, n, kernel=kernel)
 
 
 def cascade_activation_counts(
@@ -414,6 +422,8 @@ def cascade_activation_counts(
     *,
     max_keys: int = MAX_FLAT_KEYS,
     workers: Optional[int] = None,
+    exec_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Per-node activation counts over ``num_cascades`` batched IC cascades.
 
@@ -437,7 +447,12 @@ def cascade_activation_counts(
             (seeds, hi - lo, seq) for (lo, hi), seq in zip(units, seqs)
         ]
         parts = parallel_map(
-            _cascade_count_unit, tasks, workers=workers, shared=adjacency
+            _cascade_count_unit,
+            tasks,
+            workers=workers,
+            shared=adjacency,
+            payload=kernel,
+            backend=exec_backend,
         )
         for part in parts:
             counts += part
@@ -452,6 +467,7 @@ def cascade_activation_counts(
             m,
             rng,
             max_keys=max_keys,
+            kernel=kernel,
         )
         counts += np.bincount(nodes, minlength=n)
     return counts

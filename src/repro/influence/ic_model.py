@@ -83,6 +83,8 @@ def simulate_cascades_batch(
     rng: np.random.Generator,
     *,
     workers: Optional[int] = None,
+    exec_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Run ``num_cascades`` IC cascades from ``seeds`` simultaneously.
 
@@ -91,13 +93,19 @@ def simulate_cascades_batch(
     Returns the per-node activation-count vector: entry ``v`` is the
     number of cascades in which ``v`` became active — the sufficient
     statistic for every Monte-Carlo spread estimate. ``workers`` selects
-    the process-pool backend (bitwise worker-count-invariant; ``None``
-    keeps the in-line serial stream).
+    the pool path (bitwise invariant to worker count, ``exec_backend``
+    and ``kernel``; ``None`` keeps the in-line serial stream).
     """
     check_positive_int(num_cascades, "num_cascades")
     prepared = prepare_seeds(graph, seeds)
     return cascade_activation_counts(
-        graph.out_adjacency(), prepared, num_cascades, rng, workers=workers
+        graph.out_adjacency(),
+        prepared,
+        num_cascades,
+        rng,
+        workers=workers,
+        exec_backend=exec_backend,
+        kernel=kernel,
     )
 
 
@@ -108,6 +116,8 @@ def monte_carlo_group_spread(
     *,
     seed: SeedLike = None,
     workers: Optional[int] = None,
+    exec_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     """Estimate ``(f_1(S), ..., f_c(S))`` — per-group average activation
     probabilities — by averaging ``num_simulations`` batched cascades."""
@@ -115,7 +125,8 @@ def monte_carlo_group_spread(
     rng = as_generator(seed)
     sizes = graph.group_sizes().astype(float)
     counts = simulate_cascades_batch(
-        graph, seeds, num_simulations, rng, workers=workers
+        graph, seeds, num_simulations, rng, workers=workers,
+        exec_backend=exec_backend, kernel=kernel,
     )
     totals = np.bincount(
         graph.groups, weights=counts, minlength=graph.num_groups
@@ -130,12 +141,15 @@ def monte_carlo_spread(
     *,
     seed: SeedLike = None,
     workers: Optional[int] = None,
+    exec_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> float:
     """Estimate the normalised spread ``f(S)`` (expected active fraction)."""
     check_positive_int(num_simulations, "num_simulations")
     rng = as_generator(seed)
     counts = simulate_cascades_batch(
-        graph, seeds, num_simulations, rng, workers=workers
+        graph, seeds, num_simulations, rng, workers=workers,
+        exec_backend=exec_backend, kernel=kernel,
     )
     return float(counts.sum()) / (num_simulations * graph.num_nodes)
 

@@ -107,6 +107,8 @@ def imm_rr_collection(
     max_samples: Optional[int] = 200_000,
     seed: SeedLike = None,
     workers: Optional[int] = None,
+    exec_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> IMMResult:
     """Run the IMM doubling phase and return a sized RR collection.
 
@@ -125,8 +127,12 @@ def imm_rr_collection(
         Hard cap on the number of RR sets (``None`` disables). Reported
         via ``IMMResult.capped``.
     workers:
-        Process-pool width for every sampling call (doubling phase and
+        Worker-pool width for every sampling call (doubling phase and
         final collection); see :mod:`repro.utils.parallel`.
+    exec_backend:
+        Pool flavour for the ``workers`` path (thread/process/serial).
+    kernel:
+        Hot-loop implementation set (see :mod:`repro.kernels`).
     """
     check_positive_int(k, "k")
     rng = as_generator(seed)
@@ -159,7 +165,14 @@ def imm_rr_collection(
         if theta_i > num_have:
             roots = rng.integers(0, n, size=theta_i - num_have)
             parts.append(
-                sample_rr_sets_batch(transpose, roots, rng, workers=workers)
+                sample_rr_sets_batch(
+                    transpose,
+                    roots,
+                    rng,
+                    workers=workers,
+                    exec_backend=exec_backend,
+                    kernel=kernel,
+                )
             )
             group_parts.append(labels[roots])
             num_have = theta_i
@@ -183,13 +196,21 @@ def imm_rr_collection(
         # Per-group quotas need a fresh root distribution; the phase pool
         # (uniform roots) cannot be reused.
         collection = sample_rr_collection(
-            graph, theta, seed=rng, stratified=True, workers=workers
+            graph,
+            theta,
+            seed=rng,
+            stratified=True,
+            workers=workers,
+            exec_backend=exec_backend,
+            kernel=kernel,
         )
         reused = 0
     else:
         collection, reused = _final_unstratified(
             graph, packed, np.concatenate(group_parts), theta, transpose, rng,
             workers=workers,
+            exec_backend=exec_backend,
+            kernel=kernel,
         )
     return IMMResult(
         collection=collection,
@@ -209,6 +230,8 @@ def _final_unstratified(
     rng: np.random.Generator,
     *,
     workers: Optional[int] = None,
+    exec_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> tuple[RRCollection, int]:
     """Assemble the final unstratified collection, reusing phase samples.
 
@@ -228,7 +251,14 @@ def _final_unstratified(
     if theta > reused:
         roots = rng.integers(0, graph.num_nodes, size=theta - reused)
         parts.append(
-            sample_rr_sets_batch(transpose, roots, rng, workers=workers)
+            sample_rr_sets_batch(
+                transpose,
+                roots,
+                rng,
+                workers=workers,
+                exec_backend=exec_backend,
+                kernel=kernel,
+            )
         )
         group_parts.append(labels[roots])
     root_groups = np.concatenate(group_parts)
@@ -242,7 +272,16 @@ def _final_unstratified(
             ],
             dtype=np.int64,
         )
-        parts.append(sample_rr_sets_batch(transpose, extra, rng, workers=workers))
+        parts.append(
+            sample_rr_sets_batch(
+                transpose,
+                extra,
+                rng,
+                workers=workers,
+                exec_backend=exec_backend,
+                kernel=kernel,
+            )
+        )
         group_parts.append(labels[extra])
         root_groups = np.concatenate(group_parts)
     merged_ptr, merged_idx = concat_packed(parts)

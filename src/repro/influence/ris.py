@@ -27,6 +27,7 @@ from repro.errors import GroupPartitionError, StorageError
 from repro.graphs.graph import Graph, GraphDelta
 from repro.influence.engine import (
     sample_rr_sets_batch,
+    sample_rr_sets_packed_units,
     sample_rr_sets_stream,
 )
 from repro.storage.backend import ArrayBackend, resolve_backend
@@ -339,6 +340,8 @@ def sample_rr_collection(
     store: str = "ram",
     memory_budget: Optional[int] = None,
     backend: Optional[ArrayBackend] = None,
+    exec_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> RRCollection | SegmentedRRCollection:
     """Sample an :class:`RRCollection` from a grouped graph.
 
@@ -358,11 +361,13 @@ def sample_rr_collection(
         group. ``False`` draws roots uniformly from all users, matching
         plain IMM.
     workers:
-        Process-pool width for the sampling engine
+        Worker-pool width for the sampling engine
         (:mod:`repro.utils.parallel`). ``None`` keeps the serial in-line
         stream; any integer switches to the worker-count-invariant unit
-        decomposition (bitwise-identical collections for all counts).
-        Only the flat store supports workers.
+        decomposition (bitwise-identical collections for all counts and
+        backends). On the segmented store, units stream through a
+        bounded in-flight window and append in unit order, so the
+        stored sets are bitwise those of the flat ``workers`` path.
     store:
         ``"ram"`` (default) builds the flat in-memory
         :class:`RRCollection`; ``"mmap"`` streams completed sampling
@@ -376,6 +381,13 @@ def sample_rr_collection(
         Explicit :class:`repro.storage.backend.ArrayBackend` for the
         segments (tests inject scratch directories); defaults to a fresh
         backend of the ``store`` kind.
+    exec_backend:
+        Pool flavour for the ``workers`` path — ``"thread"`` (default),
+        ``"process"``, or ``"serial"``; see :mod:`repro.utils.parallel`.
+    kernel:
+        Hot-loop implementation set (see :mod:`repro.kernels`); ``None``
+        resolves the best available. Results are bitwise-identical for
+        every kernel.
     """
     check_positive_int(num_samples, "num_samples")
     if store not in ("ram", "mmap"):
@@ -388,15 +400,15 @@ def sample_rr_collection(
     roots, root_groups = _draw_roots(graph, num_samples, rng, stratified)
     if store == "ram" and backend is None:
         set_indptr, set_indices = sample_rr_sets_batch(
-            transpose, roots, rng, workers=workers
+            transpose,
+            roots,
+            rng,
+            workers=workers,
+            exec_backend=exec_backend,
+            kernel=kernel,
         )
         return RRCollection.from_packed(
             set_indptr, set_indices, root_groups, graph.num_nodes, c
-        )
-    if workers is not None:
-        raise ValueError(
-            "the segmented store samples through the serial stream; "
-            "workers must be None when store != 'ram'"
         )
     if backend is None:
         backend = resolve_backend(store)
@@ -405,9 +417,27 @@ def sample_rr_collection(
         backend,
         segment_bytes=segment_bytes_for(memory_budget),
     )
-    for chunk_indptr, chunk_indices in sample_rr_sets_stream(
-        transpose, roots, rng, chunk_instances=SEGMENT_CHUNK_INSTANCES
-    ):
+    if workers is not None:
+        # The flat workers law, streamed: same units, same spawned seed
+        # streams, packed pairs appended in unit order through a bounded
+        # in-flight window — stored sets are bitwise the flat path's.
+        chunks = sample_rr_sets_packed_units(
+            transpose,
+            roots,
+            rng,
+            workers=workers,
+            exec_backend=exec_backend,
+            kernel=kernel,
+        )
+    else:
+        chunks = sample_rr_sets_stream(
+            transpose,
+            roots,
+            rng,
+            chunk_instances=SEGMENT_CHUNK_INSTANCES,
+            kernel=kernel,
+        )
+    for chunk_indptr, chunk_indices in chunks:
         seg_store.append_chunk(chunk_indptr, chunk_indices)
     seg_store.finalize()
     return SegmentedRRCollection(
@@ -495,6 +525,8 @@ def repair_rr_collection(
     seed: SeedLike = None,
     *,
     workers: Optional[int] = None,
+    exec_backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> RepairResult:
     """Splice freshly resampled replacements for the affected RR sets.
 
@@ -522,13 +554,23 @@ def repair_rr_collection(
         # path.
         roots = collection.store.roots_of(affected)
         sub_indptr, sub_indices = sample_rr_sets_batch(
-            graph.transpose_adjacency(), roots, rng, workers=workers
+            graph.transpose_adjacency(),
+            roots,
+            rng,
+            workers=workers,
+            exec_backend=exec_backend,
+            kernel=kernel,
         )
         collection.store.replace_sets(affected, sub_indptr, sub_indices)
         return RepairResult(affected, total)
     roots = collection.set_indices[collection.set_indptr[affected]]
     sub_indptr, sub_indices = sample_rr_sets_batch(
-        graph.transpose_adjacency(), roots, rng, workers=workers
+        graph.transpose_adjacency(),
+        roots,
+        rng,
+        workers=workers,
+        exec_backend=exec_backend,
+        kernel=kernel,
     )
     collection.set_indptr, collection.set_indices = splice_packed(
         collection.set_indptr,

@@ -1,0 +1,172 @@
+"""Optional numba-compiled kernels (registered only when numba imports).
+
+The compiled set keeps the randomness in NumPy: every BFS level draws
+its coins with one ``rng.random(out=buffer)`` call — the identical
+float64 stream the baseline consumes — and only the *deterministic*
+fused step (gather → compare → visited-filter → dedup-mark) runs inside
+an ``@njit(nogil=True)`` loop. Two consequences:
+
+* Bitwise identity is structural, not numerical luck: the compiled loop
+  walks edges in exactly the baseline's frontier-by-frontier CSR order,
+  consuming ``draws[t]`` in the same order the baseline's vectorized
+  ``rng.random(E) < probs[positions]`` assigns them, and first-marking
+  duplicates within a level is set-equal to filter-then-``np.unique``
+  (both keep an arrival iff it is live and unvisited at level entry; a
+  final sort restores the canonical order).
+* ``nogil=True`` means the thread backend of
+  :mod:`repro.utils.parallel` gets real multicore scaling out of these
+  loops — threads share the CSR arrays zero-copy and release the GIL
+  for the duration of every level.
+
+The sparse reachability variant stays on the tightened NumPy kernel
+(its ``searchsorted`` probes are already vector-bound); the registry
+composes the set accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised where numba is absent
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):
+        # The module stays importable without numba (docs/packaging
+        # walk every submodule); the registry checks NUMBA_AVAILABLE
+        # and never registers — or calls — these undecorated loops.
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+Adjacency = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+@njit(cache=True, nogil=True)
+def _expand_level(
+    nodes, bases, indptr, indices, probs, draws, visited, out_keys
+):  # pragma: no cover - compiled, exercised via the CI numba leg
+    count = 0
+    t = 0
+    for i in range(nodes.size):
+        base = bases[i]
+        node = nodes[i]
+        for e in range(indptr[node], indptr[node + 1]):
+            if draws[t] < probs[e]:
+                key = base + indices[e]
+                if not visited[key]:
+                    visited[key] = True
+                    out_keys[count] = key
+                    count += 1
+            t += 1
+    return count
+
+
+@njit(cache=True, nogil=True)
+def _group_counts_rows(
+    indptr, indices, items, covered, labels, out
+):  # pragma: no cover - compiled, exercised via the CI numba leg
+    for r in range(items.size):
+        item = items[r]
+        for e in range(indptr[item], indptr[item + 1]):
+            entry = indices[e]
+            if not covered[entry]:
+                out[r, labels[entry]] += 1
+
+
+@njit(cache=True, nogil=True)
+def _gains_counts(
+    ids, covered, labels, out
+):  # pragma: no cover - compiled, exercised via the CI numba leg
+    for i in range(ids.size):
+        set_id = ids[i]
+        if not covered[set_id]:
+            out[labels[set_id]] += 1
+
+
+def _plain(array: np.ndarray) -> np.ndarray:
+    """A base-class ndarray view (numba rejects memmap subclasses)."""
+    if type(array) is np.ndarray:
+        return array
+    return np.asarray(array)
+
+
+def reachability_chunk(
+    adjacency: Adjacency,
+    start_keys: np.ndarray,
+    num_instances: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Compiled twin of :func:`repro.kernels.baseline.reachability_chunk`."""
+    indptr = _plain(adjacency[0])
+    indices = _plain(np.asarray(adjacency[1], dtype=np.int64))
+    probs = _plain(np.asarray(adjacency[2], dtype=np.float64))
+    n = indptr.size - 1
+    visited = np.zeros(num_instances * n, dtype=np.bool_)
+    start = np.unique(np.asarray(start_keys, dtype=np.int64))
+    if start.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    visited[start] = True
+    reached = [start]
+    frontier = start
+    draws = np.empty(0, dtype=np.float64)
+    out_keys = np.empty(0, dtype=np.int64)
+    while frontier.size:
+        nodes = frontier % n
+        bases = frontier - nodes
+        total = int((indptr[nodes + 1] - indptr[nodes]).sum())
+        if total == 0:
+            break
+        if draws.size < total:
+            draws = np.empty(max(total, 2 * draws.size), dtype=np.float64)
+            out_keys = np.empty(draws.size, dtype=np.int64)
+        rng.random(out=draws[:total])
+        count = _expand_level(
+            nodes, bases, indptr, indices, probs,
+            draws[:total], visited, out_keys,
+        )
+        if count == 0:
+            break
+        keys = out_keys[:count].copy()
+        keys.sort()
+        reached.append(keys)
+        frontier = keys
+    return np.concatenate(reached) if len(reached) > 1 else reached[0]
+
+
+def group_counts(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    items: np.ndarray,
+    already_counted: np.ndarray,
+    labels: np.ndarray,
+    num_groups: int,
+) -> np.ndarray:
+    """Compiled twin of :func:`repro.utils.csr.batch_group_counts`."""
+    items = np.asarray(items, dtype=np.int64)
+    out = np.zeros((items.size, num_groups), dtype=np.int64)
+    if items.size:
+        _group_counts_rows(
+            _plain(indptr), _plain(indices), items,
+            _plain(already_counted), _plain(labels), out,
+        )
+    return out
+
+
+def gains_rescore(
+    ids: np.ndarray,
+    covered: np.ndarray,
+    labels: np.ndarray,
+    num_groups: int,
+) -> np.ndarray:
+    """Compiled twin of :func:`repro.kernels.baseline.gains_rescore`."""
+    out = np.zeros(num_groups, dtype=np.int64)
+    if ids.size:
+        _gains_counts(
+            np.ascontiguousarray(ids), _plain(covered), _plain(labels), out
+        )
+    return out

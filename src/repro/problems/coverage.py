@@ -19,7 +19,8 @@ import numpy as np
 from repro.core.functions import GroupedObjective
 from repro.errors import GroupPartitionError
 from repro.graphs.graph import Graph
-from repro.utils.csr import batch_group_counts, build_csr
+from repro.kernels import get_kernel
+from repro.utils.csr import build_csr
 
 
 class _CoveragePayload:
@@ -112,14 +113,15 @@ class CoverageObjective(GroupedObjective):
 
     def _gains(self, payload: _CoveragePayload, item: int) -> np.ndarray:
         members = self._sets[item]
-        fresh = members[~payload.covered[members]]
-        counts = np.bincount(self._labels[fresh], minlength=self.num_groups)
+        counts = get_kernel().gains_rescore(
+            members, payload.covered, self._labels, self.num_groups
+        )
         return counts / self._group_sizes
 
     def _gains_batch(
         self, payload: _CoveragePayload, items: np.ndarray
     ) -> np.ndarray:
-        counts = batch_group_counts(
+        counts = get_kernel().group_counts(
             self._set_indptr,
             self._set_indices,
             items,

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.functions import GroupedObjective
 from repro.graphs.graph import Graph
+from repro.kernels import get_kernel
 from repro.influence.imm import imm_rr_collection
 from repro.influence.ris import (
     RepairResult,
@@ -28,7 +29,6 @@ from repro.influence.ris import (
 )
 from repro.storage.backend import ArrayBackend, resident_nbytes
 from repro.utils.csr import (
-    batch_group_counts,
     gather_csr_slices,
     invert_csr,
     merge_sorted_disjoint,
@@ -110,6 +110,8 @@ class InfluenceObjective(GroupedObjective):
         self._num_samples = 0
         self._stratified = True
         self._workers: Optional[int] = None
+        self._exec_backend: Optional[str] = None
+        self._kernel: Optional[str] = None
         self._store = "mmap" if self._segmented else "ram"
         self._memory_budget: Optional[int] = None
         self._backend: Optional[ArrayBackend] = (
@@ -125,6 +127,8 @@ class InfluenceObjective(GroupedObjective):
         workers: Optional[int],
         store: str = "ram",
         memory_budget: Optional[int] = None,
+        exec_backend: Optional[str] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self._graph = graph
         self._graph_version = graph.version
@@ -139,6 +143,8 @@ class InfluenceObjective(GroupedObjective):
         self._num_samples = int(num_samples)
         self._stratified = bool(stratified)
         self._workers = workers
+        self._exec_backend = exec_backend
+        self._kernel = kernel
         self._store = store
         self._memory_budget = memory_budget
 
@@ -163,24 +169,30 @@ class InfluenceObjective(GroupedObjective):
         store: str = "ram",
         memory_budget: Optional[int] = None,
         backend: Optional[ArrayBackend] = None,
+        exec_backend: Optional[str] = None,
+        kernel: Optional[str] = None,
     ) -> "InfluenceObjective":
         """Sample ``num_samples`` RR sets from ``graph`` and wrap them.
 
-        ``workers`` selects the process-pool sampling backend (see
-        :func:`repro.influence.ris.sample_rr_collection`); ``store`` /
-        ``memory_budget`` select the storage tier — ``store="mmap"``
-        streams the collection into byte-budgeted memory-mapped segments
-        whose gains fold to bitwise the flat results.
+        ``workers`` selects the pool sampling path and ``exec_backend``
+        its flavour (see :func:`repro.influence.ris.sample_rr_collection`);
+        ``kernel`` pins the hot-loop implementation set for sampling *and*
+        the objective's gains oracles (:mod:`repro.kernels`; all sets are
+        bitwise-equal). ``store`` / ``memory_budget`` select the storage
+        tier — ``store="mmap"`` streams the collection into byte-budgeted
+        memory-mapped segments whose gains fold to bitwise the flat
+        results.
         """
         collection = sample_rr_collection(
             graph, num_samples, seed=seed, stratified=stratified,
             workers=workers, store=store, memory_budget=memory_budget,
-            backend=backend,
+            backend=backend, exec_backend=exec_backend, kernel=kernel,
         )
         objective = cls.from_collection(collection, graph.group_sizes())
         objective._bind_graph(
             graph, seed, num_samples, stratified, workers,
             store=store, memory_budget=memory_budget,
+            exec_backend=exec_backend, kernel=kernel,
         )
         return objective
 
@@ -196,6 +208,8 @@ class InfluenceObjective(GroupedObjective):
         seed: SeedLike = None,
         stratified: bool = True,
         workers: Optional[int] = None,
+        exec_backend: Optional[str] = None,
+        kernel: Optional[str] = None,
     ) -> "InfluenceObjective":
         """IMM-sized sampling (see :mod:`repro.influence.imm`)."""
         imm = imm_rr_collection(
@@ -207,8 +221,13 @@ class InfluenceObjective(GroupedObjective):
             seed=seed,
             stratified=stratified,
             workers=workers,
+            exec_backend=exec_backend,
+            kernel=kernel,
         )
-        return cls.from_collection(imm.collection, graph.group_sizes())
+        objective = cls.from_collection(imm.collection, graph.group_sizes())
+        objective._kernel = kernel
+        objective._exec_backend = exec_backend
+        return objective
 
     @property
     def collection(self) -> RRCollection:
@@ -330,6 +349,8 @@ class InfluenceObjective(GroupedObjective):
                 store=self._store,
                 memory_budget=self._memory_budget,
                 backend=self._backend,
+                exec_backend=self._exec_backend,
+                kernel=self._kernel,
             )
             self._collection = collection
             self._segmented = isinstance(collection, SegmentedRRCollection)
@@ -351,7 +372,8 @@ class InfluenceObjective(GroupedObjective):
             )
         else:
             result = repair_rr_collection(
-                self._collection, graph, delta, seed, workers=workers
+                self._collection, graph, delta, seed, workers=workers,
+                exec_backend=self._exec_backend, kernel=self._kernel,
             )
             # The segmented store re-inverts the rewritten segments
             # inside replace_sets; only the flat index needs patching.
@@ -420,9 +442,8 @@ class InfluenceObjective(GroupedObjective):
 
     def _gains(self, payload: _InfluencePayload, item: int) -> np.ndarray:
         ids = self._member_ids(item)
-        fresh = ids[~payload.covered[ids]]
-        counts = np.bincount(
-            self._root_groups[fresh], minlength=self.num_groups
+        counts = get_kernel(self._kernel).gains_rescore(
+            ids, payload.covered, self._root_groups, self.num_groups
         )
         return counts / self._group_counts
 
@@ -441,7 +462,7 @@ class InfluenceObjective(GroupedObjective):
                 self.num_groups,
             )
             return counts / self._group_counts
-        counts = batch_group_counts(
+        counts = get_kernel(self._kernel).group_counts(
             self._mem_indptr,
             self._mem_indices,
             items,

@@ -29,6 +29,8 @@ response along with ``extra["coalesced_width"]``.
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from typing import Any, Optional
 
 from repro.core.result import SolverResult, make_result
@@ -36,6 +38,7 @@ from repro.datasets.registry import DATASETS, load_dataset
 from repro.service.protocol import Request, Response
 from repro.service.session import SolverSession
 from repro.utils.caching import BoundedCache
+from repro.utils.parallel import pool_stats, resolve_backend
 from repro.utils.timing import Timer
 
 #: Algorithms eligible for shared-run coalescing. Deterministic,
@@ -47,6 +50,11 @@ COALESCABLE = ("greedy",)
 #: Default capacity of the session registry (sessions, LRU).
 MAX_SESSIONS = 8
 
+#: Per-op latency samples retained for the ``stats`` op's mean/p99
+#: aggregation (a sliding window, so a long-lived daemon reports recent
+#: behaviour; the ``count`` field stays cumulative).
+LATENCY_WINDOW = 512
+
 
 class ServiceEngine:
     """Long-lived dispatcher over warm per-dataset sessions."""
@@ -55,6 +63,7 @@ class ServiceEngine:
         self,
         *,
         workers: Optional[int] = None,
+        exec_backend: Optional[str] = None,
         store: str = "ram",
         memory_budget: Optional[int] = None,
         max_sessions: int = MAX_SESSIONS,
@@ -63,7 +72,10 @@ class ServiceEngine:
     ) -> None:
         if store not in ("ram", "mmap"):
             raise ValueError(f"store must be 'ram' or 'mmap', got {store!r}")
+        if exec_backend is not None:
+            resolve_backend(exec_backend)  # validate eagerly
         self.workers = workers
+        self.exec_backend = exec_backend
         self.store = store
         self.memory_budget = memory_budget
         self._objective_budget = objective_budget
@@ -72,6 +84,10 @@ class ServiceEngine:
         self.requests_served = 0
         self.coalesced_requests = 0
         self.coalesced_runs = 0
+        # Per-op latency: cumulative counts plus a bounded window of
+        # recent runtimes for mean/p99 (seconds).
+        self._op_counts: dict[str, int] = {}
+        self._op_runtimes: dict[str, deque] = {}
 
     # -- sessions ---------------------------------------------------------
     def session(
@@ -101,6 +117,7 @@ class ServiceEngine:
             dataset = load_dataset(dataset_name, seed=seed)
             kwargs: dict[str, Any] = {
                 "workers": self.workers,
+                "exec_backend": self.exec_backend,
                 "store": store,
                 "memory_budget": budget,
             }
@@ -112,6 +129,34 @@ class ServiceEngine:
 
         return self._sessions.get_or_create(key, build)
 
+    def _record_latency(self, op: str, seconds: float) -> None:
+        self._op_counts[op] = self._op_counts.get(op, 0) + 1
+        window = self._op_runtimes.get(op)
+        if window is None:
+            window = self._op_runtimes[op] = deque(maxlen=LATENCY_WINDOW)
+        window.append(seconds)
+
+    def _latency_stats(self) -> dict[str, dict[str, float]]:
+        """Per-op ``{count, mean, p99}`` over the retained window.
+
+        ``count`` is cumulative over the engine's lifetime; ``mean`` and
+        ``p99`` (seconds) are computed on the last
+        :data:`LATENCY_WINDOW` samples per op. p99 is the nearest-rank
+        percentile of the sorted window.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for op, window in self._op_runtimes.items():
+            samples = sorted(window)
+            rank = max(0, int(len(samples) * 0.99) - 1) if samples else 0
+            out[op] = {
+                "count": self._op_counts.get(op, len(samples)),
+                "mean": (
+                    sum(samples) / len(samples) if samples else 0.0
+                ),
+                "p99": samples[rank] if samples else 0.0,
+            }
+        return out
+
     def stats(self) -> dict[str, Any]:
         from repro.service.session import shared_session_stats
 
@@ -122,6 +167,11 @@ class ServiceEngine:
             "requests_served": self.requests_served,
             "coalesced_requests": self.coalesced_requests,
             "coalesced_runs": self.coalesced_runs,
+            "exec_backend": self.exec_backend,
+            "op_latency": self._latency_stats(),
+            # Persistent worker-pool telemetry (module-level registry —
+            # one pool per (backend, width) for the whole daemon).
+            "pools": pool_stats(),
             "sessions": sessions,
             "session_registry": self._sessions.stats.as_dict(),
             # In-process batch jobs (the sweep harness) keep their warm
@@ -134,6 +184,7 @@ class ServiceEngine:
     def handle(self, request: Request) -> Response:
         """Process one request (no coalescing)."""
         self.requests_served += 1
+        start = time.perf_counter()
         try:
             return self._dispatch(request)
         except Exception as exc:  # noqa: BLE001 — service boundary
@@ -141,6 +192,8 @@ class ServiceEngine:
                 op=request.op, id=request.id, ok=False,
                 error=f"{type(exc).__name__}: {exc}",
             )
+        finally:
+            self._record_latency(request.op, time.perf_counter() - start)
 
     def handle_batch(self, requests: list[Request]) -> list[Response]:
         """Process concurrent requests, coalescing compatible solves."""
@@ -158,6 +211,7 @@ class ServiceEngine:
         for positions in groups.values():
             if len(positions) < 2:
                 continue
+            start = time.perf_counter()
             try:
                 coalesced = self._solve_coalesced(
                     [requests[pos] for pos in positions]
@@ -170,6 +224,7 @@ class ServiceEngine:
                     )
                     for pos in positions
                 ]
+            self._record_latency("solve", time.perf_counter() - start)
             for pos, response in zip(positions, coalesced):
                 responses[pos] = response
             self.requests_served += len(positions)

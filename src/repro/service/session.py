@@ -67,8 +67,14 @@ class SolverSession:
     dataset:
         The loaded workload (see :mod:`repro.datasets.registry`).
     workers:
-        Default process-pool width for sampling/evaluation calls that do
+        Default worker-pool width for sampling/evaluation calls that do
         not override it (``None`` = legacy serial stream).
+    exec_backend:
+        Pool flavour for parallel sampling/evaluation —
+        ``"thread"`` (default), ``"process"`` or ``"serial"``. All
+        backends produce bitwise-identical results; the knob only
+        selects the execution mechanism (see
+        :mod:`repro.utils.parallel`).
     store:
         Storage tier of influence objectives: ``"ram"`` keeps the flat
         in-memory RR arrays, ``"mmap"`` samples into the segmented
@@ -85,6 +91,7 @@ class SolverSession:
         dataset: Dataset,
         *,
         workers: Optional[int] = None,
+        exec_backend: Optional[str] = None,
         store: str = "ram",
         memory_budget: Optional[int] = None,
         objective_budget: int = DEFAULT_OBJECTIVE_BUDGET,
@@ -94,6 +101,7 @@ class SolverSession:
             raise ValueError(f"store must be 'ram' or 'mmap', got {store!r}")
         self.dataset = dataset
         self.workers = workers
+        self.exec_backend = exec_backend
         self.store = store
         self.memory_budget = memory_budget
         self._objectives = BoundedCache(objective_budget)
@@ -165,10 +173,6 @@ class SolverSession:
             raise ValueError(f"unknown dataset kind {dataset.kind!r}")
         if workers is ...:
             workers = self.workers
-        if self.store == "mmap":
-            # The segmented sampler is a serial stream; worker counts
-            # would change the draw law, so the mmap tier pins them off.
-            workers = None
         from repro.problems.influence import InfluenceObjective
 
         key = self._objective_key(im_samples, sample_seed, workers)
@@ -177,6 +181,7 @@ class SolverSession:
             return InfluenceObjective.from_graph(
                 dataset.graph, im_samples,
                 seed=sample_seed, workers=workers,
+                exec_backend=self.exec_backend,
                 store=self.store, memory_budget=self.memory_budget,
             )
 
@@ -222,6 +227,7 @@ class SolverSession:
             values = monte_carlo_group_spread(
                 dataset.graph, solution, mc_simulations,
                 seed=mc_seed, workers=workers,
+                exec_backend=self.exec_backend,
             )
             weights = dataset.graph.group_sizes() / dataset.graph.num_nodes
             return (float(weights @ values), float(values.min()))

@@ -14,9 +14,16 @@ from repro.utils.caching import (
 from repro.utils.parallel import (
     SharedArrays,
     WorkerContext,
+    WorkerPool,
+    available_cpus,
     fork_available,
+    get_pool,
+    parallel_imap,
     parallel_map,
+    pool_stats,
+    resolve_backend,
     resolve_workers,
+    shutdown_pools,
     spawn_seed_sequences,
 )
 from repro.utils.rng import as_generator, spawn_generators
@@ -42,8 +49,10 @@ __all__ = [
     "SharedArrays",
     "Timer",
     "WorkerContext",
+    "WorkerPool",
     "aggregate",
     "as_generator",
+    "available_cpus",
     "bootstrap_ci",
     "check_fraction",
     "check_non_negative",
@@ -51,11 +60,16 @@ __all__ = [
     "check_probability",
     "estimate_nbytes",
     "fork_available",
+    "get_pool",
     "lru_bound",
     "paired_sign_test",
+    "parallel_imap",
     "parallel_map",
+    "pool_stats",
     "replicate",
+    "resolve_backend",
     "resolve_workers",
+    "shutdown_pools",
     "spawn_generators",
     "spawn_seed_sequences",
 ]

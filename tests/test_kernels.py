@@ -1,0 +1,299 @@
+"""Kernel-registry equivalence suite.
+
+Every registered kernel set must be *bitwise* interchangeable with the
+"baseline" set (the PR 3 reference implementations, kept verbatim in
+:mod:`repro.kernels.baseline`): identical reached keys from the BFS
+chunks — including identical RNG stream consumption, so downstream
+draws cannot diverge — and identical coverage/gain counts. The numba
+rows run only where the compiled set actually registered (the wheel is
+an optional dependency); they skip cleanly otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import stochastic_block_model
+from repro.influence.ris import sample_rr_collection
+from repro.kernels import (
+    KERNEL_ENV_VAR,
+    available_kernels,
+    default_kernel_name,
+    get_kernel,
+    set_default_kernel,
+)
+
+#: Kernel sets compared against baseline. The numba row stays listed so
+#: a CI leg with the wheel installed exercises it; it skips when absent.
+OPTIMIZED = ["numpy", "numba"]
+
+
+def _maybe_skip(name: str) -> None:
+    if name not in available_kernels():
+        pytest.skip(f"kernel set {name!r} not registered (optional dep)")
+
+
+def _adjacency(seed: int = 3, n: int = 60):
+    g = stochastic_block_model([n // 2, n - n // 2], 0.15, 0.05, seed=seed)
+    g.set_edge_probabilities(0.3)
+    return g.transpose_adjacency(), g
+
+
+@pytest.fixture(autouse=True)
+def _unpinned_default():
+    # Tests below pin the default; always restore auto-resolution.
+    yield
+    set_default_kernel(None)
+
+
+class TestRegistry:
+    def test_baseline_and_numpy_always_available(self):
+        names = available_kernels()
+        assert names[0] == "baseline"
+        assert "numpy" in names
+
+    def test_default_resolution_without_numba(self):
+        if "numba" in available_kernels():
+            assert default_kernel_name() == "numba"
+        else:
+            assert default_kernel_name() == "numpy"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "baseline")
+        assert default_kernel_name() == "baseline"
+        assert get_kernel().name == "baseline"
+
+    def test_env_override_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "fortran")
+        with pytest.raises(ValueError):
+            default_kernel_name()
+
+    def test_pin_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "baseline")
+        set_default_kernel("numpy")
+        assert get_kernel().name == "numpy"
+
+    def test_pin_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_kernel("fortran")
+
+    def test_get_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_kernel("fortran")
+
+
+class TestChunkEquivalence:
+    """The BFS chunks: same reached keys, same RNG consumption."""
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_dense_chunk_bitwise(self, name):
+        _maybe_skip(name)
+        adjacency, g = _adjacency()
+        n = g.num_nodes
+        num_instances = 8
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(11)
+        starts = np.arange(num_instances, dtype=np.int64) * n + np.arange(
+            num_instances, dtype=np.int64
+        )
+        ref = get_kernel("baseline").reachability_chunk(
+            adjacency, starts, num_instances, rng_a
+        )
+        out = get_kernel(name).reachability_chunk(
+            adjacency, starts, num_instances, rng_b
+        )
+        np.testing.assert_array_equal(np.sort(ref), np.sort(out))
+        # Post-chunk stream state must match: the next draw is shared.
+        assert rng_a.integers(0, 1 << 30) == rng_b.integers(0, 1 << 30)
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_sparse_chunk_bitwise(self, name):
+        _maybe_skip(name)
+        adjacency, g = _adjacency(seed=7)
+        n = g.num_nodes
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        starts = np.array([0 * n + 3, 1 * n + 17, 2 * n + 40], dtype=np.int64)
+        ref = get_kernel("baseline").reachability_chunk_sparse(
+            adjacency, starts, rng_a
+        )
+        out = get_kernel(name).reachability_chunk_sparse(
+            adjacency, starts, rng_b
+        )
+        np.testing.assert_array_equal(np.sort(ref), np.sort(out))
+        assert rng_a.integers(0, 1 << 30) == rng_b.integers(0, 1 << 30)
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_dense_chunk_nonuniform_probs(self, name):
+        # Heterogeneous arc probabilities force the gathered comparison
+        # (the uniform broadcast fast path must not be taken).
+        _maybe_skip(name)
+        (indptr, indices, probs), g = _adjacency(seed=13)
+        probs = np.random.default_rng(8).uniform(0.05, 0.6, size=probs.size)
+        adjacency = (indptr, indices, probs)
+        n = g.num_nodes
+        num_instances = 6
+        rng_a = np.random.default_rng(21)
+        rng_b = np.random.default_rng(21)
+        starts = np.arange(num_instances, dtype=np.int64) * n + np.arange(
+            num_instances, dtype=np.int64
+        )
+        ref = get_kernel("baseline").reachability_chunk(
+            adjacency, starts, num_instances, rng_a
+        )
+        out = get_kernel(name).reachability_chunk(
+            adjacency, starts, num_instances, rng_b
+        )
+        np.testing.assert_array_equal(np.sort(ref), np.sort(out))
+        assert rng_a.integers(0, 1 << 30) == rng_b.integers(0, 1 << 30)
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_sparse_chunk_nonuniform_probs(self, name):
+        _maybe_skip(name)
+        (indptr, indices, probs), g = _adjacency(seed=17)
+        probs = np.random.default_rng(9).uniform(0.05, 0.6, size=probs.size)
+        adjacency = (indptr, indices, probs)
+        n = g.num_nodes
+        rng_a = np.random.default_rng(23)
+        rng_b = np.random.default_rng(23)
+        starts = np.array([0 * n + 5, 1 * n + 9, 2 * n + 33], dtype=np.int64)
+        ref = get_kernel("baseline").reachability_chunk_sparse(
+            adjacency, starts, rng_a
+        )
+        out = get_kernel(name).reachability_chunk_sparse(
+            adjacency, starts, rng_b
+        )
+        np.testing.assert_array_equal(np.sort(ref), np.sort(out))
+        assert rng_a.integers(0, 1 << 30) == rng_b.integers(0, 1 << 30)
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_dense_empty_frontier(self, name):
+        _maybe_skip(name)
+        # A graph with no arcs: the chunk returns exactly the starts.
+        indptr = np.zeros(6, dtype=np.int64)
+        adjacency = (
+            indptr,
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+        )
+        starts = np.array([2, 8], dtype=np.int64)
+        out = get_kernel(name).reachability_chunk(
+            adjacency, starts, 2, np.random.default_rng(0)
+        )
+        np.testing.assert_array_equal(np.sort(out), starts)
+
+
+class TestCountEquivalence:
+    """Coverage counting and the CELF re-score."""
+
+    def _csr(self, rng):
+        sets = [
+            np.unique(rng.integers(0, 40, size=rng.integers(0, 12)))
+            for _ in range(25)
+        ]
+        indptr = np.zeros(len(sets) + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum([s.size for s in sets])
+        indices = (
+            np.concatenate(sets)
+            if indptr[-1]
+            else np.zeros(0, dtype=np.int64)
+        )
+        return indptr, indices
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_group_counts_bitwise(self, name):
+        _maybe_skip(name)
+        rng = np.random.default_rng(2)
+        indptr, indices = self._csr(rng)
+        items = np.array([0, 3, 7, 24], dtype=np.int64)
+        covered = rng.random(40) < 0.3
+        labels = rng.integers(0, 3, size=40).astype(np.int64)
+        ref = get_kernel("baseline").group_counts(
+            indptr, indices, items, covered, labels, 3
+        )
+        out = get_kernel(name).group_counts(
+            indptr, indices, items, covered, labels, 3
+        )
+        np.testing.assert_array_equal(ref, out)
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_gains_rescore_bitwise(self, name):
+        _maybe_skip(name)
+        rng = np.random.default_rng(4)
+        ids = np.unique(rng.integers(0, 200, size=60))
+        covered = rng.random(200) < 0.4
+        labels = rng.integers(0, 4, size=200).astype(np.int64)
+        ref = get_kernel("baseline").gains_rescore(ids, covered, labels, 4)
+        out = get_kernel(name).gains_rescore(ids, covered, labels, 4)
+        np.testing.assert_array_equal(ref, out)
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_pack_chunk_keys_bitwise(self, name):
+        _maybe_skip(name)
+        rng = np.random.default_rng(6)
+        n, num_instances = 50, 12
+        keys = np.unique(
+            rng.integers(0, num_instances * n, size=300)
+        ).astype(np.int64)
+        ref_indptr, ref_nodes = get_kernel("baseline").pack_chunk_keys(
+            keys, num_instances, n
+        )
+        out_indptr, out_nodes = get_kernel(name).pack_chunk_keys(
+            keys, num_instances, n
+        )
+        np.testing.assert_array_equal(ref_indptr, out_indptr)
+        np.testing.assert_array_equal(ref_nodes, out_nodes)
+        assert out_indptr.dtype == np.int64
+        assert out_nodes.dtype == np.int64
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_gains_rescore_empty(self, name):
+        _maybe_skip(name)
+        ids = np.zeros(0, dtype=np.int64)
+        covered = np.zeros(10, dtype=bool)
+        labels = np.zeros(10, dtype=np.int64)
+        out = get_kernel(name).gains_rescore(ids, covered, labels, 2)
+        np.testing.assert_array_equal(out, np.zeros(2, dtype=np.int64))
+
+
+class TestEndToEndKernelInvariance:
+    """The sampling stack produces identical collections per kernel."""
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_rr_collection_kernel_invariant(self, name):
+        _maybe_skip(name)
+        g = stochastic_block_model([40, 40], 0.1, 0.02, seed=9)
+        g.set_edge_probabilities(0.2)
+        reference = sample_rr_collection(g, 200, seed=5, kernel="baseline")
+        col = sample_rr_collection(g, 200, seed=5, kernel=name)
+        np.testing.assert_array_equal(
+            reference.set_indptr, col.set_indptr
+        )
+        np.testing.assert_array_equal(
+            reference.set_indices, col.set_indices
+        )
+        np.testing.assert_array_equal(
+            reference.root_groups, col.root_groups
+        )
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_greedy_solution_kernel_invariant(self, name):
+        _maybe_skip(name)
+        from repro.core.problem import BSMProblem
+        from repro.datasets.registry import load_dataset
+
+        data = load_dataset("rand-im-c2", seed=0)
+        results = {}
+        for kernel in ("baseline", name):
+            set_default_kernel(kernel)
+            from repro.problems.influence import InfluenceObjective
+
+            objective = InfluenceObjective.from_graph(
+                data.graph, 300, seed=1, kernel=kernel
+            )
+            problem = BSMProblem(objective, k=3, tau=0.0)
+            results[kernel] = problem.solve("greedy")
+        set_default_kernel(None)
+        assert results[name].solution == results["baseline"].solution
+        assert results[name].utility == results["baseline"].utility

@@ -438,10 +438,32 @@ class TestSegmentedIdentity:
         with pytest.raises(ValueError):
             segment_bytes_for(0)
 
-    def test_segmented_rejects_workers(self):
+    @pytest.mark.parametrize("exec_backend", ["serial", "thread", "process"])
+    def test_segmented_workers_match_flat_workers(self, exec_backend):
+        # The mmap tier accepts workers: units stream through a bounded
+        # window and append in unit order, so the stored sets are
+        # bitwise those of the flat workers path — for every backend.
         data = load_dataset("rand-im-c2", seed=0)
-        with pytest.raises(ValueError, match="workers"):
-            sample_rr_collection(data.graph, 100, seed=1, store="mmap", workers=2)
+        flat = sample_rr_collection(data.graph, 150, seed=11, workers=2)
+        seg = sample_rr_collection(
+            data.graph,
+            150,
+            seed=11,
+            store="mmap",
+            workers=2,
+            exec_backend=exec_backend,
+        )
+        from repro.utils.csr import concat_packed
+
+        seg_indptr, seg_indices = concat_packed(
+            [
+                (np.asarray(s.set_indptr), np.asarray(s.set_indices))
+                for s in seg.store.iter_segments(release=False)
+            ]
+        )
+        assert np.array_equal(flat.set_indptr, seg_indptr)
+        assert np.array_equal(flat.set_indices, seg_indices)
+        assert np.array_equal(flat.root_groups, seg.root_groups)
 
     def test_unknown_store_kind_rejected(self):
         data = load_dataset("rand-im-c2", seed=0)

@@ -31,9 +31,16 @@ from repro.utils.parallel import (
     SharedArrays,
     WorkerContext,
     attach_shared,
+    available_cpus,
     fork_available,
+    get_pool,
+    parallel_imap,
     parallel_map,
+    pool_stats,
+    pool_width,
+    resolve_backend,
     resolve_workers,
+    shutdown_pools,
     spawn_seed_sequences,
     split_ranges,
     unit_size_for,
@@ -57,10 +64,89 @@ class TestResolveWorkers:
     def test_positive_passthrough(self):
         assert resolve_workers(3) == 3
 
-    def test_negative_means_cpu_count(self):
+    def test_negative_means_available_cpus(self):
+        assert resolve_workers(-1) == available_cpus()
+
+    def test_available_cpus_prefers_affinity(self):
+        # workers=-1 must size to the CPUs this process may actually
+        # run on (cgroup/affinity mask), not the machine core count.
         import os
 
-        assert resolve_workers(-1) == (os.cpu_count() or 1)
+        if hasattr(os, "sched_getaffinity"):
+            assert available_cpus() == len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - non-Linux fallback
+            assert available_cpus() == (os.cpu_count() or 1)
+
+
+class TestBackendResolution:
+    def test_default_backend_is_thread(self):
+        assert resolve_backend(None) == "thread"
+
+    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    def test_known_backends_pass_through(self, name):
+        assert resolve_backend(name) == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+
+    def test_pool_width_serial_backend_pins_one(self):
+        assert pool_width(4, 8, backend="serial") == 1
+
+    def test_pool_width_thread_never_needs_fork(self):
+        # The fork gate applies only to the process backend; threads
+        # are always available.
+        assert pool_width(4, 8, backend="thread") == 4
+
+    def test_pool_width_caps_at_task_count(self):
+        assert pool_width(8, 3, backend="thread") == 3
+
+
+class TestPersistentPools:
+    def test_get_pool_reuses_instance(self):
+        shutdown_pools()
+        try:
+            a = get_pool("thread", 2)
+            assert get_pool("thread", 2) is a
+            assert get_pool("thread", 3) is not a
+        finally:
+            shutdown_pools()
+        assert pool_stats()["active_pools"] == []
+
+    def test_get_pool_rejects_serial(self):
+        with pytest.raises(ValueError):
+            get_pool("serial", 2)
+
+    def test_pool_stats_counts_dispatches(self):
+        shutdown_pools()
+        try:
+            spawns_before = pool_stats()["pool_spawns"]
+            data = np.arange(50, dtype=np.int64)
+            tasks = [(0, 10), (10, 30), (30, 50)]
+            out = parallel_map(
+                _sum_task, tasks, workers=2, backend="thread",
+                shared=(data,), payload=1,
+            )
+            assert out == [int(data[lo:hi].sum()) + 1 for lo, hi in tasks]
+            stats = pool_stats()
+            assert stats["pool_spawns"] == spawns_before + 1
+            active = [
+                pool for pool in stats["active_pools"]
+                if pool["backend"] == "thread" and pool["width"] == 2
+            ]
+            assert active
+            assert active[0]["dispatches"] >= 1
+            assert active[0]["tasks_run"] >= len(tasks)
+        finally:
+            shutdown_pools()
+
+    def test_serial_dispatch_counter(self):
+        before = pool_stats()["serial_dispatches"]
+        parallel_map(
+            _sum_task, [(0, 3)], workers=1,
+            shared=(np.arange(3, dtype=np.int64),), payload=0,
+        )
+        assert pool_stats()["serial_dispatches"] == before + 1
 
 
 class TestUnitDecomposition:
@@ -173,6 +259,64 @@ def _identity_arrays(ctx: WorkerContext, task: int):
     return ctx.arrays[0]
 
 
+class TestParallelImap:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_streams_in_task_order(self, backend):
+        data = np.arange(100, dtype=np.int64)
+        tasks = [(0, 10), (10, 50), (50, 100)]
+        out = list(
+            parallel_imap(
+                _sum_task, tasks, workers=2, backend=backend,
+                shared=(data,), payload=5,
+            )
+        )
+        assert out == [int(data[lo:hi].sum()) + 5 for lo, hi in tasks]
+
+    def test_empty_tasks(self):
+        assert list(parallel_imap(_sum_task, [], workers=4)) == []
+
+
+class TestThreadBackendInvariance:
+    """Thread-backend rows of the bitwise-identity matrix (no fork)."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_rr_collection_matches_serial_backend(self, workers):
+        g = _im_graph()
+        reference = sample_rr_collection(
+            g, 200, seed=5, workers=1, exec_backend="serial"
+        )
+        col = sample_rr_collection(
+            g, 200, seed=5, workers=workers, exec_backend="thread"
+        )
+        np.testing.assert_array_equal(reference.set_indptr, col.set_indptr)
+        np.testing.assert_array_equal(reference.set_indices, col.set_indices)
+        np.testing.assert_array_equal(reference.root_groups, col.root_groups)
+
+    def test_mc_group_spread_matches_serial_backend(self):
+        g = _im_graph()
+        seeds = [0, 7, 23]
+        reference = monte_carlo_group_spread(
+            g, seeds, 150, seed=3, workers=1, exec_backend="serial"
+        )
+        for workers in WORKER_COUNTS[1:]:
+            values = monte_carlo_group_spread(
+                g, seeds, 150, seed=3, workers=workers,
+                exec_backend="thread",
+            )
+            np.testing.assert_array_equal(reference, values)
+
+    def test_greedi_thread_matches_serial(self):
+        objective = load_dataset("rand-mc-c2", seed=0).objective
+        reference = greedi(objective, 4, num_machines=4, seed=3)
+        result = greedi(
+            objective, 4, num_machines=4, seed=3, workers=2,
+            exec_backend="thread",
+        )
+        assert result.solution == reference.solution
+        assert result.oracle_calls == reference.oracle_calls
+        assert result.extra["machine_calls"] == reference.extra["machine_calls"]
+
+
 @pytest.mark.slow
 @pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
 class TestWorkerCountInvariance:
@@ -257,6 +401,30 @@ class TestWorkerCountInvariance:
         b = sample_rr_collection(g, 120, seed=2, workers=None)
         np.testing.assert_array_equal(a.set_indices, b.set_indices)
 
+    @pytest.mark.parametrize("exec_backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("kernel", ["baseline", "numpy"])
+    def test_backend_kernel_matrix_bitwise_identical(
+        self, exec_backend, kernel
+    ):
+        # The full (backend, kernel, workers) cross: every combination
+        # reproduces the workers=1 serial-backend baseline stream.
+        g = _im_graph()
+        reference = sample_rr_collection(
+            g, 200, seed=5, workers=1,
+            exec_backend="serial", kernel="baseline",
+        )
+        for workers in WORKER_COUNTS:
+            col = sample_rr_collection(
+                g, 200, seed=5, workers=workers,
+                exec_backend=exec_backend, kernel=kernel,
+            )
+            np.testing.assert_array_equal(
+                reference.set_indptr, col.set_indptr
+            )
+            np.testing.assert_array_equal(
+                reference.set_indices, col.set_indices
+            )
+
 
 @pytest.mark.slow
 @pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
@@ -317,3 +485,25 @@ class TestCLIWorkersFlag:
             ["pareto", "--dataset", "rand-mc-c2", "--workers", "2"],
         ):
             assert parser.parse_args(argv).workers == 2
+
+    def test_parser_exposes_backend(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for argv in (
+            ["solve", "--dataset", "rand-mc-c2", "--backend", "thread"],
+            ["serve", "--backend", "process"],
+            ["request", "{}", "--backend", "serial"],
+        ):
+            assert parser.parse_args(argv).backend == argv[-1]
+
+    def test_solve_accepts_backend(self, capsys):
+        from repro.cli import main
+
+        argv = [
+            "solve", "--dataset", "rand-im-c2", "--k", "2",
+            "--im-samples", "150", "--workers", "2",
+            "--backend", "thread",
+        ]
+        assert main(argv) == 0
+        assert "f(S)" in capsys.readouterr().out
