@@ -1,0 +1,378 @@
+"""Load-test bench — the TCP front-end under steady, burst and overload.
+
+Four phases, each against a real ``repro serve --tcp`` subprocess on an
+ephemeral port (the server announces ``listening on host:port`` on
+stdout; this script parses it):
+
+* **steady** — an open-loop mixed script (solve/evaluate/update/stats)
+  at a sustained arrival rate across 8 connections. Records p50/p99/mean
+  latency, throughput, and the warm-hit ratio; every request must be
+  answered (no losses, no rejections at this depth).
+* **coalesce** — a burst of identical-dataset greedy solves fired
+  within one widened micro-batch window (``--batch-window-ms 50``).
+  The engine must collapse them into shared runs:
+  ``coalesce_ratio = coalesced_requests / coalesced_runs`` measures the
+  average shared-run width (requests answered per paid greedy run).
+  The gated ``coalesce_speedup`` is this ratio capped at
+  :data:`COALESCE_CAP` — like the service bench's warm cap, the
+  uncapped value (one run serving the whole burst) would gate on burst
+  size, not on the property — with an absolute
+  :data:`MIN_COALESCE` floor armed on every machine.
+* **overload** — a server constrained to ``--max-queue-depth 2
+  --max-inflight 1`` fed cold influence solves (``vary_seed`` defeats
+  session reuse) far above its service rate. Admission control must
+  fast-reject a visible fraction (``rejection_rate``) while every
+  request still gets *an* answer (rejections are responses; nothing is
+  lost or left hanging).
+* **drain** — a mixed ``[solve, shutdown, stats]`` array on one line:
+  every member answered in member order, then the process exits 0.
+
+Emits ``benchmarks/results/BENCH_load.json``. Run standalone
+(``PYTHONPATH=src python benchmarks/bench_load.py``) or through
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_load.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks._common import RESULTS_DIR, record, run_once
+from repro.service.loadgen import LoadScript, run_load
+
+HOST = "127.0.0.1"
+SEED = 20240612
+
+#: Steady phase: mixed traffic the default server must absorb fully.
+STEADY_CONNECTIONS = 8
+STEADY_RATE = 80.0
+STEADY_TOTAL = 160
+
+#: Coalesce phase: a same-dataset solve burst inside one wide window.
+BURST_REQUESTS = 16
+BURST_WINDOW_MS = 50.0
+
+#: Overload phase: cold influence solves against a tiny admission queue.
+OVERLOAD_RATE = 400.0
+OVERLOAD_TOTAL = 80
+OVERLOAD_SAMPLES = 2_000
+
+#: The gated coalescing metric is capped (the raw ratio equals the
+#: burst size when one run serves everything — a property of the burst,
+#: not of the machinery) and floored absolutely: losing the coalescing
+#: path collapses the ratio to 1.0, well below the floor.
+COALESCE_CAP = 4.0
+MIN_COALESCE = 1.2
+
+_ANNOUNCE = re.compile(r"listening on [0-9.]+:(\d+)\s*$")
+
+
+def start_server(*extra_args: str) -> tuple[subprocess.Popen, int]:
+    """Spawn ``repro serve --tcp`` on an ephemeral port; parse the port."""
+    root = Path(__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(root / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--tcp",
+            f"{HOST}:0",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    match = _ANNOUNCE.search(line.strip())
+    if match is None:
+        proc.kill()
+        tail = line + (proc.stdout.read() or "")
+        raise RuntimeError(f"server did not announce a port: {tail!r}")
+    return proc, int(match.group(1))
+
+
+def tcp_lines(port: int, line: str, responses: int) -> list[dict]:
+    """Send one request line, read ``responses`` JSON response lines."""
+    with socket.create_connection((HOST, port), timeout=60.0) as sock:
+        stream = sock.makefile("rw", encoding="utf-8", newline="")
+        stream.write(line + "\n")
+        stream.flush()
+        return [json.loads(stream.readline()) for _ in range(responses)]
+
+
+def stop_server(proc: subprocess.Popen, port: int) -> int:
+    """Graceful shutdown; returns the exit status (0 = clean drain)."""
+    try:
+        tcp_lines(port, json.dumps({"op": "shutdown", "id": "stop"}), 1)
+    except OSError:
+        pass  # already draining
+    try:
+        return proc.wait(timeout=60.0)
+    except subprocess.TimeoutExpired:  # pragma: no cover - hung server
+        proc.kill()
+        return -1
+
+
+def _phase_steady(failures: list[str]) -> dict:
+    proc, port = start_server()
+    try:
+        script = LoadScript(seed=SEED % (1 << 31))
+        report = asyncio.run(
+            run_load(
+                HOST,
+                port,
+                connections=STEADY_CONNECTIONS,
+                rate=STEADY_RATE,
+                total=STEADY_TOTAL,
+                script=script,
+            )
+        )
+    finally:
+        exit_status = stop_server(proc, port)
+    summary = report.as_dict()
+    out = {
+        "connections": STEADY_CONNECTIONS,
+        "rate_rps": STEADY_RATE,
+        "sent": summary["sent"],
+        "ok": summary["ok"],
+        "failed": summary["failed"],
+        "lost": summary["lost"],
+        "rejection_rate": summary["rejection_rate"],
+        "warm_ratio": report.warm / max(report.ok, 1),
+        "p50_ms": summary["p50_ms"],
+        "p99_ms": summary["p99_ms"],
+        "mean_ms": summary["mean_ms"],
+        "throughput_rps": summary["throughput_rps"],
+        "per_op": summary["per_op"],
+        "clean_exit": exit_status == 0,
+    }
+    if summary["lost"] or summary["failed"]:
+        failures.append(
+            f"steady: {summary['lost']} lost / {summary['failed']} failed "
+            "responses under nominal load"
+        )
+    if summary["rejection_rate"] > 0:
+        failures.append("steady: admission control rejected nominal load")
+    if exit_status != 0:
+        failures.append(f"steady: server exited {exit_status}, wanted 0")
+    return out
+
+
+def _phase_coalesce(failures: list[str]) -> dict:
+    proc, port = start_server("--batch-window-ms", str(BURST_WINDOW_MS))
+    try:
+        script = LoadScript(mix={"solve": 1.0}, seed=SEED % (1 << 31))
+        report = asyncio.run(
+            run_load(
+                HOST,
+                port,
+                connections=8,
+                rate=4_000.0,
+                total=BURST_REQUESTS,
+                script=script,
+            )
+        )
+        stats = tcp_lines(port, json.dumps({"op": "stats", "id": "st"}), 1)[0]
+        engine = stats["result"]
+        runs = int(engine["coalesced_runs"])
+        shared = int(engine["coalesced_requests"])
+    finally:
+        exit_status = stop_server(proc, port)
+    ratio = shared / runs if runs else 0.0
+    out = {
+        "burst_requests": BURST_REQUESTS,
+        "batch_window_ms": BURST_WINDOW_MS,
+        "ok": report.ok,
+        "lost": report.lost,
+        "coalesced_responses": report.coalesced,
+        "coalesced_requests": shared,
+        "coalesced_runs": runs,
+        "coalesce_ratio": ratio,
+        "coalesce_speedup": min(ratio, COALESCE_CAP),
+        "clean_exit": exit_status == 0,
+    }
+    if report.ok != BURST_REQUESTS or report.lost:
+        failures.append(
+            f"coalesce: {report.ok}/{BURST_REQUESTS} bursts answered ok"
+        )
+    if ratio <= 1.0:
+        failures.append(
+            f"coalesce: same-dataset burst did not coalesce "
+            f"(ratio {ratio:.2f}, runs {runs})"
+        )
+    if exit_status != 0:
+        failures.append(f"coalesce: server exited {exit_status}, wanted 0")
+    return out
+
+
+def _phase_overload(failures: list[str]) -> dict:
+    proc, port = start_server("--max-queue-depth", "2", "--max-inflight", "1")
+    try:
+        script = LoadScript(
+            datasets=("rand-im-c2",),
+            mix={"solve": 1.0},
+            im_samples=OVERLOAD_SAMPLES,
+            vary_seed=True,
+            seed=SEED % (1 << 31),
+        )
+        report = asyncio.run(
+            run_load(
+                HOST,
+                port,
+                connections=8,
+                rate=OVERLOAD_RATE,
+                total=OVERLOAD_TOTAL,
+                script=script,
+            )
+        )
+    finally:
+        exit_status = stop_server(proc, port)
+    summary = report.as_dict()
+    out = {
+        "rate_rps": OVERLOAD_RATE,
+        "sent": summary["sent"],
+        "ok": summary["ok"],
+        "rejected": summary["rejected"],
+        "rejection_rate": summary["rejection_rate"],
+        "lost": summary["lost"],
+        "failed": summary["failed"],
+        "p50_ms": summary["p50_ms"],
+        "p99_ms": summary["p99_ms"],
+        "clean_exit": exit_status == 0,
+    }
+    if summary["rejected"] == 0:
+        failures.append(
+            "overload: no fast rejections at 200x the service rate — "
+            "admission control is not engaging"
+        )
+    if summary["lost"] or summary["failed"]:
+        failures.append(
+            f"overload: {summary['lost']} lost / {summary['failed']} failed "
+            "(rejections must be answered, not dropped)"
+        )
+    if exit_status != 0:
+        failures.append(f"overload: server exited {exit_status}, wanted 0")
+    return out
+
+
+def _phase_drain(failures: list[str]) -> dict:
+    proc, port = start_server()
+    line = json.dumps(
+        [
+            {
+                "schema": 2,
+                "op": "solve",
+                "id": "a",
+                "args": {"dataset": "rand-mc-c2", "k": 3},
+            },
+            {"schema": 2, "op": "shutdown", "id": "b"},
+            {"schema": 2, "op": "stats", "id": "c"},
+        ]
+    )
+    responses = tcp_lines(port, line, 3)
+    try:
+        exit_status = proc.wait(timeout=60.0)
+    except subprocess.TimeoutExpired:  # pragma: no cover - hung server
+        proc.kill()
+        exit_status = -1
+    order = [response["id"] for response in responses]
+    all_ok = all(response["ok"] for response in responses)
+    out = {
+        "members": 3,
+        "answered": len(responses),
+        "member_order": order,
+        "all_ok": all_ok,
+        "clean_exit": exit_status == 0,
+    }
+    if order != ["a", "b", "c"] or not all_ok:
+        failures.append(
+            f"drain: mixed shutdown batch answered {order} ok={all_ok}"
+        )
+    if exit_status != 0:
+        failures.append(f"drain: server exited {exit_status}, wanted 0")
+    return out
+
+
+def _measure() -> dict:
+    failures: list[str] = []
+    payload = {
+        "bench": "load",
+        "steady": _phase_steady(failures),
+        "coalesce": _phase_coalesce(failures),
+        "overload": _phase_overload(failures),
+        "drain": _phase_drain(failures),
+        # The coalescing width is a single-process property of the
+        # micro-batch window — armed on every machine.
+        "always_gated_metrics": ["coalesce.coalesce_speedup"],
+        "always_gated_floor": MIN_COALESCE,
+        "failures": failures,
+    }
+    return payload
+
+
+def _report(payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_load.json"
+    json_path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    steady = payload["steady"]
+    coalesce = payload["coalesce"]
+    overload = payload["overload"]
+    drain = payload["drain"]
+    lines = [
+        "TCP front-end under load:",
+        f"  steady ({steady['connections']} conns @ "
+        f"{steady['rate_rps']:.0f} rps): p50 {steady['p50_ms']:.1f}ms, "
+        f"p99 {steady['p99_ms']:.1f}ms, "
+        f"{steady['throughput_rps']:.0f} rps through, "
+        f"warm ratio {steady['warm_ratio']:.2f}",
+        f"  coalesce ({coalesce['burst_requests']}-solve burst, "
+        f"{coalesce['batch_window_ms']:.0f}ms window): "
+        f"{coalesce['coalesced_requests']} requests over "
+        f"{coalesce['coalesced_runs']} runs "
+        f"({coalesce['coalesce_ratio']:.1f}x, gated at "
+        f"{coalesce['coalesce_speedup']:.1f}x)",
+        f"  overload (queue depth 2): rejection rate "
+        f"{overload['rejection_rate']:.2f} at "
+        f"{overload['rate_rps']:.0f} rps, nothing lost "
+        f"(lost={overload['lost']})",
+        f"  drain: mixed shutdown batch answered "
+        f"{drain['answered']}/{drain['members']} in order, "
+        f"exit clean: {drain['clean_exit']}",
+        f"  [json written to {json_path}]",
+    ]
+    record("load", "\n".join(lines))
+
+
+def bench_load(benchmark) -> None:
+    payload = run_once(benchmark, _measure)
+    _report(payload)
+    assert not payload["failures"], "; ".join(payload["failures"])
+
+
+def main() -> int:
+    payload = _measure()
+    _report(payload)
+    for failure in payload["failures"]:
+        print(f"FAIL: {failure}")
+    return 1 if payload["failures"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

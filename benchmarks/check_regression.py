@@ -31,6 +31,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
     PYTHONPATH=src python benchmarks/check_regression.py --tolerance 0.5
+    PYTHONPATH=src python benchmarks/check_regression.py --only BENCH_load.json
 """
 
 from __future__ import annotations
@@ -180,8 +181,28 @@ def main(argv: list[str] | None = None) -> int:
         default=RESULTS_DIR,
         help="directory of freshly emitted BENCH_*.json files",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="BENCH_name.json",
+        help="gate only these baseline files (repeatable); lets a CI job "
+        "that runs a single bench check it without demanding fresh "
+        "results for every committed baseline",
+    )
     args = parser.parse_args(argv)
     baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
+    if args.only:
+        wanted = set(args.only)
+        baseline_files = [p for p in baseline_files if p.name in wanted]
+        missing = wanted - {p.name for p in baseline_files}
+        if missing:
+            print(
+                f"no baselines named {sorted(missing)} under "
+                f"{args.baselines}",
+                file=sys.stderr,
+            )
+            return 1
     if not baseline_files:
         print(f"no baselines found under {args.baselines}", file=sys.stderr)
         return 1

@@ -1,6 +1,6 @@
 """Command-line interface: solve instances and regenerate experiments.
 
-Seven subcommands::
+Eight subcommands::
 
     python -m repro.cli solve --dataset rand-mc-c2 --algorithm bsm-saturate \
         --k 5 --tau 0.8
@@ -9,7 +9,9 @@ Seven subcommands::
     python -m repro.cli pareto --dataset rand-mc-c2 --k 5
     python -m repro.cli datasets            # list the catalogue
     python -m repro.cli serve               # JSON-lines daemon on stdio
+    python -m repro.cli serve --tcp 127.0.0.1:7077      # asyncio TCP front-end
     python -m repro.cli request '{"op": "solve", "dataset": "rand-mc-c2"}'
+    python -m repro.cli loadgen --tcp 127.0.0.1:7077 --connections 8
 
 The CLI is a thin veneer over :class:`repro.core.problem.BSMProblem`,
 :mod:`repro.experiments.figures` and the persistent service layer
@@ -165,11 +167,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="run the persistent solver service (JSON lines on stdio)",
+        help=(
+            "run the persistent solver service (JSON lines on stdio, "
+            "or TCP with --tcp)"
+        ),
     )
     serve.add_argument(
         "--max-sessions", type=int, default=8,
         help="warm dataset sessions kept live (LRU beyond this)",
+    )
+    serve.add_argument(
+        "--tcp", metavar="HOST:PORT", default=None,
+        help=(
+            "listen on TCP instead of stdio (same JSON-lines wire "
+            "format; port 0 binds an ephemeral port, announced on "
+            "stdout)"
+        ),
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=256,
+        help=(
+            "TCP admission control: requests admitted but unanswered "
+            "beyond this are rejected immediately with ok:false, "
+            "error:'overloaded' and a retry_after_ms hint"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=2,
+        help="TCP: engine batches in flight on the worker pool",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=5.0,
+        help=(
+            "TCP micro-batching window: concurrent requests arriving "
+            "within this many ms are handled as one engine batch, so "
+            "compatible solves coalesce across connections"
+        ),
+    )
+    serve.add_argument(
+        "--max-line-bytes", type=int, default=1 << 20,
+        help="TCP: longest accepted request line",
     )
     _add_workers_flag(serve)
     _add_backend_flag(serve)
@@ -186,8 +223,51 @@ def build_parser() -> argparse.ArgumentParser:
             "'{\"op\": \"solve\", \"dataset\": \"rand-mc-c2\", \"k\": 5}'"
         ),
     )
+    request.add_argument(
+        "--tcp", metavar="HOST:PORT", default=None,
+        help=(
+            "send the request to a running `repro serve --tcp` server "
+            "instead of solving in-process"
+        ),
+    )
     _add_workers_flag(request)
     _add_backend_flag(request)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help=(
+            "open-loop load generator against a running "
+            "`repro serve --tcp` endpoint; prints a JSON report"
+        ),
+    )
+    loadgen.add_argument(
+        "--tcp", metavar="HOST:PORT", required=True,
+        help="server address to drive",
+    )
+    loadgen.add_argument("--connections", type=int, default=8)
+    loadgen.add_argument(
+        "--rate", type=float, default=100.0,
+        help="aggregate arrival rate, requests/second (open loop)",
+    )
+    loadgen.add_argument("--duration", type=float, default=2.0)
+    loadgen.add_argument(
+        "--requests", type=int, default=None,
+        help="total request count (overrides --duration)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--datasets", nargs="+", default=["rand-mc-c2"],
+        choices=sorted(DATASETS),
+    )
+    loadgen.add_argument(
+        "--mix", default="solve=0.55,evaluate=0.2,update=0.15,stats=0.1",
+        help="op weights, e.g. 'solve=0.8,stats=0.2'",
+    )
+    loadgen.add_argument("--im-samples", type=int, default=300)
+    loadgen.add_argument(
+        "--schema", type=int, default=2, choices=[1, 2],
+        help="wire version to emit (2 = typed envelope, 1 = flat)",
+    )
     return parser
 
 
@@ -268,6 +348,13 @@ def cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(spec: str) -> tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--tcp expects HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceEngine, serve_forever
 
@@ -276,22 +363,87 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         store=args.store, memory_budget=args.memory_budget or None,
     )
+    if args.tcp:
+        from repro.service.server import run_tcp_server
+
+        host, port = _parse_hostport(args.tcp)
+        return run_tcp_server(
+            engine, host=host, port=port,
+            max_queue_depth=args.max_queue_depth,
+            max_inflight=args.max_inflight,
+            batch_window=args.batch_window_ms / 1000.0,
+            max_line_bytes=args.max_line_bytes,
+        )
     return serve_forever(sys.stdin, sys.stdout, engine=engine)
 
 
 def cmd_request(args: argparse.Namespace) -> int:
     from repro.service import ServiceEngine, encode_response
-    from repro.service.protocol import ProtocolError, decode_request
+    from repro.service.protocol import (
+        ProtocolError,
+        decode_request,
+        decode_response,
+        encode_request,
+    )
 
     try:
         request = decode_request(args.request_json)
     except ProtocolError as exc:
         print(f"invalid request: {exc}", file=sys.stderr)
         return 2
+    if args.tcp:
+        import socket
+
+        host, port = _parse_hostport(args.tcp)
+        # Re-encode the validated request: a flat request goes out as
+        # v1 bytes, a typed one as the v2 envelope — same version in,
+        # same version out.
+        with socket.create_connection((host, port), timeout=60) as sock:
+            sock.sendall((encode_request(request) + "\n").encode("utf-8"))
+            with sock.makefile("r", encoding="utf-8") as stream:
+                line = stream.readline().strip()
+        if not line:
+            print("connection closed without a response", file=sys.stderr)
+            return 2
+        print(line)
+        try:
+            response = decode_response(line)
+        except ProtocolError as exc:
+            print(f"invalid response: {exc}", file=sys.stderr)
+            return 2
+        return 0 if response.ok else 1
     engine = ServiceEngine(workers=args.workers, exec_backend=args.backend)
     response = engine.handle(request)
     print(encode_response(response))
     return 0 if response.ok else 1
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service.loadgen import LoadScript, parse_mix, run_load
+
+    host, port = _parse_hostport(args.tcp)
+    script = LoadScript(
+        datasets=tuple(args.datasets),
+        mix=parse_mix(args.mix),
+        im_samples=args.im_samples,
+        seed=args.seed,
+        schema=args.schema,
+    )
+    report = asyncio.run(
+        run_load(
+            host, port,
+            connections=args.connections,
+            rate=args.rate,
+            duration=args.duration,
+            total=args.requests,
+            script=script,
+        )
+    )
+    print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    return 0 if report.completed > 0 and report.lost == 0 else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -310,6 +462,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_serve(args)
     if args.command == "request":
         return cmd_request(args)
+    if args.command == "loadgen":
+        return cmd_loadgen(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

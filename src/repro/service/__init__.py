@@ -11,17 +11,30 @@ by keeping derived state warm across requests:
   (``solve`` / ``sweep`` / ``evaluate`` / ``update`` / ``pareto`` /
   ``stats``) over a bounded session registry, with coalescing of
   compatible concurrent ``solve`` requests into one batched greedy run;
-* :mod:`repro.service.protocol` — the JSON-lines request/response
-  schema used by ``repro serve`` and ``repro request``;
-* :func:`repro.service.daemon.serve_forever` — the stdin/stdout loop.
+* :mod:`repro.service.protocol` — the versioned JSON-lines
+  request/response schema (v1 flat requests plus the v2 per-op typed
+  envelope) used by ``repro serve`` and ``repro request``;
+* :func:`repro.service.daemon.serve_forever` — the stdin/stdout loop;
+* :class:`repro.service.server.TCPServer` — the asyncio TCP front-end
+  (micro-batch coalescing across connections, admission control,
+  graceful drain) behind ``repro serve --tcp``;
+* :mod:`repro.service.loadgen` — the open-loop load generator behind
+  ``repro loadgen`` and ``benchmarks/bench_load.py``.
 """
 
 from repro.service.daemon import serve_forever
 from repro.service.engine import ServiceEngine
 from repro.service.protocol import (
+    EvaluateRequest,
+    ParetoRequest,
     ProtocolError,
     Request,
     Response,
+    ShutdownRequest,
+    SolveRequest,
+    StatsRequest,
+    SweepRequest,
+    UpdateRequest,
     decode_request,
     decode_response,
     encode_request,
@@ -30,11 +43,18 @@ from repro.service.protocol import (
 from repro.service.session import SolverSession, shared_session
 
 __all__ = [
+    "EvaluateRequest",
+    "ParetoRequest",
     "ProtocolError",
     "Request",
     "Response",
     "ServiceEngine",
+    "ShutdownRequest",
+    "SolveRequest",
     "SolverSession",
+    "StatsRequest",
+    "SweepRequest",
+    "UpdateRequest",
     "decode_request",
     "decode_response",
     "encode_request",

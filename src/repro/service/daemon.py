@@ -8,8 +8,15 @@ driving process can pipeline synchronously.
 The loop is transport-agnostic (any readable/writable text streams), so
 tests drive it with ``io.StringIO`` and the CLI passes the real stdio.
 A ``{"op": "shutdown"}`` request is acknowledged and terminates the
-loop; EOF terminates it silently. Malformed lines produce an
+loop; EOF terminates it silently. A batch line mixing ``shutdown``
+with other ops answers *every* member, in member order, before the
+loop exits — clients never lose a response to a shutdown racing their
+work (pinned by ``tests/test_server.py``). Malformed lines produce an
 ``ok: false`` error response and never kill the daemon.
+
+The loop is single-transport; the asyncio TCP front-end
+(:mod:`repro.service.server`) speaks the same wire format over many
+concurrent connections.
 """
 
 from __future__ import annotations
@@ -19,15 +26,15 @@ from typing import IO, Optional
 
 from repro.service.engine import ServiceEngine
 from repro.service.protocol import (
+    AnyRequest,
     ProtocolError,
-    Request,
     Response,
     encode_response,
     request_from_dict,
 )
 
 
-def _error_response(message: str, member: object = None) -> Response:
+def error_response(message: str, member: object = None) -> Response:
     # Surface the member's id when the malformed payload still carries
     # one, so clients can correlate the failure to their request.
     member_id = ""
@@ -51,19 +58,19 @@ def serve_forever(
         try:
             payload = json.loads(line)
         except json.JSONDecodeError as exc:
-            _emit(output_stream, [_error_response(f"invalid JSON: {exc}")])
+            _emit(output_stream, [error_response(f"invalid JSON: {exc}")])
             continue
         batch = payload if isinstance(payload, list) else [payload]
         # One response slot per member, filled in member order: parse
         # failures keep their position (and id, when present) so clients
         # can pair responses positionally or by id.
         slots: list[Optional[Response]] = [None] * len(batch)
-        positioned: list[tuple[int, Request]] = []
+        positioned: list[tuple[int, AnyRequest]] = []
         for pos, member in enumerate(batch):
             try:
                 positioned.append((pos, request_from_dict(member)))
             except ProtocolError as exc:
-                slots[pos] = _error_response(str(exc), member)
+                slots[pos] = error_response(str(exc), member)
         requests = [request for _, request in positioned]
         responses = engine.handle_batch(requests) if requests else []
         for (pos, _), response in zip(positioned, responses):

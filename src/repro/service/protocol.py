@@ -5,19 +5,35 @@ One request or response per line. A request is a JSON object; a JSON
 compatible ``solve`` members into one shared run (see
 :meth:`repro.service.engine.ServiceEngine.handle_batch`).
 
-The schema is deliberately flat and total: every field has a default,
-unknown fields are rejected, and ``decode_request(encode_request(r))``
-round-trips exactly (property-tested with hypothesis in
-``tests/test_properties_service.py``).
+Two wire versions are spoken side by side:
+
+* **v1 (flat)** — a single object whose fields are drawn from the
+  historical flat :class:`Request` dataclass. Any object *without* a
+  ``"schema"`` key decodes this way, with semantics (defaults,
+  validation, error text) unchanged since PR 5 — existing clients and
+  the stdio daemon's byte-for-byte response contract are untouched.
+* **v2 (envelope)** — ``{"schema": 2, "op": ..., "id": ..., "args":
+  {...}}``. Each op has its own typed payload class carrying only the
+  fields that op reads, unknown args are rejected *per op* (v1 accepted
+  any field on any op), and required fields (a non-empty ``dataset`` for
+  the data ops) are validated at decode time instead of surfacing as an
+  engine error.
+
+:meth:`Request.typed` lifts a decoded v1 request into its per-op
+payload, which is the engine's canonical representation; fields the op
+never read are dropped in the lift (v1 ignored them too). Both
+directions round-trip exactly — ``decode_request(encode_request(r)) ==
+r`` for flat and typed requests alike (property-tested with hypothesis
+in ``tests/test_properties_service.py``).
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field, fields
-from typing import Any, Optional
+from typing import Any, ClassVar, Optional, Union
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Operations the engine understands. ``shutdown`` is handled by the
 #: daemon loop (the engine answers it with an ack so one-shot use works).
@@ -46,13 +62,14 @@ class ProtocolError(ValueError):
 
 @dataclass(frozen=True)
 class Request:
-    """One service request.
+    """One flat v1 service request (also the convenience constructor).
 
     Only ``op`` is universally meaningful; the other fields matter per
     op (``solve`` reads ``dataset``/``algorithm``/``k``/``tau``,
     ``evaluate`` reads ``items``, ``update`` reads ``events``, the sweep
     ops read ``parameter``/``values``/``algorithms``). Unused fields
-    keep their defaults and are ignored by the engine.
+    keep their defaults and are ignored by the engine. :meth:`typed`
+    lifts the request into its per-op v2 payload.
     """
 
     op: str
@@ -78,6 +95,146 @@ class Request:
     #: Resident-byte budget for ``store="mmap"`` (0 = engine default).
     memory_budget: int = 0
 
+    def typed(self) -> "ServiceRequest":
+        """Lift this flat request into its per-op typed payload.
+
+        Fields the op never reads are dropped — exactly the fields v1
+        silently ignored — so the lift loses no observable behaviour.
+        """
+        cls = REQUEST_TYPES[self.op]
+        return cls(**{f.name: getattr(self, f.name) for f in fields(cls)})
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """``solve`` — run one algorithm on one dataset's warm session."""
+
+    op: ClassVar[str] = "solve"
+    id: str = ""
+    dataset: str = ""
+    algorithm: str = "greedy"
+    k: int = 5
+    tau: float = 0.0
+    seed: int = 0
+    im_samples: int = 2_000
+    mc_simulations: int = 0
+    workers: Optional[int] = None
+    store: str = ""
+    memory_budget: int = 0
+
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """``evaluate`` — score a fixed item set on the warm objective."""
+
+    op: ClassVar[str] = "evaluate"
+    id: str = ""
+    dataset: str = ""
+    items: tuple[int, ...] = ()
+    seed: int = 0
+    im_samples: int = 2_000
+    mc_simulations: int = 0
+    workers: Optional[int] = None
+    store: str = ""
+    memory_budget: int = 0
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """``update`` — stream item/edge events through the live maximizer."""
+
+    op: ClassVar[str] = "update"
+    id: str = ""
+    dataset: str = ""
+    k: int = 5
+    events: tuple[tuple[str, int], ...] = ()
+    edge_events: tuple[tuple[str, int, int, float], ...] = ()
+    seed: int = 0
+    im_samples: int = 2_000
+    store: str = ""
+    memory_budget: int = 0
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """``sweep`` — a tau or k sweep through the shared harness."""
+
+    op: ClassVar[str] = "sweep"
+    id: str = ""
+    dataset: str = ""
+    parameter: str = "tau"
+    values: tuple[float, ...] = ()
+    algorithms: tuple[str, ...] = ()
+    k: int = 5
+    tau: float = 0.0
+    seed: int = 0
+    im_samples: int = 2_000
+    mc_simulations: int = 0
+    workers: Optional[int] = None
+    store: str = ""
+    memory_budget: int = 0
+
+
+@dataclass(frozen=True)
+class ParetoRequest:
+    """``pareto`` — utility/fairness frontier of a tau sweep."""
+
+    op: ClassVar[str] = "pareto"
+    id: str = ""
+    dataset: str = ""
+    values: tuple[float, ...] = ()
+    algorithms: tuple[str, ...] = ()
+    k: int = 5
+    seed: int = 0
+    im_samples: int = 2_000
+    mc_simulations: int = 0
+    workers: Optional[int] = None
+    store: str = ""
+    memory_budget: int = 0
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """``stats`` — engine/session/pool/server telemetry."""
+
+    op: ClassVar[str] = "stats"
+    id: str = ""
+
+
+@dataclass(frozen=True)
+class ShutdownRequest:
+    """``shutdown`` — ack then terminate the serving loop."""
+
+    op: ClassVar[str] = "shutdown"
+    id: str = ""
+
+
+TYPED_REQUESTS = (
+    SolveRequest,
+    EvaluateRequest,
+    UpdateRequest,
+    SweepRequest,
+    ParetoRequest,
+    StatsRequest,
+    ShutdownRequest,
+)
+
+#: op name -> per-op payload class (the v2 decode + lift table).
+REQUEST_TYPES: dict[str, type] = {cls.op: cls for cls in TYPED_REQUESTS}
+
+ServiceRequest = Union[
+    SolveRequest,
+    EvaluateRequest,
+    UpdateRequest,
+    SweepRequest,
+    ParetoRequest,
+    StatsRequest,
+    ShutdownRequest,
+]
+
+#: What the decoder may return: a flat v1 request or a typed payload.
+AnyRequest = Union[Request, ServiceRequest]
+
 
 @dataclass(frozen=True)
 class Response:
@@ -97,75 +254,63 @@ def _require(condition: bool, message: str) -> None:
         raise ProtocolError(message)
 
 
-def request_to_dict(request: Request) -> dict[str, Any]:
-    """JSON-safe dict form (tuples become lists on encode)."""
-    payload = asdict(request)
-    payload["items"] = list(request.items)
-    payload["events"] = [[action, item] for action, item in request.events]
-    payload["edge_events"] = [
-        [action, u, v, probability]
-        for action, u, v, probability in request.edge_events
-    ]
-    payload["values"] = list(request.values)
-    payload["algorithms"] = list(request.algorithms)
-    return payload
+# -- field validation (shared by both schema versions) ----------------------
+
+_STRING_FIELDS = ("id", "dataset", "algorithm", "parameter", "store")
+_INT_FIELDS = ("k", "seed", "im_samples", "mc_simulations", "memory_budget")
+
+#: Validation order. v1 checked fields grouped by type, not payload
+#: order; keeping that order keeps error text deterministic (and
+#: byte-identical for v1 requests with several invalid fields).
+_FIELD_ORDER = (
+    *_STRING_FIELDS,
+    *_INT_FIELDS,
+    "tau",
+    "workers",
+    "items",
+    "events",
+    "edge_events",
+    "values",
+    "algorithms",
+)
 
 
-def request_from_dict(payload: Any) -> Request:
-    """Validate and normalise one request object."""
-    _require(isinstance(payload, dict), "request must be a JSON object")
-    known = {f.name for f in fields(Request)}
-    unknown = set(payload) - known
-    _require(not unknown, f"unknown request fields: {sorted(unknown)}")
-    _require("op" in payload, "request needs an 'op' field")
-    op = payload["op"]
-    _require(isinstance(op, str) and op in OPS,
-             f"op must be one of {OPS}, got {op!r}")
-    out: dict[str, Any] = {"op": op}
-    for name, kind in (("id", str), ("dataset", str), ("algorithm", str),
-                       ("parameter", str), ("store", str)):
-        if name in payload:
-            _require(isinstance(payload[name], kind),
-                     f"{name} must be a string")
-            out[name] = payload[name]
-    for name in ("k", "seed", "im_samples", "mc_simulations",
-                 "memory_budget"):
-        if name in payload:
-            value = payload[name]
-            _require(
-                isinstance(value, int) and not isinstance(value, bool),
-                f"{name} must be an integer",
-            )
-            out[name] = value
-    if "tau" in payload:
-        tau = payload["tau"]
+def _validate_field(name: str, value: Any) -> Any:
+    """Type-check and normalise one request field (tuples from lists)."""
+    if name in _STRING_FIELDS:
+        _require(isinstance(value, str), f"{name} must be a string")
+        return value
+    if name in _INT_FIELDS:
         _require(
-            isinstance(tau, (int, float)) and not isinstance(tau, bool),
+            isinstance(value, int) and not isinstance(value, bool),
+            f"{name} must be an integer",
+        )
+        return value
+    if name == "tau":
+        _require(
+            isinstance(value, (int, float)) and not isinstance(value, bool),
             "tau must be a number",
         )
-        out["tau"] = float(tau)
-    if "workers" in payload:
-        workers = payload["workers"]
+        return float(value)
+    if name == "workers":
         _require(
-            workers is None
-            or (isinstance(workers, int) and not isinstance(workers, bool)),
+            value is None
+            or (isinstance(value, int) and not isinstance(value, bool)),
             "workers must be an integer or null",
         )
-        out["workers"] = workers
-    if "items" in payload:
-        items = payload["items"]
-        _require(isinstance(items, list), "items must be a list")
+        return value
+    if name == "items":
+        _require(isinstance(value, list), "items must be a list")
         _require(
             all(isinstance(v, int) and not isinstance(v, bool)
-                for v in items),
+                for v in value),
             "items must be integers",
         )
-        out["items"] = tuple(items)
-    if "events" in payload:
-        events = payload["events"]
-        _require(isinstance(events, list), "events must be a list")
+        return tuple(value)
+    if name == "events":
+        _require(isinstance(value, list), "events must be a list")
         normalised = []
-        for event in events:
+        for event in value:
             _require(
                 isinstance(event, (list, tuple)) and len(event) == 2,
                 "each event must be an [action, item] pair",
@@ -180,12 +325,11 @@ def request_from_dict(payload: Any) -> Request:
                 "event item must be an integer",
             )
             normalised.append((action, item))
-        out["events"] = tuple(normalised)
-    if "edge_events" in payload:
-        edge_events = payload["edge_events"]
-        _require(isinstance(edge_events, list), "edge_events must be a list")
+        return tuple(normalised)
+    if name == "edge_events":
+        _require(isinstance(value, list), "edge_events must be a list")
         edge_normalised = []
-        for event in edge_events:
+        for event in value:
             _require(
                 isinstance(event, (list, tuple)) and len(event) == 4,
                 "each edge event must be an [action, u, v, probability] "
@@ -211,37 +355,172 @@ def request_from_dict(payload: Any) -> Request:
                 "edge event probability must be in [0, 1]",
             )
             edge_normalised.append((action, u, v, float(probability)))
-        out["edge_events"] = tuple(edge_normalised)
-    if "values" in payload:
-        values = payload["values"]
-        _require(isinstance(values, list), "values must be a list")
+        return tuple(edge_normalised)
+    if name == "values":
+        _require(isinstance(value, list), "values must be a list")
         _require(
             all(isinstance(v, (int, float)) and not isinstance(v, bool)
-                for v in values),
+                for v in value),
             "values must be numbers",
         )
-        out["values"] = tuple(float(v) for v in values)
-    if "algorithms" in payload:
-        algorithms = payload["algorithms"]
-        _require(isinstance(algorithms, list), "algorithms must be a list")
+        return tuple(float(v) for v in value)
+    if name == "algorithms":
+        _require(isinstance(value, list), "algorithms must be a list")
         _require(
-            all(isinstance(a, str) for a in algorithms),
+            all(isinstance(a, str) for a in value),
             "algorithms must be strings",
         )
-        out["algorithms"] = tuple(algorithms)
+        return tuple(value)
+    raise AssertionError(f"unvalidated field {name!r}")
+
+
+def _check_ranges(request: AnyRequest) -> None:
+    """Value-range checks; each applies only when the payload has the
+    field, so one routine serves the flat request and every typed one."""
+    if hasattr(request, "k"):
+        _require(request.k > 0, "k must be positive")
+    if hasattr(request, "tau"):
+        _require(0.0 <= request.tau <= 1.0, "tau must be in [0, 1]")
+    if hasattr(request, "im_samples"):
+        _require(request.im_samples > 0, "im_samples must be positive")
+    if hasattr(request, "mc_simulations"):
+        _require(request.mc_simulations >= 0,
+                 "mc_simulations must be non-negative")
+    if hasattr(request, "parameter"):
+        _require(request.parameter in ("tau", "k"),
+                 "parameter must be 'tau' or 'k'")
+    if hasattr(request, "store"):
+        _require(request.store in ("", "ram", "mmap"),
+                 "store must be '', 'ram' or 'mmap'")
+    if hasattr(request, "memory_budget"):
+        _require(request.memory_budget >= 0,
+                 "memory_budget must be non-negative")
+
+
+# -- decoding ---------------------------------------------------------------
+
+_ENVELOPE_KEYS = frozenset(("schema", "op", "id", "args"))
+
+
+def _parse_op(payload: dict) -> str:
+    _require("op" in payload, "request needs an 'op' field")
+    op = payload["op"]
+    _require(isinstance(op, str) and op in OPS,
+             f"op must be one of {OPS}, got {op!r}")
+    return op
+
+
+def _request_from_flat(payload: dict) -> Request:
+    """The v1 decoder — semantics frozen since PR 5 (stdio daemon
+    responses for v1-format requests must stay byte-identical)."""
+    known = {f.name for f in fields(Request)}
+    unknown = set(payload) - known
+    _require(not unknown, f"unknown request fields: {sorted(unknown)}")
+    op = _parse_op(payload)
+    out: dict[str, Any] = {"op": op}
+    for name in _FIELD_ORDER:
+        if name in payload:
+            out[name] = _validate_field(name, payload[name])
     request = Request(**out)
-    _require(request.k > 0, "k must be positive")
-    _require(0.0 <= request.tau <= 1.0, "tau must be in [0, 1]")
-    _require(request.im_samples > 0, "im_samples must be positive")
-    _require(request.mc_simulations >= 0,
-             "mc_simulations must be non-negative")
-    _require(request.parameter in ("tau", "k"),
-             "parameter must be 'tau' or 'k'")
-    _require(request.store in ("", "ram", "mmap"),
-             "store must be '', 'ram' or 'mmap'")
-    _require(request.memory_budget >= 0,
-             "memory_budget must be non-negative")
+    _check_ranges(request)
     return request
+
+
+def _request_from_envelope(payload: dict) -> "ServiceRequest":
+    """The v2 decoder: per-op payloads, per-op unknown-field rejection,
+    required fields checked here rather than inside the engine."""
+    unknown = set(payload) - _ENVELOPE_KEYS
+    _require(not unknown, f"unknown envelope fields: {sorted(unknown)}")
+    op = _parse_op(payload)
+    request_id = payload.get("id", "")
+    _require(isinstance(request_id, str), "id must be a string")
+    args = payload.get("args", {})
+    _require(isinstance(args, dict), "args must be a JSON object")
+    return typed_from_args(op, request_id, args)
+
+
+def typed_from_args(
+    op: str, request_id: str, args: dict[str, Any]
+) -> "ServiceRequest":
+    """Build the typed payload for ``op`` from a v2 ``args`` object."""
+    cls = REQUEST_TYPES[op]
+    allowed = {f.name for f in fields(cls)} - {"id"}
+    unknown = set(args) - allowed
+    _require(not unknown, f"unknown {op} fields: {sorted(unknown)}")
+    out: dict[str, Any] = {"id": request_id}
+    for name in _FIELD_ORDER:
+        if name in args:
+            out[name] = _validate_field(name, args[name])
+    request = cls(**out)
+    _check_ranges(request)
+    if hasattr(request, "dataset"):
+        _require(request.dataset != "", f"{op} requires a non-empty dataset")
+    return request
+
+
+def request_from_dict(payload: Any) -> AnyRequest:
+    """Validate and normalise one request object (either wire version).
+
+    An object without a ``"schema"`` key is a v1 flat request and
+    decodes to :class:`Request`; ``"schema": 1`` is the same with the
+    version spelled out. ``"schema": 2`` selects the enveloped per-op
+    decode and returns a typed payload.
+    """
+    _require(isinstance(payload, dict), "request must be a JSON object")
+    if "schema" not in payload:
+        return _request_from_flat(payload)
+    schema = payload["schema"]
+    _require(
+        isinstance(schema, int) and not isinstance(schema, bool),
+        "schema must be an integer",
+    )
+    if schema == 1:
+        flat = dict(payload)
+        del flat["schema"]
+        return _request_from_flat(flat)
+    _require(
+        schema == SCHEMA_VERSION,
+        f"unsupported schema {schema}; this service speaks v1 and "
+        f"v{SCHEMA_VERSION}",
+    )
+    return _request_from_envelope(payload)
+
+
+# -- encoding ---------------------------------------------------------------
+
+def _json_safe(name: str, value: Any) -> Any:
+    if name in ("items", "values", "algorithms"):
+        return list(value)
+    if name == "events":
+        return [[action, item] for action, item in value]
+    if name == "edge_events":
+        return [
+            [action, u, v, probability]
+            for action, u, v, probability in value
+        ]
+    return value
+
+
+def request_to_dict(request: AnyRequest) -> dict[str, Any]:
+    """JSON-safe dict form: v1 flat for :class:`Request` (bytes
+    unchanged from schema 1), v2 envelope for typed payloads."""
+    if isinstance(request, Request):
+        payload = asdict(request)
+        for name in ("items", "events", "edge_events", "values",
+                     "algorithms"):
+            payload[name] = _json_safe(name, payload[name])
+        return payload
+    args = {
+        f.name: _json_safe(f.name, getattr(request, f.name))
+        for f in fields(request)
+        if f.name != "id"
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "op": request.op,
+        "id": request.id,
+        "args": args,
+    }
 
 
 def response_to_dict(response: Response) -> dict[str, Any]:
@@ -273,11 +552,11 @@ def response_from_dict(payload: Any) -> Response:
     return Response(**kwargs)
 
 
-def encode_request(request: Request) -> str:
+def encode_request(request: AnyRequest) -> str:
     return json.dumps(request_to_dict(request), separators=(",", ":"))
 
 
-def decode_request(line: str) -> Request:
+def decode_request(line: str) -> AnyRequest:
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:

@@ -1,0 +1,481 @@
+"""Asyncio TCP front-end over the :class:`ServiceEngine`.
+
+The stdio daemon (:mod:`repro.service.daemon`) serves one pipe; this
+module serves *connections* — thousands of them — while keeping the
+wire format identical: newline-delimited JSON, one request or response
+per line, a JSON array per line for an explicit batch. A v1 client can
+point its stdio script at a socket and see the same bytes back.
+
+Three mechanisms make the single engine safe and fast under
+concurrency:
+
+* **Micro-batch coalescing window.** Admitted requests land on one
+  queue; a batcher task gathers everything that arrives within
+  ``batch_window`` seconds (up to ``max_batch``) into a single
+  :meth:`ServiceEngine.handle_batch` call. Requests from *different
+  connections* therefore coalesce exactly like members of one array
+  line — many users asking for the same dataset's seeds collapse into
+  one shared CELF run (the engine's prefix-replay guarantee keeps each
+  response bitwise-identical to a sequential solve).
+* **Bounded executor hand-off.** The engine is CPU-bound and *not*
+  thread-safe, so batches run on the persistent thread
+  :class:`~repro.utils.parallel.WorkerPool` via ``loop.run_in_executor``
+  under an in-flight semaphore (``max_inflight``) and a per-engine
+  lock. The event loop never blocks on a solve; parallelism inside a
+  batch comes from the engine's own sampling pools.
+* **Admission control.** A request is admitted only while the number of
+  admitted-but-unanswered requests is below ``max_queue_depth``;
+  beyond that the server answers immediately with ``ok: false,
+  error: "overloaded"`` and a ``retry_after_ms`` hint instead of
+  letting queues grow without bound.
+
+Shutdown is graceful either way it arrives (SIGTERM/SIGINT or a
+``shutdown`` op): the listener closes, every in-flight request is
+answered and written, then connections close and
+:meth:`TCPServer.wait_closed` returns. While draining, new requests are
+refused with ``error: "draining"``.
+
+A line longer than ``max_line_bytes`` cannot be resynchronised (the
+tail would be parsed as garbage requests), so the server answers with
+one oversized-line error and closes that connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Optional
+
+from repro.service.daemon import error_response
+from repro.service.engine import ServiceEngine
+from repro.service.protocol import (
+    AnyRequest,
+    ProtocolError,
+    Response,
+    encode_response,
+    request_from_dict,
+)
+from repro.utils.parallel import get_pool
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_MAX_QUEUE_DEPTH = 256
+DEFAULT_MAX_INFLIGHT = 2
+DEFAULT_BATCH_WINDOW = 0.005  # seconds
+DEFAULT_MAX_BATCH = 64
+DEFAULT_MAX_LINE_BYTES = 1 << 20
+DEFAULT_RETRY_AFTER_MS = 100
+
+#: Width of the persistent thread pool the server dispatches engine
+#: batches onto. ``max_inflight`` (not this) bounds concurrent batches;
+#: the pool is shared with every other thread-backend user.
+ENGINE_POOL_WIDTH = 2
+
+
+@dataclass
+class ServerStats:
+    """Front-end counters, surfaced inside ``stats`` op responses."""
+
+    connections_total: int = 0
+    connections_active: int = 0
+    lines_total: int = 0
+    requests_total: int = 0
+    requests_admitted: int = 0
+    requests_rejected: int = 0
+    batches_dispatched: int = 0
+    oversized_lines: int = 0
+    responses_discarded: int = 0
+
+
+class TCPServer:
+    """Newline-delimited-JSON TCP server over one :class:`ServiceEngine`.
+
+    Lifecycle: ``await start()``, then ``await wait_closed()``; a
+    ``shutdown`` op or :meth:`request_drain` (wired to SIGTERM/SIGINT by
+    :func:`run_tcp_server`) triggers the drain that completes
+    ``wait_closed``. Tests drive the whole lifecycle in-process on one
+    event loop; ``port=0`` binds an ephemeral port exposed via
+    :attr:`port`.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[ServiceEngine] = None,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        retry_after_ms: int = DEFAULT_RETRY_AFTER_MS,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_line_bytes < 1024:
+            raise ValueError("max_line_bytes must be >= 1024")
+        self.engine = engine if engine is not None else ServiceEngine()
+        self.host = host
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight = max_inflight
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.max_line_bytes = max_line_bytes
+        self.retry_after_ms = retry_after_ms
+        self.stats = ServerStats()
+        self._requested_port = port
+        self._bound_port: Optional[int] = None
+        # The engine mutates shared session state with no internal
+        # locking; batches execute on pool threads strictly one engine
+        # call at a time. max_inflight > 1 still helps: the next batch
+        # is staged (queue hand-off, thread wake-up) while the current
+        # one computes.
+        self._engine_lock = threading.Lock()
+        self._pool = get_pool("thread", ENGINE_POOL_WIDTH)
+        self._pending = 0
+        self._draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._inflight: Optional[asyncio.Semaphore] = None
+        self._done: Optional[asyncio.Event] = None
+        self._batcher_task: Optional[asyncio.Task] = None
+        self._line_tasks: set[asyncio.Task] = set()
+        self._dispatch_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        assert self._bound_port is not None
+        return self._bound_port
+
+    async def start(self) -> None:
+        self._queue = asyncio.Queue()
+        self._inflight = asyncio.Semaphore(self.max_inflight)
+        self._done = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.host,
+            self._requested_port,
+            limit=self.max_line_bytes,
+        )
+        # Cached: the sockets list empties once the listener closes,
+        # but callers still ask "which port was that?" after a drain.
+        self._bound_port = self._server.sockets[0].getsockname()[1]
+        self._batcher_task = asyncio.create_task(self._batch_loop())
+
+    def install_signal_handlers(self) -> None:  # pragma: no cover — CLI path
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_drain)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread / platform without signal support
+
+    def request_drain(self) -> None:
+        """Schedule a graceful drain (idempotent, signal-handler safe)."""
+        if not self._draining:
+            asyncio.get_running_loop().create_task(self.drain())
+
+    async def wait_closed(self) -> None:
+        assert self._done is not None
+        await self._done.wait()
+
+    async def drain(self) -> None:
+        """Stop accepting, answer everything in flight, close, finish."""
+        if self._draining:
+            return
+        self._draining = True
+        assert self._server is not None and self._queue is not None
+        self._server.close()
+        await self._server.wait_closed()
+        # In-flight lines finish on their own: their futures resolve
+        # when the executor returns and each line task writes its own
+        # responses. Lines arriving *during* the drain are answered
+        # fast with "draining", so this converges.
+        while True:
+            tasks = [
+                task for task in self._line_tasks
+                if task is not asyncio.current_task()
+            ]
+            if not tasks:
+                break
+            await asyncio.gather(*tasks, return_exceptions=True)
+        await self._queue.put(None)  # stop the batcher
+        if self._batcher_task is not None:
+            await self._batcher_task
+        if self._dispatch_tasks:
+            await asyncio.gather(
+                *list(self._dispatch_tasks), return_exceptions=True
+            )
+        for writer in list(self._writers):
+            writer.close()
+        for writer in list(self._writers):
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        assert self._done is not None
+        self._done.set()
+
+    # -- connections -------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections_total += 1
+        self.stats.connections_active += 1
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The overlong tail is unrecoverable mid-stream:
+                    # answer once, drop the connection.
+                    self.stats.oversized_lines += 1
+                    await self._write_responses(
+                        writer,
+                        write_lock,
+                        [error_response(
+                            f"line exceeds {self.max_line_bytes} bytes"
+                        )],
+                    )
+                    break
+                if not line:
+                    break  # EOF
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                self.stats.lines_total += 1
+                task = asyncio.create_task(
+                    self._serve_line(text, writer, write_lock)
+                )
+                self._line_tasks.add(task)
+                task.add_done_callback(self._line_tasks.discard)
+        except (ConnectionError, OSError):
+            pass  # client went away mid-read; in-flight work is discarded
+        finally:
+            self.stats.connections_active -= 1
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _serve_line(
+        self,
+        text: str,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Parse, admit, await and answer one input line.
+
+        Responses keep member order within the line; lines on one
+        connection may complete out of order (correlate by ``id``),
+        which is what lets a slow solve overlap a fast ``stats``.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            await self._write_responses(
+                writer, write_lock,
+                [error_response(f"invalid JSON: {exc}")],
+            )
+            return
+        batch = payload if isinstance(payload, list) else [payload]
+        slots: list[Optional[Response]] = [None] * len(batch)
+        admitted: list[tuple[int, AnyRequest, asyncio.Future]] = []
+        shutdown_requested = False
+        loop = asyncio.get_running_loop()
+        for pos, member in enumerate(batch):
+            try:
+                request = request_from_dict(member)
+            except ProtocolError as exc:
+                slots[pos] = error_response(str(exc), member)
+                continue
+            self.stats.requests_total += 1
+            refusal = self._admission_verdict()
+            if refusal is not None:
+                self.stats.requests_rejected += 1
+                slots[pos] = Response(
+                    op=request.op, id=request.id, ok=False, error=refusal,
+                    result={"retry_after_ms": self.retry_after_ms},
+                )
+                continue
+            if request.op == "shutdown":
+                shutdown_requested = True
+            self.stats.requests_admitted += 1
+            self._pending += 1
+            future: asyncio.Future = loop.create_future()
+            admitted.append((pos, request, future))
+            assert self._queue is not None
+            await self._queue.put((request, future))
+        if admitted:
+            await asyncio.gather(*(future for _, _, future in admitted))
+            for pos, _, future in admitted:
+                slots[pos] = future.result()
+        responses = [slot for slot in slots if slot is not None]
+        for response in responses:
+            if response.op == "stats" and response.ok:
+                # The engine knows nothing about transports; the
+                # front-end's counters ride along in its stats payload.
+                response.result["server"] = self.stats_dict()
+        await self._write_responses(writer, write_lock, responses)
+        if shutdown_requested:
+            self.request_drain()
+
+    def _admission_verdict(self) -> Optional[str]:
+        """None to admit, else the fast-rejection error string."""
+        if self._draining:
+            return "draining"
+        if self._pending >= self.max_queue_depth:
+            return "overloaded"
+        return None
+
+    async def _write_responses(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        responses: list[Response],
+    ) -> None:
+        if not responses:
+            return
+        data = "".join(
+            encode_response(response) + "\n" for response in responses
+        ).encode("utf-8")
+        try:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            # Client disconnected before its answer: the result is
+            # dropped; the engine already banked the warm state.
+            self.stats.responses_discarded += len(responses)
+
+    # -- batching ----------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        """Gather queue items into micro-batches and dispatch them.
+
+        The window opens when the first item of a batch arrives and
+        closes ``batch_window`` seconds later (or at ``max_batch``) —
+        so an idle server adds no latency and a busy one coalesces
+        aggressively. ``None`` is the drain sentinel.
+        """
+        assert self._queue is not None and self._inflight is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                break
+            batch = [item]
+            deadline = loop.time() + self.batch_window
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(
+                        self._queue.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if nxt is None:
+                    stop = True
+                    break
+                batch.append(nxt)
+            await self._inflight.acquire()
+            self.stats.batches_dispatched += 1
+            task = asyncio.create_task(self._dispatch_batch(batch))
+            self._dispatch_tasks.add(task)
+            task.add_done_callback(self._dispatch_tasks.discard)
+            if stop:
+                break
+
+    async def _dispatch_batch(
+        self, batch: list[tuple[AnyRequest, asyncio.Future]]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        requests = [request for request, _ in batch]
+        try:
+            responses = await loop.run_in_executor(
+                self._pool, self._run_engine, requests
+            )
+        except Exception as exc:  # noqa: BLE001 — service boundary
+            responses = [
+                Response(
+                    op=request.op, id=request.id, ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                for request in requests
+            ]
+        finally:
+            assert self._inflight is not None
+            self._inflight.release()
+        for (_, future), response in zip(batch, responses):
+            self._pending -= 1
+            if not future.done():
+                future.set_result(response)
+
+    def _run_engine(
+        self, requests: list[AnyRequest]
+    ) -> list[Response]:
+        # Pool thread. One engine call at a time — see _engine_lock.
+        with self._engine_lock:
+            return self.engine.handle_batch(requests)
+
+    # -- telemetry ---------------------------------------------------------
+    def stats_dict(self) -> dict[str, Any]:
+        return {
+            **asdict(self.stats),
+            "pending": self._pending,
+            "draining": self._draining,
+            "config": {
+                "max_queue_depth": self.max_queue_depth,
+                "max_inflight": self.max_inflight,
+                "batch_window_ms": self.batch_window * 1000.0,
+                "max_batch": self.max_batch,
+                "max_line_bytes": self.max_line_bytes,
+                "retry_after_ms": self.retry_after_ms,
+            },
+        }
+
+
+def run_tcp_server(
+    engine: Optional[ServiceEngine] = None,
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    announce: bool = True,
+    **kwargs: Any,
+) -> int:
+    """Blocking entry point for ``repro serve --tcp`` (returns 0).
+
+    ``announce`` prints the bound address to stdout — the stdio channel
+    is free in TCP mode, and drivers starting the server with ``port=0``
+    need the ephemeral port (``benchmarks/bench_load.py`` parses it).
+    """
+
+    async def _main() -> int:
+        server = TCPServer(engine, host=host, port=port, **kwargs)
+        await server.start()
+        server.install_signal_handlers()
+        if announce:
+            print(
+                f"repro serve: listening on {server.host}:{server.port}",
+                flush=True,
+            )
+        await server.wait_closed()
+        if announce:
+            print("repro serve: drained, exiting", flush=True)
+        return 0
+
+    return asyncio.run(_main())

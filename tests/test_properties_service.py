@@ -17,6 +17,8 @@ from hypothesis import strategies as st
 from repro.service.protocol import (
     EDGE_ACTIONS,
     OPS,
+    SCHEMA_VERSION,
+    TYPED_REQUESTS,
     UPDATE_ACTIONS,
     ProtocolError,
     Request,
@@ -26,6 +28,7 @@ from repro.service.protocol import (
     encode_request,
     encode_response,
     request_from_dict,
+    request_to_dict,
 )
 from repro.utils.caching import BoundedCache
 
@@ -92,6 +95,13 @@ def requests() -> st.SearchStrategy[Request]:
     )
 
 
+def typed_requests():
+    """v2 per-op payloads, via the lift (dataset is always non-empty
+    here, so every generated payload is decode-valid under v2's
+    required-field rule)."""
+    return requests().map(lambda request: request.typed())
+
+
 def responses() -> st.SearchStrategy[Response]:
     scalars = st.one_of(
         st.booleans(),
@@ -140,6 +150,40 @@ def test_round_trip_is_idempotent(request: Request) -> None:
     assert once == encode_request(request)
 
 
+@given(typed_requests())
+@settings(max_examples=200)
+def test_typed_request_round_trip(request) -> None:
+    assert decode_request(encode_request(request)) == request
+
+
+@given(typed_requests())
+def test_typed_requests_encode_as_v2_envelope(request) -> None:
+    line = encode_request(request)
+    assert "\n" not in line
+    payload = json.loads(line)
+    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["op"] == request.op
+    assert set(payload) <= {"schema", "op", "id", "args"}
+    assert "id" not in payload["args"]
+
+
+@given(requests())
+def test_lift_commutes_with_the_wire(request: Request) -> None:
+    # Lifting then round-tripping equals round-tripping then lifting:
+    # v1 clients and v2 clients describe the same op identically.
+    lifted = request.typed()
+    assert lifted.op == request.op
+    assert decode_request(encode_request(lifted)) == lifted
+    assert decode_request(encode_request(request)).typed() == lifted
+
+
+@given(requests())
+def test_schema_1_is_the_flat_request_spelled_out(request: Request) -> None:
+    payload = request_to_dict(request)
+    payload["schema"] = 1
+    assert request_from_dict(payload) == request
+
+
 # ---------------------------------------------------------------------------
 # Validation rejections
 # ---------------------------------------------------------------------------
@@ -149,7 +193,7 @@ def test_garbage_never_crashes_decoder(text: str) -> None:
         decoded = decode_request(text)
     except ProtocolError:
         return
-    assert isinstance(decoded, Request)
+    assert isinstance(decoded, (Request, *TYPED_REQUESTS))
 
 
 @pytest.mark.parametrize(
@@ -176,6 +220,45 @@ def test_garbage_never_crashes_decoder(text: str) -> None:
 def test_invalid_payloads_rejected(payload) -> None:
     with pytest.raises(ProtocolError):
         request_from_dict(payload)
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        # Unsupported / malformed schema markers.
+        {"schema": 3, "op": "stats"},
+        {"schema": "2", "op": "stats"},
+        {"schema": True, "op": "stats"},
+        # Envelope shape violations.
+        {"schema": 2},
+        {"schema": 2, "op": "teleport"},
+        {"schema": 2, "op": "stats", "id": 7},
+        {"schema": 2, "op": "stats", "args": ["not", "an", "object"]},
+        {"schema": 2, "op": "stats", "extra": 1},
+        # Per-op unknown args (v1 accepted any field on any op).
+        {"schema": 2, "op": "stats", "args": {"dataset": "d"}},
+        {"schema": 2, "op": "solve", "args": {"dataset": "d", "events": []}},
+        {"schema": 2, "op": "update", "args": {"dataset": "d", "tau": 0.5}},
+        # Required fields now fail at decode time.
+        {"schema": 2, "op": "solve", "args": {"k": 2}},
+        {"schema": 2, "op": "solve", "args": {"dataset": ""}},
+        # Field validation still applies inside args.
+        {"schema": 2, "op": "solve", "args": {"dataset": "d", "k": 0}},
+        {"schema": 2, "op": "solve", "args": {"dataset": "d", "tau": 1.5}},
+    ],
+)
+def test_invalid_v2_payloads_rejected(payload) -> None:
+    with pytest.raises(ProtocolError):
+        request_from_dict(payload)
+
+
+def test_v2_rejection_messages_name_the_op() -> None:
+    with pytest.raises(ProtocolError, match="unknown stats fields"):
+        request_from_dict(
+            {"schema": 2, "op": "stats", "args": {"dataset": "d"}}
+        )
+    with pytest.raises(ProtocolError, match="solve requires a non-empty"):
+        request_from_dict({"schema": 2, "op": "solve", "args": {}})
 
 
 # ---------------------------------------------------------------------------

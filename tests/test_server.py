@@ -1,0 +1,601 @@
+"""TCP front-end tests: admission control, coalescing, drain, loadgen.
+
+Everything runs in-process on one event loop per test
+(``asyncio.run``): the server binds an ephemeral port, clients are
+plain ``asyncio.open_connection`` streams, and slow-engine stubs make
+the concurrency windows (overload, disconnect-mid-solve, drain
+rejection) deterministic without real solver latency.
+"""
+
+import asyncio
+import io
+import json
+import time
+
+import pytest
+
+from repro.service.daemon import serve_forever
+from repro.service.engine import ServiceEngine
+from repro.service.loadgen import LoadScript, parse_mix, percentile, run_load
+from repro.service.server import TCPServer
+from repro.utils.parallel import WorkerPool, fork_available, get_pool
+
+DATASET = "rand-mc-c2"
+IM_DATASET = "rand-im-c2"
+
+
+def run_async(coro, timeout=120.0):
+    """Drive one async scenario to completion with a hard deadline."""
+
+    async def _bounded():
+        return await asyncio.wait_for(coro, timeout)
+
+    return asyncio.run(_bounded())
+
+
+async def started_server(engine=None, **kwargs):
+    server = TCPServer(engine, port=0, **kwargs)
+    await server.start()
+    return server
+
+
+async def rpc(reader, writer, payload):
+    """Send one JSON line and read one JSON response line."""
+    writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+    await writer.drain()
+    line = await reader.readline()
+    assert line, "connection closed before a response arrived"
+    return json.loads(line)
+
+
+async def read_json_lines(reader, count):
+    out = []
+    for _ in range(count):
+        line = await reader.readline()
+        assert line, "connection closed early"
+        out.append(json.loads(line))
+    return out
+
+
+class SlowEngine(ServiceEngine):
+    """Engine whose batches take fixed wall-clock time.
+
+    The sleep happens on the pool thread — exactly where a real solve
+    burns CPU — so the event loop stays free to admit, reject, and
+    drain while a batch is "computing"."""
+
+    def __init__(self, delay):
+        super().__init__()
+        self.delay = delay
+
+    def handle_batch(self, requests):
+        time.sleep(self.delay)
+        return super().handle_batch(requests)
+
+
+class TestTCPBasics:
+    def test_v1_and_v2_solves_match(self):
+        async def scenario():
+            server = await started_server(batch_window=0.0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                v1 = await rpc(
+                    reader,
+                    writer,
+                    {"op": "solve", "id": "a", "dataset": DATASET, "k": 3},
+                )
+                v2 = await rpc(
+                    reader,
+                    writer,
+                    {
+                        "schema": 2,
+                        "op": "solve",
+                        "id": "b",
+                        "args": {"dataset": DATASET, "k": 3},
+                    },
+                )
+                writer.close()
+            finally:
+                await server.drain()
+            return v1, v2
+
+        v1, v2 = run_async(scenario())
+        assert v1["ok"] and v2["ok"]
+        assert v1["id"] == "a" and v2["id"] == "b"
+        # Same request through either protocol version: same solution.
+        assert v1["result"]["solution"] == v2["result"]["solution"]
+        assert v2["warm"], "second identical solve should reuse the session"
+
+    def test_array_line_answers_in_member_order(self):
+        async def scenario():
+            server = await started_server(batch_window=0.0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                line = [
+                    {"op": "stats", "id": "s1"},
+                    {"op": "solve", "id": "bad", "dataset": DATASET, "k": -1},
+                    {"op": "solve", "id": "ok", "dataset": DATASET, "k": 2},
+                    {"op": "stats", "id": "s2"},
+                ]
+                writer.write((json.dumps(line) + "\n").encode("utf-8"))
+                await writer.drain()
+                responses = await read_json_lines(reader, 4)
+                writer.close()
+            finally:
+                await server.drain()
+            return responses
+
+        responses = run_async(scenario())
+        # Member order is preserved even when a member fails validation.
+        assert [r["id"] for r in responses] == ["s1", "bad", "ok", "s2"]
+        assert responses[0]["ok"] and responses[2]["ok"] and responses[3]["ok"]
+        assert not responses[1]["ok"]
+        assert "k" in responses[1]["error"]
+
+    def test_invalid_json_keeps_connection_usable(self):
+        async def scenario():
+            server = await started_server(batch_window=0.0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                error = json.loads(await reader.readline())
+                stats = await rpc(reader, writer, {"op": "stats", "id": "s"})
+                writer.close()
+            finally:
+                await server.drain()
+            return error, stats
+
+        error, stats = run_async(scenario())
+        assert not error["ok"] and "invalid JSON" in error["error"]
+        assert stats["ok"]
+
+    def test_stats_response_carries_server_counters(self):
+        async def scenario():
+            server = await started_server(batch_window=0.0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                stats = await rpc(reader, writer, {"op": "stats", "id": "s"})
+                writer.close()
+            finally:
+                await server.drain()
+            return stats
+
+        stats = run_async(scenario())
+        server_block = stats["result"]["server"]
+        assert server_block["connections_total"] == 1
+        assert server_block["requests_admitted"] == 1
+        assert server_block["config"]["max_queue_depth"] >= 1
+        assert server_block["draining"] is False
+
+
+class TestCoalescing:
+    def test_cross_connection_solves_coalesce(self):
+        async def scenario():
+            server = await started_server(batch_window=0.3)
+            try:
+                conn_a = await asyncio.open_connection(server.host, server.port)
+                conn_b = await asyncio.open_connection(server.host, server.port)
+                for (reader, writer), request_id, k in (
+                    (conn_a, "a", 2),
+                    (conn_b, "b", 5),
+                ):
+                    payload = {
+                        "schema": 2,
+                        "op": "solve",
+                        "id": request_id,
+                        "args": {"dataset": DATASET, "k": k},
+                    }
+                    writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+                    await writer.drain()
+                resp_a = json.loads(await conn_a[0].readline())
+                resp_b = json.loads(await conn_b[0].readline())
+                runs = server.engine.coalesced_runs
+                shared = server.engine.coalesced_requests
+                for _, writer in (conn_a, conn_b):
+                    writer.close()
+            finally:
+                await server.drain()
+            return resp_a, resp_b, runs, shared
+
+        resp_a, resp_b, runs, shared = run_async(scenario())
+        assert resp_a["ok"] and resp_b["ok"]
+        assert runs == 1 and shared == 2
+        assert resp_a["result"]["extra"]["coalesced"]
+        assert resp_b["result"]["extra"]["coalesced"]
+        # Prefix nesting: the k=2 solution is a prefix of the k=5 one.
+        prefix = resp_b["result"]["solution"][:2]
+        assert resp_a["result"]["solution"] == prefix
+        # And both match a sequential solve on a fresh engine.
+        sequential = ServiceEngine().handle(
+            _flat_solve("seq", k=5)
+        )
+        assert resp_b["result"]["solution"] == sequential.result["solution"]
+
+
+def _flat_solve(request_id, *, dataset=DATASET, k=3, **fields):
+    from repro.service.protocol import Request
+
+    return Request(op="solve", id=request_id, dataset=dataset, k=k, **fields)
+
+
+class TestAdmissionControl:
+    def test_overloaded_requests_get_fast_rejection(self):
+        async def scenario():
+            engine = SlowEngine(0.6)
+            server = await started_server(
+                engine,
+                batch_window=0.0,
+                max_inflight=1,
+                max_queue_depth=1,
+                retry_after_ms=250,
+            )
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(
+                    (json.dumps(_solve_v2("first")) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+                await asyncio.sleep(0.15)  # first request now in flight
+                for request_id in ("second", "third"):
+                    writer.write(
+                        (json.dumps(_solve_v2(request_id)) + "\n").encode(
+                            "utf-8"
+                        )
+                    )
+                await writer.drain()
+                by_id = {
+                    r["id"]: r for r in await read_json_lines(reader, 3)
+                }
+                rejected = server.stats.requests_rejected
+                writer.close()
+            finally:
+                await server.drain()
+            return by_id, rejected
+
+        by_id, rejected = run_async(scenario())
+        assert by_id["first"]["ok"]
+        for request_id in ("second", "third"):
+            response = by_id[request_id]
+            assert not response["ok"]
+            assert response["error"] == "overloaded"
+            assert response["result"]["retry_after_ms"] == 250
+        assert rejected == 2
+
+
+def _solve_v2(request_id, *, dataset=DATASET, k=3, **args):
+    return {
+        "schema": 2,
+        "op": "solve",
+        "id": request_id,
+        "args": {"dataset": dataset, "k": k, **args},
+    }
+
+
+class TestConnectionFailures:
+    def test_disconnect_mid_solve_keeps_engine_warm(self):
+        async def scenario():
+            engine = SlowEngine(0.3)
+            server = await started_server(engine, batch_window=0.0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(
+                    (json.dumps(_solve_v2("gone")) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+                await asyncio.sleep(0.1)  # admitted and dispatched
+                writer.close()  # client gives up before the answer
+                while server._pending:
+                    await asyncio.sleep(0.05)
+                # The server survives and the abandoned solve's warm
+                # state is banked: the same solve on a new connection
+                # answers warm.
+                reader2, writer2 = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                again = await rpc(reader2, writer2, _solve_v2("retry"))
+                writer2.close()
+            finally:
+                await server.drain()
+            return again, server.engine.requests_served
+
+        again, served = run_async(scenario())
+        assert again["ok"]
+        assert again["warm"], "abandoned solve should still warm the session"
+        assert served == 2
+
+    def test_oversized_line_errors_and_closes_connection(self):
+        async def scenario():
+            server = await started_server(batch_window=0.0, max_line_bytes=1024)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                huge = b'{"op": "stats", "id": "' + b"x" * 4096 + b'"}\n'
+                writer.write(huge)
+                await writer.drain()
+                error = json.loads(await reader.readline())
+                eof = await reader.readline()
+                oversized = server.stats.oversized_lines
+                writer.close()
+                # The listener is unaffected: a fresh connection works.
+                reader2, writer2 = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                stats = await rpc(reader2, writer2, {"op": "stats", "id": "s"})
+                writer2.close()
+            finally:
+                await server.drain()
+            return error, eof, oversized, stats
+
+        error, eof, oversized, stats = run_async(scenario())
+        assert not error["ok"] and "exceeds 1024 bytes" in error["error"]
+        assert eof == b"", "oversized line must close the connection"
+        assert oversized == 1
+        assert stats["ok"]
+
+    def test_storage_tier_sessions_stay_isolated(self):
+        async def scenario():
+            server = await started_server(batch_window=0.25)
+            try:
+                conn_a = await asyncio.open_connection(server.host, server.port)
+                conn_b = await asyncio.open_connection(server.host, server.port)
+                for (reader, writer), request_id, store in (
+                    (conn_a, "ram", "ram"),
+                    (conn_b, "mm", "mmap"),
+                ):
+                    payload = _solve_v2(
+                        request_id,
+                        dataset=IM_DATASET,
+                        k=3,
+                        im_samples=200,
+                        store=store,
+                    )
+                    writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+                    await writer.drain()
+                resp_a = json.loads(await conn_a[0].readline())
+                resp_b = json.loads(await conn_b[0].readline())
+                stats = await rpc(*conn_a, {"op": "stats", "id": "s"})
+                runs = server.engine.coalesced_runs
+                for _, writer in (conn_a, conn_b):
+                    writer.close()
+            finally:
+                await server.drain()
+            return resp_a, resp_b, stats, runs
+
+        resp_a, resp_b, stats, runs = run_async(scenario())
+        assert resp_a["ok"] and resp_b["ok"]
+        # Different storage tiers never share a run or a session, but
+        # produce bitwise-identical solutions.
+        assert runs == 0
+        assert resp_a["result"]["solution"] == resp_b["result"]["solution"]
+        kinds = {
+            session["storage"]["store_kind"]
+            for session in stats["result"]["sessions"]
+        }
+        assert {"ram", "mmap"} <= kinds
+        assert len(stats["result"]["sessions"]) == 2
+
+
+class TestDrain:
+    def test_shutdown_op_drains_and_answers_inflight(self):
+        async def scenario():
+            server = await started_server(batch_window=0.0)
+            try:
+                conn_a = await asyncio.open_connection(server.host, server.port)
+                conn_b = await asyncio.open_connection(server.host, server.port)
+                conn_a[1].write(
+                    (json.dumps(_solve_v2("work")) + "\n").encode("utf-8")
+                )
+                await conn_a[1].drain()
+                await asyncio.sleep(0.05)
+                ack = await rpc(
+                    *conn_b, {"schema": 2, "op": "shutdown", "id": "bye"}
+                )
+                work = json.loads(await conn_a[0].readline())
+                await asyncio.wait_for(server.wait_closed(), 60.0)
+                host, port = server.host, server.port
+            finally:
+                if not server._draining:
+                    await server.drain()
+            refused = False
+            try:
+                await asyncio.open_connection(host, port)
+            except OSError:
+                refused = True
+            return ack, work, refused
+
+        ack, work, refused = run_async(scenario())
+        assert ack["ok"] and ack["op"] == "shutdown"
+        assert ack["result"]["stopping"] is True
+        assert work["ok"], "in-flight work must be answered before close"
+        assert refused, "the listener must be closed after the drain"
+
+    def test_mixed_shutdown_array_answers_every_member_in_order(self):
+        async def scenario():
+            server = await started_server(batch_window=0.0)
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            line = [
+                _solve_v2("a"),
+                {"schema": 2, "op": "shutdown", "id": "b"},
+                {"schema": 2, "op": "stats", "id": "c"},
+            ]
+            writer.write((json.dumps(line) + "\n").encode("utf-8"))
+            await writer.drain()
+            responses = await read_json_lines(reader, 3)
+            await asyncio.wait_for(server.wait_closed(), 60.0)
+            return responses
+
+        responses = run_async(scenario())
+        # The shutdown member never eats its neighbours' responses.
+        assert [r["id"] for r in responses] == ["a", "b", "c"]
+        assert all(r["ok"] for r in responses)
+
+    def test_draining_rejects_new_requests(self):
+        async def scenario():
+            engine = SlowEngine(0.5)
+            server = await started_server(engine, batch_window=0.0)
+            try:
+                conn_work = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                conn_late = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                conn_work[1].write(
+                    (json.dumps(_solve_v2("w")) + "\n").encode("utf-8")
+                )
+                await conn_work[1].drain()
+                await asyncio.sleep(0.15)  # the solve is now in flight
+                server.request_drain()  # the SIGTERM path
+                await asyncio.sleep(0.05)
+                late = await rpc(*conn_late, {"op": "stats", "id": "late"})
+                work = json.loads(await conn_work[0].readline())
+                await asyncio.wait_for(server.wait_closed(), 60.0)
+            finally:
+                if not server._draining:
+                    await server.drain()
+            return late, work
+
+        late, work = run_async(scenario())
+        assert not late["ok"] and late["error"] == "draining"
+        assert "retry_after_ms" in late["result"]
+        assert work["ok"], "admitted work survives the drain"
+
+
+class TestDaemonShutdownBatch:
+    """Regression pin for the stdio daemon's mixed shutdown batches."""
+
+    def test_mixed_batch_answers_all_members_then_exits(self):
+        lines = [
+            json.dumps(
+                [
+                    {"op": "solve", "id": "a", "dataset": DATASET, "k": 2},
+                    {"op": "shutdown", "id": "b"},
+                    {"op": "stats", "id": "c"},
+                ]
+            ),
+            # This line is after the shutdown: the loop must already
+            # have exited, so it gets no response.
+            json.dumps({"op": "stats", "id": "never"}),
+        ]
+        out = io.StringIO()
+        status = serve_forever(io.StringIO("\n".join(lines) + "\n"), out)
+        assert status == 0
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert [r["id"] for r in responses] == ["a", "b", "c"]
+        assert all(r["ok"] for r in responses)
+        assert responses[1]["result"]["stopping"] is True
+
+
+class TestLoadgen:
+    def test_open_loop_run_against_live_server(self):
+        async def scenario():
+            server = await started_server(batch_window=0.02)
+            try:
+                report = await run_load(
+                    server.host,
+                    server.port,
+                    connections=4,
+                    rate=400.0,
+                    total=40,
+                    script=LoadScript(im_samples=200, seed=1),
+                )
+            finally:
+                await server.drain()
+            return report
+
+        report = run_async(scenario())
+        assert report.sent == 40 and report.lost == 0
+        assert report.completed == 40
+        assert report.ok == 40 and report.failed == 0 and report.rejected == 0
+        assert sum(report.per_op.values()) == 40
+        assert report.p50_ms > 0 and report.p99_ms >= report.p50_ms
+        assert report.throughput > 0
+        as_dict = report.as_dict()
+        assert as_dict["rejection_rate"] == 0.0
+        assert as_dict["lost"] == 0
+
+    def test_v1_schema_run(self):
+        async def scenario():
+            server = await started_server(batch_window=0.02)
+            try:
+                report = await run_load(
+                    server.host,
+                    server.port,
+                    connections=2,
+                    rate=400.0,
+                    total=10,
+                    script=LoadScript(im_samples=200, seed=3, schema=1),
+                )
+            finally:
+                await server.drain()
+            return report
+
+        report = run_async(scenario())
+        assert report.ok == 10 and report.lost == 0
+
+    def test_script_is_deterministic(self):
+        import random
+
+        script = LoadScript(seed=7)
+        first = [script.build(random.Random(7), i) for i in range(20)]
+        second = [script.build(random.Random(7), i) for i in range(20)]
+        assert first == second
+
+    def test_script_validation(self):
+        with pytest.raises(ValueError, match="unknown ops"):
+            LoadScript(mix={"fly": 1.0})
+        with pytest.raises(ValueError, match="positive total weight"):
+            LoadScript(mix={"solve": 0.0})
+        with pytest.raises(ValueError, match="schema"):
+            LoadScript(schema=3)
+
+    def test_parse_mix(self):
+        assert parse_mix("solve=0.6, stats=0.4") == {
+            "solve": 0.6,
+            "stats": 0.4,
+        }
+        with pytest.raises(ValueError, match="bad mix entry"):
+            parse_mix("solve=lots")
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.5) == 0.0
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 0.50) == 50.0
+        assert percentile(samples, 0.99) == 99.0
+        assert percentile(samples, 1.0) == 100.0
+        assert percentile([7.0], 0.99) == 7.0
+
+
+class TestWorkerPoolSubmit:
+    def test_thread_pool_satisfies_executor_protocol(self):
+        pool = get_pool("thread", 2)
+        before = pool.tasks_run
+        future = pool.submit(max, 3, 41)
+        assert future.result() == 41
+        assert pool.tasks_run == before + 1
+
+    def test_process_pool_rejects_submit(self):
+        if not fork_available():  # pragma: no cover - platform guard
+            pytest.skip("fork not available")
+        pool = WorkerPool("process", 2)
+        try:
+            with pytest.raises(ValueError, match="thread backend"):
+                pool.submit(max, 1, 2)
+        finally:
+            pool.shutdown()
