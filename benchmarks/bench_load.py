@@ -1,6 +1,6 @@
 """Load-test bench — the TCP front-end under steady, burst and overload.
 
-Four phases, each against a real ``repro serve --tcp`` subprocess on an
+Five phases, each against a real ``repro serve --tcp`` subprocess on an
 ephemeral port (the server announces ``listening on host:port`` on
 stdout; this script parses it):
 
@@ -26,6 +26,17 @@ stdout; this script parses it):
   lost or left hanging).
 * **drain** — a mixed ``[solve, shutdown, stats]`` array on one line:
   every member answered in member order, then the process exits 0.
+* **sharded** — ``--shards 2`` with a Prometheus metrics sidecar.
+  Asserts in-bench: a sequential solve/evaluate script answers
+  bitwise-identically (modulo wall-clock ``runtime``) on shards=1 and
+  shards=2 servers; the sharded steady p50 stays within a generous
+  multiple of the single-engine p50 (dispatch through a shard pipe
+  must not wreck latency on one core); the ``/metrics`` scrape parses
+  as Prometheus text with counters matching the ``stats`` op's server
+  block. Records ``saturation_speedup`` (cold-solve completion
+  throughput, shards=2 over shards=1, datasets pinned to different
+  shards) — gated at :data:`MIN_SATURATION` on >= 4-core machines via
+  ``speedup_gate``/``gated_metrics``, informational on this box.
 
 Emits ``benchmarks/results/BENCH_load.json``. Run standalone
 (``PYTHONPATH=src python benchmarks/bench_load.py``) or through
@@ -48,6 +59,7 @@ if __name__ == "__main__":  # allow `python benchmarks/bench_load.py`
 
 from benchmarks._common import RESULTS_DIR, record, run_once
 from repro.service.loadgen import LoadScript, run_load
+from repro.utils.parallel import available_cpus
 
 HOST = "127.0.0.1"
 SEED = 20240612
@@ -73,7 +85,27 @@ OVERLOAD_SAMPLES = 2_000
 COALESCE_CAP = 4.0
 MIN_COALESCE = 1.2
 
+#: Sharded phase. The identity/latency scripts use one dataset per
+#: shard of 2 (crc32 routing pins rand-mc-c2 to shard 1, rand-fl-c2 to
+#: shard 0); the saturation script uses two same-kind cold influence
+#: datasets on different shards so the work splits evenly.
+SHARD_DATASETS = ("rand-mc-c2", "rand-fl-c2")
+SATURATION_DATASETS = ("rand-im-c2", "rand-im-c4")
+SATURATION_TOTAL = 16
+SATURATION_SAMPLES = 2_000
+#: Absolute floor for saturation_speedup on machines where the
+#: multicore gate arms (two engine processes on >= 4 cores must beat
+#: one by a real margin; ideal is ~2x).
+MIN_SATURATION = 1.2
+#: In-bench latency guard: the sharded steady p50 may cost pipe+fork
+#: overhead but must stay within this multiple of the single-engine
+#: p50 (or an absolute slack floor, whichever is larger — tiny p50s
+#: make ratios noisy).
+SHARDED_P50_MULTIPLE = 5.0
+SHARDED_P50_SLACK_MS = 75.0
+
 _ANNOUNCE = re.compile(r"listening on [0-9.]+:(\d+)\s*$")
+_METRICS_ANNOUNCE = re.compile(r"metrics on [0-9.]+:(\d+)\s*$")
 
 
 def start_server(*extra_args: str) -> tuple[subprocess.Popen, int]:
@@ -104,6 +136,34 @@ def start_server(*extra_args: str) -> tuple[subprocess.Popen, int]:
         tail = line + (proc.stdout.read() or "")
         raise RuntimeError(f"server did not announce a port: {tail!r}")
     return proc, int(match.group(1))
+
+
+def start_server_with_metrics(
+    *extra_args: str,
+) -> tuple[subprocess.Popen, int, int]:
+    """Like :func:`start_server`, plus ``--metrics-port 0``; parse both."""
+    proc, port = start_server("--metrics-port", "0", *extra_args)
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    match = _METRICS_ANNOUNCE.search(line.strip())
+    if match is None:
+        proc.kill()
+        raise RuntimeError(f"server did not announce a metrics port: {line!r}")
+    return proc, port, int(match.group(1))
+
+
+def scrape_metrics(port: int) -> tuple[str, str]:
+    """HTTP GET /metrics; returns (headers, body)."""
+    with socket.create_connection((HOST, port), timeout=30.0) as sock:
+        sock.sendall(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")
+        raw = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, body = raw.decode("utf-8").partition("\r\n\r\n")
+    return head, body
 
 
 def tcp_lines(port: int, line: str, responses: int) -> list[dict]:
@@ -308,14 +368,215 @@ def _phase_drain(failures: list[str]) -> dict:
     return out
 
 
+def _identity_script() -> list[dict]:
+    """A deterministic sequential script hitting both shards of 2."""
+    lines: list[dict] = []
+    for k in (3, 5):
+        for dataset in SHARD_DATASETS:
+            lines.append(
+                {
+                    "schema": 2,
+                    "op": "solve",
+                    "id": f"s-{dataset}-{k}",
+                    "args": {"dataset": dataset, "k": k},
+                }
+            )
+    for dataset in SHARD_DATASETS:
+        lines.append(
+            {
+                "schema": 2,
+                "op": "evaluate",
+                "id": f"e-{dataset}",
+                "args": {"dataset": dataset, "items": [0, 1, 2]},
+            }
+        )
+    return lines
+
+
+def _normalize(response: dict) -> dict:
+    """Strip wall-clock fields so responses compare bitwise."""
+    out = dict(response)
+    out.pop("cache", None)
+    result = dict(out.get("result") or {})
+    result.pop("runtime", None)
+    out["result"] = result
+    return out
+
+
+def _saturation_throughput(port: int, failures: list[str], label: str) -> float:
+    """Completion throughput for cold solves pinned to both shards."""
+    script = LoadScript(
+        datasets=SATURATION_DATASETS,
+        mix={"solve": 1.0},
+        im_samples=SATURATION_SAMPLES,
+        vary_seed=True,  # every solve is a cold session
+        seed=SEED % (1 << 31),
+    )
+    report = asyncio.run(
+        run_load(
+            HOST,
+            port,
+            connections=4,
+            rate=400.0,
+            total=SATURATION_TOTAL,
+            script=script,
+        )
+    )
+    if report.ok != SATURATION_TOTAL:
+        failures.append(
+            f"sharded: {label} saturation answered {report.ok}"
+            f"/{SATURATION_TOTAL} ok"
+        )
+    return report.throughput
+
+
+def _parse_prometheus(body: str) -> dict[str, float]:
+    return {
+        line.rsplit(" ", 1)[0]: float(line.rsplit(" ", 1)[1])
+        for line in body.splitlines()
+        if line and not line.startswith("#")
+    }
+
+
+def _phase_sharded(failures: list[str], steady_p50_ms: float) -> dict:
+    script = _identity_script()
+    answers: dict[int, list[dict]] = {}
+    throughput: dict[int, float] = {}
+    sharded_summary: dict = {}
+    metrics_report: dict = {}
+    for shards in (1, 2):
+        proc, port, metrics_port = start_server_with_metrics(
+            "--shards", str(shards)
+        )
+        try:
+            answers[shards] = [
+                _normalize(tcp_lines(port, json.dumps(line), 1)[0])
+                for line in script
+            ]
+            throughput[shards] = _saturation_throughput(
+                port, failures, f"shards={shards}"
+            )
+            if shards == 2:
+                report = asyncio.run(
+                    run_load(
+                        HOST,
+                        port,
+                        connections=STEADY_CONNECTIONS,
+                        rate=STEADY_RATE,
+                        total=STEADY_TOTAL,
+                        script=LoadScript(
+                            datasets=SHARD_DATASETS, seed=SEED % (1 << 31)
+                        ),
+                    )
+                )
+                sharded_summary = report.as_dict()
+                # Counters must agree between the stats op and a scrape
+                # (no traffic in between: a scrape is not a request).
+                stats = tcp_lines(
+                    port, json.dumps({"op": "stats", "id": "st"}), 1
+                )[0]
+                server_block = stats["result"]["server"]
+                head, body = scrape_metrics(metrics_port)
+                samples = _parse_prometheus(body)
+                metrics_report = {
+                    "scrape_ok": head.startswith("HTTP/1.1 200"),
+                    "content_type_ok": "text/plain; version=0.0.4" in head,
+                    "samples": len(samples),
+                    "requests_total": samples.get("repro_requests_total"),
+                    "stats_op_requests_total": server_block["requests_total"],
+                    "shard_requests": [
+                        samples.get(f'repro_shard_requests_total{{shard="{i}"}}')
+                        for i in range(2)
+                    ],
+                }
+                if not metrics_report["scrape_ok"]:
+                    failures.append(f"sharded: metrics scrape failed: {head}")
+                if not metrics_report["content_type_ok"]:
+                    failures.append(
+                        "sharded: metrics Content-Type is not Prometheus text"
+                    )
+                if samples.get("repro_requests_total") != float(
+                    server_block["requests_total"]
+                ):
+                    failures.append(
+                        "sharded: scrape counters disagree with the stats op "
+                        f"({samples.get('repro_requests_total')} vs "
+                        f"{server_block['requests_total']})"
+                    )
+                if not all(
+                    count and count > 0
+                    for count in metrics_report["shard_requests"]
+                ):
+                    failures.append(
+                        "sharded: per-shard dispatch counters not all nonzero: "
+                        f"{metrics_report['shard_requests']}"
+                    )
+        finally:
+            exit_status = stop_server(proc, port)
+        if exit_status != 0:
+            failures.append(
+                f"sharded: shards={shards} server exited {exit_status}"
+            )
+    identical = answers[1] == answers[2]
+    if not identical:
+        diffs = [
+            one["id"]
+            for one, two in zip(answers[1], answers[2])
+            if one != two
+        ]
+        failures.append(
+            f"sharded: responses differ between shards=1 and shards=2 "
+            f"for ids {diffs}"
+        )
+    sharded_p50 = sharded_summary.get("p50_ms", 0.0)
+    p50_ceiling = max(
+        SHARDED_P50_MULTIPLE * steady_p50_ms, SHARDED_P50_SLACK_MS
+    )
+    if sharded_p50 > p50_ceiling:
+        failures.append(
+            f"sharded: steady p50 {sharded_p50:.1f}ms exceeds "
+            f"{p50_ceiling:.1f}ms "
+            f"(single-engine p50 {steady_p50_ms:.1f}ms)"
+        )
+    if sharded_summary.get("lost") or sharded_summary.get("failed"):
+        failures.append(
+            f"sharded: {sharded_summary.get('lost')} lost / "
+            f"{sharded_summary.get('failed')} failed under nominal load"
+        )
+    saturation = (
+        throughput[2] / throughput[1] if throughput.get(1) else 0.0
+    )
+    return {
+        "shards": 2,
+        "identity_requests": len(script),
+        "identical_responses": identical,
+        "p50_ms": sharded_p50,
+        "p99_ms": sharded_summary.get("p99_ms", 0.0),
+        "p50_ceiling_ms": p50_ceiling,
+        "single_throughput_rps": throughput.get(1, 0.0),
+        "sharded_throughput_rps": throughput.get(2, 0.0),
+        "saturation_total": SATURATION_TOTAL,
+        "saturation_speedup": saturation,
+        "metrics": metrics_report,
+    }
+
+
 def _measure() -> dict:
     failures: list[str] = []
+    steady = _phase_steady(failures)
     payload = {
         "bench": "load",
-        "steady": _phase_steady(failures),
+        "steady": steady,
         "coalesce": _phase_coalesce(failures),
         "overload": _phase_overload(failures),
         "drain": _phase_drain(failures),
+        "sharded": _phase_sharded(failures, steady["p50_ms"]),
+        # Two engine processes only beat one with real cores to run
+        # them on; the identity/latency/metrics assertions above are
+        # armed everywhere regardless.
+        "speedup_gate": available_cpus() >= 4,
+        "gated_metrics": ["sharded.saturation_speedup"],
+        "min_speedup": MIN_SATURATION,
         # The coalescing width is a single-process property of the
         # micro-batch window — armed on every machine.
         "always_gated_metrics": ["coalesce.coalesce_speedup"],
@@ -335,6 +596,7 @@ def _report(payload: dict) -> None:
     coalesce = payload["coalesce"]
     overload = payload["overload"]
     drain = payload["drain"]
+    sharded = payload["sharded"]
     lines = [
         "TCP front-end under load:",
         f"  steady ({steady['connections']} conns @ "
@@ -355,6 +617,15 @@ def _report(payload: dict) -> None:
         f"  drain: mixed shutdown batch answered "
         f"{drain['answered']}/{drain['members']} in order, "
         f"exit clean: {drain['clean_exit']}",
+        f"  sharded (2 shards): identical responses: "
+        f"{sharded['identical_responses']}, p50 {sharded['p50_ms']:.1f}ms "
+        f"(ceiling {sharded['p50_ceiling_ms']:.0f}ms), saturation "
+        f"{sharded['saturation_speedup']:.2f}x "
+        f"({sharded['sharded_throughput_rps']:.1f} vs "
+        f"{sharded['single_throughput_rps']:.1f} rps, gate "
+        f"{'armed' if payload['speedup_gate'] else 'off'}), metrics scrape "
+        f"{sharded['metrics'].get('samples', 0)} samples ok: "
+        f"{sharded['metrics'].get('scrape_ok', False)}",
         f"  [json written to {json_path}]",
     ]
     record("load", "\n".join(lines))

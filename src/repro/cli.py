@@ -208,6 +208,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-line-bytes", type=int, default=1 << 20,
         help="TCP: longest accepted request line",
     )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help=(
+            "TCP: engine worker processes; requests route by dataset "
+            "(crc32(dataset) %% shards) so warm sessions stay affine. "
+            "1 (default) keeps the engine in-process"
+        ),
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help=(
+            "TCP: also serve Prometheus text metrics over HTTP on this "
+            "port (0 binds an ephemeral port, announced on stdout)"
+        ),
+    )
     _add_workers_flag(serve)
     _add_backend_flag(serve)
     _add_store_flags(serve)
@@ -228,6 +243,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "send the request to a running `repro serve --tcp` server "
             "instead of solving in-process"
+        ),
+    )
+    request.add_argument(
+        "--timeout", type=float, default=60.0,
+        help=(
+            "TCP connect/read timeout in seconds (0 waits forever); "
+            "a timeout exits with status 3 and a one-line error"
         ),
     )
     _add_workers_flag(request)
@@ -358,7 +380,7 @@ def _parse_hostport(spec: str) -> tuple[str, int]:
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceEngine, serve_forever
 
-    engine = ServiceEngine(
+    engine_config = dict(
         workers=args.workers, exec_backend=args.backend,
         max_sessions=args.max_sessions,
         store=args.store, memory_budget=args.memory_budget or None,
@@ -366,15 +388,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.tcp:
         from repro.service.server import run_tcp_server
 
+        if args.shards < 1:
+            raise SystemExit(f"--shards must be >= 1, got {args.shards}")
         host, port = _parse_hostport(args.tcp)
+        # Engines are built from the config, not passed in: with
+        # --shards > 1 each worker process constructs its own.
         return run_tcp_server(
-            engine, host=host, port=port,
+            host=host, port=port,
             max_queue_depth=args.max_queue_depth,
             max_inflight=args.max_inflight,
             batch_window=args.batch_window_ms / 1000.0,
             max_line_bytes=args.max_line_bytes,
+            shards=args.shards,
+            engine_config=engine_config,
+            metrics_port=args.metrics_port,
         )
-    return serve_forever(sys.stdin, sys.stdout, engine=engine)
+    return serve_forever(
+        sys.stdin, sys.stdout, engine=ServiceEngine(**engine_config)
+    )
 
 
 def cmd_request(args: argparse.Namespace) -> int:
@@ -395,13 +426,30 @@ def cmd_request(args: argparse.Namespace) -> int:
         import socket
 
         host, port = _parse_hostport(args.tcp)
+        if args.timeout < 0:
+            print(f"--timeout must be >= 0, got {args.timeout}", file=sys.stderr)
+            return 2
+        timeout = args.timeout or None  # 0 = wait forever
         # Re-encode the validated request: a flat request goes out as
         # v1 bytes, a typed one as the v2 envelope — same version in,
         # same version out.
-        with socket.create_connection((host, port), timeout=60) as sock:
-            sock.sendall((encode_request(request) + "\n").encode("utf-8"))
-            with sock.makefile("r", encoding="utf-8") as stream:
-                line = stream.readline().strip()
+        try:
+            with socket.create_connection((host, port), timeout=timeout) as sock:
+                sock.sendall((encode_request(request) + "\n").encode("utf-8"))
+                with sock.makefile("r", encoding="utf-8") as stream:
+                    line = stream.readline().strip()
+        except socket.timeout:
+            # Long cold solves can outlive any finite timeout; fail with
+            # one line, not a traceback (use --timeout 0 to wait).
+            print(
+                f"request timed out after {args.timeout:g}s "
+                f"(raise --timeout, or 0 to wait forever)",
+                file=sys.stderr,
+            )
+            return 3
+        except OSError as exc:
+            print(f"connection to {host}:{port} failed: {exc}", file=sys.stderr)
+            return 3
         if not line:
             print("connection closed without a response", file=sys.stderr)
             return 2

@@ -17,7 +17,10 @@ by keeping derived state warm across requests:
 * :func:`repro.service.daemon.serve_forever` — the stdin/stdout loop;
 * :class:`repro.service.server.TCPServer` — the asyncio TCP front-end
   (micro-batch coalescing across connections, admission control,
-  graceful drain) behind ``repro serve --tcp``;
+  graceful drain, optional Prometheus metrics sidecar) behind
+  ``repro serve --tcp``;
+* :class:`repro.service.shards.EngineShardPool` — N engine worker
+  processes with dataset-affine routing, behind ``--shards``;
 * :mod:`repro.service.loadgen` — the open-loop load generator behind
   ``repro loadgen`` and ``benchmarks/bench_load.py``.
 """

@@ -16,7 +16,10 @@ work (pinned by ``tests/test_server.py``). Malformed lines produce an
 
 The loop is single-transport; the asyncio TCP front-end
 (:mod:`repro.service.server`) speaks the same wire format over many
-concurrent connections.
+concurrent connections. Engine shard workers
+(:mod:`repro.service.shards`) reuse this exact loop over a
+``multiprocessing.Pipe``: each pipe message is one input line, and the
+per-line flush marks the reply-message boundary.
 """
 
 from __future__ import annotations

@@ -183,6 +183,15 @@ class ServiceEngine:
             "coalesced_requests": self.coalesced_requests,
             "coalesced_runs": self.coalesced_runs,
             "exec_backend": self.exec_backend,
+            # The construction-time knobs, so a sharded front-end (and
+            # operators scraping a fanned-out ``stats``) can verify every
+            # shard runs the same engine configuration.
+            "config": {
+                "workers": self.workers,
+                "exec_backend": self.exec_backend,
+                "store": self.store,
+                "memory_budget": self.memory_budget,
+            },
             "op_latency": self._latency_stats(),
             # Persistent worker-pool telemetry (module-level registry —
             # one pool per (backend, width) for the whole daemon).

@@ -1,4 +1,4 @@
-"""Asyncio TCP front-end over the :class:`ServiceEngine`.
+"""Asyncio TCP front-end over one or many engine shards.
 
 The stdio daemon (:mod:`repro.service.daemon`) serves one pipe; this
 module serves *connections* — thousands of them — while keeping the
@@ -6,23 +6,33 @@ wire format identical: newline-delimited JSON, one request or response
 per line, a JSON array per line for an explicit batch. A v1 client can
 point its stdio script at a socket and see the same bytes back.
 
-Three mechanisms make the single engine safe and fast under
-concurrency:
+Four mechanisms make the engines safe and fast under concurrency:
 
-* **Micro-batch coalescing window.** Admitted requests land on one
-  queue; a batcher task gathers everything that arrives within
-  ``batch_window`` seconds (up to ``max_batch``) into a single
-  :meth:`ServiceEngine.handle_batch` call. Requests from *different
-  connections* therefore coalesce exactly like members of one array
-  line — many users asking for the same dataset's seeds collapse into
-  one shared CELF run (the engine's prefix-replay guarantee keeps each
-  response bitwise-identical to a sequential solve).
-* **Bounded executor hand-off.** The engine is CPU-bound and *not*
-  thread-safe, so batches run on the persistent thread
-  :class:`~repro.utils.parallel.WorkerPool` via ``loop.run_in_executor``
-  under an in-flight semaphore (``max_inflight``) and a per-engine
-  lock. The event loop never blocks on a solve; parallelism inside a
-  batch comes from the engine's own sampling pools.
+* **Dataset-affine sharding** (``shards > 1``). An
+  :class:`~repro.service.shards.EngineShardPool` spawns N engine worker
+  processes; the dispatcher routes every data op by
+  :func:`~repro.service.shards.shard_for_dataset` (``crc32(dataset) %
+  shards``) so a dataset's warm session state always lives on exactly
+  one shard. ``stats`` fans out to every shard and merges;
+  ``shutdown`` is acked by the front-end and drains the whole pool.
+  With ``shards == 1`` (the default) the engine runs in-process,
+  exactly as before PR 10.
+* **Per-shard micro-batch coalescing windows.** Admitted requests land
+  on their shard's queue; a per-shard batcher task gathers everything
+  that arrives within ``batch_window`` seconds (up to ``max_batch``)
+  into a single engine batch. Requests from *different connections*
+  therefore coalesce exactly like members of one array line — many
+  users asking for the same dataset's seeds collapse into one shared
+  CELF run on that dataset's shard (the engine's prefix-replay
+  guarantee keeps each response bitwise-identical to a sequential
+  solve). Routing affinity makes the per-shard window exactly as
+  effective as the old global one: coalescable requests share a
+  dataset, so they always share a queue.
+* **Bounded executor hand-off.** Engine batches run on the persistent
+  thread :class:`~repro.utils.parallel.WorkerPool` via
+  ``loop.run_in_executor`` under a per-shard in-flight semaphore
+  (``max_inflight``). The event loop never blocks on a solve or a
+  shard pipe round-trip.
 * **Admission control.** A request is admitted only while the number of
   admitted-but-unanswered requests is below ``max_queue_depth``;
   beyond that the server answers immediately with ``ok: false,
@@ -31,13 +41,19 @@ concurrency:
 
 Shutdown is graceful either way it arrives (SIGTERM/SIGINT or a
 ``shutdown`` op): the listener closes, every in-flight request is
-answered and written, then connections close and
-:meth:`TCPServer.wait_closed` returns. While draining, new requests are
-refused with ``error: "draining"``.
+answered and written, the shard pool (if any) drains worker by worker,
+then connections close and :meth:`TCPServer.wait_closed` returns.
+While draining, new requests are refused with ``error: "draining"``.
 
 A line longer than ``max_line_bytes`` cannot be resynchronised (the
 tail would be parsed as garbage requests), so the server answers with
 one oversized-line error and closes that connection.
+
+An optional HTTP metrics sidecar (``metrics_port``) serves Prometheus
+text (``/metrics``): every :class:`ServerStats` counter, per-op
+latency quantiles over a sliding window, and per-shard queue-depth and
+dispatch gauges. The counters are the same objects the ``stats`` op
+reports, so a scrape and a ``stats`` response can be cross-checked.
 """
 
 from __future__ import annotations
@@ -46,6 +62,8 @@ import asyncio
 import json
 import signal
 import threading
+import time
+from collections import deque
 from dataclasses import asdict, dataclass
 from typing import Any, Optional
 
@@ -58,6 +76,7 @@ from repro.service.protocol import (
     encode_response,
     request_from_dict,
 )
+from repro.service.shards import EngineShardPool, shard_for_dataset
 from repro.utils.parallel import get_pool
 
 DEFAULT_HOST = "127.0.0.1"
@@ -68,15 +87,39 @@ DEFAULT_MAX_BATCH = 64
 DEFAULT_MAX_LINE_BYTES = 1 << 20
 DEFAULT_RETRY_AFTER_MS = 100
 
-#: Width of the persistent thread pool the server dispatches engine
-#: batches onto. ``max_inflight`` (not this) bounds concurrent batches;
-#: the pool is shared with every other thread-backend user.
+#: Minimum width of the persistent thread pool the server dispatches
+#: engine batches onto. With shards, one thread per shard can block on
+#: a pipe round-trip plus one for stats fan-out, so the pool widens to
+#: ``shards + 1``. ``max_inflight`` (not this) bounds concurrent
+#: batches per shard; the pool is shared with every other
+#: thread-backend user.
 ENGINE_POOL_WIDTH = 2
+
+#: Latency samples retained per op for quantile estimates (sliding
+#: window, so a long-lived server reports recent behaviour; the
+#: ``count`` field stays cumulative).
+LATENCY_WINDOW = 512
+
+#: Content-Type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Ops that are answered by the dispatcher itself (fan-out / fabricated
+#: ack) rather than routed to a dataset shard, when sharding is on.
+FANOUT_OPS = ("stats", "shutdown")
 
 
 @dataclass
 class ServerStats:
-    """Front-end counters, surfaced inside ``stats`` op responses."""
+    """Front-end counters, surfaced inside ``stats`` op responses.
+
+    The invariant ``requests_total == requests_admitted +
+    requests_rejected + requests_invalid`` holds at every quiescent
+    point: *every* member of every parsed line is counted exactly once,
+    including members that fail protocol validation (a whole
+    unparseable-JSON line counts as one invalid request). Oversized
+    lines are torn down before parsing and tracked separately in
+    ``oversized_lines``.
+    """
 
     connections_total: int = 0
     connections_active: int = 0
@@ -84,13 +127,44 @@ class ServerStats:
     requests_total: int = 0
     requests_admitted: int = 0
     requests_rejected: int = 0
+    requests_invalid: int = 0
     batches_dispatched: int = 0
     oversized_lines: int = 0
     responses_discarded: int = 0
 
 
+class _LatencyWindows:
+    """Front-side per-op latency: cumulative counts + quantile window."""
+
+    def __init__(self, window: int = LATENCY_WINDOW) -> None:
+        self._window = window
+        self._counts: dict[str, int] = {}
+        self._samples: dict[str, deque] = {}
+
+    def record(self, op: str, seconds: float) -> None:
+        self._counts[op] = self._counts.get(op, 0) + 1
+        window = self._samples.get(op)
+        if window is None:
+            window = self._samples[op] = deque(maxlen=self._window)
+        window.append(seconds)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for op, window in self._samples.items():
+            samples = sorted(window)
+            p50 = samples[max(0, int(len(samples) * 0.50) - 1)] if samples else 0.0
+            p99 = samples[max(0, int(len(samples) * 0.99) - 1)] if samples else 0.0
+            out[op] = {
+                "count": self._counts.get(op, len(samples)),
+                "mean": sum(samples) / len(samples) if samples else 0.0,
+                "p50": p50,
+                "p99": p99,
+            }
+        return out
+
+
 class TCPServer:
-    """Newline-delimited-JSON TCP server over one :class:`ServiceEngine`.
+    """Newline-delimited-JSON TCP server over one or many engines.
 
     Lifecycle: ``await start()``, then ``await wait_closed()``; a
     ``shutdown`` op or :meth:`request_drain` (wired to SIGTERM/SIGINT by
@@ -98,6 +172,11 @@ class TCPServer:
     ``wait_closed``. Tests drive the whole lifecycle in-process on one
     event loop; ``port=0`` binds an ephemeral port exposed via
     :attr:`port`.
+
+    With ``shards == 1`` the engine lives in-process (pass ``engine``
+    or ``engine_config``); with ``shards > 1`` pass ``engine_config``
+    only — every shard process constructs its own engine from it, and
+    :attr:`engine` is ``None``.
     """
 
     def __init__(
@@ -112,6 +191,9 @@ class TCPServer:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
         retry_after_ms: int = DEFAULT_RETRY_AFTER_MS,
+        shards: int = 1,
+        engine_config: Optional[dict[str, Any]] = None,
+        metrics_port: Optional[int] = None,
     ) -> None:
         if max_queue_depth < 1:
             raise ValueError("max_queue_depth must be >= 1")
@@ -123,8 +205,15 @@ class TCPServer:
             raise ValueError("max_batch must be >= 1")
         if max_line_bytes < 1024:
             raise ValueError("max_line_bytes must be >= 1024")
-        self.engine = engine if engine is not None else ServiceEngine()
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shards > 1 and engine is not None:
+            raise ValueError(
+                "shards > 1 spawns engine processes from engine_config; "
+                "a live engine instance cannot cross a fork"
+            )
         self.host = host
+        self.shards = shards
         self.max_queue_depth = max_queue_depth
         self.max_inflight = max_inflight
         self.batch_window = batch_window
@@ -132,22 +221,41 @@ class TCPServer:
         self.max_line_bytes = max_line_bytes
         self.retry_after_ms = retry_after_ms
         self.stats = ServerStats()
+        self.latency = _LatencyWindows()
         self._requested_port = port
+        self._requested_metrics_port = metrics_port
         self._bound_port: Optional[int] = None
-        # The engine mutates shared session state with no internal
-        # locking; batches execute on pool threads strictly one engine
-        # call at a time. max_inflight > 1 still helps: the next batch
-        # is staged (queue hand-off, thread wake-up) while the current
-        # one computes.
+        self._bound_metrics_port: Optional[int] = None
+        self._shard_pool: Optional[EngineShardPool] = None
+        if shards > 1:
+            # Fork the shard processes *before* the thread pool below
+            # spawns: a forked child must never inherit live executor
+            # threads (the workers call reset_pools_after_fork anyway,
+            # but the less thread state crosses the fork the better).
+            self._shard_pool = EngineShardPool(shards, engine_config)
+            self.engine: Optional[ServiceEngine] = None
+        else:
+            self.engine = (
+                engine
+                if engine is not None
+                else ServiceEngine(**(engine_config or {}))
+            )
+        # The in-process engine mutates shared session state with no
+        # internal locking; batches execute on pool threads strictly one
+        # engine call at a time. max_inflight > 1 still helps: the next
+        # batch is staged (queue hand-off, thread wake-up) while the
+        # current one computes. Shard pipes serialise per shard instead.
         self._engine_lock = threading.Lock()
-        self._pool = get_pool("thread", ENGINE_POOL_WIDTH)
+        self._pool = get_pool("thread", max(ENGINE_POOL_WIDTH, shards + 1))
         self._pending = 0
         self._draining = False
         self._server: Optional[asyncio.base_events.Server] = None
-        self._queue: Optional[asyncio.Queue] = None
-        self._inflight: Optional[asyncio.Semaphore] = None
+        self._metrics_server: Optional[asyncio.base_events.Server] = None
+        self._queues: list[asyncio.Queue] = []
+        self._inflights: list[asyncio.Semaphore] = []
+        self._batcher_tasks: list[asyncio.Task] = []
         self._done: Optional[asyncio.Event] = None
-        self._batcher_task: Optional[asyncio.Task] = None
+        self._drain_task: Optional[asyncio.Task] = None
         self._line_tasks: set[asyncio.Task] = set()
         self._dispatch_tasks: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
@@ -159,9 +267,16 @@ class TCPServer:
         assert self._bound_port is not None
         return self._bound_port
 
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """The bound metrics port (``None`` when the sidecar is off)."""
+        return self._bound_metrics_port
+
     async def start(self) -> None:
-        self._queue = asyncio.Queue()
-        self._inflight = asyncio.Semaphore(self.max_inflight)
+        self._queues = [asyncio.Queue() for _ in range(self.shards)]
+        self._inflights = [
+            asyncio.Semaphore(self.max_inflight) for _ in range(self.shards)
+        ]
         self._done = asyncio.Event()
         self._server = await asyncio.start_server(
             self._on_connection,
@@ -172,7 +287,17 @@ class TCPServer:
         # Cached: the sockets list empties once the listener closes,
         # but callers still ask "which port was that?" after a drain.
         self._bound_port = self._server.sockets[0].getsockname()[1]
-        self._batcher_task = asyncio.create_task(self._batch_loop())
+        if self._requested_metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._on_metrics, self.host, self._requested_metrics_port
+            )
+            self._bound_metrics_port = (
+                self._metrics_server.sockets[0].getsockname()[1]
+            )
+        self._batcher_tasks = [
+            asyncio.create_task(self._batch_loop(shard))
+            for shard in range(self.shards)
+        ]
 
     def install_signal_handlers(self) -> None:  # pragma: no cover — CLI path
         loop = asyncio.get_running_loop()
@@ -183,9 +308,17 @@ class TCPServer:
                 pass  # non-main thread / platform without signal support
 
     def request_drain(self) -> None:
-        """Schedule a graceful drain (idempotent, signal-handler safe)."""
-        if not self._draining:
-            asyncio.get_running_loop().create_task(self.drain())
+        """Schedule a graceful drain (idempotent, signal-handler safe).
+
+        The task reference is held on the server: the event loop keeps
+        only weak references to tasks, so a fire-and-forget drain could
+        be garbage-collected mid-drain, leaving ``wait_closed`` hanging
+        forever (regression-tested under ``gc.collect()`` pressure).
+        """
+        if not self._draining and self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self.drain()
+            )
 
     async def wait_closed(self) -> None:
         assert self._done is not None
@@ -196,7 +329,7 @@ class TCPServer:
         if self._draining:
             return
         self._draining = True
-        assert self._server is not None and self._queue is not None
+        assert self._server is not None
         self._server.close()
         await self._server.wait_closed()
         # In-flight lines finish on their own: their futures resolve
@@ -211,13 +344,22 @@ class TCPServer:
             if not tasks:
                 break
             await asyncio.gather(*tasks, return_exceptions=True)
-        await self._queue.put(None)  # stop the batcher
-        if self._batcher_task is not None:
-            await self._batcher_task
+        for queue in self._queues:
+            await queue.put(None)  # stop the batchers
+        if self._batcher_tasks:
+            await asyncio.gather(*self._batcher_tasks)
         if self._dispatch_tasks:
             await asyncio.gather(
                 *list(self._dispatch_tasks), return_exceptions=True
             )
+        if self._shard_pool is not None:
+            # Worker shutdown round-trips the pipes; keep it off the loop.
+            await asyncio.get_running_loop().run_in_executor(
+                self._pool, self._shard_pool.close
+            )
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         for writer in list(self._writers):
             writer.close()
         for writer in list(self._writers):
@@ -285,6 +427,10 @@ class TCPServer:
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
+            # The whole line is one unparseable request: count it so the
+            # requests_total identity covers malformed traffic too.
+            self.stats.requests_total += 1
+            self.stats.requests_invalid += 1
             await self._write_responses(
                 writer, write_lock,
                 [error_response(f"invalid JSON: {exc}")],
@@ -296,12 +442,13 @@ class TCPServer:
         shutdown_requested = False
         loop = asyncio.get_running_loop()
         for pos, member in enumerate(batch):
+            self.stats.requests_total += 1
             try:
                 request = request_from_dict(member)
             except ProtocolError as exc:
+                self.stats.requests_invalid += 1
                 slots[pos] = error_response(str(exc), member)
                 continue
-            self.stats.requests_total += 1
             refusal = self._admission_verdict()
             if refusal is not None:
                 self.stats.requests_rejected += 1
@@ -315,9 +462,17 @@ class TCPServer:
             self.stats.requests_admitted += 1
             self._pending += 1
             future: asyncio.Future = loop.create_future()
+            self._observe_latency(request.op, future)
             admitted.append((pos, request, future))
-            assert self._queue is not None
-            await self._queue.put((request, future))
+            shard = self._route(request)
+            if shard is None:
+                fanout = asyncio.create_task(
+                    self._serve_fanout(request, future)
+                )
+                self._dispatch_tasks.add(fanout)
+                fanout.add_done_callback(self._dispatch_tasks.discard)
+            else:
+                await self._queues[shard].put((request, future))
         if admitted:
             await asyncio.gather(*(future for _, _, future in admitted))
             for pos, _, future in admitted:
@@ -331,6 +486,59 @@ class TCPServer:
         await self._write_responses(writer, write_lock, responses)
         if shutdown_requested:
             self.request_drain()
+
+    def _route(self, request: AnyRequest) -> Optional[int]:
+        """Queue index for a request; ``None`` for front-end fan-out ops.
+
+        Unsharded servers route everything — including ``stats`` and
+        ``shutdown`` — to the single engine queue, preserving PR 9
+        behaviour byte for byte. Sharded servers route data ops by
+        dataset and answer the fan-out ops from the dispatcher.
+        """
+        if self._shard_pool is None:
+            return 0
+        if request.op in FANOUT_OPS:
+            return None
+        return shard_for_dataset(getattr(request, "dataset", ""), self.shards)
+
+    def _observe_latency(self, op: str, future: asyncio.Future) -> None:
+        start = time.perf_counter()
+        future.add_done_callback(
+            lambda _fut: self.latency.record(
+                op, time.perf_counter() - start
+            )
+        )
+
+    async def _serve_fanout(
+        self, request: AnyRequest, future: asyncio.Future
+    ) -> None:
+        """Answer a ``stats``/``shutdown`` request in sharded mode.
+
+        ``stats`` fans out to every shard (pipe round-trips happen on
+        the executor) and merges; ``shutdown`` is acked immediately with
+        the same payload an engine would send — the shard processes
+        themselves drain inside :meth:`drain`, *after* every admitted
+        request has been answered.
+        """
+        assert self._shard_pool is not None
+        if request.op == "shutdown":
+            response = Response(
+                op=request.op, id=request.id, result={"stopping": True}
+            )
+        else:
+            loop = asyncio.get_running_loop()
+            try:
+                response = await loop.run_in_executor(
+                    self._pool, self._shard_pool.merged_stats, request
+                )
+            except Exception as exc:  # noqa: BLE001 — service boundary
+                response = Response(
+                    op=request.op, id=request.id, ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+        self._pending -= 1
+        if not future.done():
+            future.set_result(response)
 
     def _admission_verdict(self) -> Optional[str]:
         """None to admit, else the fast-rejection error string."""
@@ -361,18 +569,19 @@ class TCPServer:
             self.stats.responses_discarded += len(responses)
 
     # -- batching ----------------------------------------------------------
-    async def _batch_loop(self) -> None:
-        """Gather queue items into micro-batches and dispatch them.
+    async def _batch_loop(self, shard: int) -> None:
+        """Gather one shard's queue into micro-batches and dispatch them.
 
         The window opens when the first item of a batch arrives and
         closes ``batch_window`` seconds later (or at ``max_batch``) —
         so an idle server adds no latency and a busy one coalesces
         aggressively. ``None`` is the drain sentinel.
         """
-        assert self._queue is not None and self._inflight is not None
+        queue = self._queues[shard]
+        inflight = self._inflights[shard]
         loop = asyncio.get_running_loop()
         while True:
-            item = await self._queue.get()
+            item = await queue.get()
             if item is None:
                 break
             batch = [item]
@@ -383,31 +592,29 @@ class TCPServer:
                 if remaining <= 0:
                     break
                 try:
-                    nxt = await asyncio.wait_for(
-                        self._queue.get(), remaining
-                    )
+                    nxt = await asyncio.wait_for(queue.get(), remaining)
                 except asyncio.TimeoutError:
                     break
                 if nxt is None:
                     stop = True
                     break
                 batch.append(nxt)
-            await self._inflight.acquire()
+            await inflight.acquire()
             self.stats.batches_dispatched += 1
-            task = asyncio.create_task(self._dispatch_batch(batch))
+            task = asyncio.create_task(self._dispatch_batch(shard, batch))
             self._dispatch_tasks.add(task)
             task.add_done_callback(self._dispatch_tasks.discard)
             if stop:
                 break
 
     async def _dispatch_batch(
-        self, batch: list[tuple[AnyRequest, asyncio.Future]]
+        self, shard: int, batch: list[tuple[AnyRequest, asyncio.Future]]
     ) -> None:
         loop = asyncio.get_running_loop()
         requests = [request for request, _ in batch]
         try:
             responses = await loop.run_in_executor(
-                self._pool, self._run_engine, requests
+                self._pool, self._run_engine, shard, requests
             )
         except Exception as exc:  # noqa: BLE001 — service boundary
             responses = [
@@ -418,26 +625,45 @@ class TCPServer:
                 for request in requests
             ]
         finally:
-            assert self._inflight is not None
-            self._inflight.release()
-        for (_, future), response in zip(batch, responses):
+            self._inflights[shard].release()
+        # Settle per *admitted request*, never per response: a mis-sized
+        # engine reply must not leak _pending (which would permanently
+        # trip "overloaded") nor leave futures unresolved.
+        for pos, (request, future) in enumerate(batch):
             self._pending -= 1
+            if pos < len(responses):
+                response = responses[pos]
+            else:
+                response = Response(
+                    op=request.op, id=request.id, ok=False,
+                    error=(
+                        f"internal error: engine returned {len(responses)} "
+                        f"responses to {len(requests)} requests"
+                    ),
+                )
             if not future.done():
                 future.set_result(response)
 
     def _run_engine(
-        self, requests: list[AnyRequest]
+        self, shard: int, requests: list[AnyRequest]
     ) -> list[Response]:
-        # Pool thread. One engine call at a time — see _engine_lock.
+        # Pool thread. Sharded: one pipe round-trip, serialised per
+        # shard by the shard's own lock. Unsharded: one engine call at
+        # a time — see _engine_lock.
+        if self._shard_pool is not None:
+            return self._shard_pool.handle_batch(shard, requests)
+        assert self.engine is not None
         with self._engine_lock:
             return self.engine.handle_batch(requests)
 
     # -- telemetry ---------------------------------------------------------
     def stats_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             **asdict(self.stats),
             "pending": self._pending,
             "draining": self._draining,
+            "shards": self.shards,
+            "op_latency": self.latency.snapshot(),
             "config": {
                 "max_queue_depth": self.max_queue_depth,
                 "max_inflight": self.max_inflight,
@@ -447,6 +673,137 @@ class TCPServer:
                 "retry_after_ms": self.retry_after_ms,
             },
         }
+        if self._shard_pool is not None:
+            telemetry = self._shard_pool.telemetry()
+            for entry, queue in zip(telemetry, self._queues):
+                entry["queue_depth"] = queue.qsize()
+            out["shard_telemetry"] = telemetry
+        return out
+
+    # -- metrics sidecar ---------------------------------------------------
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition for ``/metrics``."""
+        lines: list[str] = []
+
+        def emit(name: str, kind: str, help_text: str,
+                 samples: list[tuple[str, float]]) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in samples:
+                rendered = (
+                    f"{value:.9g}" if isinstance(value, float) else str(value)
+                )
+                lines.append(f"{name}{labels} {rendered}")
+
+        counters = asdict(self.stats)
+        for field_name, help_text in (
+            ("connections_total", "Connections accepted since start."),
+            ("lines_total", "Input lines parsed."),
+            ("requests_total", "Requests seen (admitted+rejected+invalid)."),
+            ("requests_admitted", "Requests admitted to an engine queue."),
+            ("requests_rejected", "Fast rejections (overloaded/draining)."),
+            ("requests_invalid", "Members failing protocol validation."),
+            ("batches_dispatched", "Micro-batches handed to engines."),
+            ("oversized_lines", "Connections dropped for oversized lines."),
+            ("responses_discarded", "Responses dropped on dead connections."),
+        ):
+            suffix = "" if field_name.endswith("_total") else "_total"
+            emit(
+                f"repro_{field_name}{suffix}", "counter", help_text,
+                [("", counters[field_name])],
+            )
+        emit(
+            "repro_connections_active", "gauge",
+            "Currently open connections.",
+            [("", counters["connections_active"])],
+        )
+        emit(
+            "repro_pending_requests", "gauge",
+            "Admitted-but-unanswered requests.", [("", self._pending)],
+        )
+        emit(
+            "repro_draining", "gauge",
+            "1 while the server drains.", [("", int(self._draining))],
+        )
+        emit(
+            "repro_shards", "gauge",
+            "Engine shard count (1 = in-process engine).",
+            [("", self.shards)],
+        )
+        latency = self.latency.snapshot()
+        emit(
+            "repro_op_requests_total", "counter",
+            "Answered requests per op.",
+            [(f'{{op="{op}"}}', stats["count"])
+             for op, stats in sorted(latency.items())],
+        )
+        quantile_samples: list[tuple[str, float]] = []
+        for op, stats in sorted(latency.items()):
+            for quantile, key in (("0.5", "p50"), ("0.99", "p99")):
+                quantile_samples.append(
+                    (f'{{op="{op}",quantile="{quantile}"}}', stats[key])
+                )
+        emit(
+            "repro_op_latency_seconds", "gauge",
+            "Admission-to-answer latency quantiles (sliding window).",
+            quantile_samples,
+        )
+        if self._shard_pool is not None:
+            telemetry = self._shard_pool.telemetry()
+            emit(
+                "repro_shard_queue_depth", "gauge",
+                "Requests queued per shard.",
+                [(f'{{shard="{e["shard"]}"}}', queue.qsize())
+                 for e, queue in zip(telemetry, self._queues)],
+            )
+            emit(
+                "repro_shard_dispatches_total", "counter",
+                "Engine batches dispatched per shard.",
+                [(f'{{shard="{e["shard"]}"}}', e["dispatches"])
+                 for e in telemetry],
+            )
+            emit(
+                "repro_shard_requests_total", "counter",
+                "Requests dispatched per shard.",
+                [(f'{{shard="{e["shard"]}"}}', e["requests"])
+                 for e in telemetry],
+            )
+        return "\n".join(lines) + "\n"
+
+    async def _on_metrics(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal HTTP/1.x handler: ``GET /metrics`` or 404, then close."""
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers up to the blank line
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            if path.split("?", 1)[0] == "/metrics":
+                body = self.metrics_text().encode("utf-8")
+                status = "200 OK"
+                content_type = METRICS_CONTENT_TYPE
+            else:
+                body = b"not found\n"
+                status = "404 Not Found"
+                content_type = "text/plain; charset=utf-8"
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
 
 
 def run_tcp_server(
@@ -461,7 +818,8 @@ def run_tcp_server(
 
     ``announce`` prints the bound address to stdout — the stdio channel
     is free in TCP mode, and drivers starting the server with ``port=0``
-    need the ephemeral port (``benchmarks/bench_load.py`` parses it).
+    need the ephemeral port (``benchmarks/bench_load.py`` parses it,
+    and the metrics line when a sidecar is requested).
     """
 
     async def _main() -> int:
@@ -473,6 +831,12 @@ def run_tcp_server(
                 f"repro serve: listening on {server.host}:{server.port}",
                 flush=True,
             )
+            if server.metrics_port is not None:
+                print(
+                    "repro serve: metrics on "
+                    f"{server.host}:{server.metrics_port}",
+                    flush=True,
+                )
         await server.wait_closed()
         if announce:
             print("repro serve: drained, exiting", flush=True)

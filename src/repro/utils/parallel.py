@@ -71,6 +71,8 @@ __all__ = [
     "parallel_map",
     "pool_stats",
     "pool_width",
+    "process_context",
+    "reset_pools_after_fork",
     "resolve_backend",
     "resolve_workers",
     "shutdown_pools",
@@ -101,6 +103,35 @@ DEFAULT_BACKEND = "thread"
 def fork_available() -> bool:
     """Whether the platform supports the ``fork`` start method."""
     return "fork" in mp.get_all_start_methods()
+
+
+def process_context() -> mp.context.BaseContext:
+    """The multiprocessing context long-lived service children use.
+
+    ``fork`` where available (cheap, inherits the imported interpreter);
+    ``spawn`` elsewhere. Callers that fork *must* call
+    :func:`reset_pools_after_fork` first thing in the child — inherited
+    executor threads do not survive a fork.
+    """
+    return mp.get_context("fork" if fork_available() else "spawn")
+
+
+def reset_pools_after_fork() -> None:
+    """Discard inherited pool state in a freshly forked child.
+
+    A fork copies the registry dict and its lock but none of the worker
+    threads behind the pooled executors, so any inherited
+    :class:`WorkerPool` would hang on first dispatch (and the inherited
+    lock may have been held mid-``get_pool`` at fork time). Replace the
+    lock, drop the registry *without* shutdown (the executors' threads
+    belong to the parent), and zero the counters so the child's
+    telemetry starts clean.
+    """
+    global _POOLS_LOCK, _POOL_SPAWNS, _SERIAL_DISPATCHES
+    _POOLS_LOCK = threading.Lock()
+    _POOLS.clear()
+    _POOL_SPAWNS = 0
+    _SERIAL_DISPATCHES = 0
 
 
 def available_cpus() -> int:

@@ -582,6 +582,228 @@ class TestLoadgen:
         assert percentile([7.0], 0.99) == 7.0
 
 
+class TestDrainTaskReference:
+    def test_signal_path_drain_survives_gc_pressure(self):
+        """Regression: the drain task must be strongly referenced.
+
+        The event loop holds only weak references to tasks; before the
+        fix, request_drain() created its task fire-and-forget, so a
+        gc.collect() mid-drain could destroy it and wait_closed would
+        hang forever.
+        """
+        import gc
+
+        async def scenario():
+            engine = SlowEngine(0.3)
+            server = await started_server(engine, batch_window=0.0)
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write((json.dumps(_solve_v2("w")) + "\n").encode("utf-8"))
+            await writer.drain()
+            await asyncio.sleep(0.1)  # the solve is now in flight
+            server.request_drain()  # the SIGTERM path
+            assert server._drain_task is not None
+            # Collector pressure while the drain is mid-flight; only
+            # the server's strong reference keeps the task alive.
+            for _ in range(10):
+                gc.collect()
+                await asyncio.sleep(0.02)
+            work = json.loads(await reader.readline())
+            await asyncio.wait_for(server.wait_closed(), 60.0)
+            return work
+
+        work = run_async(scenario())
+        assert work["ok"], "admitted work must be answered through the drain"
+
+
+class TruncatingEngine(ServiceEngine):
+    """Engine that mis-sizes its replies: answers all but the last."""
+
+    def handle_batch(self, requests):
+        return super().handle_batch(requests)[:-1]
+
+
+class TestPendingAccounting:
+    def test_mis_sized_engine_reply_does_not_leak_pending(self):
+        """Regression: _pending must settle per admitted request.
+
+        Before the fix, _dispatch_batch decremented once per *response*
+        (zip with the engine reply), so an engine answering N-1
+        responses to N requests leaked one _pending forever — with
+        max_queue_depth=1 the server would then reject everything as
+        "overloaded" and the starved future would never resolve.
+        """
+
+        async def scenario():
+            server = await started_server(
+                TruncatingEngine(),
+                batch_window=0.0,
+                max_queue_depth=1,
+            )
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                first = await rpc(reader, writer, _solve_v2("first"))
+                pending_after = server._pending
+                second = await rpc(reader, writer, _solve_v2("second"))
+                writer.close()
+            finally:
+                await server.drain()
+            return first, pending_after, second
+
+        first, pending_after, second = run_async(scenario())
+        assert not first["ok"]
+        assert "internal error" in first["error"]
+        assert "0 responses to 1 requests" in first["error"]
+        assert pending_after == 0, "_pending must not leak on short replies"
+        # The leak would reject this as "overloaded"; the fix admits it.
+        assert second["error"] != "overloaded"
+        assert "internal error" in second["error"]
+
+
+class TestCounterIdentity:
+    def test_total_equals_admitted_plus_rejected_plus_invalid(self):
+        """Regression: invalid members must be counted, not skipped.
+
+        Before the fix requests_total was bumped only after a member
+        passed request_from_dict, so malformed traffic made the server
+        counters disagree with loadgen-side accounting.
+        """
+
+        async def scenario():
+            engine = SlowEngine(0.4)
+            server = await started_server(
+                engine,
+                batch_window=0.0,
+                max_inflight=1,
+                max_queue_depth=1,
+            )
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(
+                    (json.dumps(_solve_v2("slow")) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+                await asyncio.sleep(0.15)  # the solve occupies the queue
+                rejected = await rpc(reader, writer, _solve_v2("reject"))
+                garbage = await rpc_raw(reader, writer, b"not json at all\n")
+                while server._pending:  # let the slow solve clear the queue
+                    await asyncio.sleep(0.05)
+                # An array mixing an invalid member with a valid one.
+                writer.write(
+                    (
+                        json.dumps(
+                            [{"op": "fly", "id": "bad"}, _solve_v2("later")]
+                        )
+                        + "\n"
+                    ).encode("utf-8")
+                )
+                await writer.drain()
+                by_id = {
+                    r["id"]: r for r in await read_json_lines(reader, 3)
+                }
+                stats = server.stats
+                identity = (
+                    stats.requests_total,
+                    stats.requests_admitted,
+                    stats.requests_rejected,
+                    stats.requests_invalid,
+                )
+                writer.close()
+            finally:
+                await server.drain()
+            return rejected, garbage, by_id, identity
+
+        rejected, garbage, by_id, identity = run_async(scenario())
+        assert rejected["error"] == "overloaded"
+        assert "invalid JSON" in garbage["error"]
+        assert not by_id["bad"]["ok"]
+        assert by_id["slow"]["ok"] and by_id["later"]["ok"]
+        total, admitted, rejected_n, invalid = identity
+        # slow + reject + garbage line + bad member + later = 5 requests.
+        assert total == 5
+        assert (admitted, rejected_n, invalid) == (2, 1, 2)
+        assert total == admitted + rejected_n + invalid
+
+
+async def rpc_raw(reader, writer, data):
+    writer.write(data)
+    await writer.drain()
+    line = await reader.readline()
+    assert line, "connection closed before a response arrived"
+    return json.loads(line)
+
+
+class TestRequestCLITimeout:
+    def test_timeout_maps_to_clean_exit_and_one_line_error(self, tmp_path):
+        """Regression: `repro request --tcp` died with a raw
+        socket.timeout traceback on long solves; --timeout now maps to
+        exit status 3 with a one-line error."""
+        import os
+        import socket
+        import subprocess
+        import sys
+        import threading
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        held = []
+
+        def hold_open():
+            try:
+                conn, _ = listener.accept()
+                held.append(conn)  # accept, read nothing, answer nothing
+            except OSError:  # pragma: no cover - teardown race
+                pass
+
+        accepter = threading.Thread(target=hold_open, daemon=True)
+        accepter.start()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        try:
+            proc = subprocess.run(
+                [
+                    sys.executable, "-m", "repro.cli", "request",
+                    '{"op": "stats"}',
+                    "--tcp", f"127.0.0.1:{port}",
+                    "--timeout", "0.5",
+                ],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=60,
+            )
+        finally:
+            listener.close()
+            for conn in held:
+                conn.close()
+        assert proc.returncode == 3
+        assert "Traceback" not in proc.stderr
+        stderr_lines = [ln for ln in proc.stderr.splitlines() if ln.strip()]
+        assert len(stderr_lines) == 1
+        assert "timed out after 0.5s" in stderr_lines[0]
+
+    def test_zero_timeout_means_wait_forever(self):
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["request", '{"op": "stats"}', "--tcp", "h:1", "--timeout", "0"]
+        )
+        assert isinstance(args, argparse.Namespace)
+        assert args.timeout == 0.0
+
+
 class TestWorkerPoolSubmit:
     def test_thread_pool_satisfies_executor_protocol(self):
         pool = get_pool("thread", 2)
